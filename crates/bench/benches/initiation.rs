@@ -1,0 +1,50 @@
+//! E1/E2 — Table 1 and the kernel-path decomposition.
+//!
+//! Each Criterion target simulates a batch of initiations under one
+//! method; the *simulated* per-initiation cost (the paper's number) is
+//! printed once per target, and Criterion tracks the simulator's own
+//! wall-clock throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+use udma::{measure_initiation, DmaMethod};
+use udma_bench::format_row;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    for method in DmaMethod::TABLE1 {
+        println!("{}", format_row(&measure_initiation(method, 1_000)));
+        let label = method.name().replace([' ', '(', ')', '.', ','], "_");
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(measure_initiation(black_box(method), 100)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_other_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("other_methods");
+    for method in [
+        DmaMethod::Shrimp1,
+        DmaMethod::Shrimp2 { patched_kernel: true },
+        DmaMethod::Flash { patched_kernel: true },
+        DmaMethod::Pal,
+        DmaMethod::Repeated3,
+        DmaMethod::Repeated4,
+    ] {
+        println!("{}", format_row(&measure_initiation(method, 1_000)));
+        let label = method.name().replace([' ', '(', ')', '.', ',', ':'], "_");
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(measure_initiation(black_box(method), 100)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(5));
+    targets = bench_table1, bench_other_methods
+}
+criterion_main!(benches);

@@ -1,0 +1,457 @@
+//! Regenerates every table and figure of the paper's evaluation in one
+//! run, as markdown. `EXPERIMENTS.md` is produced from this output:
+//!
+//! ```text
+//! cargo run --release -p udma-bench --bin experiments
+//! ```
+
+use udma::{
+    crossover_rows, explore, measure_initiation, os_bound_message_size, table1, DmaMethod, Table,
+};
+use udma_nic::LinkModel;
+use udma_workloads::{
+    any_violation, atomic_comparison, bus_sweep, context_count_ablation, context_switch,
+    dcache_effect, empty_syscall, guess_acceptance, illegal_transfer, misinformation,
+    pollution_with_known_key, quantum_ablation, run_contention, tlb_miss, write_buffer_ablation,
+    AdversaryKind, AttackScenario,
+};
+
+fn e1_table1() {
+    let mut t = Table::new(
+        "E1 — Table 1: comparison of DMA initiation algorithms",
+        &["DMA algorithm", "paper (µs)", "measured (µs)", "measured/paper", "user instrs"],
+    );
+    for c in table1(1_000) {
+        t.row_owned(vec![
+            c.method.name().to_string(),
+            c.paper_us.map_or("—".into(), |p| format!("{p:.1}")),
+            format!("{:.2}", c.mean.as_us()),
+            c.vs_paper().map_or("—".into(), |r| format!("{r:.2}")),
+            c.user_instructions.map_or("thousands".into(), |n| n.to_string()),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn e2_kernel_decomposition() {
+    // Figure 1's cost structure: the syscall round trip dominates.
+    let cost = udma_cpu::CostModel::alpha_3000_300();
+    let total = measure_initiation(DmaMethod::Kernel, 1_000).mean;
+    let syscall = cost.syscall_round_trip();
+    let translate = udma_bus::SimTime::from_ps(2 * cost.translation().as_ps());
+    let bus = udma_bus::SimTime::from_ps(
+        total
+            .as_ps()
+            .saturating_sub(syscall.as_ps() + translate.as_ps()),
+    );
+    let mut t = Table::new(
+        "E2 — Figure 1 cost decomposition (kernel-level DMA)",
+        &["component", "time", "share"],
+    );
+    for (name, v) in [
+        ("syscall entry+exit", syscall),
+        ("virtual_to_physical ×2 + check_size", translate),
+        ("register writes + status read (+ issue)", bus),
+        ("total", total),
+    ] {
+        t.row_owned(vec![
+            name.to_string(),
+            format!("{:.2} µs", v.as_us()),
+            format!("{:.0}%", 100.0 * v.as_ps() as f64 / total.as_ps() as f64),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn e3_races() {
+    let mut t = Table::new(
+        "E3 — §2.5 race matrix (two honest processes, every interleaving)",
+        &["method", "kernel patch", "schedules", "violations"],
+    );
+    for (method, patch) in [
+        (DmaMethod::Shrimp2 { patched_kernel: false }, "no"),
+        (DmaMethod::Shrimp2 { patched_kernel: true }, "abort"),
+        (DmaMethod::Flash { patched_kernel: false }, "no"),
+        (DmaMethod::Flash { patched_kernel: true }, "notify"),
+        (DmaMethod::Pal, "no (PAL)"),
+        (DmaMethod::KeyBased, "no"),
+        (DmaMethod::ExtShadow, "no"),
+        (DmaMethod::ExtShadowPairwise, "no"),
+        (DmaMethod::Repeated5, "no"),
+    ] {
+        let s = AttackScenario::new(method, AdversaryKind::OwnInitiation);
+        let r = explore(|| s.build(), 10_000, any_violation);
+        t.row_owned(vec![
+            method.name().to_string(),
+            patch.to_string(),
+            r.schedules.to_string(),
+            r.findings.len().to_string(),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn e4_e5_e6_attacks() {
+    let mut t = Table::new(
+        "E4/E5/E6 — Figures 5, 6 and the §3.3.1 verification",
+        &["variant", "adversary", "predicate", "schedules", "violations"],
+    );
+    {
+        let s = AttackScenario::new(DmaMethod::Repeated3, AdversaryKind::Figure5);
+        let r = explore(|| s.build(), 5_000, illegal_transfer);
+        t.row_owned(vec![
+            "3-instruction".into(),
+            "Figure 5".into(),
+            "illegal transfer".into(),
+            r.schedules.to_string(),
+            r.findings.len().to_string(),
+        ]);
+    }
+    {
+        let s = AttackScenario::new(DmaMethod::Repeated4, AdversaryKind::ProbeSharedSource);
+        let r = explore(|| s.build(), 5_000, misinformation);
+        t.row_owned(vec![
+            "4-instruction".into(),
+            "shared-source probe".into(),
+            "misinformation".into(),
+            r.schedules.to_string(),
+            r.findings.len().to_string(),
+        ]);
+    }
+    for adv in [
+        AdversaryKind::OwnInitiation,
+        AdversaryKind::ProbeSharedSource,
+        AdversaryKind::Figure5,
+        AdversaryKind::SandwichSteal,
+    ] {
+        let s = AttackScenario::new(DmaMethod::Repeated5, adv);
+        let r = explore(|| s.build(), 10_000, any_violation);
+        t.row_owned(vec![
+            "5-instruction".into(),
+            format!("{adv:?}"),
+            "any violation".into(),
+            r.schedules.to_string(),
+            r.findings.len().to_string(),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn e7_bus_sweep() {
+    let mut t = Table::new(
+        "E7 — initiation cost vs I/O bus clock (§3.4: \"our implementation is pessimistic\")",
+        &["bus MHz", "Ext. Shadow (µs)", "Key-based (µs)", "Rep. Passing (µs)", "Kernel (µs)"],
+    );
+    let freqs = [12u64, 25, 33, 50, 66];
+    let ext = bus_sweep(DmaMethod::ExtShadow, &freqs, 500);
+    let key = bus_sweep(DmaMethod::KeyBased, &freqs, 500);
+    let rep = bus_sweep(DmaMethod::Repeated5, &freqs, 500);
+    let ker = bus_sweep(DmaMethod::Kernel, &freqs, 300);
+    for i in 0..freqs.len() {
+        t.row_owned(vec![
+            freqs[i].to_string(),
+            format!("{:.2}", ext[i].mean.as_us()),
+            format!("{:.2}", key[i].mean.as_us()),
+            format!("{:.2}", rep[i].mean.as_us()),
+            format!("{:.2}", ker[i].mean.as_us()),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn e8_crossover() {
+    let kernel = measure_initiation(DmaMethod::Kernel, 500).mean;
+    let user = measure_initiation(DmaMethod::ExtShadow, 500).mean;
+    let mut t = Table::new(
+        "E8 — OS-bound message size per network generation (intro trend)",
+        &["link", "kernel init", "OS-bound up to (bytes)", "speedup @256B", "speedup @64KiB"],
+    );
+    for link in [
+        LinkModel::ethernet10(),
+        LinkModel::atm155(),
+        LinkModel::atm622(),
+        LinkModel::gigabit(),
+    ] {
+        let rows = crossover_rows(kernel, user, link, &[256, 65536]);
+        t.row_owned(vec![
+            link.name().to_string(),
+            format!("{:.1} µs", kernel.as_us()),
+            os_bound_message_size(kernel, link).to_string(),
+            format!("{:.2}×", rows[0].speedup),
+            format!("{:.2}×", rows[1].speedup),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn e9_atomics() {
+    let mut t = Table::new(
+        "E9 — §3.5 atomic operations (atomic_add, mean of 500)",
+        &["path", "measured (µs)"],
+    );
+    for (method, time) in atomic_comparison(500) {
+        t.row_owned(vec![method.name().to_string(), format!("{:.2}", time.as_us())]);
+    }
+    println!("{t}");
+}
+
+fn e10_key_guessing() {
+    let mut t = Table::new(
+        "E10 — §3.1 key guessing (sequential sweep)",
+        &["key bits", "guesses", "accepted", "acceptance rate"],
+    );
+    for (bits, guesses) in [(4u32, 15u64), (6, 63), (8, 255), (16, 5_000), (61, 5_000)] {
+        let s = guess_acceptance(bits, guesses, 0xE10);
+        t.row_owned(vec![
+            bits.to_string(),
+            s.attempts.to_string(),
+            s.accepted.to_string(),
+            format!("{:.2e}", s.acceptance_rate()),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "With the key known, redirection succeeds: {}\n",
+        pollution_with_known_key()
+    );
+}
+
+fn contention_extra() {
+    let mut t = Table::new(
+        "Extra — contention and the §3.2 kernel fallback (50 inits/process)",
+        &["method", "processes", "user-level", "fallback", "mean/init (µs)"],
+    );
+    for method in [DmaMethod::KeyBased, DmaMethod::Repeated5] {
+        for procs in [2u32, 4, 6, 8] {
+            let r = run_contention(method, procs, 50, 200);
+            t.row_owned(vec![
+                method.name().to_string(),
+                procs.to_string(),
+                r.user_level_processes.to_string(),
+                r.kernel_fallback_processes.to_string(),
+                format!("{:.2}", r.mean_per_init().as_us()),
+            ]);
+        }
+    }
+    println!("{t}");
+}
+
+fn ablation_quantum() {
+    let mut t = Table::new(
+        "Ablation A1 — scheduler quantum vs the shared repeated-passing FSM (2 procs × 10 inits)",
+        &["quantum (instrs)", "Rep. Passing finished?", "Rep. mean/init", "Key-based finished?", "Key mean/init"],
+    );
+    for &q in &[2u64, 5, 12, 50, 300] {
+        let rep = &quantum_ablation(DmaMethod::Repeated5, &[q], 2, 10)[0];
+        let key = &quantum_ablation(DmaMethod::KeyBased, &[q], 2, 10)[0];
+        let fmt = |r: &udma_workloads::QuantumRow| {
+            if r.finished { format!("{:.2} µs", r.mean_per_init.as_us()) } else { "—".into() }
+        };
+        t.row_owned(vec![
+            q.to_string(),
+            if rep.finished { "yes".into() } else { "LIVELOCK".into() },
+            fmt(rep),
+            if key.finished { "yes".into() } else { "LIVELOCK".into() },
+            fmt(key),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn ablation_write_buffer() {
+    let mut t = Table::new(
+        "Ablation A2 — write-buffer policy (Rep. Passing, barriered per Figure 7)",
+        &["policy", "mean/init (µs)"],
+    );
+    for row in write_buffer_ablation(DmaMethod::Repeated5, 500) {
+        t.row_owned(vec![row.name.to_string(), format!("{:.2}", row.mean.as_us())]);
+    }
+    println!("{t}");
+}
+
+fn ablation_contexts() {
+    let mut t = Table::new(
+        "Ablation A3 — register-context count, 6 key-based processes × 20 inits (§3.1: \"say 4 to 8\")",
+        &["contexts", "user-level", "kernel fallback", "mean/init (µs)"],
+    );
+    for row in context_count_ablation(6, 20, &[1, 2, 4, 6, 8]) {
+        t.row_owned(vec![
+            row.contexts.to_string(),
+            row.user_level.to_string(),
+            row.fallback.to_string(),
+            format!("{:.2}", row.mean_per_init.as_us()),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn trend_projection() {
+    // The paper's closing argument: CPUs get faster quicker than OSes.
+    // Project Table 1 onto a host with a 10× CPU whose OS paths shrank
+    // only 2× in cycles, on a 66 MHz PCI bus.
+    let mut t = Table::new(
+        "Trend projection — 1997 testbed vs a \"modern\" host (10× CPU, OS only 2× faster, PCI 66)",
+        &["method", "1997 (µs)", "projected (µs)", "kernel/user then", "kernel/user now"],
+    );
+    let project = |m: DmaMethod| {
+        udma::measure_initiation_with(
+            udma::MachineConfig {
+                cost: udma_cpu::CostModel::modern_trend_host(),
+                bus_timing: udma_bus::BusTiming::pci66(),
+                ..udma::MachineConfig::new(m)
+            },
+            500,
+        )
+        .mean
+    };
+    let old_kernel = measure_initiation(DmaMethod::Kernel, 500).mean;
+    let old_user = measure_initiation(DmaMethod::ExtShadow, 500).mean;
+    let new_kernel = project(DmaMethod::Kernel);
+    let new_user = project(DmaMethod::ExtShadow);
+    for (m, old, new) in [
+        (DmaMethod::Kernel, old_kernel, new_kernel),
+        (DmaMethod::ExtShadow, old_user, new_user),
+    ] {
+        t.row_owned(vec![
+            m.name().to_string(),
+            format!("{:.2}", old.as_us()),
+            format!("{:.2}", new.as_us()),
+            if m == DmaMethod::Kernel {
+                format!("{:.1}×", old_kernel.as_ns() / old_user.as_ns())
+            } else {
+                String::new()
+            },
+            if m == DmaMethod::Kernel {
+                format!("{:.1}×", new_kernel.as_ns() / new_user.as_ns())
+            } else {
+                String::new()
+            },
+        ]);
+    }
+    println!("{t}");
+}
+
+fn now_broadcast() {
+    let mut t = Table::new(
+        "NOW fan-out — SHRIMP-1 broadcast to remote nodes (1 KiB per node)",
+        &["nodes", "initiation total (µs)", "completion (µs)", "verified"],
+    );
+    for nodes in [1u32, 2, 4, 8] {
+        let r = udma_workloads::broadcast(nodes, 1024);
+        t.row_owned(vec![
+            nodes.to_string(),
+            format!("{:.2}", r.initiation_time.as_us()),
+            format!("{:.2}", r.completion_time.as_us()),
+            r.verified.to_string(),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn transfer_latency() {
+    let mut t = Table::new(
+        "Transfer latency — initiation + wire (ATM 155 Mb/s link), one transfer",
+        &["size (B)", "Kernel (µs)", "Ext. Shadow (µs)", "Key-based (µs)", "init share @ Ext"],
+    );
+    for size in [64u64, 256, 1024, 4096, 8192] {
+        let k = udma::measure_transfer_latency(DmaMethod::Kernel, size);
+        let e = udma::measure_transfer_latency(DmaMethod::ExtShadow, size);
+        let key = udma::measure_transfer_latency(DmaMethod::KeyBased, size);
+        let init = udma::measure_initiation(DmaMethod::ExtShadow, 100).mean;
+        t.row_owned(vec![
+            size.to_string(),
+            format!("{:.1}", k.as_us()),
+            format!("{:.1}", e.as_us()),
+            format!("{:.1}", key.as_us()),
+            format!("{:.0}%", 100.0 * init.as_us() / e.as_us()),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn messaging_layer() {
+    let mut t = Table::new(
+        "Application level — udma-msg channel, per-message cost (µs, 24 msgs)",
+        &["method", "32 B", "128 B", "1 KiB"],
+    );
+    for method in [
+        DmaMethod::Kernel,
+        DmaMethod::KeyBased,
+        DmaMethod::ExtShadow,
+        DmaMethod::Repeated5,
+    ] {
+        let mut row = vec![method.name().to_string()];
+        for words in [4u64, 16, 128] {
+            let cfg = udma_msg::ChannelConfig { slots: 4, payload_words: words };
+            let cost = udma_msg::measure_messaging(method, &cfg, 24);
+            row.push(format!("{:.2}", cost.per_message.as_us()));
+        }
+        t.row_owned(row);
+    }
+    println!("{t}");
+}
+
+fn pingpong_latency() {
+    let mut t = Table::new(
+        "Application level — ping-pong round-trip latency (one-word messages, 16 rounds)",
+        &["method", "round trip (µs)"],
+    );
+    for cost in udma_msg::pingpong_comparison(16) {
+        t.row_owned(vec![
+            cost.method.name().to_string(),
+            format!("{:.2}", cost.round_trip.as_us()),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn microbench_host() {
+    let mut t = Table::new(
+        "Host microbenchmarks (lmbench-style, on the simulated Alpha 3000/300)",
+        &["primitive", "measured", "paper/model reference"],
+    );
+    t.row_owned(vec![
+        "empty syscall".into(),
+        format!("{:.2} µs", empty_syscall(500).as_us()),
+        "1 000–5 000 cycles (lmbench, cited in §2.2) = 6.7–33 µs @150 MHz".into(),
+    ]);
+    t.row_owned(vec![
+        "context switch".into(),
+        format!("{:.2} µs", context_switch(300).as_us()),
+        "model constant 1 800 cycles = 12 µs".into(),
+    ]);
+    t.row_owned(vec![
+        "TLB miss".into(),
+        format!("{:.0} ns", tlb_miss(64, 4).as_ns()),
+        "model constant 30 cycles = 200 ns".into(),
+    ]);
+    let (hot, cold) = dcache_effect(400);
+    t.row_owned(vec![
+        "cacheable load, hot / thrashing".into(),
+        format!("{:.0} ns / {:.0} ns", hot.as_ns(), cold.as_ns()),
+        "2 cycles hit, DRAM latency miss (the §3.4 \"caching effects\")".into(),
+    ]);
+    println!("{t}");
+}
+
+fn main() {
+    println!("# udma reproduction — experiment report\n");
+    e1_table1();
+    e2_kernel_decomposition();
+    e3_races();
+    e4_e5_e6_attacks();
+    e7_bus_sweep();
+    e8_crossover();
+    e9_atomics();
+    e10_key_guessing();
+    contention_extra();
+    transfer_latency();
+    now_broadcast();
+    trend_projection();
+    ablation_quantum();
+    ablation_write_buffer();
+    ablation_contexts();
+    messaging_layer();
+    pingpong_latency();
+    microbench_host();
+}

@@ -1,0 +1,21 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The interesting numbers of this reproduction are *simulated* times
+//! (the machine's picosecond clock), printed by the `experiments` binary
+//! as the paper's tables. The Criterion benches additionally measure the
+//! *simulator's* wall-clock throughput, so regressions in the model
+//! itself are caught.
+
+#![forbid(unsafe_code)]
+
+use udma::InitiationCost;
+
+/// Formats an [`InitiationCost`] as a Table-1 row.
+pub fn format_row(cost: &InitiationCost) -> String {
+    format!(
+        "{:<34} {:>9.2} µs (paper: {})",
+        cost.method.name(),
+        cost.mean.as_us(),
+        cost.paper_us.map_or("—".to_string(), |p| format!("{p:.1} µs")),
+    )
+}

@@ -1,0 +1,127 @@
+//! The motivation trend (experiment E8): OS overhead vs. wire time.
+//!
+//! The paper's introduction argues that "soon, the operating system
+//! overhead associated with starting a DMA will be larger than the data
+//! transfer itself, esp. for small data transfers". Given a measured
+//! kernel initiation cost, a user-level initiation cost and a link model,
+//! these functions compute the total per-message cost of both paths and
+//! the message size below which the OS overhead dominates the wire.
+
+use udma_bus::SimTime;
+use udma_nic::LinkModel;
+
+/// One message size in the sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct CrossoverRow {
+    /// Message size in bytes.
+    pub msg_bytes: u64,
+    /// Pure wire time (latency + serialisation).
+    pub wire: SimTime,
+    /// Kernel-initiated total: initiation + wire.
+    pub kernel_total: SimTime,
+    /// User-level-initiated total.
+    pub user_total: SimTime,
+    /// Fraction of the kernel path spent in initiation (the paper's
+    /// "ever-increasing percentage").
+    pub kernel_init_fraction: f64,
+    /// Speedup of the user-level path for this message size.
+    pub speedup: f64,
+}
+
+/// Sweeps message sizes for one link.
+pub fn crossover_rows(
+    kernel_init: SimTime,
+    user_init: SimTime,
+    link: LinkModel,
+    sizes: &[u64],
+) -> Vec<CrossoverRow> {
+    sizes
+        .iter()
+        .map(|&msg_bytes| {
+            let wire = link.transfer_time(msg_bytes);
+            let kernel_total = kernel_init + wire;
+            let user_total = user_init + wire;
+            CrossoverRow {
+                msg_bytes,
+                wire,
+                kernel_total,
+                user_total,
+                kernel_init_fraction: kernel_init.as_ns() / kernel_total.as_ns(),
+                speedup: kernel_total.as_ns() / user_total.as_ns(),
+            }
+        })
+        .collect()
+}
+
+/// The largest message size (bytes, power-of-two search up to 1 GiB) for
+/// which the *wire time* is still below the kernel initiation overhead —
+/// i.e. every message up to this size spends more than half its life in
+/// the OS.
+pub fn os_bound_message_size(kernel_init: SimTime, link: LinkModel) -> u64 {
+    let mut lo = 0u64;
+    let mut hi = 1 << 30;
+    if link.transfer_time(0) >= kernel_init {
+        return 0;
+    }
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if link.transfer_time(mid) < kernel_init {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faster_links_raise_the_os_bound() {
+        let init = SimTime::from_us(18); // ~ the measured kernel DMA cost
+        let slow = os_bound_message_size(init, LinkModel::ethernet10());
+        let fast = os_bound_message_size(init, LinkModel::gigabit());
+        // On a faster network, *larger* messages are still OS-dominated:
+        // exactly the trend the paper's introduction describes.
+        assert!(fast > slow, "gigabit bound {fast} <= ethernet bound {slow}");
+    }
+
+    #[test]
+    fn bound_is_where_wire_crosses_init() {
+        let init = SimTime::from_us(18);
+        let link = LinkModel::new("t", 1_000_000_000, SimTime::ZERO);
+        let bound = os_bound_message_size(init, link);
+        assert!(link.transfer_time(bound) < init);
+        assert!(link.transfer_time(bound + 1) >= init);
+        // 18 µs at 1 Gb/s = 2250 bytes.
+        assert_eq!(bound, 2249);
+    }
+
+    #[test]
+    fn zero_when_latency_alone_exceeds_init() {
+        let init = SimTime::from_us(1);
+        let link = LinkModel::new("t", 1_000_000_000, SimTime::from_us(5));
+        assert_eq!(os_bound_message_size(init, link), 0);
+    }
+
+    #[test]
+    fn rows_have_consistent_fractions_and_speedups() {
+        let rows = crossover_rows(
+            SimTime::from_us(18),
+            SimTime::from_us(1),
+            LinkModel::atm155(),
+            &[64, 1024, 65536],
+        );
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.kernel_total > r.user_total);
+            assert!(r.speedup > 1.0);
+            assert!((0.0..=1.0).contains(&r.kernel_init_fraction));
+        }
+        // Small messages are more OS-dominated and gain more.
+        assert!(rows[0].kernel_init_fraction > rows[2].kernel_init_fraction);
+        assert!(rows[0].speedup > rows[2].speedup);
+    }
+}

@@ -1,0 +1,42 @@
+//! Straight-line (no-retry) initiation sequences.
+//!
+//! The attack figures of the paper (Figures 5, 6, 8) show the *plain*
+//! access sequences, without Figure 7's retry loop — the misinformation
+//! attack on the 4-instruction variant is only visible when the victim
+//! does not retry. Victims in the attack scenarios use these.
+
+use crate::{emit_dma, DmaMethod, DmaRequest, ProcessEnv};
+use udma_cpu::{ProgramBuilder, Reg};
+
+/// Appends one initiation **without retry loops**; `r0` ends with the
+/// final status load's value. For methods whose sequence has no loop this
+/// is identical to [`emit_dma`].
+pub fn emit_dma_once(env: &ProcessEnv, b: ProgramBuilder, req: &DmaRequest) -> ProgramBuilder {
+    let method = if env.can_use_user_level() { env.method } else { DmaMethod::Kernel };
+    let s_src = env.shadow_of(req.src).as_u64();
+    let s_dst = env.shadow_of(req.dst).as_u64();
+    match method {
+        DmaMethod::ExtShadowPairwise => b.store(s_dst, req.size).load(Reg::R0, s_src),
+        DmaMethod::Repeated3 => b
+            .load(Reg::R0, s_src)
+            .store(s_dst, req.size)
+            .load(Reg::R0, s_src),
+        DmaMethod::Repeated4 => b
+            .store(s_dst, req.size)
+            .load(Reg::R0, s_src)
+            .store(s_dst, req.size)
+            .load(Reg::R0, s_src),
+        DmaMethod::Repeated5 => b
+            .store(s_dst, req.size)
+            .mb()
+            .load(Reg::R0, s_src)
+            .store(s_dst, req.size)
+            .mb()
+            .load(Reg::R0, s_src)
+            .load(Reg::R0, s_dst),
+        _ => {
+            let mut uniq = 0;
+            emit_dma(env, b, req, &mut uniq)
+        }
+    }
+}

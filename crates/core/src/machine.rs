@@ -1,0 +1,552 @@
+//! The simulated workstation: substrates wired together.
+
+use crate::DmaMethod;
+use std::cell::RefCell;
+use std::rc::Rc;
+use udma_bus::{Bus, BusTiming, CacheConfig, SharedMemory, SimTime, WriteBufferPolicy};
+use udma_cpu::{
+    CostModel, Executor, Operand, Pid, ProcState, Program, ProgramBuilder, Reg, RunOutcome,
+    RunToCompletion, Scheduler,
+};
+use udma_mem::{PageTable, Perms, PhysLayout, PhysMemory, VirtAddr, PAGE_SIZE};
+use udma_nic::{Cluster, Destination, DmaEngine, EngineConfig, LinkModel, SharedCluster, TransferRecord};
+use udma_os::{CtxGrant, Kernel, MappedBuffer, ShadowMode};
+
+/// PAL function index of the installed user-level DMA call (§2.7).
+pub const PAL_DMA: u16 = 1;
+
+/// Virtual address of the first data buffer; buffers are spaced
+/// [`BUF_VA_STRIDE`] apart.
+const BUF_VA_BASE: u64 = 16 * PAGE_SIZE;
+const BUF_VA_STRIDE: u64 = 64 * PAGE_SIZE;
+
+/// Full machine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// The initiation method under test (decides NIC protocol, kernel
+    /// switch policy, and compiled sequences).
+    pub method: DmaMethod,
+    /// CPU-side cost model.
+    pub cost: CostModel,
+    /// I/O bus timing.
+    pub bus_timing: BusTiming,
+    /// Outgoing link model.
+    pub link: LinkModel,
+    /// Write-buffer behaviour.
+    pub wb_policy: WriteBufferPolicy,
+    /// Data-cache geometry (timing only).
+    pub cache: CacheConfig,
+    /// Physical address map.
+    pub layout: PhysLayout,
+    /// Register contexts in the engine.
+    pub num_contexts: u32,
+    /// Seed for key generation (deterministic experiments).
+    pub key_seed: u64,
+    /// Significant bits in generated keys (61 in the paper's layout;
+    /// shrink to make key-guessing experiments tractable).
+    pub key_bits: u32,
+    /// Remote workstations reachable over the link (0 = standalone).
+    pub remote_nodes: u32,
+    /// Memory per remote node in bytes.
+    pub remote_node_bytes: u64,
+}
+
+impl MachineConfig {
+    /// The paper's testbed configuration for `method`: Alpha 3000/300,
+    /// 12.5 MHz TurboChannel, ATM-class link, 4 register contexts.
+    pub fn new(method: DmaMethod) -> Self {
+        MachineConfig {
+            method,
+            cost: CostModel::alpha_3000_300(),
+            bus_timing: BusTiming::turbochannel(),
+            link: LinkModel::atm155(),
+            wb_policy: WriteBufferPolicy::default(),
+            cache: CacheConfig::alpha_21064(),
+            layout: PhysLayout::default(),
+            num_contexts: 4,
+            key_seed: 0x5EED,
+            key_bits: 61,
+            remote_nodes: 0,
+            remote_node_bytes: 1 << 20,
+        }
+    }
+}
+
+/// A buffer requested for a process.
+#[derive(Clone, Copy, Debug)]
+pub struct BufferSpec {
+    /// Pages to allocate (or to alias when shared).
+    pub pages: u64,
+    /// Permissions of this process's mapping.
+    pub perms: Perms,
+    /// Alias an existing buffer of another process instead of allocating.
+    pub share: Option<ShareRef>,
+}
+
+impl BufferSpec {
+    /// A fresh read-write buffer.
+    pub fn rw(pages: u64) -> Self {
+        BufferSpec { pages, perms: Perms::READ_WRITE, share: None }
+    }
+
+    /// A view of another process's buffer.
+    pub fn shared(of: ShareRef, perms: Perms) -> Self {
+        BufferSpec { pages: 0, perms, share: Some(of) }
+    }
+}
+
+/// Reference to another process's buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct ShareRef {
+    /// Owning process.
+    pub pid: Pid,
+    /// Buffer index within that process.
+    pub buffer: usize,
+}
+
+/// What a process needs from the kernel before it starts.
+#[derive(Clone, Debug, Default)]
+pub struct ProcessSpec {
+    /// Buffers to map (index order = [`ProcessEnv::buffer`] order).
+    pub buffers: Vec<BufferSpec>,
+    /// Request a register context? `None` = whatever the method needs.
+    pub want_ctx: Option<bool>,
+    /// SHRIMP-1 mapped-out links: `(src_buffer, dst_buffer)` pairs; every
+    /// page of the source buffer is mapped out to the corresponding page
+    /// of the destination buffer.
+    pub mapped_out: Vec<(usize, usize)>,
+    /// SHRIMP-1 mapped-out links to *remote* nodes:
+    /// `(src_buffer, node, remote_base_addr)` — page `i` of the source
+    /// buffer maps out to `remote_base_addr + i·PAGE_SIZE` on `node`.
+    pub mapped_out_remote: Vec<(usize, u32, u64)>,
+}
+
+impl ProcessSpec {
+    /// The common case: a source and a destination buffer, one page each.
+    pub fn two_buffers() -> Self {
+        ProcessSpec {
+            buffers: vec![BufferSpec::rw(1), BufferSpec::rw(1)],
+            ..Default::default()
+        }
+    }
+
+    /// Source/destination buffers with `pages` pages each.
+    pub fn two_buffers_of(pages: u64) -> Self {
+        ProcessSpec {
+            buffers: vec![BufferSpec::rw(pages), BufferSpec::rw(pages)],
+            ..Default::default()
+        }
+    }
+}
+
+/// Everything a spawned process knows about its environment; program
+/// builders receive this.
+#[derive(Clone, Debug)]
+pub struct ProcessEnv {
+    /// The process id.
+    pub pid: Pid,
+    /// The machine's initiation method.
+    pub method: DmaMethod,
+    /// Mapped buffers, in [`ProcessSpec::buffers`] order.
+    pub buffers: Vec<MappedBuffer>,
+    /// Register-context grant, if the kernel gave one.
+    pub ctx: Option<CtxGrant>,
+    /// VA of the mapped register-context page, if granted.
+    pub ctx_page_va: Option<VirtAddr>,
+    shadow_mask: u64,
+}
+
+impl ProcessEnv {
+    /// Buffer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn buffer(&self, i: usize) -> &MappedBuffer {
+        &self.buffers[i]
+    }
+
+    /// The shadow twin of a data virtual address (same offset, shadow bit
+    /// set — the kernel created both mappings at allocation time).
+    pub fn shadow_of(&self, va: VirtAddr) -> VirtAddr {
+        VirtAddr::new(va.as_u64() | self.shadow_mask)
+    }
+
+    /// An address `offset` bytes into buffer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `offset` exceeds the buffer.
+    pub fn addr_in(&self, i: usize, offset: u64) -> VirtAddr {
+        let b = self.buffer(i);
+        assert!(offset < b.len(), "offset outside buffer");
+        b.va + offset
+    }
+
+    /// Whether this process can use the machine's user-level method (it
+    /// may lack a register context when contexts ran out — §3.2: "the
+    /// rest will have to go through the kernel").
+    pub fn can_use_user_level(&self) -> bool {
+        !self.method.needs_ctx() || self.ctx.is_some()
+    }
+}
+
+/// The assembled workstation.
+pub struct Machine {
+    config: MachineConfig,
+    bus: Bus,
+    executor: Executor,
+    kernel: Kernel,
+    engine: DmaEngine,
+    cluster: Option<SharedCluster>,
+    envs: Vec<ProcessEnv>,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("method", &self.config.method)
+            .field("processes", &self.envs.len())
+            .field("now", &self.executor.now())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Builds a machine from a configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        config.layout.validate();
+        let mem: SharedMemory = Rc::new(RefCell::new(PhysMemory::new(config.layout.ram_size)));
+        let mut bus = Bus::new(config.layout, Rc::clone(&mem), config.bus_timing);
+        let engine = DmaEngine::new(
+            config.layout,
+            mem,
+            EngineConfig {
+                num_contexts: config.num_contexts,
+                link: config.link,
+                ..EngineConfig::default()
+            },
+            config.method.protocol(),
+        );
+        bus.attach_nic(Box::new(engine.clone()));
+        let kernel = Kernel::new(
+            config.layout,
+            config.cost,
+            config.method.switch_policy(),
+            config.num_contexts,
+            config.key_seed,
+            config.key_bits,
+        );
+        let cluster = (config.remote_nodes > 0).then(|| {
+            let c = Cluster::new(config.remote_nodes, config.remote_node_bytes).shared();
+            engine.core_mut().attach_cluster(c.clone());
+            c
+        });
+        let mut executor = Executor::with_cache(config.cost, config.wb_policy, config.cache);
+        if config.method.needs_pal() {
+            // PAL_DMA(r1 = shadow(vdst), r2 = size, r3 = shadow(vsrc)):
+            // the SHRIMP-2 sequence, uninterruptible (§2.7).
+            let pal = ProgramBuilder::new()
+                .store(Operand::Reg(Reg::R1), Operand::Reg(Reg::R2))
+                .load(Reg::R0, Operand::Reg(Reg::R3))
+                .build();
+            executor.install_pal(PAL_DMA, pal);
+        }
+        Machine { config, bus, executor, kernel, engine, cluster, envs: Vec::new() }
+    }
+
+    /// A machine with the default (paper-testbed) configuration.
+    pub fn with_method(method: DmaMethod) -> Self {
+        Machine::new(MachineConfig::new(method))
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Creates a process: maps its buffers (with the shadow mode the
+    /// method needs), grants a register context if applicable, then asks
+    /// `build` for the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer mapping fails (address-space collision or
+    /// exhausted RAM) — a configuration error, not a runtime condition.
+    pub fn spawn(
+        &mut self,
+        spec: &ProcessSpec,
+        build: impl FnOnce(&ProcessEnv) -> Program,
+    ) -> Pid {
+        let pid = Pid::new(self.executor.processes().len() as u32);
+        let mut pt = PageTable::new();
+        let now = self.executor.now();
+
+        // Register context first: extended shadow mappings need the ctx id.
+        let want_ctx = spec.want_ctx.unwrap_or_else(|| self.config.method.needs_ctx());
+        let ctx = if want_ctx {
+            self.kernel.grant_context(pid, &mut self.bus, now)
+        } else {
+            None
+        };
+        let shadow_mode = match (self.config.method, ctx) {
+            (DmaMethod::ExtShadow | DmaMethod::ExtShadowPairwise, Some(g)) => {
+                ShadowMode::WithCtx(g.ctx)
+            }
+            (DmaMethod::ExtShadow | DmaMethod::ExtShadowPairwise, None) => ShadowMode::None,
+            _ => ShadowMode::Plain,
+        };
+
+        let mut buffers = Vec::with_capacity(spec.buffers.len());
+        for (i, bspec) in spec.buffers.iter().enumerate() {
+            let va = VirtAddr::new(BUF_VA_BASE + i as u64 * BUF_VA_STRIDE);
+            let buf = match bspec.share {
+                Some(r) => {
+                    let src = *self.envs[r.pid.as_u32() as usize].buffer(r.buffer);
+                    self.kernel
+                        .vm_mut()
+                        .map_shared(&mut pt, va, src.first_frame, src.pages, bspec.perms, shadow_mode)
+                        .expect("shared mapping failed")
+                }
+                None => self
+                    .kernel
+                    .vm_mut()
+                    .map_buffer(&mut pt, va, bspec.pages, bspec.perms, shadow_mode)
+                    .expect("buffer mapping failed"),
+            };
+            buffers.push(buf);
+        }
+
+        let ctx_page_va = ctx.map(|g| {
+            self.kernel
+                .vm_mut()
+                .map_ctx_page(&mut pt, g.ctx)
+                .expect("context page mapping failed")
+        });
+
+        // SHRIMP-1 mapped-out table (local twins).
+        for &(src_i, dst_i) in &spec.mapped_out {
+            let src = &buffers[src_i];
+            let dst = &buffers[dst_i];
+            assert!(dst.pages >= src.pages, "mapped-out target too small");
+            let mut core = self.engine.core_mut();
+            for p in 0..src.pages {
+                core.set_mapped_out(
+                    src.first_frame.offset(p),
+                    Destination::Local(dst.first_frame.offset(p).base()),
+                );
+            }
+        }
+        // SHRIMP-1 mapped-out table (remote twins on cluster nodes).
+        for &(src_i, node, base) in &spec.mapped_out_remote {
+            assert!(
+                self.cluster.is_some(),
+                "mapped_out_remote needs remote_nodes > 0 in the MachineConfig"
+            );
+            let src = &buffers[src_i];
+            let mut core = self.engine.core_mut();
+            for p in 0..src.pages {
+                core.set_mapped_out(
+                    src.first_frame.offset(p),
+                    Destination::Remote {
+                        node,
+                        addr: udma_mem::PhysAddr::new(base + p * PAGE_SIZE),
+                    },
+                );
+            }
+        }
+
+        let env = ProcessEnv {
+            pid,
+            method: self.config.method,
+            buffers,
+            ctx,
+            ctx_page_va,
+            shadow_mask: self.config.layout.shadow.shadow_mask(),
+        };
+        let program = build(&env);
+        let spawned = self.executor.spawn(program, pt);
+        debug_assert_eq!(spawned, pid);
+        self.envs.push(env);
+        pid
+    }
+
+    /// The environment of a spawned process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was not spawned here.
+    pub fn env(&self, pid: Pid) -> &ProcessEnv {
+        &self.envs[pid.as_u32() as usize]
+    }
+
+    /// Runs to completion (no preemption).
+    pub fn run(&mut self, max_steps: u64) -> RunOutcome {
+        self.run_with(&mut RunToCompletion, max_steps)
+    }
+
+    /// Runs under an explicit scheduler.
+    pub fn run_with(&mut self, sched: &mut dyn Scheduler, max_steps: u64) -> RunOutcome {
+        self.executor.run(sched, &mut self.kernel, &mut self.bus, max_steps)
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> SimTime {
+        self.executor.now()
+    }
+
+    /// A process register (results land in `r0` by convention).
+    pub fn reg(&self, pid: Pid, reg: Reg) -> u64 {
+        self.executor.process(pid).reg(reg)
+    }
+
+    /// A process's lifecycle state.
+    pub fn state(&self, pid: Pid) -> ProcState {
+        self.executor.process(pid).state()
+    }
+
+    /// The DMA engine (stats, transfer records, protocol kind).
+    pub fn engine(&self) -> &DmaEngine {
+        &self.engine
+    }
+
+    /// The kernel (stats, switch policy).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The bus (trace, counters).
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// Mutable bus access (enable tracing before a run).
+    pub fn bus_mut(&mut self) -> &mut Bus {
+        &mut self.bus
+    }
+
+    /// The executor (instruction counts, TLB stats, process inspection).
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Shared physical memory (seed/inspect data in tests).
+    pub fn memory(&self) -> SharedMemory {
+        self.bus.memory()
+    }
+
+    /// The remote cluster, when `remote_nodes > 0` was configured.
+    pub fn cluster(&self) -> Option<SharedCluster> {
+        self.cluster.clone()
+    }
+
+    /// Snapshot of all transfers the engine performed.
+    pub fn transfers(&self) -> Vec<TransferRecord> {
+        self.engine.core().mover().records().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udma_mem::Access;
+
+    #[test]
+    fn spawn_maps_buffers_and_shadows() {
+        let mut m = Machine::with_method(DmaMethod::Repeated5);
+        let pid = m.spawn(&ProcessSpec::two_buffers(), |env| {
+            assert_eq!(env.buffers.len(), 2);
+            assert!(env.can_use_user_level());
+            ProgramBuilder::new().halt().build()
+        });
+        let env = m.env(pid).clone();
+        let pt = m.executor().process(pid).page_table().clone();
+        // Data and shadow both mapped.
+        assert!(pt.translate(env.buffer(0).va, Access::Write).is_ok());
+        assert!(pt
+            .translate(env.shadow_of(env.buffer(0).va), Access::Write)
+            .is_ok());
+        // No context for repeated passing.
+        assert!(env.ctx.is_none());
+    }
+
+    #[test]
+    fn key_based_processes_get_context_and_page() {
+        let mut m = Machine::with_method(DmaMethod::KeyBased);
+        let pid = m.spawn(&ProcessSpec::two_buffers(), |_| {
+            ProgramBuilder::new().halt().build()
+        });
+        let env = m.env(pid);
+        let grant = env.ctx.expect("key-based process needs a context");
+        assert!(env.ctx_page_va.is_some());
+        // The engine's key table was programmed.
+        assert_eq!(m.engine().core().key(grant.ctx), grant.key);
+    }
+
+    #[test]
+    fn context_exhaustion_falls_back_to_kernel() {
+        let mut m = Machine::new(MachineConfig {
+            num_contexts: 2,
+            ..MachineConfig::new(DmaMethod::KeyBased)
+        });
+        let mut granted = 0;
+        for _ in 0..4 {
+            let pid = m.spawn(&ProcessSpec::two_buffers(), |_| {
+                ProgramBuilder::new().halt().build()
+            });
+            if m.env(pid).ctx.is_some() {
+                granted += 1;
+            } else {
+                assert!(!m.env(pid).can_use_user_level());
+            }
+        }
+        assert_eq!(granted, 2);
+    }
+
+    #[test]
+    fn ext_shadow_mappings_carry_the_granted_ctx() {
+        let mut m = Machine::with_method(DmaMethod::ExtShadow);
+        let pid = m.spawn(&ProcessSpec::two_buffers(), |_| {
+            ProgramBuilder::new().halt().build()
+        });
+        let env = m.env(pid).clone();
+        let grant = env.ctx.unwrap();
+        let pt = m.executor().process(pid).page_table().clone();
+        let spa = pt
+            .translate(env.shadow_of(env.buffer(0).va), Access::Write)
+            .unwrap();
+        let (_, ctx) = m.config().layout.shadow.decode(spa).unwrap();
+        assert_eq!(ctx, grant.ctx);
+    }
+
+    #[test]
+    fn shared_buffers_alias_frames() {
+        let mut m = Machine::with_method(DmaMethod::Repeated5);
+        let owner = m.spawn(&ProcessSpec::two_buffers(), |_| {
+            ProgramBuilder::new().halt().build()
+        });
+        let spec = ProcessSpec {
+            buffers: vec![BufferSpec::shared(ShareRef { pid: owner, buffer: 0 }, Perms::READ)],
+            ..Default::default()
+        };
+        let reader = m.spawn(&spec, |_| ProgramBuilder::new().halt().build());
+        assert_eq!(
+            m.env(owner).buffer(0).first_frame,
+            m.env(reader).buffer(0).first_frame
+        );
+        assert_eq!(m.env(reader).buffer(0).perms, Perms::READ);
+    }
+
+    #[test]
+    fn machine_runs_to_completion() {
+        let mut m = Machine::with_method(DmaMethod::Kernel);
+        let pid = m.spawn(&ProcessSpec::two_buffers(), |_| {
+            ProgramBuilder::new().imm(Reg::R5, 7).halt().build()
+        });
+        let out = m.run(100);
+        assert!(out.finished);
+        assert_eq!(m.reg(pid, Reg::R5), 7);
+        assert_eq!(m.state(pid), ProcState::Halted);
+        assert!(m.time() > SimTime::ZERO);
+    }
+}

@@ -1,0 +1,219 @@
+//! The §3.4 measurement harness: Table 1 and the atomic-operation
+//! comparison.
+
+use crate::{emit_atomic, emit_dma, AtomicRequest, DmaMethod, DmaRequest, Machine, ProcessSpec};
+use udma_bus::SimTime;
+use udma_cpu::ProgramBuilder;
+use udma_mem::PAGE_SIZE;
+use udma_nic::AtomicOp;
+
+/// The measured cost of one initiation under a method.
+#[derive(Clone, Copy, Debug)]
+pub struct InitiationCost {
+    /// The method measured.
+    pub method: DmaMethod,
+    /// Mean time per initiation.
+    pub mean: SimTime,
+    /// Iterations averaged over.
+    pub iters: u32,
+    /// User-mode instructions per initiation (`None` for the kernel
+    /// path's "thousands").
+    pub user_instructions: Option<u32>,
+    /// The paper's Table 1 number, where it reports one.
+    pub paper_us: Option<f64>,
+}
+
+impl InitiationCost {
+    /// Ratio of our measurement to the paper's, where comparable.
+    pub fn vs_paper(&self) -> Option<f64> {
+        self.paper_us.map(|p| self.mean.as_us() / p)
+    }
+}
+
+/// Measures the mean initiation cost of `method` over `iters`
+/// initiations, reproducing the paper's §3.4 procedure: "a simple test of
+/// initiating 1,000 DMA operations. Successive DMA operations were done
+/// to(from) different addresses, so as to eliminate any caching effects."
+/// No payload matters (size is 8 bytes; the paper passed arguments only).
+///
+/// ```
+/// use udma::{measure_initiation, DmaMethod};
+///
+/// let cost = measure_initiation(DmaMethod::ExtShadow, 50);
+/// // Two TurboChannel accesses: around a microsecond.
+/// assert!((0.5..2.0).contains(&cost.mean.as_us()));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the run does not complete or an initiation fails — both
+/// indicate a broken protocol wiring, not a measurement result.
+pub fn measure_initiation(method: DmaMethod, iters: u32) -> InitiationCost {
+    assert!(iters > 0, "need at least one iteration");
+    let mut m = Machine::with_method(method);
+    let pages = 8u64;
+    let mut spec = ProcessSpec::two_buffers_of(pages);
+    if method == DmaMethod::Shrimp1 {
+        spec.mapped_out.push((0, 1));
+    }
+    let pid = m.spawn(&spec, |env| {
+        let mut b = ProgramBuilder::new();
+        let mut uniq = 0;
+        for i in 0..iters as u64 {
+            // Different page and different offset every time.
+            let page = i % pages;
+            let off = (i * 64) % (PAGE_SIZE - 64);
+            let src = env.addr_in(0, page * PAGE_SIZE + off);
+            let dst = env.addr_in(1, page * PAGE_SIZE + off);
+            b = emit_dma(env, b, &DmaRequest::new(src, dst, 8), &mut uniq);
+        }
+        b.halt().build()
+    });
+    let out = m.run(iters as u64 * 64 + 10_000);
+    assert!(out.finished, "measurement did not complete");
+    assert_eq!(
+        m.engine().core().stats().started,
+        iters as u64,
+        "{method}: not every initiation started a transfer"
+    );
+    let _ = pid;
+    InitiationCost {
+        method,
+        mean: SimTime::from_ps(m.time().as_ps() / iters as u64),
+        iters,
+        user_instructions: method.protocol().user_instructions(),
+        paper_us: method.paper_us(),
+    }
+}
+
+/// Regenerates **Table 1**: the paper's four rows, measured on this
+/// simulator.
+pub fn table1(iters: u32) -> Vec<InitiationCost> {
+    DmaMethod::TABLE1
+        .iter()
+        .map(|&m| measure_initiation(m, iters))
+        .collect()
+}
+
+/// Measures the mean cost of one user-level (or kernel-path) atomic
+/// operation under `method` (experiment E9, §3.5).
+///
+/// # Panics
+///
+/// Panics if the run does not complete.
+pub fn measure_atomic(method: DmaMethod, iters: u32) -> InitiationCost {
+    assert!(iters > 0, "need at least one iteration");
+    let mut m = Machine::with_method(method);
+    let pid = m.spawn(&ProcessSpec::two_buffers(), |env| {
+        let mut b = ProgramBuilder::new();
+        for i in 0..iters as u64 {
+            let va = env.addr_in(0, (i * 8) % PAGE_SIZE);
+            let req = AtomicRequest { va, op: AtomicOp::Add, operand1: 1, operand2: 0 };
+            b = emit_atomic(env, b, &req);
+        }
+        b.halt().build()
+    });
+    let out = m.run(iters as u64 * 64 + 10_000);
+    assert!(out.finished, "measurement did not complete");
+    assert_eq!(m.engine().core().stats().atomics, iters as u64);
+    let _ = pid;
+    InitiationCost {
+        method,
+        mean: SimTime::from_ps(m.time().as_ps() / iters as u64),
+        iters,
+        user_instructions: None,
+        paper_us: None,
+    }
+}
+
+/// Helper for trend analyses: measure with a custom machine
+/// configuration (bus sweeps, cost-model variants).
+pub fn measure_initiation_with(
+    config: crate::MachineConfig,
+    iters: u32,
+) -> InitiationCost {
+    let method = config.method;
+    let mut m = Machine::new(config);
+    let pages = 8u64;
+    let mut spec = ProcessSpec::two_buffers_of(pages);
+    if method == DmaMethod::Shrimp1 {
+        spec.mapped_out.push((0, 1));
+    }
+    m.spawn(&spec, |env| {
+        let mut b = ProgramBuilder::new();
+        let mut uniq = 0;
+        for i in 0..iters as u64 {
+            let page = i % pages;
+            let off = (i * 64) % (PAGE_SIZE - 64);
+            let src = env.addr_in(0, page * PAGE_SIZE + off);
+            let dst = env.addr_in(1, page * PAGE_SIZE + off);
+            b = emit_dma(env, b, &DmaRequest::new(src, dst, 8), &mut uniq);
+        }
+        b.halt().build()
+    });
+    let out = m.run(iters as u64 * 64 + 10_000);
+    assert!(out.finished, "measurement did not complete");
+    InitiationCost {
+        method,
+        mean: SimTime::from_ps(m.time().as_ps() / iters as u64),
+        iters,
+        user_instructions: method.protocol().user_instructions(),
+        paper_us: method.paper_us(),
+    }
+}
+
+
+/// End-to-end latency of ONE transfer of `size` bytes: initiate, then
+/// poll the context status word until the wire drains (user-level
+/// methods with contexts) or the kernel status reads zero. Message sizes
+/// must fit a page for user-level methods.
+///
+/// # Panics
+///
+/// Panics if the transfer fails or polling never completes.
+pub fn measure_transfer_latency(method: DmaMethod, size: u64) -> SimTime {
+    use udma_cpu::Reg;
+    let mut m = Machine::with_method(method);
+    let mut spec = ProcessSpec::two_buffers();
+    if method == DmaMethod::Shrimp1 {
+        spec.mapped_out.push((0, 1));
+    }
+    m.spawn(&spec, |env| {
+        let req = DmaRequest::new(env.buffer(0).va, env.buffer(1).va, size);
+        let mut uniq = 0;
+        let mut b = emit_dma(env, ProgramBuilder::new(), &req, &mut uniq);
+        // Poll for completion where a status word exists.
+        match (method, env.ctx_page_va) {
+            (DmaMethod::Kernel, _) => {
+                // The syscall returned remaining bytes; poll by repeating
+                // a cheap status syscall? The driver returns remaining at
+                // initiation; emulate completion wait with computed wire
+                // time via context-free polling: re-issue status reads is
+                // not part of the ABI, so just burn the wire time.
+                // (Kernel path: r0 holds bytes remaining at start.)
+            }
+            (_, Some(page)) => {
+                b = b
+                    .label("wait")
+                    .compute(150) // 1 µs between polls
+                    .load(Reg::R4, page.as_u64())
+                    .bne(Reg::R4, 0, "wait");
+            }
+            _ => {}
+        }
+        b.halt().build()
+    });
+    let out = m.run(10_000_000);
+    assert!(out.finished, "{method}: transfer latency run did not finish");
+    assert_eq!(m.engine().core().stats().started, 1, "{method}");
+    // For methods without a pollable status word, add the residual wire
+    // time analytically (initiation time is already in m.time()).
+    let rec = m.transfers()[0];
+    let finished = rec.finished;
+    let now = m.time();
+    if finished > now {
+        SimTime::from_ps(finished.as_ps())
+    } else {
+        now
+    }
+}

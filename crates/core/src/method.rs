@@ -1,0 +1,234 @@
+//! The DMA initiation methods of the paper.
+
+use std::fmt;
+use udma_nic::ProtocolKind;
+use udma_os::SwitchPolicy;
+
+/// Every initiation scheme the paper discusses, in one enum.
+///
+/// A method determines three things about a [`crate::Machine`]: which
+/// protocol state machine is synthesised into the NIC, which
+/// context-switch policy the kernel runs (only SHRIMP-2 and FLASH may
+/// patch it), and which instruction sequence [`crate::emit_dma`] compiles.
+///
+/// ```
+/// use udma::DmaMethod;
+///
+/// // The paper's headline property, queryable per method:
+/// assert!(DmaMethod::KeyBased.kernel_free());
+/// assert!(!DmaMethod::Flash { patched_kernel: true }.kernel_free());
+/// assert_eq!(DmaMethod::TABLE1.len(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DmaMethod {
+    /// Kernel-level DMA (Figure 1): the baseline every scheme is
+    /// measured against.
+    Kernel,
+    /// SHRIMP-1 mapped-out pages (§2.4).
+    Shrimp1,
+    /// SHRIMP-2 store+load (§2.5). `patched_kernel` selects whether the
+    /// context-switch handler aborts half-initiated transfers — without
+    /// it the scheme races.
+    Shrimp2 {
+        /// Apply the SHRIMP kernel patch (abort on context switch)?
+        patched_kernel: bool,
+    },
+    /// FLASH (§2.6). `patched_kernel` selects whether the switch handler
+    /// tells the engine who is running.
+    Flash {
+        /// Apply the FLASH kernel patch (current-pid notification)?
+        patched_kernel: bool,
+    },
+    /// The PAL-code method (§2.7): the SHRIMP-2 two-access sequence
+    /// executed inside an uninterruptible Alpha PAL call. No kernel
+    /// modification — installing PAL code is privileged but is not a
+    /// kernel patch.
+    Pal,
+    /// Key-based register contexts (§3.1).
+    KeyBased,
+    /// Extended shadow addressing (§3.2).
+    ExtShadow,
+    /// Extended shadow addressing on an engine without register
+    /// contexts: pairwise CONTEXT_ID check (§3.2, last sentence).
+    ExtShadowPairwise,
+    /// Repeated passing of arguments, 3-instruction variant (insecure,
+    /// Figure 5).
+    Repeated3,
+    /// Repeated passing of arguments, 4-instruction variant (insecure,
+    /// Figure 6).
+    Repeated4,
+    /// Repeated passing of arguments, 5-instruction variant (§3.3).
+    Repeated5,
+}
+
+impl DmaMethod {
+    /// Every method, secure-variant kernels patched where the original
+    /// design requires it.
+    pub const ALL: [DmaMethod; 11] = [
+        DmaMethod::Kernel,
+        DmaMethod::Shrimp1,
+        DmaMethod::Shrimp2 { patched_kernel: true },
+        DmaMethod::Flash { patched_kernel: true },
+        DmaMethod::Pal,
+        DmaMethod::KeyBased,
+        DmaMethod::ExtShadow,
+        DmaMethod::ExtShadowPairwise,
+        DmaMethod::Repeated3,
+        DmaMethod::Repeated4,
+        DmaMethod::Repeated5,
+    ];
+
+    /// The four rows of the paper's Table 1, in the paper's order.
+    pub const TABLE1: [DmaMethod; 4] = [
+        DmaMethod::Kernel,
+        DmaMethod::ExtShadow,
+        DmaMethod::Repeated5,
+        DmaMethod::KeyBased,
+    ];
+
+    /// The protocol the NIC must implement for this method.
+    pub fn protocol(self) -> ProtocolKind {
+        match self {
+            DmaMethod::Kernel => ProtocolKind::KernelOnly,
+            DmaMethod::Shrimp1 => ProtocolKind::Shrimp1,
+            // PAL runs the SHRIMP-2 hardware protocol; safety comes from
+            // uninterruptible execution, not from the engine.
+            DmaMethod::Shrimp2 { .. } | DmaMethod::Pal => ProtocolKind::Shrimp2,
+            DmaMethod::Flash { .. } => ProtocolKind::Flash,
+            DmaMethod::KeyBased => ProtocolKind::KeyBased,
+            DmaMethod::ExtShadow => ProtocolKind::ExtShadow,
+            DmaMethod::ExtShadowPairwise => ProtocolKind::ExtShadowPairwise,
+            DmaMethod::Repeated3 => ProtocolKind::Repeated3,
+            DmaMethod::Repeated4 => ProtocolKind::Repeated4,
+            DmaMethod::Repeated5 => ProtocolKind::Repeated5,
+        }
+    }
+
+    /// The kernel's context-switch policy under this method.
+    pub fn switch_policy(self) -> SwitchPolicy {
+        match self {
+            DmaMethod::Shrimp2 { patched_kernel: true } => SwitchPolicy::ShrimpAbort,
+            DmaMethod::Flash { patched_kernel: true } => SwitchPolicy::FlashNotify,
+            _ => SwitchPolicy::Vanilla,
+        }
+    }
+
+    /// Whether the method needs a register context + key grant.
+    pub fn needs_ctx(self) -> bool {
+        matches!(
+            self,
+            DmaMethod::KeyBased | DmaMethod::ExtShadow | DmaMethod::ExtShadowPairwise
+        )
+    }
+
+    /// Whether the machine must install the PAL DMA function.
+    pub fn needs_pal(self) -> bool {
+        self == DmaMethod::Pal
+    }
+
+    /// Whether the method achieves user-level DMA **without any kernel
+    /// modification** — the paper's headline property.
+    pub fn kernel_free(self) -> bool {
+        !matches!(
+            self,
+            DmaMethod::Kernel
+                | DmaMethod::Shrimp2 { patched_kernel: true }
+                | DmaMethod::Flash { patched_kernel: true }
+        )
+    }
+
+    /// The paper's Table 1 measurement in microseconds, where reported.
+    pub fn paper_us(self) -> Option<f64> {
+        match self {
+            DmaMethod::Kernel => Some(18.6),
+            DmaMethod::ExtShadow => Some(1.1),
+            DmaMethod::Repeated5 => Some(2.6),
+            DmaMethod::KeyBased => Some(2.3),
+            _ => None,
+        }
+    }
+
+    /// Table-row label, matching the paper's wording where it has one.
+    pub fn name(self) -> &'static str {
+        match self {
+            DmaMethod::Kernel => "Kernel-level DMA",
+            DmaMethod::Shrimp1 => "SHRIMP-1 (mapped-out)",
+            DmaMethod::Shrimp2 { patched_kernel: true } => "SHRIMP-2 (patched kernel)",
+            DmaMethod::Shrimp2 { patched_kernel: false } => "SHRIMP-2 (unpatched: racy)",
+            DmaMethod::Flash { patched_kernel: true } => "FLASH (patched kernel)",
+            DmaMethod::Flash { patched_kernel: false } => "FLASH (unpatched: racy)",
+            DmaMethod::Pal => "PAL code",
+            DmaMethod::KeyBased => "Key-based DMA",
+            DmaMethod::ExtShadow => "Ext. Shadow Addressing",
+            DmaMethod::ExtShadowPairwise => "Ext. Shadow (pairwise, no contexts)",
+            DmaMethod::Repeated3 => "Rep. Passing (3-instr, insecure)",
+            DmaMethod::Repeated4 => "Rep. Passing (4-instr, insecure)",
+            DmaMethod::Repeated5 => "Rep. Passing of Arguments",
+        }
+    }
+}
+
+impl fmt::Display for DmaMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_freedom_matches_the_paper() {
+        // "Our methods allow user applications to securely and atomically
+        // start DMA operations from user-level without needing to change
+        // the operating system kernel."
+        for m in [
+            DmaMethod::Pal,
+            DmaMethod::KeyBased,
+            DmaMethod::ExtShadow,
+            DmaMethod::Repeated5,
+        ] {
+            assert!(m.kernel_free(), "{m}");
+        }
+        assert!(!DmaMethod::Shrimp2 { patched_kernel: true }.kernel_free());
+        assert!(!DmaMethod::Flash { patched_kernel: true }.kernel_free());
+        // The unpatched variants don't modify the kernel… and are racy.
+        assert!(DmaMethod::Shrimp2 { patched_kernel: false }.kernel_free());
+    }
+
+    #[test]
+    fn protocols_and_policies_line_up() {
+        assert_eq!(DmaMethod::Pal.protocol(), ProtocolKind::Shrimp2);
+        assert_eq!(DmaMethod::Pal.switch_policy(), SwitchPolicy::Vanilla);
+        assert_eq!(
+            DmaMethod::Shrimp2 { patched_kernel: true }.switch_policy(),
+            SwitchPolicy::ShrimpAbort
+        );
+        assert_eq!(
+            DmaMethod::Flash { patched_kernel: true }.switch_policy(),
+            SwitchPolicy::FlashNotify
+        );
+        assert_eq!(
+            DmaMethod::Flash { patched_kernel: false }.switch_policy(),
+            SwitchPolicy::Vanilla
+        );
+    }
+
+    #[test]
+    fn table1_has_paper_numbers() {
+        for m in DmaMethod::TABLE1 {
+            assert!(m.paper_us().is_some(), "{m}");
+        }
+        assert_eq!(DmaMethod::Kernel.paper_us(), Some(18.6));
+    }
+
+    #[test]
+    fn ctx_and_pal_requirements() {
+        assert!(DmaMethod::KeyBased.needs_ctx());
+        assert!(DmaMethod::ExtShadow.needs_ctx());
+        assert!(!DmaMethod::Repeated5.needs_ctx());
+        assert!(DmaMethod::Pal.needs_pal());
+        assert!(!DmaMethod::KeyBased.needs_pal());
+    }
+}

@@ -1,0 +1,40 @@
+//! DMA transfer requests.
+
+use std::fmt;
+use udma_mem::VirtAddr;
+
+/// A user-level transfer request: the `DMA(vsource, vdestination, size)`
+/// of the paper's §2.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DmaRequest {
+    /// Source virtual address.
+    pub src: VirtAddr,
+    /// Destination virtual address.
+    pub dst: VirtAddr,
+    /// Bytes to transfer.
+    pub size: u64,
+}
+
+impl DmaRequest {
+    /// Creates a request.
+    pub fn new(src: VirtAddr, dst: VirtAddr, size: u64) -> Self {
+        DmaRequest { src, dst, size }
+    }
+}
+
+impl fmt::Display for DmaRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DMA({} -> {}, {} bytes)", self.src, self.dst, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let r = DmaRequest::new(VirtAddr::new(0x1000), VirtAddr::new(0x2000), 64);
+        assert_eq!(r.to_string(), "DMA(0x1000 -> 0x2000, 64 bytes)");
+    }
+}

@@ -1,0 +1,228 @@
+//! The instruction set of the model processor.
+
+use std::fmt;
+
+/// A general-purpose register. The machine has 16 ([`Reg::COUNT`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 16;
+
+    /// Register 0 — syscall/PAL argument and return value.
+    pub const R0: Reg = Reg(0);
+    /// Register 1 — second argument.
+    pub const R1: Reg = Reg(1);
+    /// Register 2 — third argument.
+    pub const R2: Reg = Reg(2);
+    /// Register 3 — fourth argument.
+    pub const R3: Reg = Reg(3);
+    /// Scratch register.
+    pub const R4: Reg = Reg(4);
+    /// Scratch register.
+    pub const R5: Reg = Reg(5);
+    /// Scratch register.
+    pub const R6: Reg = Reg(6);
+    /// Scratch register.
+    pub const R7: Reg = Reg(7);
+
+    /// Creates a register by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Reg::COUNT`.
+    pub fn new(index: u8) -> Self {
+        assert!((index as usize) < Self::COUNT, "register index out of range");
+        Reg(index)
+    }
+
+    /// The register's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A register or immediate operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operand {
+    /// The value held in a register.
+    Reg(Reg),
+    /// A 64-bit immediate.
+    Imm(u64),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u64> for Operand {
+    fn from(v: u64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v:#x}"),
+        }
+    }
+}
+
+/// One machine instruction.
+///
+/// Memory operands are *virtual addresses*; every load and store goes
+/// through the current process's page table (via the TLB), which is how
+/// shadow addressing gets its protection guarantee.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst ← value`.
+    Imm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate value.
+        value: u64,
+    },
+    /// `dst ← src + imm` (wrapping).
+    AddImm {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+        /// Signed immediate addend.
+        imm: i64,
+    },
+    /// `dst ← a + b` (wrapping).
+    Add {
+        /// Destination register.
+        dst: Reg,
+        /// First addend.
+        a: Reg,
+        /// Second addend.
+        b: Reg,
+    },
+    /// `dst ← mem64[addr]` — an uncached load when `addr` maps to the
+    /// NIC's windows.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Virtual address operand.
+        addr: Operand,
+    },
+    /// `mem64[addr] ← src`.
+    Store {
+        /// Virtual address operand.
+        addr: Operand,
+        /// Value operand.
+        src: Operand,
+    },
+    /// Memory barrier: drains the write buffer to the bus in order.
+    Mb,
+    /// Burn `cycles` CPU cycles of local work.
+    Compute {
+        /// Number of CPU cycles of work.
+        cycles: u32,
+    },
+    /// Branch to `target` if `reg == value`.
+    Beq {
+        /// Register compared.
+        reg: Reg,
+        /// Comparison value.
+        value: u64,
+        /// Destination instruction index.
+        target: usize,
+    },
+    /// Branch to `target` if `reg != value`.
+    Bne {
+        /// Register compared.
+        reg: Reg,
+        /// Comparison value.
+        value: u64,
+        /// Destination instruction index.
+        target: usize,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Destination instruction index.
+        target: usize,
+    },
+    /// Trap into the kernel; arguments in `r0..r3`, result in `r0`.
+    Syscall {
+        /// Syscall number (interpreted by the [`crate::TrapHandler`]).
+        no: u16,
+    },
+    /// Invoke an installed PAL function uninterruptibly (§2.7);
+    /// arguments in `r0..r3`, result in `r0`.
+    CallPal {
+        /// PAL function index.
+        index: u16,
+    },
+    /// Stop the process.
+    Halt,
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Imm { dst, value } => write!(f, "imm   {dst}, {value:#x}"),
+            Instr::AddImm { dst, src, imm } => write!(f, "addi  {dst}, {src}, {imm}"),
+            Instr::Add { dst, a, b } => write!(f, "add   {dst}, {a}, {b}"),
+            Instr::Load { dst, addr } => write!(f, "ld    {dst}, [{addr}]"),
+            Instr::Store { addr, src } => write!(f, "st    [{addr}], {src}"),
+            Instr::Mb => write!(f, "mb"),
+            Instr::Compute { cycles } => write!(f, "work  {cycles}"),
+            Instr::Beq { reg, value, target } => write!(f, "beq   {reg}, {value:#x}, @{target}"),
+            Instr::Bne { reg, value, target } => write!(f, "bne   {reg}, {value:#x}, @{target}"),
+            Instr::Jmp { target } => write!(f, "jmp   @{target}"),
+            Instr::Syscall { no } => write!(f, "sys   {no}"),
+            Instr::CallPal { index } => write!(f, "pal   {index}"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display_and_index() {
+        assert_eq!(Reg::R3.to_string(), "r3");
+        assert_eq!(Reg::new(7).index(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_reg_panics() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn operand_from_impls() {
+        assert_eq!(Operand::from(Reg::R1), Operand::Reg(Reg::R1));
+        assert_eq!(Operand::from(5u64), Operand::Imm(5));
+    }
+
+    #[test]
+    fn instr_display() {
+        assert_eq!(
+            Instr::Load { dst: Reg::R0, addr: Operand::Imm(0x40) }.to_string(),
+            "ld    r0, [0x40]"
+        );
+        assert_eq!(Instr::Mb.to_string(), "mb");
+        assert_eq!(
+            Instr::Beq { reg: Reg::R0, value: 0, target: 3 }.to_string(),
+            "beq   r0, 0x0, @3"
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Exhaustive interleaving enumeration.
+//!
+//! The paper argues the 5-instruction Repeated-Passing protocol correct by
+//! considering "in the worst case, that all five instructions are issued
+//! by different processes" (§3.3.1, Figure 8). Where the paper reasons by
+//! hand, we can *enumerate*: every merge order of the victim's and the
+//! adversaries' instruction streams is a [`crate::FixedSchedule`], and the
+//! explorer in the core crate runs the machine under each one and checks
+//! the safety predicate.
+
+/// Returns every interleaving of `lens.len()` sequences with the given
+/// lengths, as vectors of sequence indices.
+///
+/// For `lens = [2, 1]` the result is `[0,0,1]`, `[0,1,0]`, `[1,0,0]`:
+///
+/// ```
+/// let all = udma_cpu::interleavings(&[2, 1]);
+/// assert_eq!(all.len(), 3);
+/// assert_eq!(udma_cpu::interleaving_count(&[5, 5]), 252);
+/// ```
+///
+/// The number of interleavings is the multinomial coefficient
+/// ([`interleaving_count`]); callers should check it first and fall back
+/// to randomized sampling when it is too large.
+///
+/// # Panics
+///
+/// Panics if the total count exceeds 20 000 000 (use sampling instead).
+pub fn interleavings(lens: &[usize]) -> Vec<Vec<usize>> {
+    let count = interleaving_count(lens);
+    assert!(
+        count <= 20_000_000,
+        "{count} interleavings is too many to enumerate; sample instead"
+    );
+    let total: usize = lens.iter().sum();
+    let mut out = Vec::with_capacity(count as usize);
+    let mut remaining = lens.to_vec();
+    let mut prefix = Vec::with_capacity(total);
+    fn rec(remaining: &mut [usize], prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if remaining.iter().all(|&r| r == 0) {
+            out.push(prefix.clone());
+            return;
+        }
+        for i in 0..remaining.len() {
+            if remaining[i] > 0 {
+                remaining[i] -= 1;
+                prefix.push(i);
+                rec(remaining, prefix, out);
+                prefix.pop();
+                remaining[i] += 1;
+            }
+        }
+    }
+    rec(&mut remaining, &mut prefix, &mut out);
+    out
+}
+
+/// The multinomial coefficient `(Σlens)! / Π(lens[i]!)`: how many
+/// interleavings exist.
+pub fn interleaving_count(lens: &[usize]) -> u128 {
+    let mut count: u128 = 1;
+    let mut placed: u128 = 0;
+    for &len in lens {
+        for k in 1..=len as u128 {
+            placed += 1;
+            count = count * placed / k;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn two_sequences_small() {
+        let all = interleavings(&[2, 1]);
+        assert_eq!(all.len(), 3);
+        let set: HashSet<_> = all.into_iter().collect();
+        assert!(set.contains(&vec![0, 0, 1]));
+        assert!(set.contains(&vec![0, 1, 0]));
+        assert!(set.contains(&vec![1, 0, 0]));
+    }
+
+    #[test]
+    fn counts_match_enumeration() {
+        for lens in [vec![2, 2], vec![3, 1], vec![2, 2, 1], vec![5, 5]] {
+            let n = interleavings(&lens).len() as u128;
+            assert_eq!(n, interleaving_count(&lens), "lens = {lens:?}");
+        }
+    }
+
+    #[test]
+    fn five_choose_five_is_252() {
+        // The paper's scenario: victim (5 instructions) vs adversary (5).
+        assert_eq!(interleaving_count(&[5, 5]), 252);
+    }
+
+    #[test]
+    fn each_interleaving_preserves_per_sequence_order_lengths() {
+        for inter in interleavings(&[3, 2]) {
+            assert_eq!(inter.iter().filter(|&&i| i == 0).count(), 3);
+            assert_eq!(inter.iter().filter(|&&i| i == 1).count(), 2);
+        }
+    }
+
+    #[test]
+    fn all_interleavings_distinct() {
+        let all = interleavings(&[3, 3]);
+        let set: HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(interleaving_count(&[]), 1);
+        assert_eq!(interleavings(&[0, 0]), vec![Vec::<usize>::new()]);
+        assert_eq!(interleavings(&[3]), vec![vec![0, 0, 0]]);
+    }
+
+    #[test]
+    fn five_processes_one_instruction_each() {
+        // Figure 8(a): five single-instruction processes → 5! orders.
+        assert_eq!(interleaving_count(&[1, 1, 1, 1, 1]), 120);
+        assert_eq!(interleavings(&[1, 1, 1, 1, 1]).len(), 120);
+    }
+}

@@ -1,0 +1,179 @@
+//! Processes: register state, page table, status.
+
+use crate::{Program, Reg};
+use std::fmt;
+use udma_bus::SimTime;
+use udma_mem::{MemFault, PageTable};
+
+/// A process identifier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(u32);
+
+impl Pid {
+    /// Creates a pid from a raw number.
+    pub const fn new(raw: u32) -> Self {
+        Pid(raw)
+    }
+
+    /// The raw pid number.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Lifecycle state of a process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcState {
+    /// Runnable.
+    Ready,
+    /// Finished by executing `Halt` (or running past the program's end).
+    Halted,
+    /// Killed by a memory fault (the model's SIGSEGV).
+    Faulted(MemFault),
+}
+
+impl ProcState {
+    /// Whether the process can still execute instructions.
+    pub fn is_ready(self) -> bool {
+        matches!(self, ProcState::Ready)
+    }
+}
+
+/// A user process: one program, sixteen registers, one page table.
+#[derive(Clone, Debug)]
+pub struct Process {
+    pid: Pid,
+    program: Program,
+    /// Program counter (instruction index).
+    pub pc: usize,
+    regs: [u64; Reg::COUNT],
+    state: ProcState,
+    page_table: PageTable,
+    /// Instructions retired by this process.
+    pub instret: u64,
+    /// Simulated time spent executing this process's user-mode
+    /// instructions (incl. its bus transactions).
+    pub user_time: SimTime,
+    /// Simulated time spent in the kernel on this process's behalf
+    /// (syscall entry/exit + handler).
+    pub kernel_time: SimTime,
+}
+
+impl Process {
+    /// Creates a ready process.
+    pub fn new(pid: Pid, program: Program, page_table: PageTable) -> Self {
+        Process {
+            pid,
+            program,
+            pc: 0,
+            regs: [0; Reg::COUNT],
+            state: ProcState::Ready,
+            page_table,
+            instret: 0,
+            user_time: SimTime::ZERO,
+            kernel_time: SimTime::ZERO,
+        }
+    }
+
+    /// Total CPU time attributed to this process.
+    pub fn cpu_time(&self) -> SimTime {
+        self.user_time + self.kernel_time
+    }
+
+    /// The process id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ProcState {
+        self.state
+    }
+
+    /// Marks the process halted.
+    pub fn halt(&mut self) {
+        self.state = ProcState::Halted;
+    }
+
+    /// Kills the process with a fault.
+    pub fn fault(&mut self, f: MemFault) {
+        self.state = ProcState::Faulted(f);
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        self.regs[r.index()] = value;
+    }
+
+    /// The process's page table.
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// Mutable page table (used by the kernel on `map`-style syscalls).
+    pub fn page_table_mut(&mut self) -> &mut PageTable {
+        &mut self.page_table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    fn proc() -> Process {
+        Process::new(Pid::new(3), ProgramBuilder::new().halt().build(), PageTable::new())
+    }
+
+    #[test]
+    fn starts_ready_at_zero() {
+        let p = proc();
+        assert_eq!(p.pid().as_u32(), 3);
+        assert_eq!(p.pc, 0);
+        assert!(p.state().is_ready());
+        assert_eq!(p.reg(Reg::R5), 0);
+        assert_eq!(p.instret, 0);
+    }
+
+    #[test]
+    fn registers_read_write() {
+        let mut p = proc();
+        p.set_reg(Reg::R2, 99);
+        assert_eq!(p.reg(Reg::R2), 99);
+        assert_eq!(p.reg(Reg::R1), 0);
+    }
+
+    #[test]
+    fn state_transitions() {
+        let mut p = proc();
+        p.halt();
+        assert_eq!(p.state(), ProcState::Halted);
+        assert!(!p.state().is_ready());
+
+        let mut p = proc();
+        let f = MemFault::Unmapped { va: udma_mem::VirtAddr::new(0x10) };
+        p.fault(f);
+        assert_eq!(p.state(), ProcState::Faulted(f));
+    }
+
+    #[test]
+    fn pid_display() {
+        assert_eq!(Pid::new(7).to_string(), "p7");
+    }
+}

@@ -1,0 +1,311 @@
+//! Programs and the label-resolving builder.
+
+use crate::{Instr, Operand, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An immutable instruction sequence.
+///
+/// Build one with [`ProgramBuilder`], which resolves symbolic labels into
+/// instruction indices.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Creates a program directly from instructions (targets must already
+    /// be resolved and in range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any branch target is out of range.
+    pub fn from_instrs(instrs: Vec<Instr>) -> Self {
+        for (i, ins) in instrs.iter().enumerate() {
+            if let Instr::Beq { target, .. } | Instr::Bne { target, .. } | Instr::Jmp { target } =
+                ins
+            {
+                assert!(
+                    *target <= instrs.len(),
+                    "instruction {i}: branch target {target} out of range"
+                );
+            }
+        }
+        Program { instrs }
+    }
+
+    /// The instruction at `pc`, or `None` past the end (which halts the
+    /// process).
+    pub fn fetch(&self, pc: usize) -> Option<&Instr> {
+        self.instrs.get(pc)
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The raw instruction slice.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Concatenates two programs, rebasing the second one's branch
+    /// targets. Useful for prefixing setup code to a protocol sequence.
+    pub fn concat(&self, other: &Program) -> Program {
+        let base = self.instrs.len();
+        let mut out = self.instrs.clone();
+        // Drop a trailing Halt of the first program so control falls
+        // through into the second.
+        if out.last() == Some(&Instr::Halt) {
+            out.pop();
+        }
+        let base = if out.len() < base { out.len() } else { base };
+        let rebased = other.instrs.iter().map(|ins| match *ins {
+            Instr::Beq { reg, value, target } => Instr::Beq { reg, value, target: target + base },
+            Instr::Bne { reg, value, target } => Instr::Bne { reg, value, target: target + base },
+            Instr::Jmp { target } => Instr::Jmp { target: target + base },
+            other => other,
+        });
+        out.extend(rebased);
+        Program { instrs: out }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, ins) in self.instrs.iter().enumerate() {
+            writeln!(f, "{i:4}: {ins}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds a [`Program`] with symbolic labels and a fluent interface.
+///
+/// ```
+/// use udma_cpu::{ProgramBuilder, Reg};
+///
+/// // Figure-7-style retry loop skeleton: retry while r0 == 0.
+/// let prog = ProgramBuilder::new()
+///     .label("retry")
+///     .load(Reg::R0, 0x1000u64)
+///     .beq(Reg::R0, 0, "retry")
+///     .halt()
+///     .build();
+/// assert_eq!(prog.len(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    labels: HashMap<String, usize>,
+    /// (instruction index, label) pairs awaiting resolution.
+    fixups: Vec<(usize, String)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Defines `name` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined.
+    pub fn label(mut self, name: &str) -> Self {
+        let prev = self.labels.insert(name.to_string(), self.instrs.len());
+        assert!(prev.is_none(), "label `{name}` defined twice");
+        self
+    }
+
+    /// `dst ← value`.
+    pub fn imm(mut self, dst: Reg, value: u64) -> Self {
+        self.instrs.push(Instr::Imm { dst, value });
+        self
+    }
+
+    /// `dst ← src + imm`.
+    pub fn add_imm(mut self, dst: Reg, src: Reg, imm: i64) -> Self {
+        self.instrs.push(Instr::AddImm { dst, src, imm });
+        self
+    }
+
+    /// `dst ← a + b`.
+    pub fn add(mut self, dst: Reg, a: Reg, b: Reg) -> Self {
+        self.instrs.push(Instr::Add { dst, a, b });
+        self
+    }
+
+    /// `dst ← mem64[addr]`.
+    pub fn load(mut self, dst: Reg, addr: impl Into<Operand>) -> Self {
+        self.instrs.push(Instr::Load { dst, addr: addr.into() });
+        self
+    }
+
+    /// `mem64[addr] ← src`.
+    pub fn store(mut self, addr: impl Into<Operand>, src: impl Into<Operand>) -> Self {
+        self.instrs.push(Instr::Store { addr: addr.into(), src: src.into() });
+        self
+    }
+
+    /// Memory barrier.
+    pub fn mb(mut self) -> Self {
+        self.instrs.push(Instr::Mb);
+        self
+    }
+
+    /// Burn CPU cycles.
+    pub fn compute(mut self, cycles: u32) -> Self {
+        self.instrs.push(Instr::Compute { cycles });
+        self
+    }
+
+    /// Branch to `label` if `reg == value`.
+    pub fn beq(mut self, reg: Reg, value: u64, label: &str) -> Self {
+        self.fixups.push((self.instrs.len(), label.to_string()));
+        self.instrs.push(Instr::Beq { reg, value, target: usize::MAX });
+        self
+    }
+
+    /// Branch to `label` if `reg != value`.
+    pub fn bne(mut self, reg: Reg, value: u64, label: &str) -> Self {
+        self.fixups.push((self.instrs.len(), label.to_string()));
+        self.instrs.push(Instr::Bne { reg, value, target: usize::MAX });
+        self
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jmp(mut self, label: &str) -> Self {
+        self.fixups.push((self.instrs.len(), label.to_string()));
+        self.instrs.push(Instr::Jmp { target: usize::MAX });
+        self
+    }
+
+    /// Trap into the kernel.
+    pub fn syscall(mut self, no: u16) -> Self {
+        self.instrs.push(Instr::Syscall { no });
+        self
+    }
+
+    /// Invoke PAL function `index`.
+    pub fn call_pal(mut self, index: u16) -> Self {
+        self.instrs.push(Instr::CallPal { index });
+        self
+    }
+
+    /// Stop the process.
+    pub fn halt(mut self) -> Self {
+        self.instrs.push(Instr::Halt);
+        self
+    }
+
+    /// Appends a raw instruction.
+    pub fn raw(mut self, ins: Instr) -> Self {
+        self.instrs.push(ins);
+        self
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a reference to an undefined label.
+    pub fn build(mut self) -> Program {
+        for (idx, label) in &self.fixups {
+            let target = *self
+                .labels
+                .get(label)
+                .unwrap_or_else(|| panic!("undefined label `{label}`"));
+            match &mut self.instrs[*idx] {
+                Instr::Beq { target: t, .. }
+                | Instr::Bne { target: t, .. }
+                | Instr::Jmp { target: t } => *t = target,
+                other => unreachable!("fixup on non-branch {other:?}"),
+            }
+        }
+        Program::from_instrs(self.instrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_resolves_forward_and_backward_labels() {
+        let p = ProgramBuilder::new()
+            .label("top")
+            .imm(Reg::R0, 1)
+            .beq(Reg::R0, 0, "top")
+            .bne(Reg::R0, 0, "end")
+            .jmp("top")
+            .label("end")
+            .halt()
+            .build();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.instrs()[1], Instr::Beq { reg: Reg::R0, value: 0, target: 0 });
+        assert_eq!(p.instrs()[2], Instr::Bne { reg: Reg::R0, value: 0, target: 4 });
+        assert_eq!(p.instrs()[3], Instr::Jmp { target: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        let _ = ProgramBuilder::new().jmp("nowhere").build();
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_label_panics() {
+        let _ = ProgramBuilder::new().label("a").label("a").build();
+    }
+
+    #[test]
+    fn label_at_end_is_valid_target() {
+        // Branching to a label right after the last instruction halts.
+        let p = ProgramBuilder::new().jmp("end").label("end").build();
+        assert_eq!(p.instrs()[0], Instr::Jmp { target: 1 });
+        assert!(p.fetch(1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_instrs_validates_targets() {
+        let _ = Program::from_instrs(vec![Instr::Jmp { target: 5 }]);
+    }
+
+    #[test]
+    fn concat_rebases_targets_and_drops_halt() {
+        let a = ProgramBuilder::new().imm(Reg::R0, 1).halt().build();
+        let b = ProgramBuilder::new()
+            .label("top")
+            .imm(Reg::R1, 2)
+            .jmp("top")
+            .build();
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 3); // halt dropped
+        assert_eq!(c.instrs()[2], Instr::Jmp { target: 1 });
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let p = ProgramBuilder::new().mb().halt().build();
+        let s = p.to_string();
+        assert!(s.contains("0: mb"));
+        assert!(s.contains("1: halt"));
+    }
+
+    #[test]
+    fn fetch_past_end_is_none() {
+        let p = ProgramBuilder::new().halt().build();
+        assert!(p.fetch(0).is_some());
+        assert!(p.fetch(1).is_none());
+    }
+}

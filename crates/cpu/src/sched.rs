@@ -1,0 +1,231 @@
+//! Schedulers: who runs the next instruction.
+//!
+//! The executor consults the scheduler before *every* instruction, so a
+//! scheduler can model preemption at any point — which is exactly the
+//! granularity at which the paper's race conditions live ("if the user
+//! process is interrupted after the STORE operation, but before the LOAD
+//! operation…", §2.5).
+
+use crate::Pid;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Decides which ready process executes the next instruction.
+pub trait Scheduler {
+    /// Picks the next process to run.
+    ///
+    /// `step` counts instructions executed so far in this run, `current`
+    /// is the process that ran the previous instruction (if still ready),
+    /// and `ready` is the non-empty list of runnable pids in spawn order.
+    ///
+    /// The returned pid must be in `ready`.
+    fn pick(&mut self, step: u64, current: Option<Pid>, ready: &[Pid]) -> Pid;
+}
+
+/// Runs each process to completion in spawn order: no preemption ever.
+/// This is the right scheduler for cost measurements (Table 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunToCompletion;
+
+impl Scheduler for RunToCompletion {
+    fn pick(&mut self, _step: u64, current: Option<Pid>, ready: &[Pid]) -> Pid {
+        match current {
+            Some(c) if ready.contains(&c) => c,
+            _ => ready[0],
+        }
+    }
+}
+
+/// Round-robin with a fixed quantum measured in instructions.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundRobin {
+    quantum: u64,
+    used: u64,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler with the given per-slice
+    /// instruction budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn new(quantum: u64) -> Self {
+        assert!(quantum > 0, "quantum must be nonzero");
+        RoundRobin { quantum, used: 0 }
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn pick(&mut self, _step: u64, current: Option<Pid>, ready: &[Pid]) -> Pid {
+        if let Some(c) = current {
+            if ready.contains(&c) && self.used < self.quantum {
+                self.used += 1;
+                return c;
+            }
+            // Rotate to the process after `c` in ready order.
+            self.used = 1;
+            if let Some(pos) = ready.iter().position(|&p| p == c) {
+                return ready[(pos + 1) % ready.len()];
+            }
+        }
+        self.used = 1;
+        ready[0]
+    }
+}
+
+/// Preempts after each instruction with probability `p`, jumping to a
+/// uniformly random ready process. Deterministic given the seed — used by
+/// randomized attack searches.
+#[derive(Clone, Debug)]
+pub struct RandomPreempt {
+    rng: StdRng,
+    p: f64,
+}
+
+impl RandomPreempt {
+    /// Creates a randomized scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn new(seed: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        RandomPreempt { rng: StdRng::seed_from_u64(seed), p }
+    }
+}
+
+impl Scheduler for RandomPreempt {
+    fn pick(&mut self, _step: u64, current: Option<Pid>, ready: &[Pid]) -> Pid {
+        if let Some(c) = current {
+            if ready.contains(&c) && self.rng.gen::<f64>() >= self.p {
+                return c;
+            }
+        }
+        ready[self.rng.gen_range(0..ready.len())]
+    }
+}
+
+/// Replays an explicit per-instruction schedule; the interleaving explorer
+/// enumerates these to model-check the protocols.
+///
+/// Entries naming a process that is no longer ready are skipped. When the
+/// schedule is exhausted, remaining processes run to completion in spawn
+/// order.
+#[derive(Clone, Debug)]
+pub struct FixedSchedule {
+    seq: Vec<Pid>,
+    pos: usize,
+}
+
+impl FixedSchedule {
+    /// Creates a schedule from an explicit pid sequence.
+    pub fn new(seq: Vec<Pid>) -> Self {
+        FixedSchedule { seq, pos: 0 }
+    }
+
+    /// How many schedule entries have been consumed.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+}
+
+impl Scheduler for FixedSchedule {
+    fn pick(&mut self, _step: u64, current: Option<Pid>, ready: &[Pid]) -> Pid {
+        while self.pos < self.seq.len() {
+            let pid = self.seq[self.pos];
+            self.pos += 1;
+            if ready.contains(&pid) {
+                return pid;
+            }
+        }
+        RunToCompletion.pick(0, current, ready)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pids(ns: &[u32]) -> Vec<Pid> {
+        ns.iter().map(|&n| Pid::new(n)).collect()
+    }
+
+    #[test]
+    fn run_to_completion_sticks_with_current() {
+        let mut s = RunToCompletion;
+        let ready = pids(&[0, 1]);
+        assert_eq!(s.pick(0, None, &ready), Pid::new(0));
+        assert_eq!(s.pick(1, Some(Pid::new(1)), &ready), Pid::new(1));
+        // Current gone → first ready.
+        assert_eq!(s.pick(2, Some(Pid::new(9)), &ready), Pid::new(0));
+    }
+
+    #[test]
+    fn round_robin_rotates_on_quantum_expiry() {
+        let mut s = RoundRobin::new(2);
+        let ready = pids(&[0, 1, 2]);
+        let mut current = None;
+        let mut order = Vec::new();
+        for step in 0..9 {
+            let p = s.pick(step, current, &ready);
+            order.push(p.as_u32());
+            current = Some(p);
+        }
+        assert_eq!(order, vec![0, 0, 1, 1, 2, 2, 0, 0, 1]);
+    }
+
+    #[test]
+    fn round_robin_skips_departed_process() {
+        let mut s = RoundRobin::new(1);
+        let p = s.pick(0, Some(Pid::new(5)), &pids(&[0, 1]));
+        assert_eq!(p, Pid::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum")]
+    fn zero_quantum_panics() {
+        let _ = RoundRobin::new(0);
+    }
+
+    #[test]
+    fn fixed_schedule_replays_and_skips_dead() {
+        let mut s = FixedSchedule::new(pids(&[1, 0, 7, 1]));
+        let ready = pids(&[0, 1]);
+        assert_eq!(s.pick(0, None, &ready), Pid::new(1));
+        assert_eq!(s.pick(1, Some(Pid::new(1)), &ready), Pid::new(0));
+        // 7 is not ready → skipped, yields 1.
+        assert_eq!(s.pick(2, Some(Pid::new(0)), &ready), Pid::new(1));
+        assert_eq!(s.consumed(), 4);
+        // Schedule exhausted → run-to-completion fallback.
+        assert_eq!(s.pick(3, Some(Pid::new(1)), &ready), Pid::new(1));
+    }
+
+    #[test]
+    fn random_preempt_is_deterministic_per_seed() {
+        let ready = pids(&[0, 1, 2]);
+        let run = |seed| {
+            let mut s = RandomPreempt::new(seed, 0.5);
+            let mut current = None;
+            (0..32)
+                .map(|i| {
+                    let p = s.pick(i, current, &ready);
+                    current = Some(p);
+                    p.as_u32()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn random_preempt_zero_probability_never_switches() {
+        let ready = pids(&[0, 1]);
+        let mut s = RandomPreempt::new(1, 0.0);
+        let first = s.pick(0, None, &ready);
+        for i in 1..20 {
+            assert_eq!(s.pick(i, Some(first), &ready), first);
+        }
+    }
+}

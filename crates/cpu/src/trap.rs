@@ -1,0 +1,99 @@
+//! The boundary between the CPU and the model operating system.
+
+use crate::{Pid, Process};
+use udma_bus::{Bus, SimTime};
+
+/// Why the executor invoked the context-switch hook.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwitchReason {
+    /// First dispatch of the run (no process was running before).
+    InitialDispatch,
+    /// The scheduler preempted the running process.
+    Preemption,
+    /// The previous process halted or faulted.
+    PreviousExited,
+}
+
+/// Result of handling a syscall.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrapOutcome {
+    /// Value placed in `r0` on return to user mode.
+    pub retval: u64,
+    /// Time the kernel spent *inside* the handler (entry/exit overhead is
+    /// charged separately by the executor's cost model).
+    pub time: SimTime,
+}
+
+impl TrapOutcome {
+    /// An outcome with a return value and no in-kernel time.
+    pub fn ret(retval: u64) -> Self {
+        TrapOutcome { retval, time: SimTime::ZERO }
+    }
+}
+
+/// Implemented by the model kernel (`udma-os`); the executor calls into it
+/// for syscalls and on every context switch.
+///
+/// The **whole point of the paper** is what `on_context_switch` does:
+///
+/// * an *unmodified* kernel does nothing there (the paper's requirement);
+/// * the SHRIMP kernel patch "invalidates any partially initiated
+///   user-level DMA transfer on every context switch";
+/// * the FLASH kernel patch "informs the DMA engine about the identity of
+///   the running process".
+pub trait TrapHandler {
+    /// Handles syscall `no` issued by `process` (arguments in `r0..r3`).
+    fn syscall(
+        &mut self,
+        no: u16,
+        process: &mut Process,
+        bus: &mut Bus,
+        now: SimTime,
+    ) -> TrapOutcome;
+
+    /// Called when the CPU switches from `from` to `to`. Returns any
+    /// extra time spent (e.g. poking NIC registers); the base switch cost
+    /// is charged by the executor.
+    fn on_context_switch(
+        &mut self,
+        from: Option<Pid>,
+        to: Pid,
+        reason: SwitchReason,
+        bus: &mut Bus,
+        now: SimTime,
+    ) -> SimTime;
+}
+
+/// A trap handler that rejects every syscall and ignores switches.
+/// Useful for pure-CPU tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullTrapHandler;
+
+impl TrapHandler for NullTrapHandler {
+    fn syscall(&mut self, _no: u16, _p: &mut Process, _bus: &mut Bus, _now: SimTime) -> TrapOutcome {
+        TrapOutcome::ret(u64::MAX)
+    }
+
+    fn on_context_switch(
+        &mut self,
+        _from: Option<Pid>,
+        _to: Pid,
+        _reason: SwitchReason,
+        _bus: &mut Bus,
+        _now: SimTime,
+    ) -> SimTime {
+        SimTime::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trap_outcome_ret() {
+        let o = TrapOutcome::ret(5);
+        assert_eq!(o.retval, 5);
+        assert_eq!(o.time, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,101 @@
+//! Memory fault (exception) types.
+
+use crate::{Perms, PhysAddr, VirtAddr};
+use std::error::Error;
+use std::fmt;
+
+/// A memory access fault.
+///
+/// In the simulated machine a fault terminates the offending process, just
+/// as a SIGSEGV/SIGBUS would on the paper's OSF/1 host. Faults are the
+/// mechanism by which the protection half of the paper's argument is
+/// enforced: a process that tries to *name* memory it has no mapping for
+/// never produces a bus transaction at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemFault {
+    /// The virtual address has no mapping in the current page table.
+    Unmapped {
+        /// Faulting virtual address.
+        va: VirtAddr,
+    },
+    /// The mapping exists but does not grant the required permission.
+    Protection {
+        /// Faulting virtual address.
+        va: VirtAddr,
+        /// Permission the access needed.
+        needed: Perms,
+        /// Permission the mapping grants.
+        granted: Perms,
+    },
+    /// The access was not naturally aligned for its size.
+    Misaligned {
+        /// Raw address of the access (virtual or physical depending on the
+        /// stage that detected it).
+        addr: u64,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// A physical access fell outside the installed memory and all device
+    /// windows.
+    BusError {
+        /// Faulting physical address.
+        pa: PhysAddr,
+    },
+    /// The virtual page is already mapped (returned by `PageTable::map`).
+    AlreadyMapped {
+        /// Conflicting virtual page base address.
+        va: VirtAddr,
+    },
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemFault::Unmapped { va } => write!(f, "unmapped virtual address {va}"),
+            MemFault::Protection { va, needed, granted } => write!(
+                f,
+                "protection fault at {va}: access needs {needed}, mapping grants {granted}"
+            ),
+            MemFault::Misaligned { addr, size } => {
+                write!(f, "misaligned {size}-byte access at {addr:#x}")
+            }
+            MemFault::BusError { pa } => write!(f, "bus error at physical address {pa}"),
+            MemFault::AlreadyMapped { va } => {
+                write!(f, "virtual page at {va} is already mapped")
+            }
+        }
+    }
+}
+
+impl Error for MemFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let f = MemFault::Unmapped { va: VirtAddr::new(0x2000) };
+        assert_eq!(f.to_string(), "unmapped virtual address 0x2000");
+
+        let f = MemFault::Protection {
+            va: VirtAddr::new(0x2000),
+            needed: Perms::WRITE,
+            granted: Perms::READ,
+        };
+        assert!(f.to_string().contains("needs -w"));
+        assert!(f.to_string().contains("grants r-"));
+
+        let f = MemFault::Misaligned { addr: 0x1003, size: 8 };
+        assert_eq!(f.to_string(), "misaligned 8-byte access at 0x1003");
+
+        let f = MemFault::BusError { pa: PhysAddr::new(0xFFFF_0000) };
+        assert!(f.to_string().contains("bus error"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error>(_: E) {}
+        takes_err(MemFault::Unmapped { va: VirtAddr::ZERO });
+    }
+}

@@ -1,0 +1,163 @@
+//! The machine's physical address map.
+
+use crate::{PhysAddr, ShadowLayout};
+
+/// Which region of the physical address space an address decodes to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// Ordinary DRAM; `offset` is the byte offset from the start of RAM.
+    Ram {
+        /// Byte offset within RAM.
+        offset: u64,
+    },
+    /// The NIC/DMA engine's memory-mapped register window; `offset` is the
+    /// byte offset from the window base.
+    NicRegs {
+        /// Byte offset within the register window.
+        offset: u64,
+    },
+    /// The NIC's shadow-address window (any address with the shadow bit
+    /// set).
+    Shadow,
+    /// Nothing decodes here; an access raises a bus error.
+    Unmapped,
+}
+
+/// The physical address map of the simulated workstation.
+///
+/// ```text
+///   0 ──────────────┐ RAM (ram_size bytes)
+///   nic_base ───────┤ NIC register window (nic_size bytes)
+///   1 << shadow_bit ┤ NIC shadow window (decoded by ShadowLayout)
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhysLayout {
+    /// Installed DRAM bytes, starting at physical address 0.
+    pub ram_size: u64,
+    /// Base of the NIC's register window.
+    pub nic_base: PhysAddr,
+    /// Size of the NIC's register window in bytes.
+    pub nic_size: u64,
+    /// Shadow-window bit layout.
+    pub shadow: ShadowLayout,
+}
+
+impl Default for PhysLayout {
+    /// 64 MiB of RAM (the Alpha 3000/300 shipped with 32–256 MB), a 1 MiB
+    /// NIC register window at `1 << 42`, and the default shadow layout.
+    fn default() -> Self {
+        PhysLayout {
+            ram_size: 64 << 20,
+            nic_base: PhysAddr::new(1 << 42),
+            nic_size: 1 << 20,
+            shadow: ShadowLayout::default(),
+        }
+    }
+}
+
+impl PhysLayout {
+    /// Decodes a physical address to its region.
+    pub fn region_of(&self, pa: PhysAddr) -> Region {
+        if self.shadow.is_shadow(pa) {
+            return Region::Shadow;
+        }
+        let raw = pa.as_u64();
+        if raw < self.ram_size {
+            return Region::Ram { offset: raw };
+        }
+        let nic = self.nic_base.as_u64();
+        if raw >= nic && raw < nic + self.nic_size {
+            return Region::NicRegs { offset: raw - nic };
+        }
+        Region::Unmapped
+    }
+
+    /// Whether the address belongs to the NIC (register window or shadow
+    /// window) — i.e. whether an access to it is an *uncached device
+    /// access* that crosses the I/O bus.
+    pub fn is_device(&self, pa: PhysAddr) -> bool {
+        matches!(self.region_of(pa), Region::NicRegs { .. } | Region::Shadow)
+    }
+
+    /// Validates internal consistency (RAM below the NIC window, NIC
+    /// window below the shadow window, RAM shadowable).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated constraint. Called
+    /// by machine builders at configuration time.
+    pub fn validate(&self) {
+        assert!(
+            self.ram_size <= self.nic_base.as_u64(),
+            "RAM overlaps the NIC register window"
+        );
+        assert!(
+            self.nic_base.as_u64() + self.nic_size <= self.shadow.shadow_mask(),
+            "NIC register window overlaps the shadow window"
+        );
+        assert!(
+            self.ram_size <= self.shadow.plain_limit(),
+            "RAM too large to be shadow-addressable"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_decodes_regions() {
+        let l = PhysLayout::default();
+        l.validate();
+        assert_eq!(l.region_of(PhysAddr::new(0x100)), Region::Ram { offset: 0x100 });
+        assert_eq!(
+            l.region_of(PhysAddr::new((1 << 42) + 0x40)),
+            Region::NicRegs { offset: 0x40 }
+        );
+        assert_eq!(l.region_of(PhysAddr::new(1 << 45)), Region::Shadow);
+        assert_eq!(l.region_of(PhysAddr::new(1 << 30)), Region::Unmapped);
+    }
+
+    #[test]
+    fn shadowed_ram_address_is_shadow_region() {
+        let l = PhysLayout::default();
+        let s = l.shadow.shadow_paddr(PhysAddr::new(0x2000)).unwrap();
+        assert_eq!(l.region_of(s), Region::Shadow);
+        assert!(l.is_device(s));
+    }
+
+    #[test]
+    fn ram_is_not_device() {
+        let l = PhysLayout::default();
+        assert!(!l.is_device(PhysAddr::new(0)));
+        assert!(l.is_device(l.nic_base));
+    }
+
+    #[test]
+    fn region_boundaries_are_half_open() {
+        let l = PhysLayout::default();
+        assert_eq!(
+            l.region_of(PhysAddr::new(l.ram_size - 1)),
+            Region::Ram { offset: l.ram_size - 1 }
+        );
+        assert_eq!(l.region_of(PhysAddr::new(l.ram_size)), Region::Unmapped);
+        let end = l.nic_base.as_u64() + l.nic_size;
+        assert_eq!(l.region_of(PhysAddr::new(end)), Region::Unmapped);
+        assert_eq!(
+            l.region_of(PhysAddr::new(end - 1)),
+            Region::NicRegs { offset: l.nic_size - 1 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "RAM overlaps")]
+    fn validate_catches_ram_overlap() {
+        let l = PhysLayout {
+            ram_size: 1 << 43,
+            nic_base: PhysAddr::new(1 << 42),
+            ..PhysLayout::default()
+        };
+        l.validate();
+    }
+}

@@ -1,0 +1,56 @@
+//! Memory substrate for the user-level DMA reproduction.
+//!
+//! This crate models everything the paper's machine needs below the bus:
+//!
+//! * typed physical and virtual addresses ([`PhysAddr`], [`VirtAddr`]) and
+//!   page/frame numbers ([`VirtPage`], [`PhysFrame`]),
+//! * byte-addressable sparse [`PhysMemory`] with a [`FrameAllocator`],
+//! * per-process [`PageTable`]s with protection bits ([`Perms`]),
+//! * a small [`Tlb`] with hit/miss statistics, and
+//! * the *shadow addressing* arithmetic ([`ShadowLayout`]) that every
+//!   user-level DMA protocol in the paper relies on (§2.3, §3.2).
+//!
+//! The page size is the DEC Alpha's 8 KiB ([`PAGE_SIZE`]), matching the
+//! machine the paper evaluates on (Alpha 3000 model 300).
+//!
+//! # Example
+//!
+//! ```
+//! use udma_mem::{FrameAllocator, PageTable, Perms, PhysMemory, VirtAddr, Access};
+//!
+//! # fn main() -> Result<(), udma_mem::MemFault> {
+//! let mut mem = PhysMemory::new(1 << 24);
+//! let mut alloc = FrameAllocator::new(1 << 24);
+//! let mut pt = PageTable::new();
+//!
+//! let frame = alloc.alloc().expect("out of frames");
+//! let va = VirtAddr::new(0x10000);
+//! pt.map(va.page(), frame, Perms::READ_WRITE)?;
+//!
+//! let pa = pt.translate(va, Access::Write)?;
+//! mem.write_u64(pa, 0xDEAD_BEEF)?;
+//! assert_eq!(mem.read_u64(pa)?, 0xDEAD_BEEF);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod fault;
+mod layout;
+mod page_table;
+mod perms;
+mod phys;
+mod shadow;
+mod tlb;
+
+pub use addr::{PhysAddr, PhysFrame, VirtAddr, VirtPage, PAGE_MASK, PAGE_SHIFT, PAGE_SIZE};
+pub use fault::MemFault;
+pub use layout::{PhysLayout, Region};
+pub use page_table::{Access, PageTable, PteEntry};
+pub use perms::Perms;
+pub use phys::{FrameAllocator, PhysMemory};
+pub use shadow::ShadowLayout;
+pub use tlb::{Tlb, TlbEntry, TlbStats};

@@ -1,0 +1,127 @@
+//! Page protection bits.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// Access permissions attached to a page mapping.
+///
+/// The paper's protection argument (§2.1) is exactly about these bits: the
+/// DMA engine only ever receives physical addresses that arrived through a
+/// mapping carrying the right permissions, so it never needs its own
+/// protection tables.
+///
+/// ```
+/// use udma_mem::Perms;
+///
+/// let p = Perms::READ | Perms::WRITE;
+/// assert!(p.allows(Perms::READ));
+/// assert!(p.allows(Perms::READ_WRITE));
+/// assert!(!Perms::READ.allows(Perms::WRITE));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Perms(u8);
+
+impl Perms {
+    /// No access at all.
+    pub const NONE: Perms = Perms(0);
+    /// Read access.
+    pub const READ: Perms = Perms(0b01);
+    /// Write access.
+    pub const WRITE: Perms = Perms(0b10);
+    /// Read and write access.
+    pub const READ_WRITE: Perms = Perms(0b11);
+
+    /// Whether every permission in `needed` is granted by `self`.
+    #[inline]
+    pub const fn allows(self, needed: Perms) -> bool {
+        self.0 & needed.0 == needed.0
+    }
+
+    /// Whether the read bit is set.
+    #[inline]
+    pub const fn can_read(self) -> bool {
+        self.0 & Self::READ.0 != 0
+    }
+
+    /// Whether the write bit is set.
+    #[inline]
+    pub const fn can_write(self) -> bool {
+        self.0 & Self::WRITE.0 != 0
+    }
+
+    /// Whether no access is granted.
+    #[inline]
+    pub const fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Perms {
+    fn bitor_assign(&mut self, rhs: Perms) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Debug for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Perms({self})")
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}",
+            if self.can_read() { 'r' } else { '-' },
+            if self.can_write() { 'w' } else { '-' },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allows_is_subset_check() {
+        assert!(Perms::READ_WRITE.allows(Perms::READ));
+        assert!(Perms::READ_WRITE.allows(Perms::WRITE));
+        assert!(Perms::READ_WRITE.allows(Perms::READ_WRITE));
+        assert!(!Perms::READ.allows(Perms::WRITE));
+        assert!(!Perms::WRITE.allows(Perms::READ));
+        assert!(Perms::NONE.allows(Perms::NONE));
+        assert!(!Perms::NONE.allows(Perms::READ));
+    }
+
+    #[test]
+    fn or_combines() {
+        assert_eq!(Perms::READ | Perms::WRITE, Perms::READ_WRITE);
+        let mut p = Perms::READ;
+        p |= Perms::WRITE;
+        assert_eq!(p, Perms::READ_WRITE);
+    }
+
+    #[test]
+    fn display_unix_style() {
+        assert_eq!(Perms::NONE.to_string(), "--");
+        assert_eq!(Perms::READ.to_string(), "r-");
+        assert_eq!(Perms::WRITE.to_string(), "-w");
+        assert_eq!(Perms::READ_WRITE.to_string(), "rw");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Perms::READ.can_read());
+        assert!(!Perms::READ.can_write());
+        assert!(Perms::NONE.is_none());
+        assert!(!Perms::WRITE.is_none());
+    }
+}

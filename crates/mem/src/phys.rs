@@ -1,0 +1,347 @@
+//! Physical memory and frame allocation.
+
+use crate::{MemFault, PhysAddr, PhysFrame, PAGE_SHIFT, PAGE_SIZE};
+use std::collections::HashMap;
+
+/// Byte-addressable physical memory, stored sparsely one frame at a time.
+///
+/// Frames are materialised (zero-filled) on first touch, so a machine with
+/// a multi-gigabyte physical address space costs only what it actually
+/// uses. All multi-byte accesses are little-endian, like the Alpha.
+///
+/// ```
+/// use udma_mem::{PhysMemory, PhysAddr};
+///
+/// # fn main() -> Result<(), udma_mem::MemFault> {
+/// let mut mem = PhysMemory::new(1 << 20);
+/// mem.write_u64(PhysAddr::new(0x100), 42)?;
+/// assert_eq!(mem.read_u64(PhysAddr::new(0x100))?, 42);
+/// // Untouched memory reads as zero.
+/// assert_eq!(mem.read_u64(PhysAddr::new(0x8000))?, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PhysMemory {
+    frames: HashMap<u64, Box<[u8]>>,
+    size: u64,
+}
+
+impl PhysMemory {
+    /// Creates a physical memory of `size` bytes (rounded up to whole
+    /// pages). Accesses at or beyond `size` raise [`MemFault::BusError`].
+    pub fn new(size: u64) -> Self {
+        let size = size.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        PhysMemory { frames: HashMap::new(), size }
+    }
+
+    /// Total installed bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Number of frames actually materialised so far.
+    pub fn resident_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn check(&self, pa: PhysAddr, len: u64) -> Result<(), MemFault> {
+        let end = pa
+            .checked_add(len)
+            .ok_or(MemFault::BusError { pa })?;
+        if end.as_u64() > self.size || len == 0 && pa.as_u64() >= self.size {
+            return Err(MemFault::BusError { pa });
+        }
+        Ok(())
+    }
+
+    fn frame_mut(&mut self, frame: u64) -> &mut [u8] {
+        self.frames
+            .entry(frame)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Reads `buf.len()` bytes starting at `pa`, crossing frame boundaries
+    /// as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::BusError`] if any byte of the range is outside installed
+    /// memory.
+    pub fn read_bytes(&self, pa: PhysAddr, buf: &mut [u8]) -> Result<(), MemFault> {
+        self.check(pa, buf.len() as u64)?;
+        let mut addr = pa.as_u64();
+        let mut done = 0usize;
+        while done < buf.len() {
+            let frame = addr >> PAGE_SHIFT;
+            let off = (addr & (PAGE_SIZE - 1)) as usize;
+            let chunk = ((PAGE_SIZE as usize) - off).min(buf.len() - done);
+            match self.frames.get(&frame) {
+                Some(data) => buf[done..done + chunk].copy_from_slice(&data[off..off + chunk]),
+                None => buf[done..done + chunk].fill(0),
+            }
+            done += chunk;
+            addr += chunk as u64;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `pa`, crossing frame boundaries as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::BusError`] if any byte of the range is outside installed
+    /// memory.
+    pub fn write_bytes(&mut self, pa: PhysAddr, buf: &[u8]) -> Result<(), MemFault> {
+        self.check(pa, buf.len() as u64)?;
+        let mut addr = pa.as_u64();
+        let mut done = 0usize;
+        while done < buf.len() {
+            let frame = addr >> PAGE_SHIFT;
+            let off = (addr & (PAGE_SIZE - 1)) as usize;
+            let chunk = ((PAGE_SIZE as usize) - off).min(buf.len() - done);
+            self.frame_mut(frame)[off..off + chunk].copy_from_slice(&buf[done..done + chunk]);
+            done += chunk;
+            addr += chunk as u64;
+        }
+        Ok(())
+    }
+
+    /// Reads a naturally aligned little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::Misaligned`] if `pa` is not 8-byte aligned;
+    /// [`MemFault::BusError`] if outside installed memory.
+    pub fn read_u64(&self, pa: PhysAddr) -> Result<u64, MemFault> {
+        if !pa.is_aligned_to(8) {
+            return Err(MemFault::Misaligned { addr: pa.as_u64(), size: 8 });
+        }
+        let mut b = [0u8; 8];
+        self.read_bytes(pa, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a naturally aligned little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::Misaligned`] if `pa` is not 8-byte aligned;
+    /// [`MemFault::BusError`] if outside installed memory.
+    pub fn write_u64(&mut self, pa: PhysAddr, value: u64) -> Result<(), MemFault> {
+        if !pa.is_aligned_to(8) {
+            return Err(MemFault::Misaligned { addr: pa.as_u64(), size: 8 });
+        }
+        self.write_bytes(pa, &value.to_le_bytes())
+    }
+
+    /// Copies `len` bytes from `src` to `dst` within physical memory, as
+    /// the DMA data mover does. Handles overlapping ranges like
+    /// `memmove`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::BusError`] if either range is outside installed memory.
+    pub fn copy(&mut self, src: PhysAddr, dst: PhysAddr, len: u64) -> Result<(), MemFault> {
+        self.check(src, len)?;
+        self.check(dst, len)?;
+        // Simple and correct: buffer the source. DMA transfers in the
+        // evaluation are at most a few pages.
+        let mut buf = vec![0u8; len as usize];
+        self.read_bytes(src, &mut buf)?;
+        self.write_bytes(dst, &buf)
+    }
+
+    /// Fills `len` bytes at `pa` with `byte`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::BusError`] if the range is outside installed memory.
+    pub fn fill(&mut self, pa: PhysAddr, len: u64, byte: u8) -> Result<(), MemFault> {
+        self.check(pa, len)?;
+        let buf = vec![byte; len as usize];
+        self.write_bytes(pa, &buf)
+    }
+}
+
+/// A bump-plus-free-list allocator of physical page frames.
+///
+/// The model kernel uses this to back user mappings and shadow windows.
+#[derive(Clone, Debug)]
+pub struct FrameAllocator {
+    next: u64,
+    limit: u64,
+    free: Vec<PhysFrame>,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator over `[0, size)` bytes of physical memory.
+    pub fn new(size: u64) -> Self {
+        FrameAllocator { next: 0, limit: size >> PAGE_SHIFT, free: Vec::new() }
+    }
+
+    /// Creates an allocator over frames `[base_frame, base_frame + count)`.
+    pub fn with_range(base_frame: u64, count: u64) -> Self {
+        FrameAllocator {
+            next: base_frame,
+            limit: base_frame + count,
+            free: Vec::new(),
+        }
+    }
+
+    /// Allocates a frame, reusing freed frames first. Returns `None` when
+    /// physical memory is exhausted.
+    pub fn alloc(&mut self) -> Option<PhysFrame> {
+        if let Some(f) = self.free.pop() {
+            return Some(f);
+        }
+        if self.next < self.limit {
+            let f = PhysFrame::new(self.next);
+            self.next += 1;
+            Some(f)
+        } else {
+            None
+        }
+    }
+
+    /// Returns a frame to the allocator.
+    pub fn free(&mut self, frame: PhysFrame) {
+        debug_assert!(frame.number() < self.limit);
+        self.free.push(frame);
+    }
+
+    /// Number of frames still available.
+    pub fn available(&self) -> u64 {
+        (self.limit - self.next) + self.free.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_on_first_touch() {
+        let mem = PhysMemory::new(1 << 20);
+        let mut buf = [0xFFu8; 16];
+        mem.read_bytes(PhysAddr::new(0x4000), &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 16]);
+        assert_eq!(mem.resident_frames(), 0);
+    }
+
+    #[test]
+    fn read_write_round_trip_across_frame_boundary() {
+        let mut mem = PhysMemory::new(1 << 20);
+        let pa = PhysAddr::new(PAGE_SIZE - 4);
+        let data: Vec<u8> = (0..32).collect();
+        mem.write_bytes(pa, &data).unwrap();
+        let mut back = vec![0u8; 32];
+        mem.read_bytes(pa, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(mem.resident_frames(), 2);
+    }
+
+    #[test]
+    fn u64_alignment_enforced() {
+        let mut mem = PhysMemory::new(1 << 20);
+        assert_eq!(
+            mem.write_u64(PhysAddr::new(0x101), 1),
+            Err(MemFault::Misaligned { addr: 0x101, size: 8 })
+        );
+        assert_eq!(
+            mem.read_u64(PhysAddr::new(0x104)),
+            Err(MemFault::Misaligned { addr: 0x104, size: 8 })
+        );
+    }
+
+    #[test]
+    fn u64_little_endian() {
+        let mut mem = PhysMemory::new(1 << 20);
+        mem.write_u64(PhysAddr::new(0x200), 0x0102_0304_0506_0708).unwrap();
+        let mut b = [0u8; 8];
+        mem.read_bytes(PhysAddr::new(0x200), &mut b).unwrap();
+        assert_eq!(b, [8, 7, 6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn out_of_range_is_bus_error() {
+        let mut mem = PhysMemory::new(PAGE_SIZE);
+        let pa = PhysAddr::new(PAGE_SIZE);
+        assert!(matches!(mem.read_u64(pa), Err(MemFault::BusError { .. })));
+        let pa = PhysAddr::new(PAGE_SIZE - 4);
+        assert!(matches!(
+            mem.write_bytes(pa, &[0u8; 8]),
+            Err(MemFault::BusError { .. })
+        ));
+    }
+
+    #[test]
+    fn overflowing_range_is_bus_error() {
+        let mem = PhysMemory::new(PAGE_SIZE);
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            mem.read_bytes(PhysAddr::new(u64::MAX - 1), &mut buf),
+            Err(MemFault::BusError { .. })
+        ));
+    }
+
+    #[test]
+    fn copy_moves_data() {
+        let mut mem = PhysMemory::new(1 << 20);
+        let data: Vec<u8> = (0..100).collect();
+        mem.write_bytes(PhysAddr::new(0x1000), &data).unwrap();
+        mem.copy(PhysAddr::new(0x1000), PhysAddr::new(0x9000), 100).unwrap();
+        let mut back = vec![0u8; 100];
+        mem.read_bytes(PhysAddr::new(0x9000), &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn copy_overlapping_is_memmove() {
+        let mut mem = PhysMemory::new(1 << 20);
+        let data: Vec<u8> = (0..64).collect();
+        mem.write_bytes(PhysAddr::new(0x1000), &data).unwrap();
+        mem.copy(PhysAddr::new(0x1000), PhysAddr::new(0x1010), 64).unwrap();
+        let mut back = vec![0u8; 64];
+        mem.read_bytes(PhysAddr::new(0x1010), &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn fill_sets_bytes() {
+        let mut mem = PhysMemory::new(1 << 20);
+        mem.fill(PhysAddr::new(0x2000), 16, 0xAB).unwrap();
+        let mut b = [0u8; 16];
+        mem.read_bytes(PhysAddr::new(0x2000), &mut b).unwrap();
+        assert_eq!(b, [0xAB; 16]);
+    }
+
+    #[test]
+    fn size_rounds_up_to_pages() {
+        let mem = PhysMemory::new(1);
+        assert_eq!(mem.size(), PAGE_SIZE);
+    }
+
+    #[test]
+    fn allocator_unique_frames_and_reuse() {
+        let mut a = FrameAllocator::new(4 * PAGE_SIZE);
+        let f0 = a.alloc().unwrap();
+        let f1 = a.alloc().unwrap();
+        assert_ne!(f0, f1);
+        assert_eq!(a.available(), 2);
+        a.free(f0);
+        assert_eq!(a.available(), 3);
+        assert_eq!(a.alloc().unwrap(), f0);
+        let _ = a.alloc().unwrap();
+        let _ = a.alloc().unwrap();
+        assert_eq!(a.alloc(), None);
+    }
+
+    #[test]
+    fn allocator_with_range() {
+        let mut a = FrameAllocator::with_range(100, 2);
+        assert_eq!(a.alloc().unwrap().number(), 100);
+        assert_eq!(a.alloc().unwrap().number(), 101);
+        assert_eq!(a.alloc(), None);
+    }
+}

@@ -1,0 +1,207 @@
+//! Shadow addressing arithmetic (paper §2.3 and §3.2).
+//!
+//! A *shadow* physical address is an ordinary physical address with one
+//! high bit set, placing it inside the DMA engine's decode window. When a
+//! user process performs a load or store to a shadow-mapped virtual page,
+//! the TLB emits `shadow(paddr)`; the engine strips the shadow bit and has
+//! thereby been *securely handed* `paddr` — the process provably holds a
+//! mapping for it, because only the kernel could have created the shadow
+//! PTE.
+//!
+//! *Extended* shadow addressing (§3.2) additionally steals 1–2 bits just
+//! below the shadow bit to carry a `CONTEXT_ID` chosen by the kernel at
+//! map time, so the engine can tell *which process* issued each shadow
+//! access without any kernel involvement at transfer time.
+
+use crate::{PhysAddr, VirtAddr};
+
+/// Bit-layout of the shadow window and the embedded context id.
+///
+/// ```text
+///   bit:  shadow_bit   ctx_shift+ctx_bits-1 .. ctx_shift     0
+///         ┌─────────┬──────────────────────────────┬─────────┐
+///         │ SHADOW=1│          CONTEXT_ID          │  paddr  │
+///         └─────────┴──────────────────────────────┴─────────┘
+/// ```
+///
+/// With the defaults (`shadow_bit = 45`, `ctx_shift = 43`, `ctx_bits = 2`)
+/// plain physical addresses may use bits `0..43` (8 TiB), and four
+/// processes can own extended-shadow contexts — the paper envisions
+/// "1–2 bits ... enough for most practical cases".
+///
+/// ```
+/// use udma_mem::{PhysAddr, ShadowLayout};
+///
+/// let layout = ShadowLayout::default();
+/// let s = layout.shadow_paddr_ctx(PhysAddr::new(0x2000), 3).unwrap();
+/// assert!(layout.is_shadow(s));
+/// assert_eq!(layout.decode(s), Some((PhysAddr::new(0x2000), 3)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShadowLayout {
+    shadow_bit: u32,
+    ctx_shift: u32,
+    ctx_bits: u32,
+}
+
+impl Default for ShadowLayout {
+    fn default() -> Self {
+        ShadowLayout { shadow_bit: 45, ctx_shift: 43, ctx_bits: 2 }
+    }
+}
+
+impl ShadowLayout {
+    /// Creates a layout. `ctx_bits` may be zero (plain shadow addressing
+    /// only, as in §2.3/§3.1/§3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context field would overlap the shadow bit or exceed
+    /// a 64-bit address.
+    pub fn new(shadow_bit: u32, ctx_shift: u32, ctx_bits: u32) -> Self {
+        assert!(shadow_bit < 64, "shadow bit out of range");
+        assert!(
+            ctx_shift + ctx_bits <= shadow_bit,
+            "context field must sit below the shadow bit"
+        );
+        ShadowLayout { shadow_bit, ctx_shift, ctx_bits }
+    }
+
+    /// The shadow-bit mask.
+    #[inline]
+    pub const fn shadow_mask(&self) -> u64 {
+        1 << self.shadow_bit
+    }
+
+    /// Largest plain physical address + 1 that can be shadowed without
+    /// colliding with the context field.
+    #[inline]
+    pub const fn plain_limit(&self) -> u64 {
+        1 << self.ctx_shift
+    }
+
+    /// Number of distinct context ids carried in the address
+    /// (`1` when `ctx_bits == 0`).
+    #[inline]
+    pub const fn num_contexts(&self) -> u32 {
+        1 << self.ctx_bits
+    }
+
+    /// Whether `pa` lies inside the shadow window.
+    #[inline]
+    pub const fn is_shadow(&self, pa: PhysAddr) -> bool {
+        pa.as_u64() & self.shadow_mask() != 0
+    }
+
+    /// `shadow(paddr)` with context id 0.
+    ///
+    /// Returns `None` if `paddr` is too large to shadow (it would collide
+    /// with the context field or shadow bit).
+    pub fn shadow_paddr(&self, pa: PhysAddr) -> Option<PhysAddr> {
+        self.shadow_paddr_ctx(pa, 0)
+    }
+
+    /// `shadow(paddr)` carrying `ctx` in the CONTEXT_ID field (§3.2).
+    ///
+    /// Returns `None` if `paddr ≥ plain_limit()` or `ctx ≥ num_contexts()`.
+    pub fn shadow_paddr_ctx(&self, pa: PhysAddr, ctx: u32) -> Option<PhysAddr> {
+        if pa.as_u64() >= self.plain_limit() || ctx >= self.num_contexts() {
+            return None;
+        }
+        Some(PhysAddr::new(
+            self.shadow_mask() | ((ctx as u64) << self.ctx_shift) | pa.as_u64(),
+        ))
+    }
+
+    /// Inverts `shadow(...)`: recovers the plain physical address and the
+    /// context id. This is the engine's `shadow⁻¹` of §2.3.
+    ///
+    /// Returns `None` if `pa` is not a shadow address.
+    pub fn decode(&self, pa: PhysAddr) -> Option<(PhysAddr, u32)> {
+        if !self.is_shadow(pa) {
+            return None;
+        }
+        let raw = pa.as_u64() & !self.shadow_mask();
+        let ctx = (raw >> self.ctx_shift) & (self.num_contexts() as u64 - 1);
+        let plain = raw & (self.plain_limit() - 1);
+        Some((PhysAddr::new(plain), ctx as u32))
+    }
+
+    /// The conventional *virtual* address at which the kernel maps the
+    /// shadow twin of `va` (same offset, shadow bit set in the VA too).
+    /// Purely a software convention; nothing decodes it.
+    pub fn shadow_vaddr(&self, va: VirtAddr) -> VirtAddr {
+        VirtAddr::new(va.as_u64() | self.shadow_mask())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_round_trip() {
+        let l = ShadowLayout::default();
+        let pa = PhysAddr::new(0x1_2345_6788);
+        for ctx in 0..l.num_contexts() {
+            let s = l.shadow_paddr_ctx(pa, ctx).unwrap();
+            assert!(l.is_shadow(s));
+            assert!(!l.is_shadow(pa));
+            assert_eq!(l.decode(s), Some((pa, ctx)));
+        }
+    }
+
+    #[test]
+    fn decode_of_plain_address_is_none() {
+        let l = ShadowLayout::default();
+        assert_eq!(l.decode(PhysAddr::new(0x1000)), None);
+    }
+
+    #[test]
+    fn oversized_paddr_rejected() {
+        let l = ShadowLayout::default();
+        assert!(l.shadow_paddr(PhysAddr::new(l.plain_limit())).is_none());
+        assert!(l.shadow_paddr(PhysAddr::new(l.plain_limit() - 8)).is_some());
+    }
+
+    #[test]
+    fn oversized_ctx_rejected() {
+        let l = ShadowLayout::default();
+        assert!(l.shadow_paddr_ctx(PhysAddr::new(0x100), 4).is_none());
+    }
+
+    #[test]
+    fn zero_ctx_bits_layout() {
+        let l = ShadowLayout::new(40, 40, 0);
+        assert_eq!(l.num_contexts(), 1);
+        let pa = PhysAddr::new(0xFEED_0000);
+        let s = l.shadow_paddr(pa).unwrap();
+        assert_eq!(l.decode(s), Some((pa, 0)));
+        assert!(l.shadow_paddr_ctx(pa, 1).is_none());
+    }
+
+    #[test]
+    fn shadow_vaddr_sets_bit() {
+        let l = ShadowLayout::default();
+        let va = VirtAddr::new(0x4_2000);
+        let sva = l.shadow_vaddr(va);
+        assert_eq!(sva.as_u64(), 0x4_2000 | (1 << 45));
+    }
+
+    #[test]
+    #[should_panic(expected = "below the shadow bit")]
+    fn overlapping_ctx_field_panics() {
+        let _ = ShadowLayout::new(45, 44, 2);
+    }
+
+    #[test]
+    fn distinct_contexts_distinct_addresses() {
+        let l = ShadowLayout::default();
+        let pa = PhysAddr::new(0x8000);
+        let s0 = l.shadow_paddr_ctx(pa, 0).unwrap();
+        let s1 = l.shadow_paddr_ctx(pa, 1).unwrap();
+        let s3 = l.shadow_paddr_ctx(pa, 3).unwrap();
+        assert_ne!(s0, s1);
+        assert_ne!(s1, s3);
+    }
+}

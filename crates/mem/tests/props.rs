@@ -1,0 +1,129 @@
+//! Property-based tests for the memory substrate.
+
+use proptest::prelude::*;
+use udma_mem::{
+    Access, FrameAllocator, MemFault, PageTable, Perms, PhysAddr, PhysMemory, ShadowLayout,
+    VirtAddr, VirtPage, PAGE_SIZE,
+};
+
+proptest! {
+    /// shadow ∘ decode is the identity on (paddr, ctx) for every layout.
+    #[test]
+    fn shadow_round_trip(
+        shadow_bit in 20u32..60,
+        ctx_bits in 0u32..3,
+        pa_raw in 0u64..(1 << 19),
+        ctx in 0u32..8,
+    ) {
+        let ctx_shift = shadow_bit - ctx_bits;
+        let layout = ShadowLayout::new(shadow_bit, ctx_shift, ctx_bits);
+        let pa = PhysAddr::new(pa_raw);
+        if pa_raw >= layout.plain_limit() {
+            prop_assert!(layout.shadow_paddr_ctx(pa, ctx.min(layout.num_contexts() - 1)).is_none());
+        } else if ctx < layout.num_contexts() {
+            let s = layout.shadow_paddr_ctx(pa, ctx).unwrap();
+            prop_assert!(layout.is_shadow(s));
+            prop_assert_eq!(layout.decode(s), Some((pa, ctx)));
+        } else {
+            prop_assert!(layout.shadow_paddr_ctx(pa, ctx).is_none());
+        }
+    }
+
+    /// Distinct (paddr, ctx) pairs produce distinct shadow addresses.
+    #[test]
+    fn shadow_is_injective(
+        a in 0u64..(1 << 16),
+        b in 0u64..(1 << 16),
+        ca in 0u32..4,
+        cb in 0u32..4,
+    ) {
+        let layout = ShadowLayout::default();
+        let sa = layout.shadow_paddr_ctx(PhysAddr::new(a * 8), ca).unwrap();
+        let sb = layout.shadow_paddr_ctx(PhysAddr::new(b * 8), cb).unwrap();
+        prop_assert_eq!(sa == sb, a == b && ca == cb);
+    }
+
+    /// What you write is what you read back, for arbitrary ranges that may
+    /// cross frame boundaries.
+    #[test]
+    fn phys_memory_write_read_round_trip(
+        start in 0u64..(4 * PAGE_SIZE),
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+    ) {
+        let mut mem = PhysMemory::new(8 * PAGE_SIZE);
+        let pa = PhysAddr::new(start);
+        mem.write_bytes(pa, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        mem.read_bytes(pa, &mut back).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    /// Writes to one range never disturb a disjoint range.
+    #[test]
+    fn phys_memory_writes_are_local(
+        a_start in 0u64..PAGE_SIZE,
+        a_data in proptest::collection::vec(any::<u8>(), 1..128),
+        b_off in 0u64..PAGE_SIZE,
+        b_data in proptest::collection::vec(any::<u8>(), 1..128),
+    ) {
+        let mut mem = PhysMemory::new(16 * PAGE_SIZE);
+        let a = PhysAddr::new(a_start);
+        // Place b in a region guaranteed disjoint from a.
+        let b = PhysAddr::new(8 * PAGE_SIZE + b_off);
+        mem.write_bytes(a, &a_data).unwrap();
+        mem.write_bytes(b, &b_data).unwrap();
+        let mut back = vec![0u8; a_data.len()];
+        mem.read_bytes(a, &mut back).unwrap();
+        prop_assert_eq!(back, a_data);
+    }
+
+    /// Translation preserves the page offset and respects permissions.
+    #[test]
+    fn page_table_translate_properties(
+        page in 0u64..64,
+        offset in 0u64..PAGE_SIZE,
+        readable in any::<bool>(),
+        writable in any::<bool>(),
+    ) {
+        let mut pt = PageTable::new();
+        let mut perms = Perms::NONE;
+        if readable { perms |= Perms::READ; }
+        if writable { perms |= Perms::WRITE; }
+        let mut alloc = FrameAllocator::with_range(1000, 4096);
+        let frame = alloc.alloc().unwrap();
+        pt.map(VirtPage::new(page), frame, perms).unwrap();
+
+        let va = VirtAddr::new(page * PAGE_SIZE + offset);
+        for (access, allowed) in [(Access::Read, readable), (Access::Write, writable)] {
+            match pt.translate(va, access) {
+                Ok(pa) => {
+                    prop_assert!(allowed);
+                    prop_assert_eq!(pa.page_offset(), offset);
+                    prop_assert_eq!(pa.page(), frame);
+                }
+                Err(MemFault::Protection { .. }) => prop_assert!(!allowed),
+                Err(other) => prop_assert!(false, "unexpected fault {other:?}"),
+            }
+        }
+    }
+
+    /// The frame allocator never hands out the same frame twice while it
+    /// is live, and never exceeds its range.
+    #[test]
+    fn allocator_uniqueness(count in 1u64..128, take in 1usize..200) {
+        let mut alloc = FrameAllocator::with_range(0, count);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..take {
+            match alloc.alloc() {
+                Some(f) => {
+                    prop_assert!(f.number() < count);
+                    prop_assert!(seen.insert(f), "frame {f} handed out twice");
+                }
+                None => {
+                    prop_assert!(seen.len() as u64 == count);
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! **udma-msg** — a message-passing layer on user-level DMA.
+//!
+//! The paper's motivation is NOW communication: applications that send
+//! many small messages, for which the kernel's DMA-initiation overhead
+//! dominates. This crate is the downstream consumer the paper imagines —
+//! a single-producer/single-consumer channel whose *entire* fast path
+//! runs in user mode:
+//!
+//! * the payload moves by a user-level DMA from the sender's staging page
+//!   into a shared ring slot (one [`udma::emit_dma`] sequence, 2–5
+//!   instructions);
+//! * per-slot full/empty **flags** in a shared control page provide flow
+//!   control with plain loads and stores (equality tests only — the model
+//!   ISA has no magnitude compare, and none is needed);
+//! * no syscall appears anywhere after setup.
+//!
+//! Layout (all page-granular, fixed by [`receiver_spec`]/[`sender_spec`]):
+//!
+//! ```text
+//!   receiver buffers:  [0] ring: SLOTS pages   [1] ctrl: 1 page
+//!   sender buffers:    [0] staging: 1 page     [1] = receiver ring (shared rw)
+//!                                              [2] = receiver ctrl (shared rw)
+//!   ctrl word s (offset 8·s): 0 = slot s empty, 1 = slot s full
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use udma::{DmaMethod, Machine};
+//! use udma_msg::{checksum, ChannelConfig, Endpoints};
+//!
+//! let cfg = ChannelConfig::default();
+//! let messages = udma_msg::test_messages(&cfg, 6);
+//! let mut m = Machine::with_method(DmaMethod::KeyBased);
+//! let ends = Endpoints::spawn(&mut m, &cfg, &messages);
+//! let out = m.run_with(&mut udma_cpu::RoundRobin::new(60), 1_000_000);
+//! assert!(out.finished);
+//! assert_eq!(ends.received_checksum(&m), checksum(&messages));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod measure;
+mod pingpong;
+mod sync;
+
+pub use channel::{
+    checksum, emit_receive_all, emit_recv_one, emit_send_all, emit_send_one, receiver_spec,
+    sender_spec, test_messages, ChannelConfig, ChannelView, Endpoints, CHECKSUM_REG,
+};
+pub use measure::{measure_messaging, MessagingCost};
+pub use pingpong::{measure_pingpong, pingpong_comparison, PingPongCost};
+pub use sync::{emit_lock_acquire, emit_lock_release};

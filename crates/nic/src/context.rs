@@ -1,0 +1,192 @@
+//! Per-process register contexts (§3.1).
+
+use udma_mem::PhysAddr;
+
+/// One of the engine's register contexts.
+///
+/// "Each context has a source register, a destination register, and a
+/// size register … if a process gets interrupted while starting a DMA
+/// operation, its arguments can not be mixed with another process's
+/// arguments, since each process has its own set of context registers."
+///
+/// Address arguments arrive through keyed shadow stores in Figure 3's
+/// order — destination first, then source — and accumulate in
+/// [`push_addr`](Self::push_addr). The size arrives through an ordinary
+/// store to the context's page. User code can never read or write the
+/// address slots directly ("the user can not read/write the `source` and
+/// `destination` registers of a register context using regular load/store
+/// operations").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegisterContext {
+    dest: Option<PhysAddr>,
+    src: Option<PhysAddr>,
+    size: u64,
+    /// Index (into the mover's records) of this context's last transfer.
+    last_transfer: Option<usize>,
+    /// Result of the last atomic operation issued through this context.
+    atomic_result: u64,
+    /// Atomic operands staged via context-page stores.
+    atomic_operands: [u64; 2],
+}
+
+impl RegisterContext {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accepts an address argument from a validated keyed shadow store:
+    /// first the destination, then the source. A third address restarts
+    /// the argument sequence (the previous pair was abandoned).
+    pub fn push_addr(&mut self, pa: PhysAddr) {
+        match (self.dest, self.src) {
+            (None, _) => self.dest = Some(pa),
+            (Some(_), None) => self.src = Some(pa),
+            (Some(_), Some(_)) => {
+                self.dest = Some(pa);
+                self.src = None;
+            }
+        }
+    }
+
+    /// Sets the transfer size (a store to the context page).
+    pub fn set_size(&mut self, size: u64) {
+        self.size = size;
+    }
+
+    /// Takes the staged `(src, dst, size)` triple if complete, clearing
+    /// the address slots either way. Returns `None` when arguments are
+    /// missing.
+    pub fn take_args(&mut self) -> Option<(PhysAddr, PhysAddr, u64)> {
+        let out = match (self.src, self.dest) {
+            (Some(s), Some(d)) => Some((s, d, self.size)),
+            _ => None,
+        };
+        self.dest = None;
+        self.src = None;
+        out
+    }
+
+    /// Whether both address arguments are staged.
+    pub fn args_complete(&self) -> bool {
+        self.src.is_some() && self.dest.is_some()
+    }
+
+    /// Clears every staged argument (used by tests and by engine resets).
+    pub fn clear(&mut self) {
+        self.dest = None;
+        self.src = None;
+        self.size = 0;
+    }
+
+    /// Records the mover index of this context's latest transfer.
+    pub fn set_last_transfer(&mut self, index: usize) {
+        self.last_transfer = Some(index);
+    }
+
+    /// Mover index of the latest transfer, if any.
+    pub fn last_transfer(&self) -> Option<usize> {
+        self.last_transfer
+    }
+
+    /// Stages atomic operand `slot` (0 or 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot > 1`.
+    pub fn set_atomic_operand(&mut self, slot: usize, value: u64) {
+        self.atomic_operands[slot] = value;
+    }
+
+    /// The staged atomic operands.
+    pub fn atomic_operands(&self) -> [u64; 2] {
+        self.atomic_operands
+    }
+
+    /// Stores the result of the last atomic operation.
+    pub fn set_atomic_result(&mut self, value: u64) {
+        self.atomic_result = value;
+    }
+
+    /// Result of the last atomic operation.
+    pub fn atomic_result(&self) -> u64 {
+        self.atomic_result
+    }
+
+    /// The staged destination (engine internal / test inspection).
+    pub fn dest(&self) -> Option<PhysAddr> {
+        self.dest
+    }
+
+    /// The staged source (engine internal / test inspection).
+    pub fn src(&self) -> Option<PhysAddr> {
+        self.src
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dest_then_src_order() {
+        let mut c = RegisterContext::new();
+        c.push_addr(PhysAddr::new(0x2000)); // dest first (Figure 3)
+        c.push_addr(PhysAddr::new(0x1000)); // then source
+        c.set_size(64);
+        assert!(c.args_complete());
+        let (s, d, n) = c.take_args().unwrap();
+        assert_eq!(s, PhysAddr::new(0x1000));
+        assert_eq!(d, PhysAddr::new(0x2000));
+        assert_eq!(n, 64);
+        assert!(!c.args_complete());
+    }
+
+    #[test]
+    fn third_address_restarts_sequence() {
+        let mut c = RegisterContext::new();
+        c.push_addr(PhysAddr::new(0x10));
+        c.push_addr(PhysAddr::new(0x20));
+        c.push_addr(PhysAddr::new(0x30)); // abandons the pair
+        assert!(!c.args_complete());
+        assert_eq!(c.dest(), Some(PhysAddr::new(0x30)));
+        assert_eq!(c.src(), None);
+    }
+
+    #[test]
+    fn take_args_incomplete_is_none_and_clears() {
+        let mut c = RegisterContext::new();
+        c.push_addr(PhysAddr::new(0x10));
+        assert!(c.take_args().is_none());
+        assert_eq!(c.dest(), None);
+    }
+
+    #[test]
+    fn atomic_bookkeeping() {
+        let mut c = RegisterContext::new();
+        c.set_atomic_operand(0, 11);
+        c.set_atomic_operand(1, 22);
+        assert_eq!(c.atomic_operands(), [11, 22]);
+        c.set_atomic_result(33);
+        assert_eq!(c.atomic_result(), 33);
+    }
+
+    #[test]
+    fn transfer_index_tracking() {
+        let mut c = RegisterContext::new();
+        assert_eq!(c.last_transfer(), None);
+        c.set_last_transfer(4);
+        assert_eq!(c.last_transfer(), Some(4));
+    }
+
+    #[test]
+    fn clear_resets_args() {
+        let mut c = RegisterContext::new();
+        c.push_addr(PhysAddr::new(0x10));
+        c.push_addr(PhysAddr::new(0x20));
+        c.set_size(8);
+        c.clear();
+        assert!(!c.args_complete());
+        assert!(c.take_args().is_none());
+    }
+}

@@ -1,0 +1,525 @@
+//! The engine core: registers, contexts, key table, statistics, and the
+//! services protocols build on.
+
+use crate::regs::MAX_CONTEXTS;
+use crate::{
+    AtomicOp, Destination, DmaMover, Initiator, LinkModel, RegisterContext, RejectReason,
+    SharedCluster, TransferRecord, DMA_FAILURE,
+};
+use std::collections::HashMap;
+use udma_bus::{SharedMemory, SimTime};
+use udma_mem::{PhysAddr, PhysFrame, PhysLayout};
+
+/// Configuration of the DMA engine.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Number of register contexts (≤ [`MAX_CONTEXTS`]).
+    pub num_contexts: u32,
+    /// The outgoing link (times transfer completion).
+    pub link: LinkModel,
+    /// Extra device latency of a keyed shadow store (the FPGA compares
+    /// the key against its table before acknowledging).
+    pub key_check_latency: SimTime,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            num_contexts: 4,
+            link: LinkModel::default(),
+            key_check_latency: SimTime::from_ns(120),
+        }
+    }
+}
+
+/// Counters kept by the engine.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Transfers started (all paths).
+    pub started: u64,
+    /// Initiation attempts refused, by reason.
+    pub rejects: HashMap<RejectReason, u64>,
+    /// Keyed stores dropped for a key mismatch.
+    pub key_mismatches: u64,
+    /// Times a repeated-passing FSM reset on an out-of-order access.
+    pub sequence_resets: u64,
+    /// Atomic operations executed.
+    pub atomics: u64,
+}
+
+impl EngineStats {
+    /// Total rejected initiations.
+    pub fn rejected(&self) -> u64 {
+        self.rejects.values().sum()
+    }
+
+    /// Rejections for one reason.
+    pub fn rejected_for(&self, reason: RejectReason) -> u64 {
+        self.rejects.get(&reason).copied().unwrap_or(0)
+    }
+}
+
+/// Shared engine state: everything below the protocol state machines.
+#[derive(Clone, Debug)]
+pub struct EngineCore {
+    layout: PhysLayout,
+    mem: SharedMemory,
+    mover: DmaMover,
+    contexts: Vec<RegisterContext>,
+    key_table: Vec<u64>,
+    stats: EngineStats,
+    /// SHRIMP-1 mapped-out table: source frame → destination page base
+    /// (local or on a remote node).
+    mapped_out: HashMap<PhysFrame, Destination>,
+    key_check_latency: SimTime,
+    pending_extra: SimTime,
+    // Kernel-path DMA registers (Figure 1).
+    dma_source: u64,
+    dma_dest: u64,
+    dma_status: u64,
+    // Kernel-path atomic registers.
+    atomic_addr: u64,
+    atomic_op1: u64,
+    atomic_op2: u64,
+    atomic_result: u64,
+}
+
+impl EngineCore {
+    /// Creates the core over the machine's memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.num_contexts` exceeds [`MAX_CONTEXTS`] or is 0.
+    pub fn new(layout: PhysLayout, mem: SharedMemory, config: EngineConfig) -> Self {
+        assert!(
+            (1..=MAX_CONTEXTS).contains(&config.num_contexts),
+            "context count out of range"
+        );
+        EngineCore {
+            layout,
+            mem: mem.clone(),
+            mover: DmaMover::new(mem, config.link),
+            contexts: vec![RegisterContext::new(); config.num_contexts as usize],
+            key_table: vec![0; config.num_contexts as usize],
+            stats: EngineStats::default(),
+            mapped_out: HashMap::new(),
+            key_check_latency: config.key_check_latency,
+            pending_extra: SimTime::ZERO,
+            dma_source: 0,
+            dma_dest: 0,
+            dma_status: DMA_FAILURE,
+            atomic_addr: 0,
+            atomic_op1: 0,
+            atomic_op2: 0,
+            atomic_result: 0,
+        }
+    }
+
+    /// The machine layout (protocols need the shadow arithmetic).
+    pub fn layout(&self) -> &PhysLayout {
+        &self.layout
+    }
+
+    /// Number of register contexts.
+    pub fn num_contexts(&self) -> u32 {
+        self.contexts.len() as u32
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Counts a key mismatch (keyed protocol).
+    pub fn note_key_mismatch(&mut self) {
+        self.stats.key_mismatches += 1;
+    }
+
+    /// Counts a sequence reset (repeated-passing protocol).
+    pub fn note_sequence_reset(&mut self) {
+        self.stats.sequence_resets += 1;
+    }
+
+    /// Counts a rejected initiation.
+    pub fn note_reject(&mut self, reason: RejectReason) {
+        *self.stats.rejects.entry(reason).or_insert(0) += 1;
+    }
+
+    /// Charges the key-check latency to the current bus transaction.
+    pub fn charge_key_check(&mut self) {
+        self.pending_extra += self.key_check_latency;
+    }
+
+    /// Takes (and clears) extra latency accumulated by the last access.
+    pub fn take_pending_extra(&mut self) -> SimTime {
+        std::mem::take(&mut self.pending_extra)
+    }
+
+    /// The transfer history.
+    pub fn mover(&self) -> &DmaMover {
+        &self.mover
+    }
+
+    /// Clears transfer history (long benchmark runs).
+    pub fn clear_transfer_records(&mut self) {
+        self.mover.clear_records();
+    }
+
+    /// One register context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn context(&self, ctx: u32) -> &RegisterContext {
+        &self.contexts[ctx as usize]
+    }
+
+    /// Mutable register context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn context_mut(&mut self, ctx: u32) -> &mut RegisterContext {
+        &mut self.contexts[ctx as usize]
+    }
+
+    /// Whether `ctx` names an existing context.
+    pub fn has_context(&self, ctx: u32) -> bool {
+        (ctx as usize) < self.contexts.len()
+    }
+
+    /// Programs the key for `ctx` (privileged; the OS does this when it
+    /// grants a context to a process).
+    pub fn set_key(&mut self, ctx: u32, key: u64) {
+        if let Some(slot) = self.key_table.get_mut(ctx as usize) {
+            *slot = key;
+        }
+    }
+
+    /// The programmed key for `ctx` (0 when out of range).
+    pub fn key(&self, ctx: u32) -> u64 {
+        self.key_table.get(ctx as usize).copied().unwrap_or(0)
+    }
+
+    /// Installs a SHRIMP-1 mapped-out destination for a source frame.
+    pub fn set_mapped_out(&mut self, src: PhysFrame, dst_base: Destination) {
+        self.mapped_out.insert(src, dst_base);
+    }
+
+    /// SHRIMP-1 lookup: the fixed destination for `src_frame`.
+    pub fn mapped_out(&self, src_frame: PhysFrame) -> Option<Destination> {
+        self.mapped_out.get(&src_frame).copied()
+    }
+
+    /// Attaches the remote cluster the link reaches.
+    pub fn attach_cluster(&mut self, cluster: SharedCluster) {
+        self.mover.attach_cluster(cluster);
+    }
+
+    /// Starts a user-level transfer into a remote node's memory.
+    ///
+    /// Returns the mover record index on success.
+    pub fn start_user_dma_remote(
+        &mut self,
+        src: PhysAddr,
+        node: u32,
+        addr: PhysAddr,
+        size: u64,
+        initiator: Initiator,
+        now: SimTime,
+    ) -> Result<usize, RejectReason> {
+        match self.mover.start_remote(src, node, addr, size, initiator, now) {
+            Ok(_) => {
+                self.stats.started += 1;
+                Ok(self.mover.last_index().expect("just started"))
+            }
+            Err(reason) => {
+                self.note_reject(reason);
+                Err(reason)
+            }
+        }
+    }
+
+    /// Starts a user-level transfer (single-page rule enforced).
+    ///
+    /// Returns the mover record index on success.
+    pub fn start_user_dma(
+        &mut self,
+        src: PhysAddr,
+        dst: PhysAddr,
+        size: u64,
+        initiator: Initiator,
+        now: SimTime,
+    ) -> Result<usize, RejectReason> {
+        match self.mover.start(src, dst, size, initiator, false, now) {
+            Ok(_) => {
+                self.stats.started += 1;
+                Ok(self.mover.last_index().expect("just started"))
+            }
+            Err(reason) => {
+                self.note_reject(reason);
+                Err(reason)
+            }
+        }
+    }
+
+    // ---- privileged (kernel-path) registers -------------------------
+
+    /// Write to `DMA_SOURCE`.
+    pub fn set_dma_source(&mut self, pa: u64) {
+        self.dma_source = pa;
+    }
+
+    /// Write to `DMA_DEST`.
+    pub fn set_dma_dest(&mut self, pa: u64) {
+        self.dma_dest = pa;
+    }
+
+    /// Write to `DMA_SIZE`: starts a kernel-level DMA with the staged
+    /// source/destination. The kernel has already validated the whole
+    /// range, so multi-page transfers are allowed.
+    pub fn start_kernel_dma(&mut self, size: u64, now: SimTime) {
+        let r = self.mover.start(
+            PhysAddr::new(self.dma_source),
+            PhysAddr::new(self.dma_dest),
+            size,
+            Initiator::Kernel,
+            true,
+            now,
+        );
+        match r {
+            Ok(rec) => {
+                self.stats.started += 1;
+                self.dma_status = rec.size;
+            }
+            Err(reason) => {
+                self.note_reject(reason);
+                self.dma_status = DMA_FAILURE;
+            }
+        }
+    }
+
+    /// Read of `DMA_STATUS`: bytes remaining of the last kernel DMA
+    /// (`-1` = failed, 0 = complete).
+    pub fn kernel_dma_status(&self, now: SimTime) -> u64 {
+        if self.dma_status == DMA_FAILURE {
+            return DMA_FAILURE;
+        }
+        self.mover
+            .records()
+            .iter()
+            .rev()
+            .find(|r| r.initiator == Initiator::Kernel)
+            .map(|r| r.remaining_at(now))
+            .unwrap_or(DMA_FAILURE)
+    }
+
+    /// Kernel-path atomic registers.
+    pub fn set_atomic_addr(&mut self, pa: u64) {
+        self.atomic_addr = pa;
+    }
+
+    /// Stages the first kernel-path atomic operand.
+    pub fn set_atomic_op1(&mut self, v: u64) {
+        self.atomic_op1 = v;
+    }
+
+    /// Stages the second kernel-path atomic operand.
+    pub fn set_atomic_op2(&mut self, v: u64) {
+        self.atomic_op2 = v;
+    }
+
+    /// Write to `ATOMIC_CMD`: executes the staged kernel-path atomic.
+    pub fn exec_kernel_atomic(&mut self, code: u64) {
+        self.atomic_result = match AtomicOp::from_code(code) {
+            Some(op) => self
+                .exec_atomic(op, PhysAddr::new(self.atomic_addr), self.atomic_op1, self.atomic_op2)
+                .unwrap_or(DMA_FAILURE),
+            None => DMA_FAILURE,
+        };
+    }
+
+    /// Read of `ATOMIC_CMD`: result of the last kernel-path atomic.
+    pub fn kernel_atomic_result(&self) -> u64 {
+        self.atomic_result
+    }
+
+    /// Executes an atomic operation against memory (shared by the kernel
+    /// path and the user-level context paths).
+    pub fn exec_atomic(
+        &mut self,
+        op: AtomicOp,
+        addr: PhysAddr,
+        op1: u64,
+        op2: u64,
+    ) -> Option<u64> {
+        match op.apply(&self.mem, addr, op1, op2) {
+            Ok(old) => {
+                self.stats.atomics += 1;
+                Some(old)
+            }
+            Err(_) => {
+                self.note_reject(RejectReason::BadRange);
+                None
+            }
+        }
+    }
+
+    /// The transfer record a context's status load refers to.
+    pub fn context_transfer(&self, ctx: u32) -> Option<&TransferRecord> {
+        self.contexts
+            .get(ctx as usize)
+            .and_then(|c| c.last_transfer())
+            .and_then(|i| self.mover.record(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use udma_mem::{PhysMemory, PAGE_SIZE};
+
+    fn core() -> EngineCore {
+        let layout = PhysLayout::default();
+        let mem = Rc::new(RefCell::new(PhysMemory::new(1 << 22)));
+        EngineCore::new(layout, mem, EngineConfig::default())
+    }
+
+    #[test]
+    fn kernel_dma_round_trip() {
+        let mut c = core();
+        c.set_dma_source(0x2000);
+        c.set_dma_dest(0x6000);
+        c.start_kernel_dma(256, SimTime::ZERO);
+        assert_eq!(c.stats().started, 1);
+        // Far in the future the transfer is complete.
+        assert_eq!(c.kernel_dma_status(SimTime::from_us(10_000)), 0);
+    }
+
+    #[test]
+    fn kernel_dma_failure_status() {
+        let mut c = core();
+        c.set_dma_source(0x2000);
+        c.set_dma_dest(0x6000);
+        c.start_kernel_dma(0, SimTime::ZERO);
+        assert_eq!(c.kernel_dma_status(SimTime::ZERO), DMA_FAILURE);
+        assert_eq!(c.stats().rejected_for(RejectReason::ZeroSize), 1);
+    }
+
+    #[test]
+    fn user_dma_rejects_page_cross() {
+        let mut c = core();
+        let src = PhysAddr::new(PAGE_SIZE - 8);
+        let dst = PhysAddr::new(4 * PAGE_SIZE);
+        let err = c
+            .start_user_dma(src, dst, 64, Initiator::Anonymous, SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, RejectReason::PageCross);
+        assert_eq!(c.stats().rejected(), 1);
+    }
+
+    #[test]
+    fn keys_and_contexts() {
+        let mut c = core();
+        assert_eq!(c.num_contexts(), 4);
+        c.set_key(2, 0xDEAD);
+        assert_eq!(c.key(2), 0xDEAD);
+        assert_eq!(c.key(0), 0);
+        assert!(c.has_context(3));
+        assert!(!c.has_context(4));
+        // Out-of-range key writes are ignored, reads return 0.
+        c.set_key(99, 1);
+        assert_eq!(c.key(99), 0);
+    }
+
+    #[test]
+    fn kernel_atomic_path() {
+        let mut c = core();
+        c.mem.borrow_mut().write_u64(PhysAddr::new(0x100), 40).unwrap();
+        c.set_atomic_addr(0x100);
+        c.set_atomic_op1(2);
+        c.exec_kernel_atomic(AtomicOp::Add.code());
+        assert_eq!(c.kernel_atomic_result(), 40);
+        assert_eq!(c.mem.borrow().read_u64(PhysAddr::new(0x100)).unwrap(), 42);
+        assert_eq!(c.stats().atomics, 1);
+
+        c.exec_kernel_atomic(99);
+        assert_eq!(c.kernel_atomic_result(), DMA_FAILURE);
+    }
+
+    #[test]
+    fn mapped_out_table() {
+        let mut c = core();
+        c.set_mapped_out(PhysFrame::new(3), Destination::Local(PhysAddr::new(0x8000)));
+        assert_eq!(
+            c.mapped_out(PhysFrame::new(3)),
+            Some(Destination::Local(PhysAddr::new(0x8000)))
+        );
+        assert_eq!(c.mapped_out(PhysFrame::new(4)), None);
+    }
+
+    #[test]
+    fn remote_user_dma_deposits_on_the_node() {
+        let mut c = core();
+        let cluster = crate::Cluster::new(2, 1 << 16).shared();
+        c.attach_cluster(cluster.clone());
+        c.mem.borrow_mut().write_u64(PhysAddr::new(0x2000), 0x77).unwrap();
+        let idx = c
+            .start_user_dma_remote(
+                PhysAddr::new(0x2000),
+                1,
+                PhysAddr::new(0x400),
+                8,
+                Initiator::Anonymous,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(cluster.borrow().read_u64(1, PhysAddr::new(0x400)).unwrap(), 0x77);
+        let rec = c.mover().record(idx).unwrap();
+        assert_eq!(rec.remote_node, Some(1));
+        assert_eq!(
+            rec.destination(),
+            Destination::Remote { node: 1, addr: PhysAddr::new(0x400) }
+        );
+    }
+
+    #[test]
+    fn remote_dma_without_cluster_is_rejected() {
+        let mut c = core();
+        let err = c
+            .start_user_dma_remote(
+                PhysAddr::new(0x2000),
+                0,
+                PhysAddr::new(0),
+                8,
+                Initiator::Anonymous,
+                SimTime::ZERO,
+            )
+            .unwrap_err();
+        assert_eq!(err, RejectReason::BadRange);
+    }
+
+    #[test]
+    fn pending_extra_latency_accumulates_and_clears() {
+        let mut c = core();
+        assert_eq!(c.take_pending_extra(), SimTime::ZERO);
+        c.charge_key_check();
+        c.charge_key_check();
+        assert_eq!(c.take_pending_extra(), SimTime::from_ns(240));
+        assert_eq!(c.take_pending_extra(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "context count")]
+    fn too_many_contexts_panics() {
+        let layout = PhysLayout::default();
+        let mem = Rc::new(RefCell::new(PhysMemory::new(1 << 20)));
+        let _ = EngineCore::new(
+            layout,
+            mem,
+            EngineConfig { num_contexts: 9, ..Default::default() },
+        );
+    }
+}

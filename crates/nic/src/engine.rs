@@ -1,0 +1,245 @@
+//! The DMA engine as a bus device.
+
+use crate::protocol::{InitiationProtocol, ProtocolKind};
+use crate::regs;
+use crate::{EngineConfig, EngineCore};
+use std::cell::{Ref, RefCell, RefMut};
+use std::rc::Rc;
+use udma_bus::{BusDevice, SharedMemory, SimTime};
+use udma_mem::{MemFault, PhysAddr, PhysLayout, Region};
+
+/// The FPGA: decodes the register and shadow windows and drives the
+/// active [`InitiationProtocol`].
+///
+/// The engine is shared between the bus (which delivers transactions) and
+/// the machine owner (which configures keys, mapped-out tables and reads
+/// statistics), so it is reference-counted: clone the handle and attach
+/// one clone to the bus.
+#[derive(Clone)]
+pub struct DmaEngine {
+    inner: Rc<RefCell<Inner>>,
+}
+
+struct Inner {
+    core: EngineCore,
+    protocol: Box<dyn InitiationProtocol>,
+}
+
+impl std::fmt::Debug for DmaEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("DmaEngine")
+            .field("protocol", &inner.protocol.kind())
+            .field("stats", inner.core.stats())
+            .finish()
+    }
+}
+
+impl DmaEngine {
+    /// Builds an engine running `kind` over the machine's memory.
+    pub fn new(layout: PhysLayout, mem: SharedMemory, config: EngineConfig, kind: ProtocolKind) -> Self {
+        DmaEngine {
+            inner: Rc::new(RefCell::new(Inner {
+                core: EngineCore::new(layout, mem, config),
+                protocol: kind.instantiate(),
+            })),
+        }
+    }
+
+    /// The active protocol.
+    pub fn protocol_kind(&self) -> ProtocolKind {
+        self.inner.borrow().protocol.kind()
+    }
+
+    /// Immutable view of the engine core (stats, transfer records, keys).
+    pub fn core(&self) -> Ref<'_, EngineCore> {
+        Ref::map(self.inner.borrow(), |i| &i.core)
+    }
+
+    /// Mutable view of the engine core (configuration: keys, mapped-out
+    /// table, clearing records).
+    pub fn core_mut(&self) -> RefMut<'_, EngineCore> {
+        RefMut::map(self.inner.borrow_mut(), |i| &mut i.core)
+    }
+}
+
+impl BusDevice for DmaEngine {
+    fn write(&mut self, paddr: PhysAddr, data: u64, _tag: u32, now: SimTime) -> Result<(), MemFault> {
+        let mut inner = self.inner.borrow_mut();
+        let Inner { core, protocol } = &mut *inner;
+        match core.layout().region_of(paddr) {
+            Region::Shadow => {
+                let (pa, ctx) = core
+                    .layout()
+                    .shadow
+                    .decode(paddr)
+                    .ok_or(MemFault::BusError { pa: paddr })?;
+                protocol.shadow_store(core, pa, ctx, data, now);
+                Ok(())
+            }
+            Region::NicRegs { offset } => {
+                if let Some((ctx, off)) = regs::decode_ctx_offset(offset) {
+                    protocol.ctx_store(core, ctx, off, data, now);
+                    return Ok(());
+                }
+                match offset {
+                    regs::DMA_SOURCE => core.set_dma_source(data),
+                    regs::DMA_DEST => core.set_dma_dest(data),
+                    regs::DMA_SIZE => core.start_kernel_dma(data, now),
+                    regs::CURRENT_PID => protocol.set_current_pid(data),
+                    regs::ABORT => protocol.abort(),
+                    regs::ATOMIC_ADDR => core.set_atomic_addr(data),
+                    regs::ATOMIC_OPERAND1 => core.set_atomic_op1(data),
+                    regs::ATOMIC_OPERAND2 => core.set_atomic_op2(data),
+                    regs::ATOMIC_CMD => core.exec_kernel_atomic(data),
+                    o if o >= regs::KEY_TABLE_BASE
+                        && o < regs::KEY_TABLE_BASE + 8 * regs::MAX_CONTEXTS as u64 =>
+                    {
+                        core.set_key(((o - regs::KEY_TABLE_BASE) / 8) as u32, data);
+                    }
+                    _ => return Err(MemFault::BusError { pa: paddr }),
+                }
+                Ok(())
+            }
+            _ => Err(MemFault::BusError { pa: paddr }),
+        }
+    }
+
+    fn read(&mut self, paddr: PhysAddr, _tag: u32, now: SimTime) -> Result<u64, MemFault> {
+        let mut inner = self.inner.borrow_mut();
+        let Inner { core, protocol } = &mut *inner;
+        match core.layout().region_of(paddr) {
+            Region::Shadow => {
+                let (pa, ctx) = core
+                    .layout()
+                    .shadow
+                    .decode(paddr)
+                    .ok_or(MemFault::BusError { pa: paddr })?;
+                Ok(protocol.shadow_load(core, pa, ctx, now))
+            }
+            Region::NicRegs { offset } => {
+                if let Some((ctx, off)) = regs::decode_ctx_offset(offset) {
+                    return Ok(protocol.ctx_load(core, ctx, off, now));
+                }
+                match offset {
+                    regs::DMA_STATUS => Ok(core.kernel_dma_status(now)),
+                    regs::ATOMIC_CMD => Ok(core.kernel_atomic_result()),
+                    // Staged kernel registers read back as zero (the real
+                    // FPGA's write-only setup registers).
+                    regs::DMA_SOURCE | regs::DMA_DEST | regs::DMA_SIZE | regs::CURRENT_PID
+                    | regs::ABORT | regs::ATOMIC_ADDR | regs::ATOMIC_OPERAND1
+                    | regs::ATOMIC_OPERAND2 => Ok(0),
+                    _ => Err(MemFault::BusError { pa: paddr }),
+                }
+            }
+            _ => Err(MemFault::BusError { pa: paddr }),
+        }
+    }
+
+    fn extra_latency(&mut self) -> SimTime {
+        self.inner.borrow_mut().core.take_pending_extra()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DMA_FAILURE, DMA_STARTED};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use udma_mem::{PhysMemory, PAGE_SIZE};
+
+    fn engine(kind: ProtocolKind) -> (DmaEngine, PhysLayout) {
+        let layout = PhysLayout::default();
+        let mem = Rc::new(RefCell::new(PhysMemory::new(1 << 22)));
+        (DmaEngine::new(layout, mem, EngineConfig::default(), kind), layout)
+    }
+
+    #[test]
+    fn kernel_dma_through_the_register_window() {
+        let (mut e, layout) = engine(ProtocolKind::KernelOnly);
+        let base = layout.nic_base;
+        e.write(base + regs::DMA_SOURCE, 2 * PAGE_SIZE, 0, SimTime::ZERO).unwrap();
+        e.write(base + regs::DMA_DEST, 6 * PAGE_SIZE, 0, SimTime::ZERO).unwrap();
+        e.write(base + regs::DMA_SIZE, 128, 0, SimTime::ZERO).unwrap();
+        // Status far in the future: complete.
+        let s = e.read(base + regs::DMA_STATUS, 0, SimTime::from_us(100_000)).unwrap();
+        assert_eq!(s, 0);
+        assert_eq!(e.core().stats().started, 1);
+    }
+
+    #[test]
+    fn shadow_window_drives_protocol() {
+        let (mut e, layout) = engine(ProtocolKind::Shrimp2);
+        let shadow = |pa: u64| layout.shadow.shadow_paddr(PhysAddr::new(pa)).unwrap();
+        e.write(shadow(6 * PAGE_SIZE), 64, 1, SimTime::ZERO).unwrap();
+        let status = e.read(shadow(2 * PAGE_SIZE), 1, SimTime::ZERO).unwrap();
+        assert_eq!(status, DMA_STARTED);
+        assert_eq!(e.core().mover().records().len(), 1);
+    }
+
+    #[test]
+    fn kernel_only_protocol_ignores_shadow() {
+        let (mut e, layout) = engine(ProtocolKind::KernelOnly);
+        let shadow = layout.shadow.shadow_paddr(PhysAddr::new(2 * PAGE_SIZE)).unwrap();
+        e.write(shadow, 64, 0, SimTime::ZERO).unwrap();
+        assert_eq!(e.read(shadow, 0, SimTime::ZERO).unwrap(), DMA_FAILURE);
+        assert!(e.core().mover().records().is_empty());
+    }
+
+    #[test]
+    fn key_table_writes_land_in_core() {
+        let (mut e, layout) = engine(ProtocolKind::KeyBased);
+        let base = layout.nic_base;
+        e.write(base + regs::KEY_TABLE_BASE + 16, 0xCAFE_F00Du64, 0, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(e.core().key(2), 0xCAFE_F00Du64);
+    }
+
+    #[test]
+    fn unknown_offset_is_bus_error() {
+        let (mut e, layout) = engine(ProtocolKind::KernelOnly);
+        let pa = layout.nic_base + 0x60;
+        assert!(e.write(pa, 0, 0, SimTime::ZERO).is_err());
+        assert!(e.read(pa, 0, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn abort_and_current_pid_reach_protocol() {
+        let (mut e, layout) = engine(ProtocolKind::Shrimp2);
+        let base = layout.nic_base;
+        let shadow = |pa: u64| layout.shadow.shadow_paddr(PhysAddr::new(pa)).unwrap();
+        e.write(shadow(6 * PAGE_SIZE), 64, 1, SimTime::ZERO).unwrap();
+        e.write(base + regs::ABORT, 1, 0, SimTime::ZERO).unwrap();
+        let status = e.read(shadow(2 * PAGE_SIZE), 1, SimTime::ZERO).unwrap();
+        assert_eq!(status, DMA_FAILURE);
+
+        // CURRENT_PID is accepted (meaningful for FLASH).
+        e.write(base + regs::CURRENT_PID, 7, 0, SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn kernel_atomic_through_registers() {
+        let (mut e, layout) = engine(ProtocolKind::KernelOnly);
+        let base = layout.nic_base;
+        e.write(base + regs::ATOMIC_ADDR, 0x100, 0, SimTime::ZERO).unwrap();
+        e.write(base + regs::ATOMIC_OPERAND1, 5, 0, SimTime::ZERO).unwrap();
+        e.write(base + regs::ATOMIC_CMD, crate::AtomicOp::Add.code(), 0, SimTime::ZERO).unwrap();
+        assert_eq!(e.read(base + regs::ATOMIC_CMD, 0, SimTime::ZERO).unwrap(), 0);
+        // Twice: result is the previous value (5).
+        e.write(base + regs::ATOMIC_CMD, crate::AtomicOp::Add.code(), 0, SimTime::ZERO).unwrap();
+        assert_eq!(e.read(base + regs::ATOMIC_CMD, 0, SimTime::ZERO).unwrap(), 5);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let (e, layout) = engine(ProtocolKind::Shrimp2);
+        let mut bus_side = e.clone();
+        let shadow = layout.shadow.shadow_paddr(PhysAddr::new(6 * PAGE_SIZE)).unwrap();
+        bus_side.write(shadow, 64, 0, SimTime::ZERO).unwrap();
+        let s2 = layout.shadow.shadow_paddr(PhysAddr::new(2 * PAGE_SIZE)).unwrap();
+        bus_side.read(s2, 0, SimTime::ZERO).unwrap();
+        // Visible through the original handle.
+        assert_eq!(e.core().stats().started, 1);
+    }
+}

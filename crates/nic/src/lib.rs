@@ -1,0 +1,44 @@
+//! The network interface / DMA engine of the paper's prototype board.
+//!
+//! "All the logic is contained in a single FPGA that is directly
+//! accessible from user applications via shadow addressing" (§3.4). This
+//! crate is that FPGA:
+//!
+//! * a privileged register window ([`regs`]) the kernel uses for classic
+//!   kernel-level DMA (Figure 1), FLASH current-pid notification, SHRIMP
+//!   aborts, key programming and kernel-path atomic operations;
+//! * per-process **register contexts** ([`RegisterContext`]) mapped one
+//!   per page so the OS can hand each to a single process (§3.1);
+//! * the **shadow window** decode and one [`InitiationProtocol`] state
+//!   machine per scheme in the paper: SHRIMP-1 mapped-out pages, SHRIMP-2
+//!   store+load, FLASH, key-based (§3.1), extended shadow addressing
+//!   (§3.2) and repeated passing of arguments in its 3-, 4- and
+//!   5-instruction variants (§3.3);
+//! * the [`DmaMover`], which validates and performs transfers and models
+//!   their completion time over a configurable [`LinkModel`];
+//! * the [`AtomicOp`] unit of §3.5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atomic;
+mod context;
+#[path = "core.rs"]
+mod engine_core;
+mod engine;
+mod link;
+mod mover;
+mod remote;
+pub mod protocol;
+pub mod regs;
+mod status;
+
+pub use atomic::AtomicOp;
+pub use context::RegisterContext;
+pub use engine_core::{EngineConfig, EngineCore, EngineStats};
+pub use engine::DmaEngine;
+pub use link::LinkModel;
+pub use mover::{DmaMover, TransferRecord};
+pub use remote::{Cluster, Destination, SharedCluster};
+pub use protocol::{InitiationProtocol, ProtocolKind};
+pub use status::{Initiator, RejectReason, DMA_FAILURE, DMA_PENDING, DMA_STARTED};

@@ -1,0 +1,122 @@
+//! The network link the DMA engine transfers over.
+
+use udma_bus::SimTime;
+
+/// A point-to-point link with fixed bandwidth and latency.
+///
+/// Used to model the *data transfer* half of the paper's motivation: "the
+/// operating system overhead keeps getting an ever-increasing percentage
+/// of the DMA transfer time, while the time for the data transfer per se
+/// continues to decrease" (§2.2). The presets are the networks the paper
+/// names: 155/622 Mb/s ATM and gigabit LANs, plus 10 Mb/s Ethernet as the
+/// previous-decade baseline.
+///
+/// ```
+/// use udma_nic::LinkModel;
+///
+/// let link = LinkModel::gigabit();
+/// // A 4 KiB page takes its latency plus ~33 µs of serialisation.
+/// assert!(link.transfer_time(4096) > link.latency());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkModel {
+    bits_per_second: u64,
+    latency: SimTime,
+    name: &'static str,
+}
+
+impl LinkModel {
+    /// Creates a custom link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_second` is zero.
+    pub fn new(name: &'static str, bits_per_second: u64, latency: SimTime) -> Self {
+        assert!(bits_per_second > 0, "link bandwidth must be nonzero");
+        LinkModel { bits_per_second, latency, name }
+    }
+
+    /// 10 Mb/s Ethernet.
+    pub fn ethernet10() -> Self {
+        LinkModel::new("Ethernet 10Mb/s", 10_000_000, SimTime::from_us(50))
+    }
+
+    /// 155 Mb/s ATM ("common today", 1997).
+    pub fn atm155() -> Self {
+        LinkModel::new("ATM 155Mb/s", 155_000_000, SimTime::from_us(10))
+    }
+
+    /// 622 Mb/s ATM ("will soon be upgraded to").
+    pub fn atm622() -> Self {
+        LinkModel::new("ATM 622Mb/s", 622_000_000, SimTime::from_us(8))
+    }
+
+    /// Gigabit LAN ("have already started to appear in the market").
+    pub fn gigabit() -> Self {
+        LinkModel::new("Gigabit LAN", 1_000_000_000, SimTime::from_us(5))
+    }
+
+    /// Name of the preset.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Bandwidth in bits per second.
+    pub fn bits_per_second(&self) -> u64 {
+        self.bits_per_second
+    }
+
+    /// Fixed per-transfer latency.
+    pub fn latency(&self) -> SimTime {
+        self.latency
+    }
+
+    /// Wire time for a transfer of `bytes` (latency + serialisation).
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        let ps = (bytes as u128 * 8 * 1_000_000_000_000u128) / self.bits_per_second as u128;
+        self.latency + SimTime::from_ps(ps as u64)
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel::atm155()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gigabit_serialisation_time() {
+        let l = LinkModel::new("t", 1_000_000_000, SimTime::ZERO);
+        // 125 bytes = 1000 bits = 1 µs at 1 Gb/s.
+        assert_eq!(l.transfer_time(125), SimTime::from_us(1));
+    }
+
+    #[test]
+    fn latency_added_once() {
+        let l = LinkModel::new("t", 1_000_000_000, SimTime::from_us(5));
+        assert_eq!(l.transfer_time(0), SimTime::from_us(5));
+    }
+
+    #[test]
+    fn faster_links_transfer_faster() {
+        let b = 64 * 1024;
+        assert!(LinkModel::gigabit().transfer_time(b) < LinkModel::atm622().transfer_time(b));
+        assert!(LinkModel::atm622().transfer_time(b) < LinkModel::atm155().transfer_time(b));
+        assert!(LinkModel::atm155().transfer_time(b) < LinkModel::ethernet10().transfer_time(b));
+    }
+
+    #[test]
+    fn default_is_atm155() {
+        assert_eq!(LinkModel::default(), LinkModel::atm155());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_bandwidth_panics() {
+        let _ = LinkModel::new("t", 0, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,152 @@
+//! Layout of the NIC's memory-mapped register window.
+//!
+//! Offsets are relative to [`udma_mem::PhysLayout::nic_base`]. The first
+//! pages are *privileged*: the model kernel simply never maps them into a
+//! user address space, which is the same protection the real hardware
+//! relied on. Register contexts live at page-aligned offsets so the
+//! kernel can map exactly one context page per process (§3.1: "distinct
+//! contexts are mapped into distinct memory pages so that each process
+//! gets access rights for only a single context").
+
+use udma_mem::PAGE_SIZE;
+
+/// Privileged: DMA source physical address (Figure 1's `DMA_SOURCE`).
+pub const DMA_SOURCE: u64 = 0x00;
+/// Privileged: DMA destination physical address.
+pub const DMA_DEST: u64 = 0x08;
+/// Privileged: writing the size starts a kernel-level DMA.
+pub const DMA_SIZE: u64 = 0x10;
+/// Privileged: read the status of the last kernel-level DMA.
+pub const DMA_STATUS: u64 = 0x18;
+/// Privileged: the FLASH kernel patch writes the running pid here at
+/// every context switch (§2.6).
+pub const CURRENT_PID: u64 = 0x20;
+/// Privileged: the SHRIMP kernel patch writes anything here to abort a
+/// partially initiated user-level DMA (§2.5).
+pub const ABORT: u64 = 0x28;
+/// Privileged: physical address operand of a kernel-path atomic op.
+pub const ATOMIC_ADDR: u64 = 0x30;
+/// Privileged: first data operand of an atomic op.
+pub const ATOMIC_OPERAND1: u64 = 0x38;
+/// Privileged: second data operand (compare-and-swap's new value).
+pub const ATOMIC_OPERAND2: u64 = 0x40;
+/// Privileged: writing an [`crate::AtomicOp`] code executes it; reading
+/// returns the result of the last one.
+pub const ATOMIC_CMD: u64 = 0x48;
+/// Privileged: base of the per-context key table; key for context `i`
+/// lives at `KEY_TABLE_BASE + 8*i` (§3.1: keys are "stored by the
+/// operating system in the DMA engine, in memory locations unreadable by
+/// user processes").
+pub const KEY_TABLE_BASE: u64 = 0x80;
+
+/// Maximum register contexts the engine supports ("several (say 4 to 8)
+/// register contexts", §3.1).
+pub const MAX_CONTEXTS: u32 = 8;
+
+/// Offset of the first register-context page.
+pub const CTX_PAGE_BASE: u64 = 2 * PAGE_SIZE;
+
+/// Offset within a context page: store = DMA size, load = status /
+/// bytes remaining.
+pub const CTX_SIZE_TRIGGER: u64 = 0x00;
+/// Offset within a context page: first atomic operand.
+pub const CTX_ATOMIC_OPERAND1: u64 = 0x08;
+/// Offset within a context page: second atomic operand.
+pub const CTX_ATOMIC_OPERAND2: u64 = 0x10;
+/// Offset within a context page: store op-code = execute atomic, load =
+/// result.
+pub const CTX_ATOMIC_CMD: u64 = 0x18;
+
+/// Offset (from the NIC base) of context `ctx`'s page.
+pub fn ctx_page_offset(ctx: u32) -> u64 {
+    CTX_PAGE_BASE + ctx as u64 * PAGE_SIZE
+}
+
+/// Decodes a window offset into `(context, offset-within-page)` if it
+/// falls inside a context page.
+pub fn decode_ctx_offset(offset: u64) -> Option<(u32, u64)> {
+    if offset < CTX_PAGE_BASE {
+        return None;
+    }
+    let rel = offset - CTX_PAGE_BASE;
+    let ctx = (rel / PAGE_SIZE) as u32;
+    if ctx >= MAX_CONTEXTS {
+        return None;
+    }
+    Some((ctx, rel % PAGE_SIZE))
+}
+
+/// Number of bits of the key/context store payload that carry the context
+/// id; the rest is the key ("in 64-bit architectures, there will be close
+/// to 60 bits available for the key field", §3.1).
+pub const CTX_ID_BITS: u32 = 3;
+
+/// Packs `key # context_id` into the data payload of a key-based shadow
+/// store (Figure 3's `KEY#CONTEXT_ID`).
+///
+/// # Panics
+///
+/// Panics if `ctx >= MAX_CONTEXTS` or the key overflows its 61 bits.
+pub fn encode_key_ctx(key: u64, ctx: u32) -> u64 {
+    assert!(ctx < MAX_CONTEXTS, "context id out of range");
+    assert!(key < (1 << (64 - CTX_ID_BITS)), "key too wide");
+    (key << CTX_ID_BITS) | ctx as u64
+}
+
+/// Unpacks a key-based store payload into `(key, context_id)`.
+pub fn decode_key_ctx(data: u64) -> (u64, u32) {
+    (data >> CTX_ID_BITS, (data & ((1 << CTX_ID_BITS) - 1)) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privileged_registers_fit_below_context_pages() {
+        assert!(KEY_TABLE_BASE + 8 * MAX_CONTEXTS as u64 <= CTX_PAGE_BASE);
+    }
+
+    #[test]
+    fn ctx_pages_are_page_aligned_and_distinct() {
+        for c in 0..MAX_CONTEXTS {
+            let off = ctx_page_offset(c);
+            assert_eq!(off % PAGE_SIZE, 0);
+            assert_eq!(decode_ctx_offset(off), Some((c, 0)));
+            assert_eq!(decode_ctx_offset(off + 0x18), Some((c, 0x18)));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_privileged_window_and_beyond() {
+        assert_eq!(decode_ctx_offset(DMA_SIZE), None);
+        assert_eq!(decode_ctx_offset(ctx_page_offset(MAX_CONTEXTS)), None);
+    }
+
+    #[test]
+    fn key_ctx_round_trip() {
+        for ctx in 0..MAX_CONTEXTS {
+            let key = 0x1234_5678_9ABCu64;
+            let packed = encode_key_ctx(key, ctx);
+            assert_eq!(decode_key_ctx(packed), (key, ctx));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "context id")]
+    fn encode_bad_ctx_panics() {
+        let _ = encode_key_ctx(1, MAX_CONTEXTS);
+    }
+
+    #[test]
+    #[should_panic(expected = "key too wide")]
+    fn encode_bad_key_panics() {
+        let _ = encode_key_ctx(1 << 61, 0);
+    }
+
+    #[test]
+    fn key_field_width_close_to_sixty_bits() {
+        // §3.1: "close to 60 bits available for the key field".
+        assert_eq!(64 - CTX_ID_BITS, 61);
+    }
+}

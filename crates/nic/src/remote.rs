@@ -1,0 +1,159 @@
+//! Remote workstation memory: the "NOW" half of the story.
+//!
+//! The paper's interfaces (SHRIMP, Telegraphos) move data *between
+//! workstations*: SHRIMP-1's mapped-out pages live on another node.
+//! [`Cluster`] models the receive side of such a network — per-node
+//! physical memories the DMA engine can deposit into over the link.
+//! Only the data path is modelled (deposits appear after the wire time);
+//! remote nodes do not initiate traffic of their own.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use udma_mem::{MemFault, PhysAddr, PhysMemory};
+
+/// A handle to the cluster's remote memories, shared between the engine
+/// and the experiment code that inspects arrivals.
+pub type SharedCluster = Rc<RefCell<Cluster>>;
+
+/// The remote nodes reachable over the machine's link.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    nodes: Vec<PhysMemory>,
+}
+
+impl Cluster {
+    /// Creates `count` remote nodes with `bytes_per_node` of memory each.
+    pub fn new(count: u32, bytes_per_node: u64) -> Self {
+        Cluster {
+            nodes: (0..count).map(|_| PhysMemory::new(bytes_per_node)).collect(),
+        }
+    }
+
+    /// Wraps the cluster for sharing.
+    pub fn shared(self) -> SharedCluster {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether `node` exists.
+    pub fn has_node(&self, node: u32) -> bool {
+        (node as usize) < self.nodes.len()
+    }
+
+    /// Writes `data` into `node`'s memory at `addr` (the engine's deposit
+    /// path).
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::BusError`] if the node does not exist or the range is
+    /// outside its memory.
+    pub fn deposit(&mut self, node: u32, addr: PhysAddr, data: &[u8]) -> Result<(), MemFault> {
+        let mem = self
+            .nodes
+            .get_mut(node as usize)
+            .ok_or(MemFault::BusError { pa: addr })?;
+        mem.write_bytes(addr, data)
+    }
+
+    /// Reads from `node`'s memory (experiment inspection: "did the
+    /// message arrive?").
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::BusError`] if the node does not exist or the range is
+    /// outside its memory.
+    pub fn read(&self, node: u32, addr: PhysAddr, buf: &mut [u8]) -> Result<(), MemFault> {
+        let mem = self
+            .nodes
+            .get(node as usize)
+            .ok_or(MemFault::BusError { pa: addr })?;
+        mem.read_bytes(addr, buf)
+    }
+
+    /// Reads one word from a node's memory.
+    ///
+    /// # Errors
+    ///
+    /// As for [`read`](Self::read), plus misalignment.
+    pub fn read_u64(&self, node: u32, addr: PhysAddr) -> Result<u64, MemFault> {
+        self.nodes
+            .get(node as usize)
+            .ok_or(MemFault::BusError { pa: addr })?
+            .read_u64(addr)
+    }
+}
+
+/// Where a transfer's bytes land: locally or on a cluster node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Destination {
+    /// This workstation's own memory.
+    Local(PhysAddr),
+    /// A remote node's memory.
+    Remote {
+        /// Node index within the cluster.
+        node: u32,
+        /// Physical address on that node.
+        addr: PhysAddr,
+    },
+}
+
+impl std::fmt::Display for Destination {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Destination::Local(pa) => write!(f, "{pa}"),
+            Destination::Remote { node, addr } => write!(f, "node{node}:{addr}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deposit_and_read_back() {
+        let mut c = Cluster::new(2, 1 << 16);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        c.deposit(1, PhysAddr::new(0x100), b"hello node").unwrap();
+        let mut buf = [0u8; 10];
+        c.read(1, PhysAddr::new(0x100), &mut buf).unwrap();
+        assert_eq!(&buf, b"hello node");
+        // Node 0 untouched.
+        c.read(0, PhysAddr::new(0x100), &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 10]);
+    }
+
+    #[test]
+    fn missing_node_is_bus_error() {
+        let mut c = Cluster::new(1, 1 << 16);
+        assert!(!c.has_node(1));
+        assert!(c.deposit(1, PhysAddr::new(0), b"x").is_err());
+        let mut b = [0u8; 1];
+        assert!(c.read(9, PhysAddr::new(0), &mut b).is_err());
+    }
+
+    #[test]
+    fn out_of_range_deposit_fails() {
+        let mut c = Cluster::new(1, 1 << 13);
+        assert!(c.deposit(0, PhysAddr::new(1 << 13), b"x").is_err());
+    }
+
+    #[test]
+    fn destination_display() {
+        assert_eq!(Destination::Local(PhysAddr::new(0x40)).to_string(), "0x40");
+        assert_eq!(
+            Destination::Remote { node: 2, addr: PhysAddr::new(0x80) }.to_string(),
+            "node2:0x80"
+        );
+    }
+}

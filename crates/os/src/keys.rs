@@ -1,0 +1,158 @@
+//! Context and key grants (§3.1).
+
+use std::collections::HashMap;
+use udma_cpu::Pid;
+
+/// What a process receives when the kernel grants it user-level DMA
+/// rights: a register context and the 61-bit key that authorises writes
+/// into it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CtxGrant {
+    /// The register-context index.
+    pub ctx: u32,
+    /// The key ("given to the user process by the operating system.
+    /// Possession of the key implies that the user process is allowed to
+    /// write to this register context").
+    pub key: u64,
+}
+
+/// Allocates register contexts to processes and mints their keys.
+///
+/// Key generation is a deterministic splitmix64 stream seeded at kernel
+/// construction — deterministic so experiments replay exactly, yet with
+/// the full key width so the guessing analysis (E10) is meaningful.
+#[derive(Clone, Debug)]
+pub struct KeyRegistry {
+    free: Vec<u32>,
+    grants: HashMap<Pid, CtxGrant>,
+    state: u64,
+    key_bits: u32,
+}
+
+impl KeyRegistry {
+    /// Creates a registry over `num_contexts` contexts with keys of
+    /// `key_bits` significant bits (61 in the paper's 64-bit layout;
+    /// tests shrink it to make guessing attacks tractable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key_bits` is 0 or exceeds 61.
+    pub fn new(num_contexts: u32, seed: u64, key_bits: u32) -> Self {
+        assert!((1..=61).contains(&key_bits), "key width out of range");
+        KeyRegistry {
+            free: (0..num_contexts).rev().collect(),
+            grants: HashMap::new(),
+            state: seed,
+            key_bits,
+        }
+    }
+
+    fn next_key(&mut self) -> u64 {
+        // splitmix64
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let key = z & ((1u64 << self.key_bits) - 1);
+        // Key 0 is reserved (unprogrammed context slots read 0).
+        if key == 0 {
+            1
+        } else {
+            key
+        }
+    }
+
+    /// Grants a context to `pid`, or returns `None` when all contexts
+    /// are taken — "if more processes would like to start DMA
+    /// operations, the rest will have to go through the kernel" (§3.2).
+    pub fn grant(&mut self, pid: Pid) -> Option<CtxGrant> {
+        if let Some(&g) = self.grants.get(&pid) {
+            return Some(g);
+        }
+        let ctx = self.free.pop()?;
+        let grant = CtxGrant { ctx, key: self.next_key() };
+        self.grants.insert(pid, grant);
+        Some(grant)
+    }
+
+    /// The grant held by `pid`, if any.
+    pub fn grant_of(&self, pid: Pid) -> Option<CtxGrant> {
+        self.grants.get(&pid).copied()
+    }
+
+    /// Releases `pid`'s context back to the pool (process exit).
+    pub fn revoke(&mut self, pid: Pid) {
+        if let Some(g) = self.grants.remove(&pid) {
+            self.free.push(g.ctx);
+        }
+    }
+
+    /// Contexts still available.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_distinct_contexts_and_keys() {
+        let mut r = KeyRegistry::new(4, 42, 61);
+        let a = r.grant(Pid::new(0)).unwrap();
+        let b = r.grant(Pid::new(1)).unwrap();
+        assert_ne!(a.ctx, b.ctx);
+        assert_ne!(a.key, b.key);
+        assert_eq!(r.available(), 2);
+    }
+
+    #[test]
+    fn regrant_is_idempotent() {
+        let mut r = KeyRegistry::new(4, 42, 61);
+        let a = r.grant(Pid::new(0)).unwrap();
+        let again = r.grant(Pid::new(0)).unwrap();
+        assert_eq!(a, again);
+        assert_eq!(r.available(), 3);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut r = KeyRegistry::new(2, 42, 61);
+        assert!(r.grant(Pid::new(0)).is_some());
+        assert!(r.grant(Pid::new(1)).is_some());
+        assert!(r.grant(Pid::new(2)).is_none());
+    }
+
+    #[test]
+    fn revoke_recycles() {
+        let mut r = KeyRegistry::new(1, 42, 61);
+        let a = r.grant(Pid::new(0)).unwrap();
+        r.revoke(Pid::new(0));
+        assert_eq!(r.grant_of(Pid::new(0)), None);
+        let b = r.grant(Pid::new(1)).unwrap();
+        assert_eq!(a.ctx, b.ctx);
+        assert_ne!(a.key, b.key, "recycled context gets a fresh key");
+    }
+
+    #[test]
+    fn keys_are_deterministic_per_seed_and_never_zero() {
+        let keys = |seed| {
+            let mut r = KeyRegistry::new(8, seed, 8);
+            (0..8).map(|i| r.grant(Pid::new(i)).unwrap().key).collect::<Vec<_>>()
+        };
+        assert_eq!(keys(7), keys(7));
+        assert_ne!(keys(7), keys(8));
+        for k in keys(7) {
+            assert_ne!(k, 0);
+            assert!(k < 256);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "key width")]
+    fn bad_key_width_panics() {
+        let _ = KeyRegistry::new(1, 0, 62);
+    }
+}

@@ -1,0 +1,53 @@
+//! The syscall ABI.
+
+/// The empty syscall, for lmbench-style measurement of kernel entry/exit
+/// (the paper: "the overhead of an empty system call of commercial
+/// UNIX-like operating systems ranges between 1,000 and 5,000 processor
+/// cycles").
+pub const SYS_NOOP: u16 = 0;
+
+/// Kernel-level DMA (Figure 1): `r0` = source VA, `r1` = destination VA,
+/// `r2` = size in bytes. Returns the DMA status in `r0` (`-1` failure).
+pub const SYS_DMA: u16 = 1;
+
+/// Kernel-path atomic operation (§3.5): `r0` = VA, `r1` =
+/// [`udma_nic::AtomicOp`] code, `r2`/`r3` = operands. Returns the old
+/// value in `r0` (`-1` on fault).
+pub const SYS_ATOMIC: u16 = 2;
+
+/// Typed view of a syscall number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sys {
+    /// [`SYS_NOOP`].
+    Noop,
+    /// [`SYS_DMA`].
+    Dma,
+    /// [`SYS_ATOMIC`].
+    Atomic,
+    /// Anything else: returns `-1` like a bad syscall number on OSF/1.
+    Unknown(u16),
+}
+
+impl From<u16> for Sys {
+    fn from(no: u16) -> Self {
+        match no {
+            SYS_NOOP => Sys::Noop,
+            SYS_DMA => Sys::Dma,
+            SYS_ATOMIC => Sys::Atomic,
+            other => Sys::Unknown(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_decode() {
+        assert_eq!(Sys::from(SYS_NOOP), Sys::Noop);
+        assert_eq!(Sys::from(SYS_DMA), Sys::Dma);
+        assert_eq!(Sys::from(SYS_ATOMIC), Sys::Atomic);
+        assert_eq!(Sys::from(99), Sys::Unknown(99));
+    }
+}

@@ -1,0 +1,350 @@
+//! Virtual-memory management: user buffers and their shadow mappings.
+
+use udma_mem::{
+    FrameAllocator, MemFault, PageTable, Perms, PhysFrame, PhysLayout, VirtAddr, VirtPage,
+    PAGE_SIZE,
+};
+use udma_nic::regs;
+
+/// Conventional virtual address at which a process's register-context
+/// page is mapped (well above any data buffer).
+pub const CTX_PAGE_VA_BASE: u64 = 1 << 30;
+
+/// How the kernel shadow-maps a buffer at allocation time (§2.3 footnote:
+/// "the operating system is responsible for creating both mappings at
+/// memory allocation (initialization) time").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShadowMode {
+    /// No shadow twin: the buffer cannot be named in user-level DMA.
+    None,
+    /// Plain shadow mapping (context id 0 in the shadow physical
+    /// address) — what §2.3–§3.1 and §3.3 use.
+    Plain,
+    /// Extended shadow mapping carrying this context id (§3.2).
+    WithCtx(u32),
+}
+
+/// A user buffer the kernel has mapped (and possibly shadow-mapped).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MappedBuffer {
+    /// Base virtual address of the data mapping.
+    pub va: VirtAddr,
+    /// Base virtual address of the shadow mapping (valid only if a shadow
+    /// mode other than `None` was requested).
+    pub shadow_va: VirtAddr,
+    /// Number of pages.
+    pub pages: u64,
+    /// First backing frame (frames are contiguous for a multi-page
+    /// buffer).
+    pub first_frame: PhysFrame,
+    /// Permissions of the data (and shadow) mapping.
+    pub perms: Perms,
+}
+
+impl MappedBuffer {
+    /// Size in bytes.
+    pub fn len(&self) -> u64 {
+        self.pages * PAGE_SIZE
+    }
+
+    /// Whether the buffer has no pages.
+    pub fn is_empty(&self) -> bool {
+        self.pages == 0
+    }
+}
+
+/// Allocates frames and installs data + shadow mappings.
+#[derive(Clone, Debug)]
+pub struct VmManager {
+    layout: PhysLayout,
+    frames: FrameAllocator,
+}
+
+impl VmManager {
+    /// Creates a VM manager over the machine's RAM.
+    pub fn new(layout: PhysLayout) -> Self {
+        // Frame 0 is reserved (null-page hygiene).
+        let total = layout.ram_size >> udma_mem::PAGE_SHIFT;
+        VmManager { layout, frames: FrameAllocator::with_range(1, total - 1) }
+    }
+
+    /// The machine layout.
+    pub fn layout(&self) -> &PhysLayout {
+        &self.layout
+    }
+
+    /// Frames still available.
+    pub fn frames_available(&self) -> u64 {
+        self.frames.available()
+    }
+
+    /// Maps `pages` fresh frames at `va` with `perms`, plus a shadow twin
+    /// per `mode`. The shadow PTE points into the NIC's shadow window and
+    /// carries the same permissions, which is exactly what makes shadow
+    /// addressing safe: a process can only name physical pages it could
+    /// access anyway.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::AlreadyMapped`] if any target page is taken;
+    /// [`MemFault::BusError`] if physical memory is exhausted.
+    pub fn map_buffer(
+        &mut self,
+        pt: &mut PageTable,
+        va: VirtAddr,
+        pages: u64,
+        perms: Perms,
+        mode: ShadowMode,
+    ) -> Result<MappedBuffer, MemFault> {
+        assert!(va.is_page_aligned(), "buffer base must be page aligned");
+        assert!(pages > 0, "buffer must have at least one page");
+        let mut first = None;
+        for i in 0..pages {
+            let frame = self.alloc_contiguous(&mut first, i)?;
+            let page = va.page().offset(i);
+            pt.map(page, frame, perms)?;
+            self.install_shadow(pt, page, frame, perms, mode)?;
+        }
+        Ok(MappedBuffer {
+            va,
+            shadow_va: self.layout.shadow.shadow_vaddr(va),
+            pages,
+            first_frame: first.expect("pages > 0"),
+            perms,
+        })
+    }
+
+    fn alloc_contiguous(
+        &mut self,
+        first: &mut Option<PhysFrame>,
+        index: u64,
+    ) -> Result<PhysFrame, MemFault> {
+        let frame = match *first {
+            // Contiguity is guaranteed by the bump allocator as long as
+            // nothing frees in between; assert it.
+            Some(f) => {
+                let next = self.frames.alloc().ok_or(MemFault::BusError {
+                    pa: udma_mem::PhysAddr::new(self.layout.ram_size),
+                })?;
+                debug_assert_eq!(next.number(), f.number() + index, "frames not contiguous");
+                next
+            }
+            None => {
+                let f = self.frames.alloc().ok_or(MemFault::BusError {
+                    pa: udma_mem::PhysAddr::new(self.layout.ram_size),
+                })?;
+                *first = Some(f);
+                f
+            }
+        };
+        Ok(frame)
+    }
+
+    /// Maps an *existing* frame range into another process (shared
+    /// memory), with shadow twins per `mode`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::AlreadyMapped`] if any target page is taken.
+    pub fn map_shared(
+        &mut self,
+        pt: &mut PageTable,
+        va: VirtAddr,
+        first_frame: PhysFrame,
+        pages: u64,
+        perms: Perms,
+        mode: ShadowMode,
+    ) -> Result<MappedBuffer, MemFault> {
+        assert!(va.is_page_aligned(), "buffer base must be page aligned");
+        for i in 0..pages {
+            let frame = first_frame.offset(i);
+            let page = va.page().offset(i);
+            pt.map(page, frame, perms)?;
+            self.install_shadow(pt, page, frame, perms, mode)?;
+        }
+        Ok(MappedBuffer {
+            va,
+            shadow_va: self.layout.shadow.shadow_vaddr(va),
+            pages,
+            first_frame,
+            perms,
+        })
+    }
+
+    fn install_shadow(
+        &self,
+        pt: &mut PageTable,
+        page: VirtPage,
+        frame: PhysFrame,
+        perms: Perms,
+        mode: ShadowMode,
+    ) -> Result<(), MemFault> {
+        let ctx = match mode {
+            ShadowMode::None => return Ok(()),
+            ShadowMode::Plain => 0,
+            ShadowMode::WithCtx(c) => c,
+        };
+        let shadow_pa = self
+            .layout
+            .shadow
+            .shadow_paddr_ctx(frame.base(), ctx)
+            .expect("RAM is shadow-addressable (layout validated)");
+        let shadow_page = self.layout.shadow.shadow_vaddr(page.base()).page();
+        pt.map(shadow_page, shadow_pa.page(), perms)
+    }
+
+    /// Maps register-context page `ctx` into the process at the
+    /// conventional VA, read-write (§3.1: "each context is mapped into
+    /// memory address space so that the processor can access it").
+    ///
+    /// Returns the VA of the context page.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::AlreadyMapped`] if the process already has a context
+    /// page mapped there.
+    pub fn map_ctx_page(&self, pt: &mut PageTable, ctx: u32) -> Result<VirtAddr, MemFault> {
+        let va = VirtAddr::new(CTX_PAGE_VA_BASE);
+        let pa = self.layout.nic_base + regs::ctx_page_offset(ctx);
+        pt.map(va.page(), pa.page(), Perms::READ_WRITE)?;
+        Ok(va)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udma_mem::{Access, PhysAddr};
+
+    fn vm() -> (VmManager, PageTable) {
+        (VmManager::new(PhysLayout::default()), PageTable::new())
+    }
+
+    #[test]
+    fn map_buffer_installs_data_and_shadow() {
+        let (mut vm, mut pt) = vm();
+        let buf = vm
+            .map_buffer(&mut pt, VirtAddr::new(0x4000), 2, Perms::READ_WRITE, ShadowMode::Plain)
+            .unwrap();
+        assert_eq!(buf.len(), 2 * PAGE_SIZE);
+        assert!(!buf.is_empty());
+        // Data mapping translates to RAM.
+        let pa = pt.translate(buf.va, Access::Write).unwrap();
+        assert_eq!(pa, buf.first_frame.base());
+        // Shadow mapping translates into the shadow window and decodes
+        // back to the same frame.
+        let spa = pt.translate(buf.shadow_va, Access::Write).unwrap();
+        let layout = PhysLayout::default();
+        assert!(layout.shadow.is_shadow(spa));
+        let (plain, ctx) = layout.shadow.decode(spa).unwrap();
+        assert_eq!(plain, pa);
+        assert_eq!(ctx, 0);
+        // Second page also shadow-mapped.
+        let spa2 = pt.translate(buf.shadow_va + PAGE_SIZE, Access::Read).unwrap();
+        assert_eq!(layout.shadow.decode(spa2).unwrap().0, pa + PAGE_SIZE);
+    }
+
+    #[test]
+    fn shadow_mode_none_has_no_twin() {
+        let (mut vm, mut pt) = vm();
+        let buf = vm
+            .map_buffer(&mut pt, VirtAddr::new(0x4000), 1, Perms::READ_WRITE, ShadowMode::None)
+            .unwrap();
+        assert!(pt.translate(buf.shadow_va, Access::Read).is_err());
+    }
+
+    #[test]
+    fn ext_shadow_mapping_carries_ctx() {
+        let (mut vm, mut pt) = vm();
+        let buf = vm
+            .map_buffer(&mut pt, VirtAddr::new(0x4000), 1, Perms::READ_WRITE, ShadowMode::WithCtx(2))
+            .unwrap();
+        let spa = pt.translate(buf.shadow_va, Access::Write).unwrap();
+        let (_, ctx) = PhysLayout::default().shadow.decode(spa).unwrap();
+        assert_eq!(ctx, 2);
+    }
+
+    #[test]
+    fn shadow_mapping_inherits_perms() {
+        let (mut vm, mut pt) = vm();
+        let buf = vm
+            .map_buffer(&mut pt, VirtAddr::new(0x4000), 1, Perms::READ, ShadowMode::Plain)
+            .unwrap();
+        assert!(pt.translate(buf.shadow_va, Access::Read).is_ok());
+        // Can't *store* to the shadow of a read-only page: protection
+        // extends to the DMA path.
+        assert!(matches!(
+            pt.translate(buf.shadow_va, Access::Write),
+            Err(MemFault::Protection { .. })
+        ));
+    }
+
+    #[test]
+    fn map_shared_aliases_frames() {
+        let (mut vm, mut pt_a) = vm();
+        let mut pt_b = PageTable::new();
+        let buf = vm
+            .map_buffer(&mut pt_a, VirtAddr::new(0x4000), 1, Perms::READ_WRITE, ShadowMode::Plain)
+            .unwrap();
+        let shared = vm
+            .map_shared(
+                &mut pt_b,
+                VirtAddr::new(0x8000),
+                buf.first_frame,
+                1,
+                Perms::READ,
+                ShadowMode::Plain,
+            )
+            .unwrap();
+        let pa_a = pt_a.translate(buf.va, Access::Read).unwrap();
+        let pa_b = pt_b.translate(shared.va, Access::Read).unwrap();
+        assert_eq!(pa_a, pa_b);
+    }
+
+    #[test]
+    fn ctx_page_mapping_points_into_nic_window() {
+        let (vm, mut pt) = {
+            let (v, p) = vm();
+            (v, p)
+        };
+        let mut pt2 = pt.clone();
+        let va = vm.map_ctx_page(&mut pt, 1).unwrap();
+        assert_eq!(va, VirtAddr::new(CTX_PAGE_VA_BASE));
+        let pa = pt.translate(va, Access::Write).unwrap();
+        let layout = PhysLayout::default();
+        assert_eq!(pa, layout.nic_base + regs::ctx_page_offset(1));
+        // Distinct contexts map to distinct pages.
+        let va2 = vm.map_ctx_page(&mut pt2, 2).unwrap();
+        let pa2 = pt2.translate(va2, Access::Write).unwrap();
+        assert_ne!(pa, pa2);
+        assert_eq!(
+            PhysAddr::new(pa2.as_u64() - pa.as_u64()),
+            PhysAddr::new(PAGE_SIZE)
+        );
+    }
+
+    #[test]
+    fn frames_run_out_eventually() {
+        let layout = PhysLayout { ram_size: 4 * PAGE_SIZE, ..PhysLayout::default() };
+        let mut vm = VmManager::new(layout);
+        let mut pt = PageTable::new();
+        // 3 usable frames (frame 0 reserved).
+        assert_eq!(vm.frames_available(), 3);
+        assert!(vm
+            .map_buffer(&mut pt, VirtAddr::new(0x4000), 3, Perms::READ_WRITE, ShadowMode::None)
+            .is_ok());
+        assert!(vm
+            .map_buffer(&mut pt, VirtAddr::new(0x40000), 1, Perms::READ_WRITE, ShadowMode::None)
+            .is_err());
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let (mut vm, mut pt) = vm();
+        vm.map_buffer(&mut pt, VirtAddr::new(0x4000), 1, Perms::READ, ShadowMode::None).unwrap();
+        assert!(matches!(
+            vm.map_buffer(&mut pt, VirtAddr::new(0x4000), 1, Perms::READ, ShadowMode::None),
+            Err(MemFault::AlreadyMapped { .. })
+        ));
+    }
+}

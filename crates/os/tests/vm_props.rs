@@ -1,0 +1,96 @@
+//! Property tests for the VM manager's shadow-mapping invariants.
+
+use proptest::prelude::*;
+use udma_mem::{Access, PageTable, Perms, PhysLayout, VirtAddr, PAGE_SIZE};
+use udma_os::{ShadowMode, VmManager};
+
+fn perms_strategy() -> impl Strategy<Value = Perms> {
+    prop_oneof![
+        Just(Perms::READ),
+        Just(Perms::WRITE),
+        Just(Perms::READ_WRITE),
+    ]
+}
+
+proptest! {
+    /// Every data page of a mapped buffer translates, its shadow twin
+    /// translates to the shadow of the SAME frame with the SAME context
+    /// id, and permissions are identical on both mappings.
+    #[test]
+    fn shadow_twins_mirror_data_mappings(
+        pages in 1u64..16,
+        base_page in 2u64..64,
+        perms in perms_strategy(),
+        ctx in 0u32..4,
+    ) {
+        let layout = PhysLayout::default();
+        let mut vm = VmManager::new(layout);
+        let mut pt = PageTable::new();
+        let va = VirtAddr::new(base_page * PAGE_SIZE);
+        let buf = vm
+            .map_buffer(&mut pt, va, pages, perms, ShadowMode::WithCtx(ctx))
+            .unwrap();
+
+        let access = if perms.can_read() { Access::Read } else { Access::Write };
+        for p in 0..pages {
+            let off = p * PAGE_SIZE;
+            let pa = pt.translate(buf.va + off, access).unwrap();
+            prop_assert_eq!(pa, buf.first_frame.offset(p).base());
+
+            let spa = pt.translate(buf.shadow_va + off, access).unwrap();
+            let (plain, got_ctx) = layout.shadow.decode(spa).unwrap();
+            prop_assert_eq!(plain, pa);
+            prop_assert_eq!(got_ctx, ctx);
+
+            // Permission parity: an access the data page refuses, the
+            // shadow page refuses too.
+            for a in [Access::Read, Access::Write] {
+                prop_assert_eq!(
+                    pt.translate(buf.va + off, a).is_ok(),
+                    pt.translate(buf.shadow_va + off, a).is_ok(),
+                    "perm divergence at page {}", p
+                );
+            }
+        }
+    }
+
+    /// ShadowMode::None really creates no twin; the shadow VA faults.
+    #[test]
+    fn no_shadow_mode_means_no_twin(pages in 1u64..8, base_page in 2u64..64) {
+        let layout = PhysLayout::default();
+        let mut vm = VmManager::new(layout);
+        let mut pt = PageTable::new();
+        let va = VirtAddr::new(base_page * PAGE_SIZE);
+        let buf = vm
+            .map_buffer(&mut pt, va, pages, Perms::READ_WRITE, ShadowMode::None)
+            .unwrap();
+        for p in 0..pages {
+            prop_assert!(pt
+                .translate(buf.shadow_va + p * PAGE_SIZE, Access::Read)
+                .is_err());
+        }
+    }
+
+    /// Buffers mapped one after another never alias each other's frames.
+    #[test]
+    fn successive_buffers_have_disjoint_frames(
+        sizes in proptest::collection::vec(1u64..8, 1..6),
+    ) {
+        let layout = PhysLayout::default();
+        let mut vm = VmManager::new(layout);
+        let mut pt = PageTable::new();
+        let mut seen = std::collections::HashSet::new();
+        for (i, &pages) in sizes.iter().enumerate() {
+            let va = VirtAddr::new((2 + 64 * i as u64) * PAGE_SIZE);
+            let buf = vm
+                .map_buffer(&mut pt, va, pages, Perms::READ_WRITE, ShadowMode::Plain)
+                .unwrap();
+            for p in 0..pages {
+                prop_assert!(
+                    seen.insert(buf.first_frame.offset(p)),
+                    "frame reused across buffers"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+
+use crate::run_contention;
+use udma::{DmaMethod, MachineConfig};
+use udma_bus::{SimTime, WriteBufferPolicy};
+
+/// One scheduler-quantum point.
+#[derive(Clone, Copy, Debug)]
+pub struct QuantumRow {
+    /// Round-robin quantum in instructions.
+    pub quantum: u64,
+    /// Did every process finish within the step budget?
+    pub finished: bool,
+    /// Mean time per initiation (meaningless when not finished).
+    pub mean_per_init: SimTime,
+    /// Context switches taken.
+    pub context_switches: u64,
+}
+
+/// Sweeps the scheduler quantum for `processes` × `inits` concurrent
+/// initiations.
+///
+/// This probes a liveness property the paper leaves implicit: the
+/// repeated-passing protocol shares **one** FSM among all processes, so
+/// if the quantum is shorter than the 5-access sequence, competing
+/// processes can break each other's sequences forever (livelock). Context
+/// switches on 1997 Unix happened every ~10 ms ≈ thousands of
+/// instructions, so the paper never hit this — but it bounds how far the
+/// scheme can be pushed. The key-based/extended-shadow schemes have
+/// per-process state and survive any quantum.
+pub fn quantum_ablation(
+    method: DmaMethod,
+    quanta: &[u64],
+    processes: u32,
+    inits: u32,
+) -> Vec<QuantumRow> {
+    quanta
+        .iter()
+        .map(|&quantum| {
+            let r = run_contention(method, processes, inits, quantum);
+            QuantumRow {
+                quantum,
+                finished: r.finished,
+                mean_per_init: r.mean_per_init(),
+                context_switches: r.context_switches,
+            }
+        })
+        .collect()
+}
+
+/// One write-buffer-policy point.
+#[derive(Clone, Copy, Debug)]
+pub struct WbPolicyRow {
+    /// Human-readable policy name.
+    pub name: &'static str,
+    /// Mean initiation cost under the policy.
+    pub mean: SimTime,
+}
+
+/// Measures one method's initiation cost under different write-buffer
+/// policies. Correctness never depends on the buffer (the protocols are
+/// barriered per the paper); cost moves a little because a pass-through
+/// buffer retires stores immediately.
+pub fn write_buffer_ablation(method: DmaMethod, iters: u32) -> Vec<WbPolicyRow> {
+    let policies: [(&'static str, WriteBufferPolicy); 3] = [
+        ("alpha-like (collapse+forward, 4 entries)", WriteBufferPolicy::default()),
+        ("no collapsing", WriteBufferPolicy { collapse_stores: false, ..Default::default() }),
+        ("disabled (pass-through)", WriteBufferPolicy::disabled()),
+    ];
+    policies
+        .into_iter()
+        .map(|(name, wb_policy)| WbPolicyRow {
+            name,
+            mean: udma::measure_initiation_with(
+                MachineConfig { wb_policy, ..MachineConfig::new(method) },
+                iters,
+            )
+            .mean,
+        })
+        .collect()
+}
+
+/// One context-count point.
+#[derive(Clone, Copy, Debug)]
+pub struct CtxCountRow {
+    /// Register contexts synthesised into the engine.
+    pub contexts: u32,
+    /// Processes that got one.
+    pub user_level: u32,
+    /// Processes that fell back to the kernel.
+    pub fallback: u32,
+    /// Mean per-initiation cost across everyone.
+    pub mean_per_init: SimTime,
+}
+
+/// How many register contexts does the engine need? The paper says
+/// "several (say 4 to 8)"; this sweep shows the cost cliff when
+/// concurrent initiators outnumber contexts (§3.2 fallback).
+pub fn context_count_ablation(processes: u32, inits: u32, counts: &[u32]) -> Vec<CtxCountRow> {
+    counts
+        .iter()
+        .map(|&contexts| {
+            let mut m = udma::Machine::new(MachineConfig {
+                num_contexts: contexts,
+                ..MachineConfig::new(DmaMethod::KeyBased)
+            });
+            for _ in 0..processes {
+                m.spawn(&udma::ProcessSpec::two_buffers_of(4), |env| {
+                    let mut b = udma_cpu::ProgramBuilder::new();
+                    let mut uniq = 0;
+                    for i in 0..inits as u64 {
+                        let off = (i * 128) % (udma_mem::PAGE_SIZE - 128);
+                        let req = udma::DmaRequest::new(
+                            env.addr_in(0, off),
+                            env.addr_in(1, off),
+                            8,
+                        );
+                        b = udma::emit_dma(env, b, &req, &mut uniq);
+                    }
+                    b.halt().build()
+                });
+            }
+            let user_level = (0..processes)
+                .filter(|&i| m.env(udma_cpu::Pid::new(i)).can_use_user_level())
+                .count() as u32;
+            let out = m.run_with(
+                &mut udma_cpu::RoundRobin::new(200),
+                processes as u64 * inits as u64 * 400 + 100_000,
+            );
+            assert!(out.finished);
+            let total = processes as u64 * inits as u64;
+            CtxCountRow {
+                contexts,
+                user_level,
+                fallback: processes - user_level,
+                mean_per_init: SimTime::from_ps(m.time().as_ps() / total),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_quantum_livelocks_repeated_passing_but_not_key_based() {
+        let rep = quantum_ablation(DmaMethod::Repeated5, &[2, 300], 2, 5);
+        assert!(
+            !rep[0].finished,
+            "quantum 2 should livelock the shared-FSM protocol"
+        );
+        assert!(rep[1].finished, "a quantum ≫ sequence length recovers");
+
+        let key = quantum_ablation(DmaMethod::KeyBased, &[2, 300], 2, 5);
+        assert!(key[0].finished, "per-process contexts survive any quantum");
+        assert!(key[1].finished);
+    }
+
+    #[test]
+    fn write_buffer_policy_changes_cost_not_correctness() {
+        let rows = write_buffer_ablation(DmaMethod::Repeated5, 100);
+        assert_eq!(rows.len(), 3);
+        // All policies complete (measure_initiation_with asserts every
+        // initiation started); costs stay within a small band.
+        let min = rows.iter().map(|r| r.mean.as_ns()).fold(f64::MAX, f64::min);
+        let max = rows.iter().map(|r| r.mean.as_ns()).fold(0.0, f64::max);
+        assert!(max / min < 1.3, "policies diverge: {min} vs {max}");
+    }
+
+    #[test]
+    fn more_contexts_remove_the_fallback_cliff() {
+        let rows = context_count_ablation(6, 5, &[2, 6]);
+        assert_eq!(rows[0].fallback, 4);
+        assert_eq!(rows[1].fallback, 0);
+        assert!(rows[1].mean_per_init < rows[0].mean_per_init);
+    }
+}

@@ -1,0 +1,141 @@
+//! Multi-process contention workloads.
+
+use udma::{emit_dma, DmaMethod, DmaRequest, Machine, MachineConfig, ProcessSpec};
+use udma_bus::SimTime;
+use udma_cpu::{ProgramBuilder, RoundRobin};
+use udma_mem::PAGE_SIZE;
+
+/// Outcome of a contention run.
+#[derive(Clone, Copy, Debug)]
+pub struct ContentionResult {
+    /// Processes spawned.
+    pub processes: u32,
+    /// Initiations issued per process.
+    pub inits_per_process: u32,
+    /// Processes that got a register context (user-level path).
+    pub user_level_processes: u32,
+    /// Processes that fell back to the kernel path (§3.2: "the rest will
+    /// have to go through the kernel").
+    pub kernel_fallback_processes: u32,
+    /// Total simulated time.
+    pub total_time: SimTime,
+    /// Transfers the engine actually performed.
+    pub transfers: u64,
+    /// Context switches taken.
+    pub context_switches: u64,
+    /// Kernel DMA syscalls served (fallback traffic).
+    pub kernel_dmas: u64,
+    /// Whether every process completed within the step budget (a
+    /// repeated-passing run under a tiny quantum can livelock — see the
+    /// quantum ablation bench).
+    pub finished: bool,
+}
+
+impl ContentionResult {
+    /// Mean time per initiation across all processes.
+    pub fn mean_per_init(&self) -> SimTime {
+        let total = self.processes as u64 * self.inits_per_process as u64;
+        SimTime::from_ps(self.total_time.as_ps() / total.max(1))
+    }
+}
+
+/// Runs `processes` processes, each issuing `inits` back-to-back
+/// initiations of its own buffers, under round-robin preemption every
+/// `quantum` instructions.
+///
+/// Register contexts are limited (4 by default), so with more than four
+/// processes the key-based and extended-shadow methods exercise the
+/// paper's kernel-fallback path for the overflow processes.
+pub fn run_contention(
+    method: DmaMethod,
+    processes: u32,
+    inits: u32,
+    quantum: u64,
+) -> ContentionResult {
+    let mut m = Machine::new(MachineConfig::new(method));
+    for _ in 0..processes {
+        let mut spec = ProcessSpec::two_buffers_of(4);
+        if method == DmaMethod::Shrimp1 {
+            spec.mapped_out.push((0, 1));
+        }
+        m.spawn(&spec, |env| {
+            let mut b = ProgramBuilder::new();
+            let mut uniq = 0;
+            for i in 0..inits as u64 {
+                let page = i % 4;
+                let off = (i * 128) % (PAGE_SIZE - 128);
+                let req = DmaRequest::new(
+                    env.addr_in(0, page * PAGE_SIZE + off),
+                    env.addr_in(1, page * PAGE_SIZE + off),
+                    8,
+                );
+                b = emit_dma(env, b, &req, &mut uniq);
+            }
+            b.halt().build()
+        });
+    }
+    let user_level = (0..processes)
+        .filter(|&i| m.env(udma_cpu::Pid::new(i)).can_use_user_level())
+        .count() as u32;
+
+    let budget = processes as u64 * inits as u64 * 400 + 100_000;
+    let out = m.run_with(&mut RoundRobin::new(quantum), budget);
+    let transfers = m.engine().core().stats().started;
+
+    ContentionResult {
+        processes,
+        inits_per_process: inits,
+        user_level_processes: user_level,
+        kernel_fallback_processes: processes - user_level,
+        total_time: m.time(),
+        transfers,
+        context_switches: m.executor().stats().context_switches,
+        kernel_dmas: m.kernel().stats().dma_syscalls,
+        finished: out.finished,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_based_contention_all_user_level_when_contexts_suffice() {
+        let r = run_contention(DmaMethod::KeyBased, 3, 5, 200);
+        assert!(r.finished);
+        assert_eq!(r.user_level_processes, 3);
+        assert_eq!(r.kernel_fallback_processes, 0);
+        assert_eq!(r.transfers, 15);
+        assert_eq!(r.kernel_dmas, 0);
+        assert!(r.context_switches > 0);
+    }
+
+    #[test]
+    fn context_exhaustion_routes_overflow_through_kernel() {
+        // 6 processes, 4 contexts → 2 fall back to the kernel.
+        let r = run_contention(DmaMethod::ExtShadow, 6, 3, 500);
+        assert!(r.finished);
+        assert_eq!(r.user_level_processes, 4);
+        assert_eq!(r.kernel_fallback_processes, 2);
+        assert_eq!(r.transfers, 18);
+        assert_eq!(r.kernel_dmas, 2 * 3);
+    }
+
+    #[test]
+    fn repeated_passing_survives_moderate_preemption() {
+        // Quantum much larger than the 10-instruction retry body: every
+        // process makes progress despite the shared FSM.
+        let r = run_contention(DmaMethod::Repeated5, 3, 4, 150);
+        assert!(r.finished);
+        assert_eq!(r.transfers, 12);
+    }
+
+    #[test]
+    fn kernel_method_under_contention() {
+        let r = run_contention(DmaMethod::Kernel, 2, 3, 100);
+        assert!(r.finished);
+        assert_eq!(r.transfers, 6);
+        assert_eq!(r.kernel_dmas, 6);
+        assert!(r.mean_per_init().as_us() > 10.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Workload and scenario generators for the udma reproduction.
+//!
+//! Everything the evaluation binaries and integration tests share:
+//!
+//! * [`scenarios`] — victim/adversary machines for the race and attack
+//!   experiments (E3–E6), with the safety predicates
+//!   ([`illegal_transfer`], [`misinformation`]) the interleaving explorer
+//!   checks;
+//! * [`contention`] — many processes initiating concurrently under a
+//!   preemptive scheduler, including the §3.2 context-exhaustion
+//!   fallback;
+//! * [`keyguess`] — the §3.1 key-guessing analysis (E10);
+//! * [`ablations`] — quantum / write-buffer / context-count sweeps;
+//! * [`microbench`] — lmbench-style syscall, context-switch and TLB-miss
+//!   latencies of the simulated host;
+//! * [`sweeps`] — parameter sweeps: bus frequency (E7), message-size
+//!   crossover inputs (E8), atomic-operation comparison (E9).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod contention;
+pub mod keyguess;
+pub mod microbench;
+pub mod now;
+pub mod scenarios;
+pub mod sweeps;
+
+pub use ablations::{
+    context_count_ablation, quantum_ablation, write_buffer_ablation, CtxCountRow, QuantumRow,
+    WbPolicyRow,
+};
+pub use contention::{run_contention, ContentionResult};
+pub use microbench::{context_switch, dcache_effect, empty_syscall, tlb_miss};
+pub use now::{broadcast, BroadcastResult};
+pub use keyguess::{guess_acceptance, pollution_with_known_key, GuessStats};
+pub use scenarios::{
+    any_violation, data_theft, illegal_transfer, misinformation, AdversaryKind, AttackScenario,
+    ADVERSARY, VICTIM,
+};
+pub use sweeps::{atomic_comparison, bus_sweep, BusSweepRow};

@@ -1,0 +1,51 @@
+//! The paper's motivation, quantified (intro / §2.2): "the operating
+//! system overhead keeps getting an ever-increasing percentage of the DMA
+//! transfer time". For each network generation, what fraction of a
+//! message's life is spent starting the kernel DMA — and below what
+//! message size does initiation dominate the wire?
+//!
+//! ```text
+//! cargo run --release --example crossover
+//! ```
+
+use udma::{crossover_rows, measure_initiation, os_bound_message_size, DmaMethod, Table};
+use udma_nic::LinkModel;
+
+fn main() {
+    let kernel = measure_initiation(DmaMethod::Kernel, 500).mean;
+    let user = measure_initiation(DmaMethod::ExtShadow, 500).mean;
+    println!("measured initiation: kernel = {kernel}, ext-shadow = {user}\n");
+
+    for link in [
+        LinkModel::ethernet10(),
+        LinkModel::atm155(),
+        LinkModel::atm622(),
+        LinkModel::gigabit(),
+    ] {
+        let mut t = Table::new(
+            &format!("{}: kernel vs user-level initiation", link.name()),
+            &["message (B)", "wire", "kernel total", "user total", "OS fraction", "speedup"],
+        );
+        let sizes = [64, 256, 1024, 4096, 16384, 65536, 262144];
+        for row in crossover_rows(kernel, user, link, &sizes) {
+            t.row_owned(vec![
+                row.msg_bytes.to_string(),
+                row.wire.to_string(),
+                row.kernel_total.to_string(),
+                row.user_total.to_string(),
+                format!("{:.0}%", row.kernel_init_fraction * 100.0),
+                format!("{:.2}×", row.speedup),
+            ]);
+        }
+        println!("{t}");
+        println!(
+            "messages up to {} bytes spend more time in the OS than on the wire\n",
+            os_bound_message_size(kernel, link)
+        );
+    }
+
+    println!(
+        "Trend: each faster network raises the OS-bound message size — \
+         exactly the paper's argument for user-level DMA."
+    );
+}

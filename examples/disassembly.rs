@@ -1,0 +1,41 @@
+//! Prints the exact instruction sequence each initiation method compiles
+//! to — the paper's figures 1–4 and 7 as living code. Useful to see what
+//! "2 to 5 assembly instructions" means concretely, and how the kernel
+//! baseline differs.
+//!
+//! ```text
+//! cargo run --example disassembly
+//! ```
+
+use udma::{emit_dma, DmaMethod, DmaRequest, Machine, ProcessSpec};
+use udma_cpu::ProgramBuilder;
+
+fn main() {
+    for method in DmaMethod::ALL {
+        let mut m = Machine::with_method(method);
+        let mut spec = ProcessSpec::two_buffers();
+        if method == DmaMethod::Shrimp1 {
+            spec.mapped_out.push((0, 1));
+        }
+        m.spawn(&spec, |env| {
+            let req = DmaRequest::new(env.buffer(0).va, env.buffer(1).va, 64);
+            let mut uniq = 0;
+            let prog = emit_dma(env, ProgramBuilder::new(), &req, &mut uniq).build();
+            println!("=== {} ===", method.name());
+            println!(
+                "(engine protocol: {}; kernel switch policy: {})",
+                method.protocol(),
+                method.switch_policy()
+            );
+            print!("{prog}");
+            println!();
+            // The spawned program itself is irrelevant; halt immediately.
+            ProgramBuilder::new().halt().build()
+        });
+    }
+    println!(
+        "Addresses with bit 45 set are *shadow* virtual addresses: the \
+         TLB routes them into the DMA engine's window, carrying the \
+         physical page the process provably has rights to."
+    );
+}

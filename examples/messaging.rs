@@ -1,0 +1,49 @@
+//! The application the paper's intro motivates: a message-passing layer
+//! where every send is a user-level DMA. Two processes exchange messages
+//! over a shared-memory ring with per-slot flags — zero syscalls on the
+//! fast path — and the per-message cost is compared across initiation
+//! methods and message sizes.
+//!
+//! ```text
+//! cargo run --release --example messaging
+//! ```
+
+use udma::{DmaMethod, Table};
+use udma_msg::{measure_messaging, ChannelConfig};
+
+fn main() {
+    let methods = [
+        DmaMethod::Kernel,
+        DmaMethod::KeyBased,
+        DmaMethod::ExtShadow,
+        DmaMethod::Repeated5,
+        DmaMethod::Pal,
+    ];
+    let sizes = [
+        ("32 B", ChannelConfig { slots: 4, payload_words: 4 }),
+        ("128 B", ChannelConfig { slots: 4, payload_words: 16 }),
+        ("1 KiB", ChannelConfig { slots: 4, payload_words: 128 }),
+        ("4 KiB", ChannelConfig { slots: 4, payload_words: 512 }),
+    ];
+
+    let mut t = Table::new(
+        "End-to-end per-message cost of the udma-msg channel (µs, 24 messages)",
+        &["method", "32 B", "128 B", "1 KiB", "4 KiB"],
+    );
+    for method in methods {
+        let mut row = vec![method.name().to_string()];
+        for (_, cfg) in &sizes {
+            let cost = measure_messaging(method, cfg, 24);
+            row.push(format!("{:.2}", cost.per_message.as_us()));
+        }
+        t.row_owned(row);
+    }
+    println!("{t}");
+    println!(
+        "For 32-byte messages the kernel path pays the ~19 µs initiation \
+         per send; the paper's methods pay 1–3 µs. As messages grow, wire \
+         and staging costs take over and the gap narrows — the crossover \
+         trend of the introduction, measured through a real (simulated) \
+         application stack."
+    );
+}

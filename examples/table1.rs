@@ -1,0 +1,49 @@
+//! Regenerates the paper's **Table 1** (§3.4): mean DMA initiation cost
+//! per method, 1 000 initiations each to/from different addresses.
+//!
+//! ```text
+//! cargo run --release --example table1
+//! ```
+
+use udma::{measure_initiation, table1, DmaMethod, Table};
+
+fn main() {
+    let mut t = Table::new(
+        "Table 1: Comparison of DMA initiation algorithms (simulated Alpha 3000/300, TurboChannel 12.5 MHz)",
+        &["DMA algorithm", "paper (µs)", "measured (µs)", "ratio", "user instrs"],
+    );
+    for cost in table1(1_000) {
+        t.row_owned(vec![
+            cost.method.name().to_string(),
+            cost.paper_us.map_or("—".into(), |p| format!("{p:.1}")),
+            format!("{:.2}", cost.mean.as_us()),
+            cost.vs_paper().map_or("—".into(), |r| format!("{r:.2}×")),
+            cost.user_instructions
+                .map_or("thousands".into(), |n| n.to_string()),
+        ]);
+    }
+    println!("{t}");
+
+    // The methods the paper describes but does not put in Table 1.
+    let mut extra = Table::new(
+        "Other methods from the paper (same harness)",
+        &["DMA algorithm", "measured (µs)", "kernel-free?"],
+    );
+    for method in [
+        DmaMethod::Shrimp1,
+        DmaMethod::Shrimp2 { patched_kernel: true },
+        DmaMethod::Flash { patched_kernel: true },
+        DmaMethod::Pal,
+        DmaMethod::ExtShadowPairwise,
+        DmaMethod::Repeated3,
+        DmaMethod::Repeated4,
+    ] {
+        let cost = measure_initiation(method, 1_000);
+        extra.row_owned(vec![
+            method.name().to_string(),
+            format!("{:.2}", cost.mean.as_us()),
+            if method.kernel_free() { "yes".into() } else { "no".into() },
+        ]);
+    }
+    println!("{extra}");
+}

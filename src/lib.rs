@@ -1,0 +1,15 @@
+//! Umbrella crate for the udma reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so integration tests in
+//! `tests/` and the runnable `examples/` can reach everything through one
+//! dependency. Library users should depend on the individual crates
+//! (most importantly [`udma`]) directly.
+
+pub use udma;
+pub use udma_bus;
+pub use udma_cpu;
+pub use udma_mem;
+pub use udma_msg;
+pub use udma_nic;
+pub use udma_os;
+pub use udma_workloads;

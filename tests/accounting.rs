@@ -1,0 +1,68 @@
+//! Per-process CPU-time attribution.
+
+use udma::{emit_dma_once, DmaMethod, DmaRequest, Machine, ProcessSpec};
+use udma_bus::SimTime;
+use udma_cpu::{Pid, ProgramBuilder, Reg, RoundRobin};
+
+#[test]
+fn kernel_method_time_is_mostly_kernel_time() {
+    let mut m = Machine::with_method(DmaMethod::Kernel);
+    let pid = m.spawn(&ProcessSpec::two_buffers(), |env| {
+        let req = DmaRequest::new(env.buffer(0).va, env.buffer(1).va, 64);
+        emit_dma_once(env, ProgramBuilder::new(), &req).halt().build()
+    });
+    m.run(10_000);
+    let p = m.executor().process(pid);
+    assert!(p.kernel_time > SimTime::from_us(14), "{}", p.kernel_time);
+    assert!(p.user_time < SimTime::from_us(2), "{}", p.user_time);
+    assert_eq!(p.cpu_time(), p.user_time + p.kernel_time);
+}
+
+#[test]
+fn user_level_method_time_is_all_user_time() {
+    let mut m = Machine::with_method(DmaMethod::ExtShadow);
+    let pid = m.spawn(&ProcessSpec::two_buffers(), |env| {
+        let req = DmaRequest::new(env.buffer(0).va, env.buffer(1).va, 64);
+        emit_dma_once(env, ProgramBuilder::new(), &req).halt().build()
+    });
+    m.run(10_000);
+    let p = m.executor().process(pid);
+    assert_eq!(p.kernel_time, SimTime::ZERO);
+    assert!(p.user_time > SimTime::ZERO);
+}
+
+#[test]
+fn attributed_time_accounts_for_the_run() {
+    // One process, run to completion: attributed time = total time minus
+    // the initial-dispatch bookkeeping (which charges nothing here).
+    let mut m = Machine::with_method(DmaMethod::KeyBased);
+    let pid = m.spawn(&ProcessSpec::two_buffers(), |env| {
+        let req = DmaRequest::new(env.buffer(0).va, env.buffer(1).va, 64);
+        emit_dma_once(env, ProgramBuilder::new(), &req).halt().build()
+    });
+    m.run(10_000);
+    let p = m.executor().process(pid);
+    assert_eq!(p.cpu_time(), m.time());
+}
+
+#[test]
+fn round_robin_shares_time_roughly_equally() {
+    let mut m = Machine::with_method(DmaMethod::Kernel);
+    for _ in 0..2 {
+        m.spawn(&ProcessSpec::default(), |_| {
+            let mut b = ProgramBuilder::new();
+            for _ in 0..300 {
+                b = b.imm(Reg::R1, 1);
+            }
+            b.halt().build()
+        });
+    }
+    m.run_with(&mut RoundRobin::new(10), 100_000);
+    let a = m.executor().process(Pid::new(0)).cpu_time();
+    let b = m.executor().process(Pid::new(1)).cpu_time();
+    let ratio = a.as_ns() / b.as_ns();
+    assert!((0.9..1.1).contains(&ratio), "unfair split: {a} vs {b}");
+    // Attributed time excludes the context-switch overhead, so it is
+    // strictly less than wall time.
+    assert!(a + b < m.time());
+}

@@ -1,0 +1,57 @@
+//! Experiment E10: the §3.1 key-guessing analysis.
+//!
+//! "It would be easier for a malicious process to guess the UNIX password
+//! of another user, rather than to guess a DMA key!"
+
+use udma_workloads::{guess_acceptance, pollution_with_known_key};
+
+#[test]
+fn exhaustive_sweep_of_small_keyspaces_accepts_exactly_one_key() {
+    for bits in [4, 5, 6, 8] {
+        let space = (1u64 << bits) - 1; // keys are nonzero
+        let stats = guess_acceptance(bits, space, 0xBEEF + bits as u64);
+        assert_eq!(
+            stats.accepted, 1,
+            "{bits}-bit sweep: exactly the victim's key must match"
+        );
+        let expected = 1.0 / space as f64;
+        assert!((stats.acceptance_rate() - expected).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn per_guess_acceptance_halves_per_extra_bit() {
+    // With a partial sweep of `n` guesses over a `b`-bit space the hit
+    // count is 1 if the key lies in the first n values, else 0; across
+    // seeds the frequency approaches n/2^b.
+    let mut hits = 0u32;
+    let trials = 40;
+    let bits = 8;
+    let guesses = 64; // a quarter of the space
+    for seed in 0..trials {
+        hits += guess_acceptance(bits, guesses, seed as u64).accepted as u32;
+    }
+    let freq = hits as f64 / trials as f64;
+    let expected = guesses as f64 / ((1u64 << bits) - 1) as f64;
+    assert!(
+        (freq - expected).abs() < 0.2,
+        "observed {freq}, expected ≈{expected}"
+    );
+}
+
+#[test]
+fn realistic_keys_resist_thousands_of_guesses() {
+    // 61-bit keys, 5 000 guesses: the chance of any acceptance is
+    // ~2^-49; observing one would indicate a protocol bug.
+    let stats = guess_acceptance(61, 5_000, 424242);
+    assert_eq!(stats.accepted, 0);
+    assert_eq!(stats.attempts, 5_000);
+}
+
+#[test]
+fn a_correct_key_defeats_the_scheme_entirely() {
+    // The flip side the paper concedes: key possession *is* the
+    // protection. Given the key, the adversary redirects the victim's
+    // transfer and the victim never notices.
+    assert!(pollution_with_known_key());
+}

@@ -1,0 +1,140 @@
+//! Network-of-workstations flows: SHRIMP-1 mapped-out pages whose twins
+//! live on remote cluster nodes (§1, §2.4).
+
+use udma::{BufferSpec, DmaMethod, Machine, MachineConfig, ProcessSpec};
+use udma_cpu::{ProgramBuilder, Reg};
+use udma_mem::{PhysAddr, PAGE_SIZE};
+use udma_nic::{Destination, DMA_FAILURE, DMA_STARTED};
+
+fn now_machine() -> Machine {
+    Machine::new(MachineConfig {
+        remote_nodes: 2,
+        ..MachineConfig::new(DmaMethod::Shrimp1)
+    })
+}
+
+#[test]
+fn remote_mapped_out_send_delivers_bytes() {
+    let mut m = now_machine();
+    let spec = ProcessSpec {
+        buffers: vec![BufferSpec::rw(2)],
+        mapped_out_remote: vec![(0, 1, 0x8000)],
+        ..Default::default()
+    };
+    let pid = m.spawn(&spec, |env| {
+        let s = env.shadow_of(env.addr_in(0, 0x40));
+        ProgramBuilder::new()
+            .store(s.as_u64(), 32u64)
+            .load(Reg::R0, s.as_u64())
+            .halt()
+            .build()
+    });
+    let frame = m.env(pid).buffer(0).first_frame;
+    m.memory()
+        .borrow_mut()
+        .write_bytes(frame.base() + 0x40, b"across the wire, 32 bytes long!!")
+        .unwrap();
+
+    m.run(10_000);
+    assert_eq!(m.reg(pid, Reg::R0), DMA_STARTED);
+
+    let cluster = m.cluster().unwrap();
+    let mut buf = [0u8; 32];
+    // Page 0 of the buffer maps out to node 1 at 0x8000; the in-page
+    // offset is preserved.
+    cluster.borrow().read(1, PhysAddr::new(0x8000 + 0x40), &mut buf).unwrap();
+    assert_eq!(&buf, b"across the wire, 32 bytes long!!");
+
+    let rec = &m.transfers()[0];
+    assert_eq!(rec.remote_node, Some(1));
+    assert_eq!(
+        rec.destination(),
+        Destination::Remote { node: 1, addr: PhysAddr::new(0x8040) }
+    );
+    // Nothing landed on node 0.
+    let mut other = [0u8; 32];
+    cluster.borrow().read(0, PhysAddr::new(0x8040), &mut other).unwrap();
+    assert_eq!(other, [0u8; 32]);
+}
+
+#[test]
+fn second_page_maps_to_the_next_remote_page() {
+    let mut m = now_machine();
+    let spec = ProcessSpec {
+        buffers: vec![BufferSpec::rw(2)],
+        mapped_out_remote: vec![(0, 0, 0x0)],
+        ..Default::default()
+    };
+    let pid = m.spawn(&spec, |env| {
+        let s = env.shadow_of(env.addr_in(0, PAGE_SIZE));
+        ProgramBuilder::new()
+            .store(s.as_u64(), 8u64)
+            .load(Reg::R0, s.as_u64())
+            .halt()
+            .build()
+    });
+    let frame = m.env(pid).buffer(0).first_frame.offset(1);
+    m.memory().borrow_mut().write_u64(frame.base(), 0xFEED).unwrap();
+    m.run(10_000);
+    assert_eq!(m.reg(pid, Reg::R0), DMA_STARTED);
+    let cluster = m.cluster().unwrap();
+    assert_eq!(
+        cluster.borrow().read_u64(0, PhysAddr::new(PAGE_SIZE)).unwrap(),
+        0xFEED
+    );
+}
+
+#[test]
+fn remote_transfer_cannot_cross_the_remote_page() {
+    let mut m = now_machine();
+    let spec = ProcessSpec {
+        buffers: vec![BufferSpec::rw(1)],
+        mapped_out_remote: vec![(0, 0, 0x0)],
+        ..Default::default()
+    };
+    let pid = m.spawn(&spec, |env| {
+        let s = env.shadow_of(env.addr_in(0, PAGE_SIZE - 8));
+        ProgramBuilder::new()
+            .store(s.as_u64(), 64u64) // 64 bytes from 8 before the edge
+            .load(Reg::R0, s.as_u64())
+            .halt()
+            .build()
+    });
+    m.run(10_000);
+    assert_eq!(m.reg(pid, Reg::R0), DMA_FAILURE);
+    assert!(m.transfers().is_empty());
+}
+
+#[test]
+fn remote_arrival_time_follows_the_link_model() {
+    let mut m = now_machine();
+    let spec = ProcessSpec {
+        buffers: vec![BufferSpec::rw(1)],
+        mapped_out_remote: vec![(0, 0, 0x0)],
+        ..Default::default()
+    };
+    m.spawn(&spec, |env| {
+        let s = env.shadow_of(env.buffer(0).va);
+        ProgramBuilder::new().store(s.as_u64(), 4096u64).mb().halt().build()
+    });
+    m.run(10_000);
+    let rec = &m.transfers()[0];
+    let wire = m.config().link.transfer_time(4096);
+    assert_eq!(rec.finished - rec.started, wire);
+    assert!(rec.remaining_at(rec.started) > 0);
+    assert_eq!(rec.remaining_at(rec.finished), 0);
+}
+
+#[test]
+fn local_machines_reject_remote_mapped_out_config() {
+    let result = std::panic::catch_unwind(|| {
+        let mut m = Machine::with_method(DmaMethod::Shrimp1); // no nodes
+        let spec = ProcessSpec {
+            buffers: vec![BufferSpec::rw(1)],
+            mapped_out_remote: vec![(0, 0, 0x0)],
+            ..Default::default()
+        };
+        m.spawn(&spec, |_| ProgramBuilder::new().halt().build());
+    });
+    assert!(result.is_err(), "configuring remote twins without a cluster must panic");
+}

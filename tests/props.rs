@@ -1,0 +1,155 @@
+//! Property-based tests over the whole machine.
+
+use proptest::prelude::*;
+use udma::{emit_dma_once, DmaMethod, DmaRequest, Machine, ProcessSpec};
+use udma_cpu::{FixedSchedule, Pid, ProgramBuilder, Reg};
+use udma_mem::PAGE_SIZE;
+use udma_nic::{Initiator, DMA_FAILURE};
+
+fn user_methods() -> impl Strategy<Value = DmaMethod> {
+    prop_oneof![
+        Just(DmaMethod::KeyBased),
+        Just(DmaMethod::ExtShadow),
+        Just(DmaMethod::Repeated5),
+        Just(DmaMethod::Pal),
+        Just(DmaMethod::Kernel),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any method, any aligned in-page request: the transfer happens
+    /// exactly once, copies exactly the requested bytes, and the status
+    /// says success.
+    #[test]
+    fn any_in_page_request_transfers_exactly(
+        method in user_methods(),
+        src_word in 0u64..(PAGE_SIZE / 8),
+        dst_word in 0u64..(PAGE_SIZE / 8),
+        size_words in 1u64..32,
+    ) {
+        let src_off = src_word * 8;
+        let dst_off = dst_word * 8;
+        let size = (size_words * 8)
+            .min(PAGE_SIZE - src_off)
+            .min(PAGE_SIZE - dst_off);
+        let mut m = Machine::with_method(method);
+        let pid = m.spawn(&ProcessSpec::two_buffers(), |env| {
+            let req = DmaRequest::new(
+                env.buffer(0).va + src_off,
+                env.buffer(1).va + dst_off,
+                size,
+            );
+            emit_dma_once(env, ProgramBuilder::new(), &req).halt().build()
+        });
+        let data: Vec<u8> = (0..size).map(|i| (i * 13 + 5) as u8).collect();
+        let src_frame = m.env(pid).buffer(0).first_frame;
+        let dst_frame = m.env(pid).buffer(1).first_frame;
+        m.memory().borrow_mut().write_bytes(src_frame.base() + src_off, &data).unwrap();
+
+        m.run(10_000);
+
+        prop_assert_ne!(m.reg(pid, Reg::R0), DMA_FAILURE);
+        prop_assert_eq!(m.engine().core().stats().started, 1);
+        let mut got = vec![0u8; size as usize];
+        m.memory().borrow().read_bytes(dst_frame.base() + dst_off, &mut got).unwrap();
+        prop_assert_eq!(got, data);
+    }
+
+    /// Protection invariant: under ANY interleaving of two context-based
+    /// processes, every transfer the engine performs is one that some
+    /// process legitimately requested (its own src page → its own dst
+    /// page).
+    #[test]
+    fn context_methods_never_mix_under_arbitrary_schedules(
+        method in prop_oneof![Just(DmaMethod::KeyBased), Just(DmaMethod::ExtShadow)],
+        schedule_bits in proptest::collection::vec(any::<bool>(), 10..40),
+    ) {
+        let mut m = Machine::with_method(method);
+        for _ in 0..2 {
+            m.spawn(&ProcessSpec::two_buffers(), |env| {
+                let req = DmaRequest::new(env.buffer(0).va, env.buffer(1).va, 64);
+                emit_dma_once(env, ProgramBuilder::new(), &req).halt().build()
+            });
+        }
+        let schedule: Vec<Pid> =
+            schedule_bits.iter().map(|&b| Pid::new(b as u32)).collect();
+        m.run_with(&mut FixedSchedule::new(schedule), 10_000);
+
+        let legit: Vec<_> = (0..2u32)
+            .map(|i| {
+                let env = m.env(Pid::new(i));
+                (env.buffer(0).first_frame, env.buffer(1).first_frame)
+            })
+            .collect();
+        for rec in m.transfers() {
+            prop_assert!(
+                legit.iter().any(|&(s, d)| rec.src.page() == s && rec.dst.page() == d),
+                "foreign transfer {rec:?}"
+            );
+        }
+        // And both processes completed successfully.
+        for i in 0..2u32 {
+            prop_assert_ne!(m.reg(Pid::new(i), Reg::R0), DMA_FAILURE);
+        }
+    }
+
+    /// The kernel path refuses any request that touches unmapped space,
+    /// and never kills the process for it.
+    #[test]
+    fn kernel_dma_rejects_wild_addresses_cleanly(
+        wild in (1u64 << 20)..(1u64 << 40),
+        size in 1u64..65536,
+    ) {
+        let mut m = Machine::with_method(DmaMethod::Kernel);
+        let pid = m.spawn(&ProcessSpec::two_buffers(), |env| {
+            let req = DmaRequest::new(
+                udma_mem::VirtAddr::new(wild & !7),
+                env.buffer(1).va,
+                size,
+            );
+            emit_dma_once(env, ProgramBuilder::new(), &req).halt().build()
+        });
+        m.run(10_000);
+        prop_assert_eq!(m.reg(pid, Reg::R0), DMA_FAILURE);
+        prop_assert_eq!(m.engine().core().stats().started, 0);
+        prop_assert_eq!(m.state(pid), udma_cpu::ProcState::Halted);
+    }
+
+    /// Initiator bookkeeping: user transfers are never attributed to the
+    /// kernel and vice versa.
+    #[test]
+    fn initiator_attribution_is_consistent(
+        method in user_methods(),
+    ) {
+        let mut m = Machine::with_method(method);
+        m.spawn(&ProcessSpec::two_buffers(), |env| {
+            let req = DmaRequest::new(env.buffer(0).va, env.buffer(1).va, 16);
+            emit_dma_once(env, ProgramBuilder::new(), &req).halt().build()
+        });
+        m.run(10_000);
+        for rec in m.transfers() {
+            match method {
+                DmaMethod::Kernel => prop_assert_eq!(rec.initiator, Initiator::Kernel),
+                DmaMethod::KeyBased | DmaMethod::ExtShadow => prop_assert!(
+                    matches!(rec.initiator, Initiator::Context(_))
+                ),
+                _ => prop_assert_eq!(rec.initiator, Initiator::Anonymous),
+            }
+        }
+    }
+
+    /// Simulated time is deterministic and strictly positive, and grows
+    /// with the iteration count.
+    #[test]
+    fn measurement_time_scales_with_iterations(
+        method in user_methods(),
+        n in 2u32..20,
+    ) {
+        let a = udma::measure_initiation(method, n).mean;
+        let b = udma::measure_initiation(method, n).mean;
+        prop_assert_eq!(a, b, "nondeterministic measurement");
+        prop_assert!(a.as_ns() > 0.0);
+    }
+}

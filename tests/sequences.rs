@@ -1,0 +1,123 @@
+//! The compiled initiation sequences match the paper's figures,
+//! instruction for instruction.
+
+use udma::{dma_program, emit_dma, emit_dma_once, DmaMethod, DmaRequest, Machine, ProcessSpec};
+use udma_cpu::{Instr, ProgramBuilder};
+
+/// Compiles one initiation (no retry) for `method` and returns the
+/// instruction kinds as single letters: S(t), L(d), M(b), I(mm), Y
+/// (syscall), P(al), B(ranch), H(alt), A(dd), J(mp), C(ompute).
+fn shape(method: DmaMethod, retry: bool) -> String {
+    let mut m = Machine::with_method(method);
+    let mut spec = ProcessSpec::two_buffers();
+    if method == DmaMethod::Shrimp1 {
+        spec.mapped_out.push((0, 1));
+    }
+    let mut out = String::new();
+    m.spawn(&spec, |env| {
+        let req = DmaRequest::new(env.buffer(0).va, env.buffer(1).va, 64);
+        let prog = if retry {
+            let mut uniq = 0;
+            emit_dma(env, ProgramBuilder::new(), &req, &mut uniq).build()
+        } else {
+            emit_dma_once(env, ProgramBuilder::new(), &req).build()
+        };
+        for ins in prog.instrs() {
+            out.push(match ins {
+                Instr::Store { .. } => 'S',
+                Instr::Load { .. } => 'L',
+                Instr::Mb => 'M',
+                Instr::Imm { .. } => 'I',
+                Instr::Syscall { .. } => 'Y',
+                Instr::CallPal { .. } => 'P',
+                Instr::Beq { .. } | Instr::Bne { .. } => 'B',
+                Instr::Halt => 'H',
+                Instr::Add { .. } | Instr::AddImm { .. } => 'A',
+                Instr::Jmp { .. } => 'J',
+                Instr::Compute { .. } => 'C',
+            });
+        }
+        ProgramBuilder::new().halt().build()
+    });
+    out
+}
+
+#[test]
+fn figure_1_kernel_sequence() {
+    // Three argument loads + the trap.
+    assert_eq!(shape(DmaMethod::Kernel, false), "IIIY");
+}
+
+#[test]
+fn figure_2_and_4_two_access_sequences() {
+    // STORE size TO shadow(vdest); LOAD status FROM shadow(vsource).
+    assert_eq!(shape(DmaMethod::Shrimp2 { patched_kernel: true }, false), "SL");
+    assert_eq!(shape(DmaMethod::Flash { patched_kernel: true }, false), "SL");
+    assert_eq!(shape(DmaMethod::ExtShadow, false), "SL");
+    assert_eq!(shape(DmaMethod::ExtShadowPairwise, false), "SL");
+}
+
+#[test]
+fn figure_3_key_based_sequence() {
+    // Two keyed address stores, the size store, the status load — "the
+    // key-based approach to user-level DMA".
+    assert_eq!(shape(DmaMethod::KeyBased, false), "SSSL");
+}
+
+#[test]
+fn figure_7_five_access_sequence_with_barriers_and_retries() {
+    // STORE, (mb), LOAD, branch, STORE, (mb), LOAD, branch, LOAD, branch.
+    assert_eq!(shape(DmaMethod::Repeated5, true), "SMLBSMLBLB");
+    // The straight-line variant drops the branches, keeps the barriers.
+    assert_eq!(shape(DmaMethod::Repeated5, false), "SMLSMLL");
+}
+
+#[test]
+fn insecure_variants_shapes() {
+    assert_eq!(shape(DmaMethod::Repeated3, false), "LSL");
+    assert_eq!(shape(DmaMethod::Repeated4, false), "SLSL");
+}
+
+#[test]
+fn pal_call_wraps_the_two_accesses() {
+    // Three argument registers + the PAL invocation; the SL pair lives
+    // inside the PAL function.
+    assert_eq!(shape(DmaMethod::Pal, false), "IIIP");
+}
+
+#[test]
+fn shrimp1_single_argument_store() {
+    assert_eq!(shape(DmaMethod::Shrimp1, false), "SL");
+}
+
+#[test]
+fn user_instruction_claim_of_the_paper() {
+    // "a DMA operation can be initiated in only 2-5 assembly
+    // instructions": count the *accesses + data-register setup* of each
+    // kernel-free method's straight-line form.
+    for (method, max) in [
+        (DmaMethod::ExtShadow, 2),
+        (DmaMethod::ExtShadowPairwise, 2),
+        (DmaMethod::KeyBased, 4),
+        (DmaMethod::Repeated5, 5),
+    ] {
+        let s = shape(method, false);
+        let accesses = s.chars().filter(|&c| c == 'S' || c == 'L').count();
+        assert_eq!(accesses, max, "{method}: {s}");
+    }
+}
+
+#[test]
+fn dma_program_concatenates_and_halts() {
+    let mut m = Machine::with_method(DmaMethod::ExtShadow);
+    m.spawn(&ProcessSpec::two_buffers(), |env| {
+        let r1 = DmaRequest::new(env.buffer(0).va, env.buffer(1).va, 8);
+        let r2 = DmaRequest::new(env.buffer(0).va + 8, env.buffer(1).va + 8, 8);
+        let prog = dma_program(env, &[r1, r2]);
+        assert_eq!(prog.len(), 5); // SL SL H
+        assert_eq!(prog.instrs().last(), Some(&Instr::Halt));
+        prog
+    });
+    m.run(10_000);
+    assert_eq!(m.engine().core().stats().started, 2);
+}

@@ -1,0 +1,95 @@
+//! Experiment E1: Table 1's shape must reproduce — who wins, by roughly
+//! what factor, in which order.
+
+use udma::{measure_initiation, table1, DmaMethod};
+
+#[test]
+fn table1_reproduces_within_tolerance() {
+    // The paper's absolute numbers, measured on the simulated testbed.
+    // We require every comparable row within 15% of the paper.
+    for cost in table1(1_000) {
+        let paper = cost.paper_us.expect("table1 rows have paper numbers");
+        let ours = cost.mean.as_us();
+        let err = (ours - paper).abs() / paper;
+        assert!(
+            err < 0.15,
+            "{}: measured {ours:.2} µs vs paper {paper} µs ({:.0}% off)",
+            cost.method,
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn user_level_methods_are_an_order_of_magnitude_faster() {
+    // "All user-level DMA methods perform about an order of magnitude
+    // better than the kernel-based DMA."
+    let rows = table1(500);
+    let kernel = rows[0].mean;
+    assert_eq!(rows[0].method, DmaMethod::Kernel);
+    for row in &rows[1..] {
+        let speedup = kernel.as_ns() / row.mean.as_ns();
+        assert!(
+            speedup > 6.0,
+            "{}: only {speedup:.1}× faster than kernel DMA",
+            row.method
+        );
+    }
+}
+
+#[test]
+fn method_ordering_matches_the_paper() {
+    // "Best of all methods is the Extended Shadow Addressing … The other
+    // user-level DMA methods take 2.3–2.6 microseconds."
+    let ext = measure_initiation(DmaMethod::ExtShadow, 500).mean;
+    let key = measure_initiation(DmaMethod::KeyBased, 500).mean;
+    let rep5 = measure_initiation(DmaMethod::Repeated5, 500).mean;
+    let kernel = measure_initiation(DmaMethod::Kernel, 300).mean;
+    assert!(ext < key, "ext {ext} !< key {key}");
+    assert!(key < rep5, "key {key} !< rep5 {rep5}");
+    assert!(rep5 < kernel, "rep5 {rep5} !< kernel {kernel}");
+}
+
+#[test]
+fn access_counts_explain_the_costs() {
+    // The 2-access method is roughly half the 4-access method, which is
+    // a bit under the 5-access one — cost is bus transactions, not CPU.
+    let ext = measure_initiation(DmaMethod::ExtShadow, 500).mean.as_ns();
+    let key = measure_initiation(DmaMethod::KeyBased, 500).mean.as_ns();
+    let rep5 = measure_initiation(DmaMethod::Repeated5, 500).mean.as_ns();
+    let key_ratio = key / ext;
+    let rep_ratio = rep5 / ext;
+    assert!((1.7..=2.6).contains(&key_ratio), "key/ext = {key_ratio:.2}");
+    assert!((2.2..=3.2).contains(&rep_ratio), "rep5/ext = {rep_ratio:.2}");
+}
+
+#[test]
+fn reported_instruction_counts_match_the_paper_claim() {
+    // "A DMA operation can be initiated in only 2–5 assembly
+    // instructions all issued from user level."
+    let rows = table1(100);
+    assert_eq!(rows[0].user_instructions, None); // kernel: thousands
+    for row in &rows[1..] {
+        let n = row.user_instructions.expect("user methods have counts");
+        assert!((2..=5).contains(&n), "{}: {n}", row.method);
+    }
+}
+
+#[test]
+fn kernel_cost_tracks_the_empty_syscall() {
+    // "Kernel level DMA costs close to 19 µs, which is a little more
+    // than the cost of an empty system call on this workstation."
+    let kernel = measure_initiation(DmaMethod::Kernel, 300).mean.as_us();
+    let syscall = udma_cpu::CostModel::alpha_3000_300()
+        .syscall_round_trip()
+        .as_us();
+    assert!(kernel > syscall);
+    assert!(kernel < syscall * 1.5, "kernel {kernel} ≫ syscall {syscall}");
+}
+
+#[test]
+fn measurement_is_deterministic() {
+    let a = measure_initiation(DmaMethod::KeyBased, 200).mean;
+    let b = measure_initiation(DmaMethod::KeyBased, 200).mean;
+    assert_eq!(a, b);
+}

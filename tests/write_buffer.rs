@@ -1,0 +1,124 @@
+//! The footnote-6 hazard: write buffers collapse repeated same-address
+//! stores, and memory barriers are what keep the repeated-passing
+//! protocol's accesses visible to the engine (§3.4: "a memory barrier was
+//! used to make sure that repeated accesses to the same address were not
+//! collapsed in (or serviced by) the write buffer").
+
+use udma::{emit_dma_once, DmaMethod, DmaRequest, Machine, MachineConfig, ProcessSpec};
+use udma_bus::WriteBufferPolicy;
+use udma_cpu::{ProgramBuilder, Reg};
+use udma_nic::DMA_FAILURE;
+
+#[test]
+fn back_to_back_stores_to_one_shadow_address_collapse() {
+    let mut m = Machine::with_method(DmaMethod::Repeated5);
+    m.spawn(&ProcessSpec::two_buffers(), |env| {
+        let dst = env.shadow_of(env.buffer(1).va).as_u64();
+        // Two stores, no barrier, then a barrier to drain.
+        ProgramBuilder::new()
+            .store(dst, 64u64)
+            .store(dst, 64u64)
+            .mb()
+            .halt()
+            .build()
+    });
+    m.run(1_000);
+    // The engine saw ONE store: the second was merged in the buffer.
+    assert_eq!(m.bus().stats().device_writes, 1);
+    assert_eq!(m.executor().write_buffer().collapsed_count(), 1);
+}
+
+#[test]
+fn barriers_make_both_stores_visible() {
+    let mut m = Machine::with_method(DmaMethod::Repeated5);
+    m.spawn(&ProcessSpec::two_buffers(), |env| {
+        let dst = env.shadow_of(env.buffer(1).va).as_u64();
+        ProgramBuilder::new()
+            .store(dst, 64u64)
+            .mb()
+            .store(dst, 64u64)
+            .mb()
+            .halt()
+            .build()
+    });
+    m.run(1_000);
+    assert_eq!(m.bus().stats().device_writes, 2);
+    assert_eq!(m.executor().write_buffer().collapsed_count(), 0);
+}
+
+#[test]
+fn ram_loads_can_be_serviced_by_the_buffer_device_loads_cannot() {
+    let mut m = Machine::with_method(DmaMethod::Repeated5);
+    m.spawn(&ProcessSpec::two_buffers(), |env| {
+        let data = env.buffer(0).va.as_u64();
+        ProgramBuilder::new()
+            .store(data, 0xAAu64)
+            .load(Reg::R1, data) // forwarded: no bus read
+            .halt()
+            .build()
+    });
+    m.run(1_000);
+    assert_eq!(m.executor().write_buffer().serviced_count(), 1);
+    assert_eq!(m.bus().stats().ram_reads, 0);
+}
+
+#[test]
+fn five_instruction_protocol_fails_when_collapsing_eats_an_access() {
+    // An (incorrect) variant without the intermediate source loads: two
+    // adjacent stores collapse, the engine never sees a 5-sequence, and
+    // the final status load reports failure. This is exactly the bug the
+    // paper's barriers prevent.
+    let mut m = Machine::with_method(DmaMethod::Repeated5);
+    let pid = m.spawn(&ProcessSpec::two_buffers(), |env| {
+        let dst = env.shadow_of(env.buffer(1).va).as_u64();
+        let src = env.shadow_of(env.buffer(0).va).as_u64();
+        ProgramBuilder::new()
+            .store(dst, 64u64)
+            .store(dst, 64u64) // collapses into the first
+            .load(Reg::R4, src)
+            .load(Reg::R4, src)
+            .load(Reg::R0, dst)
+            .halt()
+            .build()
+    });
+    m.run(1_000);
+    assert_eq!(m.reg(pid, Reg::R0), DMA_FAILURE);
+    assert_eq!(m.engine().core().stats().started, 0);
+}
+
+#[test]
+fn disabled_write_buffer_still_runs_every_method_correctly() {
+    // Ablation: with a pass-through buffer (no collapsing, no
+    // forwarding), all protocols behave identically — the buffer is a
+    // performance artefact, not a correctness dependency.
+    for method in [DmaMethod::KeyBased, DmaMethod::ExtShadow, DmaMethod::Repeated5] {
+        let mut m = Machine::new(MachineConfig {
+            wb_policy: WriteBufferPolicy::disabled(),
+            ..MachineConfig::new(method)
+        });
+        let pid = m.spawn(&ProcessSpec::two_buffers(), |env| {
+            let req = DmaRequest::new(env.buffer(0).va, env.buffer(1).va, 64);
+            emit_dma_once(env, ProgramBuilder::new(), &req).halt().build()
+        });
+        m.run(10_000);
+        assert_ne!(m.reg(pid, Reg::R0), DMA_FAILURE, "{method}");
+        assert_eq!(m.engine().core().stats().started, 1, "{method}");
+    }
+}
+
+#[test]
+fn collapsing_buffer_does_not_break_the_barriered_figure_7_sequence() {
+    // The shipped Repeated5 sequence (with barriers) survives an
+    // aggressive 16-entry collapsing buffer.
+    let mut m = Machine::new(MachineConfig {
+        wb_policy: WriteBufferPolicy { capacity: 16, ..WriteBufferPolicy::default() },
+        ..MachineConfig::new(DmaMethod::Repeated5)
+    });
+    let pid = m.spawn(&ProcessSpec::two_buffers(), |env| {
+        let req = DmaRequest::new(env.buffer(0).va, env.buffer(1).va, 64);
+        emit_dma_once(env, ProgramBuilder::new(), &req).halt().build()
+    });
+    m.run(10_000);
+    assert_ne!(m.reg(pid, Reg::R0), DMA_FAILURE);
+    assert_eq!(m.engine().core().stats().started, 1);
+}
