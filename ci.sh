@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Hermetic CI: everything here runs fully offline — the workspace has no
+# crates.io dependencies (see crates/testkit and DESIGN.md).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests (workspace, offline) =="
+cargo test -q --offline --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== experiments smoke =="
+cargo run --release --offline -p udma-bench --bin experiments -- --smoke > /dev/null
+echo "smoke OK"
+
+echo "== CI green =="

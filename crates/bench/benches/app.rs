@@ -1,13 +1,12 @@
 //! Application-level benchmarks: the `udma-msg` channel (throughput and
 //! ping-pong) built on the library, per initiation method.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
 use udma::DmaMethod;
 use udma_msg::{measure_messaging, measure_pingpong, ChannelConfig};
+use udma_testkit::bench::{run_target, BenchConfig, NamedBench};
 
-fn bench_messaging(c: &mut Criterion) {
+fn main() {
     let cfg = ChannelConfig { slots: 4, payload_words: 16 };
     for method in [DmaMethod::Kernel, DmaMethod::ExtShadow, DmaMethod::Repeated5] {
         let cost = measure_messaging(method, &cfg, 24);
@@ -17,17 +16,6 @@ fn bench_messaging(c: &mut Criterion) {
             cost.per_message.as_us()
         );
     }
-    let mut group = c.benchmark_group("messaging");
-    for method in [DmaMethod::Kernel, DmaMethod::ExtShadow] {
-        let label = method.name().replace([' ', '(', ')', '.', ',', ':'], "_");
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(measure_messaging(black_box(method), &cfg, 12)))
-        });
-    }
-    group.finish();
-}
-
-fn bench_pingpong(c: &mut Criterion) {
     for cost in udma_msg::pingpong_comparison(16) {
         println!(
             "ping-pong via {:<34} {:.2} µs round trip",
@@ -35,14 +23,29 @@ fn bench_pingpong(c: &mut Criterion) {
             cost.round_trip.as_us()
         );
     }
-    c.bench_function("pingpong_ext_shadow", |b| {
-        b.iter(|| black_box(measure_pingpong(DmaMethod::ExtShadow, 8)))
-    });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(8));
-    targets = bench_messaging, bench_pingpong
+    let timed = [DmaMethod::Kernel, DmaMethod::ExtShadow];
+    let labels: Vec<String> = timed
+        .iter()
+        .map(|m| format!("messaging/{}", m.name().replace([' ', '(', ')', '.', ',', ':'], "_")))
+        .collect();
+    let mut benches: Vec<NamedBench<'_>> = timed
+        .iter()
+        .zip(&labels)
+        .map(|(&method, label)| {
+            (
+                label.as_str(),
+                Box::new(move || {
+                    black_box(measure_messaging(black_box(method), &cfg, 12));
+                }) as Box<dyn FnMut()>,
+            )
+        })
+        .collect();
+    benches.push((
+        "pingpong_ext_shadow",
+        Box::new(|| {
+            black_box(measure_pingpong(DmaMethod::ExtShadow, 8));
+        }),
+    ));
+    run_target("app", BenchConfig::iters(10), benches);
 }
-criterion_main!(benches);

@@ -1,30 +1,22 @@
 //! E1/E2 — Table 1 and the kernel-path decomposition.
 //!
-//! Each Criterion target simulates a batch of initiations under one
-//! method; the *simulated* per-initiation cost (the paper's number) is
-//! printed once per target, and Criterion tracks the simulator's own
-//! wall-clock throughput.
+//! Each target simulates a batch of initiations under one method; the
+//! *simulated* per-initiation cost (the paper's number) is printed once
+//! per target, and the testkit timer tracks the simulator's own
+//! wall-clock throughput (`BENCH` lines + `target/bench-json/`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
 use udma::{measure_initiation, DmaMethod};
 use udma_bench::format_row;
+use udma_testkit::bench::{run_target, BenchConfig};
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
+fn main() {
+    let mut benches: Vec<(String, DmaMethod)> = Vec::new();
     for method in DmaMethod::TABLE1 {
         println!("{}", format_row(&measure_initiation(method, 1_000)));
         let label = method.name().replace([' ', '(', ')', '.', ','], "_");
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(measure_initiation(black_box(method), 100)))
-        });
+        benches.push((format!("table1/{label}"), method));
     }
-    group.finish();
-}
-
-fn bench_other_methods(c: &mut Criterion) {
-    let mut group = c.benchmark_group("other_methods");
     for method in [
         DmaMethod::Shrimp1,
         DmaMethod::Shrimp2 { patched_kernel: true },
@@ -35,16 +27,22 @@ fn bench_other_methods(c: &mut Criterion) {
     ] {
         println!("{}", format_row(&measure_initiation(method, 1_000)));
         let label = method.name().replace([' ', '(', ')', '.', ',', ':'], "_");
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(measure_initiation(black_box(method), 100)))
-        });
+        benches.push((format!("other_methods/{label}"), method));
     }
-    group.finish();
+    run_target(
+        "initiation",
+        BenchConfig::iters(20),
+        benches
+            .iter()
+            .map(|(name, method)| {
+                let method = *method;
+                (
+                    name.as_str(),
+                    Box::new(move || {
+                        black_box(measure_initiation(black_box(method), 100));
+                    }) as Box<dyn FnMut()>,
+                )
+            })
+            .collect(),
+    );
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(5));
-    targets = bench_table1, bench_other_methods
-}
-criterion_main!(benches);

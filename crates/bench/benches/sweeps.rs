@@ -1,59 +1,56 @@
 //! E7–E10 — parameter sweeps: bus frequency, message-size crossover,
 //! atomic operations, key guessing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
 use udma::{crossover_rows, measure_initiation, DmaMethod};
 use udma_nic::LinkModel;
+use udma_testkit::bench::{run_target, BenchConfig};
 use udma_workloads::{atomic_comparison, bus_sweep, guess_acceptance};
 
-fn bench_bus_sweep(c: &mut Criterion) {
+fn main() {
     for row in bus_sweep(DmaMethod::ExtShadow, &[12, 25, 33, 50, 66], 500) {
         println!("E7 ext-shadow @ {:>2} MHz bus: {:.2} µs", row.bus_mhz, row.mean.as_us());
     }
-    c.bench_function("E7_bus_sweep", |b| {
-        b.iter(|| black_box(bus_sweep(DmaMethod::ExtShadow, &[12, 33, 66], 100)))
-    });
-}
-
-fn bench_crossover(c: &mut Criterion) {
-    let kernel = measure_initiation(DmaMethod::Kernel, 300).mean;
-    let user = measure_initiation(DmaMethod::ExtShadow, 300).mean;
-    c.bench_function("E8_crossover_analysis", |b| {
-        b.iter(|| {
-            black_box(crossover_rows(
-                kernel,
-                user,
-                LinkModel::gigabit(),
-                &[64, 512, 4096, 32768, 262144],
-            ))
-        })
-    });
-}
-
-fn bench_atomics(c: &mut Criterion) {
     for (method, t) in atomic_comparison(500) {
         println!("E9 atomic via {:<26}: {:.2} µs", method.name(), t.as_us());
     }
-    c.bench_function("E9_atomic_comparison", |b| {
-        b.iter(|| black_box(atomic_comparison(100)))
-    });
+    let kernel = measure_initiation(DmaMethod::Kernel, 300).mean;
+    let user = measure_initiation(DmaMethod::ExtShadow, 300).mean;
+    run_target(
+        "sweeps",
+        BenchConfig::iters(10),
+        vec![
+            (
+                "E7_bus_sweep",
+                Box::new(|| {
+                    black_box(bus_sweep(DmaMethod::ExtShadow, &[12, 33, 66], 100));
+                }) as Box<dyn FnMut()>,
+            ),
+            (
+                "E8_crossover_analysis",
+                Box::new(move || {
+                    black_box(crossover_rows(
+                        kernel,
+                        user,
+                        LinkModel::gigabit(),
+                        &[64, 512, 4096, 32768, 262144],
+                    ));
+                }),
+            ),
+            (
+                "E9_atomic_comparison",
+                Box::new(|| {
+                    black_box(atomic_comparison(100));
+                }),
+            ),
+            (
+                "E10_key_guess_sweep",
+                Box::new(|| {
+                    let stats = guess_acceptance(16, 1_000, 7);
+                    assert_eq!(stats.accepted, 0);
+                    black_box(stats.attempts);
+                }),
+            ),
+        ],
+    );
 }
-
-fn bench_key_guessing(c: &mut Criterion) {
-    c.bench_function("E10_key_guess_sweep", |b| {
-        b.iter(|| {
-            let stats = guess_acceptance(16, 1_000, 7);
-            assert_eq!(stats.accepted, 0);
-            black_box(stats.attempts)
-        })
-    });
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(8));
-    targets = bench_bus_sweep, bench_crossover, bench_atomics, bench_key_guessing
-}
-criterion_main!(benches);

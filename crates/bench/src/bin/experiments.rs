@@ -4,6 +4,10 @@
 //! ```text
 //! cargo run --release -p udma-bench --bin experiments
 //! ```
+//!
+//! `--smoke` runs a reduced-iteration subset (a CI health check that the
+//! simulator, the explorations and the measurement plumbing still work —
+//! not a report to publish numbers from).
 
 use udma::{
     crossover_rows, explore, measure_initiation, os_bound_message_size, table1, DmaMethod, Table,
@@ -16,12 +20,12 @@ use udma_workloads::{
     AdversaryKind, AttackScenario,
 };
 
-fn e1_table1() {
+fn e1_table1(iters: u32) {
     let mut t = Table::new(
         "E1 — Table 1: comparison of DMA initiation algorithms",
         &["DMA algorithm", "paper (µs)", "measured (µs)", "measured/paper", "user instrs"],
     );
-    for c in table1(1_000) {
+    for c in table1(iters) {
         t.row_owned(vec![
             c.method.name().to_string(),
             c.paper_us.map_or("—".into(), |p| format!("{p:.1}")),
@@ -159,9 +163,9 @@ fn e7_bus_sweep() {
     println!("{t}");
 }
 
-fn e8_crossover() {
-    let kernel = measure_initiation(DmaMethod::Kernel, 500).mean;
-    let user = measure_initiation(DmaMethod::ExtShadow, 500).mean;
+fn e8_crossover(iters: u32) {
+    let kernel = measure_initiation(DmaMethod::Kernel, iters).mean;
+    let user = measure_initiation(DmaMethod::ExtShadow, iters).mean;
     let mut t = Table::new(
         "E8 — OS-bound message size per network generation (intro trend)",
         &["link", "kernel init", "OS-bound up to (bytes)", "speedup @256B", "speedup @64KiB"],
@@ -184,12 +188,12 @@ fn e8_crossover() {
     println!("{t}");
 }
 
-fn e9_atomics() {
+fn e9_atomics(iters: u32) {
     let mut t = Table::new(
         "E9 — §3.5 atomic operations (atomic_add, mean of 500)",
         &["path", "measured (µs)"],
     );
-    for (method, time) in atomic_comparison(500) {
+    for (method, time) in atomic_comparison(iters) {
         t.row_owned(vec![method.name().to_string(), format!("{:.2}", time.as_us())]);
     }
     println!("{t}");
@@ -405,19 +409,19 @@ fn pingpong_latency() {
     println!("{t}");
 }
 
-fn microbench_host() {
+fn microbench_host(iters: u32) {
     let mut t = Table::new(
         "Host microbenchmarks (lmbench-style, on the simulated Alpha 3000/300)",
         &["primitive", "measured", "paper/model reference"],
     );
     t.row_owned(vec![
         "empty syscall".into(),
-        format!("{:.2} µs", empty_syscall(500).as_us()),
+        format!("{:.2} µs", empty_syscall(iters).as_us()),
         "1 000–5 000 cycles (lmbench, cited in §2.2) = 6.7–33 µs @150 MHz".into(),
     ]);
     t.row_owned(vec![
         "context switch".into(),
-        format!("{:.2} µs", context_switch(300).as_us()),
+        format!("{:.2} µs", context_switch(iters.min(300)).as_us()),
         "model constant 1 800 cycles = 12 µs".into(),
     ]);
     t.row_owned(vec![
@@ -425,7 +429,7 @@ fn microbench_host() {
         format!("{:.0} ns", tlb_miss(64, 4).as_ns()),
         "model constant 30 cycles = 200 ns".into(),
     ]);
-    let (hot, cold) = dcache_effect(400);
+    let (hot, cold) = dcache_effect(iters.min(400));
     t.row_owned(vec![
         "cacheable load, hot / thrashing".into(),
         format!("{:.0} ns / {:.0} ns", hot.as_ns(), cold.as_ns()),
@@ -435,14 +439,28 @@ fn microbench_host() {
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        // A fast end-to-end health check for CI: one representative
+        // experiment per subsystem (measurement, exploration, sweeps,
+        // keys, application layer), at reduced iteration counts.
+        println!("# udma reproduction — smoke report (reduced iterations)\n");
+        e1_table1(50);
+        e4_e5_e6_attacks();
+        e8_crossover(50);
+        e9_atomics(50);
+        e10_key_guessing();
+        microbench_host(50);
+        return;
+    }
     println!("# udma reproduction — experiment report\n");
-    e1_table1();
+    e1_table1(1_000);
     e2_kernel_decomposition();
     e3_races();
     e4_e5_e6_attacks();
     e7_bus_sweep();
-    e8_crossover();
-    e9_atomics();
+    e8_crossover(500);
+    e9_atomics(500);
     e10_key_guessing();
     contention_extra();
     transfer_latency();
@@ -453,5 +471,5 @@ fn main() {
     ablation_contexts();
     messaging_layer();
     pingpong_latency();
-    microbench_host();
+    microbench_host(500);
 }

@@ -2,9 +2,10 @@
 //!
 //! The interesting numbers of this reproduction are *simulated* times
 //! (the machine's picosecond clock), printed by the `experiments` binary
-//! as the paper's tables. The Criterion benches additionally measure the
-//! *simulator's* wall-clock throughput, so regressions in the model
-//! itself are caught.
+//! as the paper's tables. The bench targets (harness-free binaries built
+//! on `udma_testkit::bench`) additionally measure the *simulator's*
+//! wall-clock throughput, so regressions in the model itself are caught;
+//! each emits `BENCH {json}` lines and a `target/bench-json/` file.
 
 #![forbid(unsafe_code)]
 

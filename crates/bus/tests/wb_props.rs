@@ -1,7 +1,9 @@
 //! Property tests for the write buffer: whatever the policy, memory
 //! semantics are preserved.
 
-use proptest::prelude::*;
+use udma_testkit::prop::{any, vec, Strategy};
+use udma_testkit::{prop_assert, prop_assert_eq, props};
+
 use udma_bus::{PendingStore, WriteBuffer, WriteBufferPolicy};
 use udma_mem::PhysAddr;
 
@@ -13,7 +15,7 @@ struct Op {
 }
 
 fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
+    vec(
         (0u64..8, any::<u64>(), any::<bool>()).prop_map(|(a, data, is_store)| Op {
             addr: a * 8,
             data,
@@ -40,12 +42,11 @@ fn reference_memory(ops: &[Op]) -> std::collections::HashMap<u64, u64> {
     mem
 }
 
-proptest! {
+props! {
     /// Single-processor consistency: after draining, the combination of
     /// retired stores (in retirement order) equals the reference memory,
     /// regardless of policy. Collapsing may *remove* intermediate values
     /// but never reorders same-address stores or loses the final value.
-    #[test]
     fn drain_preserves_final_memory_state(ops in ops(), policy in policies()) {
         let mut wb = WriteBuffer::new(policy);
         let mut retired: Vec<PendingStore> = Vec::new();
@@ -74,7 +75,6 @@ proptest! {
 
     /// Store-to-load forwarding always returns the program-order value of
     /// the most recent store to that address, when it forwards at all.
-    #[test]
     fn forwarding_returns_program_order_value(ops in ops()) {
         let policy = WriteBufferPolicy { capacity: 64, ..WriteBufferPolicy::default() };
         let mut wb = WriteBuffer::new(policy);
@@ -95,9 +95,8 @@ proptest! {
     }
 
     /// FIFO order among distinct addresses survives any collapse pattern.
-    #[test]
     fn distinct_addresses_retire_in_issue_order(
-        addrs in proptest::collection::vec(0u64..32, 1..24),
+        addrs in vec(0u64..32, 1..24),
     ) {
         let mut wb = WriteBuffer::new(WriteBufferPolicy {
             capacity: 64,

@@ -7,11 +7,16 @@
 //! build a fresh machine per schedule, run it under a
 //! [`udma_cpu::FixedSchedule`], and evaluate a safety predicate on the
 //! final state.
+//!
+//! The schedule spaces come from [`udma_testkit::sched`]: exhaustive
+//! merge-order enumeration while the space fits a budget, seeded-random
+//! sampling beyond it, so every exploration is deterministic and
+//! replayable.
 
 use crate::Machine;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use udma_cpu::{interleaving_count, interleavings, FixedSchedule, Pid};
+use udma_cpu::{FixedSchedule, Pid};
+use udma_testkit::sched;
+pub use udma_testkit::sched::Budget;
 
 /// One schedule on which the predicate fired.
 #[derive(Clone, Debug)]
@@ -40,7 +45,33 @@ impl<R> ExploreReport<R> {
     }
 }
 
-/// Exhaustively explores every interleaving of the machine's processes.
+/// Static per-process instruction counts of the machine `factory` builds.
+fn process_lens(factory: &impl Fn() -> Machine) -> Vec<usize> {
+    factory()
+        .executor()
+        .processes()
+        .iter()
+        .map(|p| p.program().len())
+        .collect()
+}
+
+/// Runs one schedule (as process indices) and evaluates the predicate.
+fn run_schedule<R>(
+    factory: &impl Fn() -> Machine,
+    max_steps: u64,
+    indices: &[usize],
+    check: &impl Fn(&Machine) -> Option<R>,
+) -> Option<(Vec<Pid>, R)> {
+    let schedule: Vec<Pid> = indices.iter().map(|&i| Pid::new(i as u32)).collect();
+    let mut m = factory();
+    let mut sched = FixedSchedule::new(schedule.clone());
+    m.run_with(&mut sched, max_steps);
+    check(&m).map(|detail| (schedule, detail))
+}
+
+/// Explores under an explicit [`Budget`]: every interleaving of the
+/// machine's processes while the space fits `budget.exhaustive`, else
+/// `budget.sampled` seeded-random schedules.
 ///
 /// `factory` must build the same machine each time (same processes, same
 /// programs). The schedule space is every merge order of the processes'
@@ -51,47 +82,51 @@ impl<R> ExploreReport<R> {
 ///
 /// `check` inspects the finished machine and returns `Some(detail)` on a
 /// violation.
+pub fn explore_bounded<R>(
+    factory: impl Fn() -> Machine,
+    max_steps: u64,
+    budget: Budget,
+    check: impl Fn(&Machine) -> Option<R>,
+) -> ExploreReport<R> {
+    let lens = process_lens(&factory);
+    let outcome = sched::explore(&lens, budget, |indices| {
+        run_schedule(&factory, max_steps, indices, &check)
+    });
+    ExploreReport {
+        schedules: outcome.schedules,
+        exhaustive: outcome.exhaustive,
+        findings: outcome
+            .findings
+            .into_iter()
+            .map(|(_, (schedule, detail))| Finding { schedule, detail })
+            .collect(),
+    }
+}
+
+/// Exhaustively explores every interleaving of the machine's processes
+/// (see [`explore_bounded`] for the machine-building contract).
 ///
 /// # Panics
 ///
 /// Panics if the interleaving space exceeds the enumeration cap; use
-/// [`explore_sampled`] for large spaces.
+/// [`explore_bounded`] or [`explore_sampled`] for large spaces.
 pub fn explore<R>(
     factory: impl Fn() -> Machine,
     max_steps: u64,
     check: impl Fn(&Machine) -> Option<R>,
 ) -> ExploreReport<R> {
-    let probe = factory();
-    let lens: Vec<usize> = probe
-        .executor()
-        .processes()
-        .iter()
-        .map(|p| p.program().len())
-        .collect();
-    let mut report = ExploreReport { schedules: 0, exhaustive: true, findings: Vec::new() };
-    for inter in interleavings(&lens) {
-        let schedule: Vec<Pid> = inter.iter().map(|&i| Pid::new(i as u32)).collect();
-        let mut m = factory();
-        let mut sched = FixedSchedule::new(schedule.clone());
-        m.run_with(&mut sched, max_steps);
-        report.schedules += 1;
-        if let Some(detail) = check(&m) {
-            report.findings.push(Finding { schedule, detail });
-        }
-    }
-    report
+    let lens = process_lens(&factory);
+    let space = sched::interleaving_count(&lens);
+    assert!(
+        space <= 20_000_000,
+        "{space} interleavings is too many to enumerate; use explore_bounded"
+    );
+    explore_bounded(factory, max_steps, Budget { exhaustive: space as u64, sampled: 0, seed: 0 }, check)
 }
 
 /// Number of schedules [`explore`] would run for this machine.
 pub fn schedule_space(factory: impl Fn() -> Machine) -> u128 {
-    let probe = factory();
-    let lens: Vec<usize> = probe
-        .executor()
-        .processes()
-        .iter()
-        .map(|p| p.program().len())
-        .collect();
-    interleaving_count(&lens)
+    sched::interleaving_count(&process_lens(&factory))
 }
 
 /// Randomly samples `samples` schedules from the interleaving space
@@ -103,44 +138,7 @@ pub fn explore_sampled<R>(
     seed: u64,
     check: impl Fn(&Machine) -> Option<R>,
 ) -> ExploreReport<R> {
-    let probe = factory();
-    let lens: Vec<usize> = probe
-        .executor()
-        .processes()
-        .iter()
-        .map(|p| p.program().len())
-        .collect();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut report = ExploreReport { schedules: 0, exhaustive: false, findings: Vec::new() };
-    for _ in 0..samples {
-        // Uniform merge order: repeatedly pick a process with remaining
-        // instructions, weighted by how many it has left.
-        let mut remaining = lens.clone();
-        let mut schedule = Vec::with_capacity(remaining.iter().sum());
-        let mut left: usize = remaining.iter().sum();
-        while left > 0 {
-            let mut pick = rng.gen_range(0..left);
-            let mut chosen = 0;
-            for (i, &r) in remaining.iter().enumerate() {
-                if pick < r {
-                    chosen = i;
-                    break;
-                }
-                pick -= r;
-            }
-            remaining[chosen] -= 1;
-            left -= 1;
-            schedule.push(Pid::new(chosen as u32));
-        }
-        let mut m = factory();
-        let mut sched = FixedSchedule::new(schedule.clone());
-        m.run_with(&mut sched, max_steps);
-        report.schedules += 1;
-        if let Some(detail) = check(&m) {
-            report.findings.push(Finding { schedule, detail });
-        }
-    }
-    report
+    explore_bounded(factory, max_steps, Budget { exhaustive: 0, sampled: samples, seed }, check)
 }
 
 #[cfg(test)]
@@ -211,6 +209,20 @@ mod tests {
             let ones = f.schedule.iter().filter(|p| p.as_u32() == 1).count();
             assert_eq!(zeros, 3);
             assert_eq!(ones, 3);
+        }
+    }
+
+    #[test]
+    fn bounded_explore_goes_exhaustive_within_budget_and_samples_beyond() {
+        let exhaustive = explore_bounded(factory, 1_000, Budget::new(100, 0), |_| Some(()));
+        assert!(exhaustive.exhaustive);
+        assert_eq!(exhaustive.schedules, 20);
+
+        let sampled = explore_bounded(factory, 1_000, Budget::new(5, 42), |_| Some(()));
+        assert!(!sampled.exhaustive);
+        assert_eq!(sampled.schedules, 5);
+        for f in &sampled.findings {
+            assert_eq!(f.schedule.len(), 6, "sampled schedules are full merge orders");
         }
     }
 }

@@ -8,7 +8,7 @@ use crate::machine::PAL_DMA;
 use crate::{DmaMethod, DmaRequest, ProcessEnv};
 use udma_cpu::{ProgramBuilder, Reg};
 use udma_mem::VirtAddr;
-use udma_nic::{regs, AtomicOp, DMA_FAILURE};
+use udma_nic::{regs, AtomicOp, DMA_FAILURE, DMA_STARTED};
 use udma_os::{SYS_ATOMIC, SYS_DMA};
 
 /// A user-level atomic operation request (§3.5).
@@ -104,7 +104,12 @@ pub fn emit_dma(
         }
         // Figure 7, verbatim — including the memory barriers §3.4 says
         // the measurement used so the write buffer cannot collapse the
-        // repeated stores.
+        // repeated stores. The final load must observe DMA_STARTED, not
+        // merely non-failure: with a single shared FSM, a broken final
+        // load can be absorbed as an argument-passing access of another
+        // process's in-flight sequence and read back DMA_PENDING, which
+        // would otherwise end the retry loop on a transfer that never
+        // happened.
         DmaMethod::Repeated5 => {
             let l = label("r5", uniq);
             b.label(&l)
@@ -117,7 +122,7 @@ pub fn emit_dma(
                 .load(Reg::R0, s_src)
                 .beq(Reg::R0, DMA_FAILURE, &l)
                 .load(Reg::R0, s_dst)
-                .beq(Reg::R0, DMA_FAILURE, &l)
+                .bne(Reg::R0, DMA_STARTED, &l)
         }
     }
 }

@@ -54,7 +54,9 @@ mod report;
 mod request;
 mod trace_report;
 
-pub use attack::{explore, explore_sampled, schedule_space, ExploreReport, Finding};
+pub use attack::{
+    explore, explore_bounded, explore_sampled, schedule_space, Budget, ExploreReport, Finding,
+};
 pub use crossover::{crossover_rows, os_bound_message_size, CrossoverRow};
 pub use initiate::{dma_program, emit_atomic, emit_dma, AtomicRequest};
 pub use initiate_once::emit_dma_once;

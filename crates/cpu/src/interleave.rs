@@ -32,41 +32,13 @@ pub fn interleavings(lens: &[usize]) -> Vec<Vec<usize>> {
         count <= 20_000_000,
         "{count} interleavings is too many to enumerate; sample instead"
     );
-    let total: usize = lens.iter().sum();
-    let mut out = Vec::with_capacity(count as usize);
-    let mut remaining = lens.to_vec();
-    let mut prefix = Vec::with_capacity(total);
-    fn rec(remaining: &mut [usize], prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
-        if remaining.iter().all(|&r| r == 0) {
-            out.push(prefix.clone());
-            return;
-        }
-        for i in 0..remaining.len() {
-            if remaining[i] > 0 {
-                remaining[i] -= 1;
-                prefix.push(i);
-                rec(remaining, prefix, out);
-                prefix.pop();
-                remaining[i] += 1;
-            }
-        }
-    }
-    rec(&mut remaining, &mut prefix, &mut out);
-    out
+    udma_testkit::sched::interleavings(lens).collect()
 }
 
 /// The multinomial coefficient `(Σlens)! / Π(lens[i]!)`: how many
 /// interleavings exist.
 pub fn interleaving_count(lens: &[usize]) -> u128 {
-    let mut count: u128 = 1;
-    let mut placed: u128 = 0;
-    for &len in lens {
-        for k in 1..=len as u128 {
-            placed += 1;
-            count = count * placed / k;
-        }
-    }
-    count
+    udma_testkit::sched::interleaving_count(lens)
 }
 
 #[cfg(test)]

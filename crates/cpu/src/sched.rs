@@ -7,8 +7,7 @@
 //! operation…", §2.5).
 
 use crate::Pid;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use udma_testkit::TestRng;
 
 /// Decides which ready process executes the next instruction.
 pub trait Scheduler {
@@ -79,7 +78,7 @@ impl Scheduler for RoundRobin {
 /// randomized attack searches.
 #[derive(Clone, Debug)]
 pub struct RandomPreempt {
-    rng: StdRng,
+    rng: TestRng,
     p: f64,
 }
 
@@ -91,18 +90,18 @@ impl RandomPreempt {
     /// Panics unless `0.0 <= p <= 1.0`.
     pub fn new(seed: u64, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
-        RandomPreempt { rng: StdRng::seed_from_u64(seed), p }
+        RandomPreempt { rng: TestRng::seed_from_u64(seed), p }
     }
 }
 
 impl Scheduler for RandomPreempt {
     fn pick(&mut self, _step: u64, current: Option<Pid>, ready: &[Pid]) -> Pid {
         if let Some(c) = current {
-            if ready.contains(&c) && self.rng.gen::<f64>() >= self.p {
+            if ready.contains(&c) && self.rng.gen_f64() >= self.p {
                 return c;
             }
         }
-        ready[self.rng.gen_range(0..ready.len())]
+        ready[self.rng.gen_index(ready.len())]
     }
 }
 

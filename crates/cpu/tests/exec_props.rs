@@ -1,7 +1,9 @@
 //! Differential property tests: the executor against an independent
 //! reference interpreter, over random terminating programs.
 
-use proptest::prelude::*;
+use udma_testkit::prop::{any, vec, Just, Strategy};
+use udma_testkit::{one_of, prop_assert, prop_assert_eq, props};
+
 use std::cell::RefCell;
 use std::rc::Rc;
 use udma_bus::{Bus, BusTiming, WriteBufferPolicy};
@@ -73,8 +75,8 @@ fn reference_run(prog: &[Instr], max_steps: usize) -> ([u64; 16], Vec<u64>) {
 /// page (word-aligned immediates), and *forward-only* branches.
 fn instrs() -> impl Strategy<Value = Vec<Instr>> {
     let reg = || (0u8..8).prop_map(Reg::new);
-    proptest::collection::vec(
-        prop_oneof![
+    vec(
+        one_of![
             (reg(), any::<u64>()).prop_map(|(dst, value)| Instr::Imm { dst, value }),
             (reg(), reg(), -100i64..100).prop_map(|(dst, src, imm)| Instr::AddImm { dst, src, imm }),
             (reg(), reg(), reg()).prop_map(|(dst, a, b)| Instr::Add { dst, a, b }),
@@ -120,14 +122,13 @@ fn machine() -> (Executor, Bus, PageTable) {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+props! {
+    config(cases = 256);
 
     /// For any terminating straight-line-with-forward-branches program,
     /// the executor's architectural state (registers + the data page)
     /// matches the reference interpreter exactly — independent of the
     /// write buffer, cache and TLB machinery in between.
-    #[test]
     fn executor_matches_reference_interpreter(body in instrs()) {
         let (expect_regs, expect_mem) = reference_run(&body, 10_000);
 

@@ -1,14 +1,15 @@
 //! Property-based tests for the memory substrate.
 
-use proptest::prelude::*;
+use udma_testkit::prop::{any, vec};
+use udma_testkit::{prop_assert, prop_assert_eq, props};
+
 use udma_mem::{
     Access, FrameAllocator, MemFault, PageTable, Perms, PhysAddr, PhysMemory, ShadowLayout,
     VirtAddr, VirtPage, PAGE_SIZE,
 };
 
-proptest! {
+props! {
     /// shadow ∘ decode is the identity on (paddr, ctx) for every layout.
-    #[test]
     fn shadow_round_trip(
         shadow_bit in 20u32..60,
         ctx_bits in 0u32..3,
@@ -30,7 +31,6 @@ proptest! {
     }
 
     /// Distinct (paddr, ctx) pairs produce distinct shadow addresses.
-    #[test]
     fn shadow_is_injective(
         a in 0u64..(1 << 16),
         b in 0u64..(1 << 16),
@@ -45,10 +45,9 @@ proptest! {
 
     /// What you write is what you read back, for arbitrary ranges that may
     /// cross frame boundaries.
-    #[test]
     fn phys_memory_write_read_round_trip(
         start in 0u64..(4 * PAGE_SIZE),
-        data in proptest::collection::vec(any::<u8>(), 1..512),
+        data in vec(any::<u8>(), 1..512),
     ) {
         let mut mem = PhysMemory::new(8 * PAGE_SIZE);
         let pa = PhysAddr::new(start);
@@ -59,12 +58,11 @@ proptest! {
     }
 
     /// Writes to one range never disturb a disjoint range.
-    #[test]
     fn phys_memory_writes_are_local(
         a_start in 0u64..PAGE_SIZE,
-        a_data in proptest::collection::vec(any::<u8>(), 1..128),
+        a_data in vec(any::<u8>(), 1..128),
         b_off in 0u64..PAGE_SIZE,
-        b_data in proptest::collection::vec(any::<u8>(), 1..128),
+        b_data in vec(any::<u8>(), 1..128),
     ) {
         let mut mem = PhysMemory::new(16 * PAGE_SIZE);
         let a = PhysAddr::new(a_start);
@@ -78,7 +76,6 @@ proptest! {
     }
 
     /// Translation preserves the page offset and respects permissions.
-    #[test]
     fn page_table_translate_properties(
         page in 0u64..64,
         offset in 0u64..PAGE_SIZE,
@@ -109,7 +106,6 @@ proptest! {
 
     /// The frame allocator never hands out the same frame twice while it
     /// is live, and never exceeds its range.
-    #[test]
     fn allocator_uniqueness(count in 1u64..128, take in 1usize..200) {
         let mut alloc = FrameAllocator::with_range(0, count);
         let mut seen = std::collections::HashSet::new();
@@ -126,4 +122,16 @@ proptest! {
             }
         }
     }
+}
+
+/// Regression pinned from the retired proptest suite's saved failure
+/// (`props.proptest-regressions`): the boundary where `pa_raw` equals
+/// `plain_limit` exactly, with the narrowest shadow bit.
+#[test]
+fn shadow_round_trip_regression_at_plain_limit() {
+    let (shadow_bit, ctx_bits, pa_raw, ctx) = (20u32, 2u32, 262_144u64, 0u32);
+    let layout = ShadowLayout::new(shadow_bit, shadow_bit - ctx_bits, ctx_bits);
+    let pa = PhysAddr::new(pa_raw);
+    assert!(pa_raw >= layout.plain_limit(), "the saved case sits on the plain-limit boundary");
+    assert!(layout.shadow_paddr_ctx(pa, ctx.min(layout.num_contexts() - 1)).is_none());
 }

@@ -1,13 +1,15 @@
 //! Property tests for the message channel: arbitrary payloads and
 //! geometries arrive intact, under arbitrary preemption seeds.
 
-use proptest::prelude::*;
+use udma_testkit::prop::{any, vec, Just, OneOf};
+use udma_testkit::{one_of, prop_assert, prop_assert_eq, props};
+
 use udma::{DmaMethod, Machine};
 use udma_cpu::{RandomPreempt, RoundRobin};
 use udma_msg::{checksum, ChannelConfig, Endpoints};
 
-fn methods() -> impl Strategy<Value = DmaMethod> {
-    prop_oneof![
+fn methods() -> OneOf<DmaMethod> {
+    one_of![
         Just(DmaMethod::KeyBased),
         Just(DmaMethod::ExtShadow),
         Just(DmaMethod::Repeated5),
@@ -15,20 +17,16 @@ fn methods() -> impl Strategy<Value = DmaMethod> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+props! {
+    config(cases = 24);
 
     /// Any message sequence over any small geometry arrives with the
     /// exact checksum, for every user-level method.
-    #[test]
     fn arbitrary_payloads_arrive_intact(
         method in methods(),
         slots in 1u64..5,
         words in 1u64..24,
-        msgs in proptest::collection::vec(
-            proptest::collection::vec(any::<u64>(), 0..24),
-            1..8,
-        ),
+        msgs in vec(vec(any::<u64>(), 0..24), 1..8),
     ) {
         let cfg = ChannelConfig { slots, payload_words: words };
         // Clamp to the configured width, then pad: the DMA always moves
@@ -54,7 +52,6 @@ proptest! {
     }
 
     /// Random preemption cannot corrupt or reorder the channel.
-    #[test]
     fn random_preemption_preserves_the_stream(
         seed in any::<u64>(),
         count in 1u64..10,
@@ -67,4 +64,23 @@ proptest! {
         prop_assert!(out.finished, "seed {seed}");
         prop_assert_eq!(ends.received_checksum(&m), checksum(&messages));
     }
+}
+
+/// Regression pinned from the retired proptest suite's saved failure
+/// (`channel_props.proptest-regressions`): a single-slot channel whose
+/// second message is narrower than the first once exercised staging
+/// residue handling.
+#[test]
+fn single_slot_channel_with_ragged_messages_regression() {
+    let cfg = ChannelConfig { slots: 1, payload_words: 5 };
+    let messages: Vec<Vec<u64>> = vec![
+        vec![0, 8522592925518894686, 3760868465131930690, 16019984819981630349, 17072650938625799619],
+        vec![12575817246813566016, 15445577823014267184, 10132335833660790417, 12050550725852419245, 0],
+    ];
+    let mut m = Machine::with_method(DmaMethod::KeyBased);
+    let ends = Endpoints::spawn(&mut m, &cfg, &messages);
+    let out = m.run_with(&mut RoundRobin::new(60), 20_000_000);
+    assert!(out.finished, "channel did not drain");
+    assert_eq!(ends.received_checksum(&m), checksum(&messages));
+    assert_eq!(m.engine().core().stats().started, messages.len() as u64);
 }

@@ -9,7 +9,9 @@
 //! directly on the recorded stream, independently of the FSM's
 //! internal bookkeeping.
 
-use proptest::prelude::*;
+use udma_testkit::prop::{any, vec, Strategy};
+use udma_testkit::{prop_assert, prop_assert_eq, prop_assert_ne, props};
+
 use std::cell::RefCell;
 use std::rc::Rc;
 use udma_bus::SimTime;
@@ -33,7 +35,7 @@ struct Access {
 }
 
 fn accesses() -> impl Strategy<Value = Vec<Access>> {
-    proptest::collection::vec(
+    vec(
         (any::<bool>(), 0u64..4, 1u64..4).prop_map(|(st, page, words)| Access {
             kind: if st { Kind::St } else { Kind::Ld },
             page,
@@ -62,14 +64,13 @@ fn window_matches_5(w: &[Access]) -> bool {
         && w[0].data == w[2].data
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+props! {
+    config(cases = 512);
 
     /// Soundness: whenever the engine starts a transfer, the last five
     /// accesses of the stream satisfy the paper's rule, and the transfer
     /// carries exactly (src = loads' page, dst = stores' page, size =
     /// store payload).
-    #[test]
     fn repeated5_transfers_only_on_valid_windows(stream in accesses()) {
         let layout = PhysLayout::default();
         let mem = Rc::new(RefCell::new(PhysMemory::new(1 << 22)));
@@ -110,9 +111,8 @@ proptest! {
 
     /// Completeness on clean streams: a stream that is a concatenation of
     /// valid 5-windows starts a transfer for every window.
-    #[test]
     fn repeated5_accepts_back_to_back_valid_sequences(
-        pairs in proptest::collection::vec((0u64..3, 0u64..3, 1u64..4), 1..8),
+        pairs in vec((0u64..3, 0u64..3, 1u64..4), 1..8),
     ) {
         let layout = PhysLayout::default();
         let mem = Rc::new(RefCell::new(PhysMemory::new(1 << 22)));
@@ -136,7 +136,6 @@ proptest! {
 
     /// The 3-instruction FSM obeys its own (weaker) window rule:
     /// LOAD A, STORE B, LOAD A.
-    #[test]
     fn repeated3_transfers_only_on_valid_windows(stream in accesses()) {
         let layout = PhysLayout::default();
         let mem = Rc::new(RefCell::new(PhysMemory::new(1 << 22)));

@@ -1,22 +1,23 @@
 //! Property tests for the VM manager's shadow-mapping invariants.
 
-use proptest::prelude::*;
+use udma_testkit::prop::{vec, Just, OneOf};
+use udma_testkit::{one_of, prop_assert, prop_assert_eq, props};
+
 use udma_mem::{Access, PageTable, Perms, PhysLayout, VirtAddr, PAGE_SIZE};
 use udma_os::{ShadowMode, VmManager};
 
-fn perms_strategy() -> impl Strategy<Value = Perms> {
-    prop_oneof![
+fn perms_strategy() -> OneOf<Perms> {
+    one_of![
         Just(Perms::READ),
         Just(Perms::WRITE),
         Just(Perms::READ_WRITE),
     ]
 }
 
-proptest! {
+props! {
     /// Every data page of a mapped buffer translates, its shadow twin
     /// translates to the shadow of the SAME frame with the SAME context
     /// id, and permissions are identical on both mappings.
-    #[test]
     fn shadow_twins_mirror_data_mappings(
         pages in 1u64..16,
         base_page in 2u64..64,
@@ -55,7 +56,6 @@ proptest! {
     }
 
     /// ShadowMode::None really creates no twin; the shadow VA faults.
-    #[test]
     fn no_shadow_mode_means_no_twin(pages in 1u64..8, base_page in 2u64..64) {
         let layout = PhysLayout::default();
         let mut vm = VmManager::new(layout);
@@ -72,9 +72,8 @@ proptest! {
     }
 
     /// Buffers mapped one after another never alias each other's frames.
-    #[test]
     fn successive_buffers_have_disjoint_frames(
-        sizes in proptest::collection::vec(1u64..8, 1..6),
+        sizes in vec(1u64..8, 1..6),
     ) {
         let layout = PhysLayout::default();
         let mut vm = VmManager::new(layout);

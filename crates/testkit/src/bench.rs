@@ -1,0 +1,200 @@
+//! A tiny wall-clock benchmark timer.
+//!
+//! Replaces the criterion harness for this repository's bench targets:
+//! run a closure `warmup` times untimed, then `iters` timed iterations,
+//! and report min/p10/median/p90/max/mean in nanoseconds. Reports
+//! serialize to a stable single-line JSON shape so runs can be diffed
+//! or collected by scripts:
+//!
+//! ```json
+//! {"name":"E7_bus_sweep","iters":15,"median_ns":1234.0,...}
+//! ```
+//!
+//! [`emit`] prints a `BENCH {json}` line per report; [`write_json`]
+//! drops the whole run into `target/bench-json/BENCH_<target>.json`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// How long to run a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Untimed iterations before measurement.
+    pub warmup: u32,
+    /// Timed iterations.
+    pub iters: u32,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig { warmup: 3, iters: 15 }
+    }
+}
+
+impl BenchConfig {
+    /// A config with `iters` timed iterations and a proportional warmup.
+    pub fn iters(iters: u32) -> Self {
+        BenchConfig { warmup: (iters / 5).max(1), iters }
+    }
+}
+
+/// Summary statistics for one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Benchmark identifier.
+    pub name: String,
+    /// Timed iterations.
+    pub iters: u32,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: f64,
+    /// 10th percentile, nanoseconds.
+    pub p10_ns: f64,
+    /// Median, nanoseconds.
+    pub median_ns: f64,
+    /// 90th percentile, nanoseconds.
+    pub p90_ns: f64,
+    /// Slowest iteration, nanoseconds.
+    pub max_ns: f64,
+    /// Arithmetic mean, nanoseconds.
+    pub mean_ns: f64,
+}
+
+impl BenchReport {
+    /// Stable single-line JSON (keys in declaration order).
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"name\":{:?},\"iters\":{},\"min_ns\":{:.1},\"p10_ns\":{:.1},\
+             \"median_ns\":{:.1},\"p90_ns\":{:.1},\"max_ns\":{:.1},\"mean_ns\":{:.1}}}",
+            self.name, self.iters, self.min_ns, self.p10_ns, self.median_ns, self.p90_ns,
+            self.max_ns, self.mean_ns
+        )
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+fn percentile(sorted_ns: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted_ns.is_empty());
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx]
+}
+
+/// Times `f`: `cfg.warmup` untimed runs, then `cfg.iters` timed runs.
+/// Use [`std::hint::black_box`] inside `f` to keep results alive.
+pub fn bench<R>(name: &str, cfg: BenchConfig, mut f: impl FnMut() -> R) -> BenchReport {
+    assert!(cfg.iters > 0, "at least one timed iteration");
+    for _ in 0..cfg.warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples: Vec<f64> = (0..cfg.iters)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    BenchReport {
+        name: name.to_string(),
+        iters: cfg.iters,
+        min_ns: samples[0],
+        p10_ns: percentile(&samples, 0.10),
+        median_ns: percentile(&samples, 0.50),
+        p90_ns: percentile(&samples, 0.90),
+        max_ns: samples[samples.len() - 1],
+        mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
+    }
+}
+
+/// Prints the `BENCH {json}` line for a report (stdout, one line).
+pub fn emit(report: &BenchReport) {
+    println!("BENCH {}", report.json());
+}
+
+/// The workspace root (nearest ancestor with a `Cargo.lock`), so bench
+/// JSON lands in the shared `target/` no matter the binary's cwd —
+/// `cargo bench` runs bench binaries from the *package* directory.
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    cwd.ancestors()
+        .find(|d| d.join("Cargo.lock").is_file())
+        .map(PathBuf::from)
+        .unwrap_or(cwd)
+}
+
+/// Writes all reports of a bench target to
+/// `<workspace>/target/bench-json/BENCH_<target>.json` and returns the
+/// path.
+pub fn write_json(target: &str, reports: &[BenchReport]) -> std::io::Result<PathBuf> {
+    let dir = workspace_root().join("target").join("bench-json");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{target}.json"));
+    let body: Vec<String> = reports.iter().map(|r| format!("  {}", r.json())).collect();
+    std::fs::write(&path, format!("[\n{}\n]\n", body.join(",\n")))?;
+    Ok(path)
+}
+
+/// One named benchmark closure, as [`run_target`] consumes them.
+pub type NamedBench<'a> = (&'a str, Box<dyn FnMut()>);
+
+/// Standard prologue for a harness-free bench binary: times each
+/// `(name, closure)` pair, emits `BENCH` lines, writes the JSON file.
+/// Ignores argv (cargo passes `--bench` and filter args).
+pub fn run_target(target: &str, cfg: BenchConfig, benches: Vec<NamedBench<'_>>) {
+    let mut reports = Vec::new();
+    for (name, mut f) in benches {
+        let report = bench(name, cfg, &mut f);
+        emit(&report);
+        reports.push(report);
+    }
+    match write_json(target, &reports) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write bench JSON for {target}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_orders_statistics() {
+        let r = bench("spin", BenchConfig { warmup: 1, iters: 25 }, || {
+            std::hint::black_box((0..500u64).sum::<u64>())
+        });
+        assert_eq!(r.iters, 25);
+        assert!(r.min_ns <= r.p10_ns);
+        assert!(r.p10_ns <= r.median_ns);
+        assert!(r.median_ns <= r.p90_ns);
+        assert!(r.p90_ns <= r.max_ns);
+        assert!(r.min_ns <= r.mean_ns && r.mean_ns <= r.max_ns);
+        assert!(r.min_ns >= 0.0);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let r = BenchReport {
+            name: "x".into(),
+            iters: 3,
+            min_ns: 1.0,
+            p10_ns: 1.0,
+            median_ns: 2.0,
+            p90_ns: 3.0,
+            max_ns: 3.0,
+            mean_ns: 2.0,
+        };
+        assert_eq!(
+            r.json(),
+            "{\"name\":\"x\",\"iters\":3,\"min_ns\":1.0,\"p10_ns\":1.0,\
+             \"median_ns\":2.0,\"p90_ns\":3.0,\"max_ns\":3.0,\"mean_ns\":2.0}"
+        );
+    }
+
+    #[test]
+    fn write_json_creates_the_file() {
+        let r = bench("t", BenchConfig { warmup: 0, iters: 2 }, || 1 + 1);
+        let path = write_json("selftest", &[r]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("[\n"));
+        assert!(text.contains("\"name\":\"t\""));
+    }
+}

@@ -1,0 +1,236 @@
+//! Bounded interleaving exploration.
+//!
+//! A schedule over `k` processes with static instruction counts
+//! `lens = [n_0, …, n_{k-1}]` is a merge order: a sequence containing
+//! each process index `i` exactly `n_i` times. The number of such
+//! sequences is the multinomial coefficient `(Σn)! / Π(n_i!)`.
+//!
+//! [`explore`] runs a caller-supplied closure on every schedule while
+//! the space fits the budget (exhaustive model checking), and falls
+//! back to a seeded-random tail when it does not — so race searches
+//! stay useful as process counts grow, and results are reproducible
+//! from the printed seed either way.
+
+use crate::rng::TestRng;
+
+/// `(Σlens)! / Π(lens[i]!)`: how many merge orders exist. Saturates at
+/// `u128::MAX` instead of overflowing.
+pub fn interleaving_count(lens: &[usize]) -> u128 {
+    let mut count: u128 = 1;
+    let mut placed: u128 = 0;
+    for &n in lens {
+        for i in 1..=n as u128 {
+            placed += 1;
+            count = match count.checked_mul(placed) {
+                Some(c) => c / i,
+                None => return u128::MAX,
+            };
+        }
+    }
+    count
+}
+
+/// Lazily yields every merge order of sequences with the given lengths,
+/// in lexicographic order. `lens = [2, 1]` yields `[0,0,1]`, `[0,1,0]`,
+/// `[1,0,0]`.
+pub fn interleavings(lens: &[usize]) -> Interleavings {
+    let mut current: Vec<usize> = Vec::with_capacity(lens.iter().sum());
+    for (i, &n) in lens.iter().enumerate() {
+        current.extend(std::iter::repeat_n(i, n));
+    }
+    Interleavings { current: Some(current) }
+}
+
+/// Iterator returned by [`interleavings`].
+#[derive(Clone, Debug)]
+pub struct Interleavings {
+    current: Option<Vec<usize>>,
+}
+
+impl Iterator for Interleavings {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let out = self.current.clone()?;
+        // Next multiset permutation in lexicographic order; duplicates
+        // are handled naturally, so each merge order appears once.
+        let seq = self.current.as_mut().unwrap();
+        let pivot = (0..seq.len().saturating_sub(1)).rev().find(|&i| seq[i] < seq[i + 1]);
+        match pivot {
+            Some(i) => {
+                let j = (i + 1..seq.len()).rev().find(|&j| seq[j] > seq[i]).unwrap();
+                seq.swap(i, j);
+                seq[i + 1..].reverse();
+            }
+            None => self.current = None,
+        }
+        Some(out)
+    }
+}
+
+/// Uniformly samples one merge order: repeatedly pick a process with
+/// instructions remaining, weighted by how many it has left.
+pub fn sample_interleaving(lens: &[usize], rng: &mut TestRng) -> Vec<usize> {
+    let mut remaining = lens.to_vec();
+    let mut left: usize = remaining.iter().sum();
+    let mut schedule = Vec::with_capacity(left);
+    while left > 0 {
+        let mut pick = rng.gen_index(left);
+        let chosen = remaining
+            .iter()
+            .position(|&r| {
+                if pick < r {
+                    true
+                } else {
+                    pick -= r;
+                    false
+                }
+            })
+            .expect("weights sum to `left`");
+        remaining[chosen] -= 1;
+        left -= 1;
+        schedule.push(chosen);
+    }
+    schedule
+}
+
+/// How much work [`explore`] may do.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Run every schedule if the space has at most this many; otherwise
+    /// switch to random sampling.
+    pub exhaustive: u64,
+    /// Schedules to sample when the space exceeds `exhaustive`.
+    pub sampled: u64,
+    /// Seed for the sampled tail (and for reproducing it).
+    pub seed: u64,
+}
+
+impl Budget {
+    /// An exhaustive-up-to-`n` budget with a sampled tail of the same
+    /// size, seeded with `seed`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        Budget { exhaustive: n, sampled: n, seed }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget { exhaustive: 20_000, sampled: 20_000, seed: 0 }
+    }
+}
+
+/// What [`explore`] found.
+#[derive(Clone, Debug)]
+pub struct Exploration<R> {
+    /// Schedules executed.
+    pub schedules: u64,
+    /// Whether every schedule in the space was executed.
+    pub exhaustive: bool,
+    /// `(schedule, detail)` for every schedule on which `run` returned
+    /// `Some`.
+    pub findings: Vec<(Vec<usize>, R)>,
+}
+
+impl<R> Exploration<R> {
+    /// Whether no schedule produced a finding.
+    pub fn safe(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Runs `run` on every schedule when the space fits
+/// `budget.exhaustive`, else on `budget.sampled` seeded-random
+/// schedules. `run` returns `Some(detail)` to report a finding.
+pub fn explore<R>(
+    lens: &[usize],
+    budget: Budget,
+    mut run: impl FnMut(&[usize]) -> Option<R>,
+) -> Exploration<R> {
+    let space = interleaving_count(lens);
+    let mut out = Exploration { schedules: 0, exhaustive: false, findings: Vec::new() };
+    if space <= budget.exhaustive as u128 {
+        out.exhaustive = true;
+        for schedule in interleavings(lens) {
+            out.schedules += 1;
+            if let Some(detail) = run(&schedule) {
+                out.findings.push((schedule, detail));
+            }
+        }
+    } else {
+        let mut rng = TestRng::seed_from_u64(budget.seed);
+        for _ in 0..budget.sampled {
+            let schedule = sample_interleaving(lens, &mut rng);
+            out.schedules += 1;
+            if let Some(detail) = run(&schedule) {
+                out.findings.push((schedule, detail));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_matches_multinomials() {
+        assert_eq!(interleaving_count(&[]), 1);
+        assert_eq!(interleaving_count(&[4]), 1);
+        assert_eq!(interleaving_count(&[2, 1]), 3);
+        assert_eq!(interleaving_count(&[3, 3]), 20);
+        assert_eq!(interleaving_count(&[5, 5]), 252);
+        assert_eq!(interleaving_count(&[2, 2, 2]), 90);
+    }
+
+    #[test]
+    fn enumeration_is_complete_and_duplicate_free() {
+        let all: Vec<_> = interleavings(&[3, 3]).collect();
+        assert_eq!(all.len(), 20);
+        let unique: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(unique.len(), 20);
+        for s in &all {
+            assert_eq!(s.iter().filter(|&&p| p == 0).count(), 3);
+            assert_eq!(s.iter().filter(|&&p| p == 1).count(), 3);
+        }
+    }
+
+    #[test]
+    fn enumeration_handles_empty_and_single() {
+        assert_eq!(interleavings(&[]).collect::<Vec<_>>(), vec![Vec::<usize>::new()]);
+        assert_eq!(interleavings(&[0, 2]).collect::<Vec<_>>(), vec![vec![1, 1]]);
+    }
+
+    #[test]
+    fn samples_are_valid_merge_orders() {
+        let mut rng = TestRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let s = sample_interleaving(&[2, 3, 1], &mut rng);
+            assert_eq!(s.len(), 6);
+            assert_eq!(s.iter().filter(|&&p| p == 0).count(), 2);
+            assert_eq!(s.iter().filter(|&&p| p == 1).count(), 3);
+            assert_eq!(s.iter().filter(|&&p| p == 2).count(), 1);
+        }
+    }
+
+    #[test]
+    fn explore_is_exhaustive_within_budget() {
+        let report = explore(&[3, 3], Budget::new(100, 0), |s| {
+            (s[0] == 1).then_some(()) // process 1 goes first
+        });
+        assert!(report.exhaustive);
+        assert_eq!(report.schedules, 20);
+        // Exactly C(5,3) = 10 schedules start with process 1.
+        assert_eq!(report.findings.len(), 10);
+    }
+
+    #[test]
+    fn explore_samples_when_space_exceeds_budget() {
+        let a = explore(&[6, 6, 6], Budget::new(50, 9), |s| Some(s[0]));
+        let b = explore(&[6, 6, 6], Budget::new(50, 9), |s| Some(s[0]));
+        assert!(!a.exhaustive);
+        assert_eq!(a.schedules, 50);
+        assert_eq!(a.findings, b.findings, "sampled tail must be seed-deterministic");
+    }
+}

@@ -1,0 +1,103 @@
+//! Self-tests exercising the testkit's *public* surface the way the
+//! workspace's suites consume it: the `props!` macro, seed replay via
+//! `UDMA_PROP_SEED`, and the interleaving explorer on the canonical
+//! two-thread/three-step toy space.
+
+use udma_testkit::prop::{any, check_with, vec, Config, Just};
+use udma_testkit::sched::{explore, interleaving_count, interleavings, Budget};
+use udma_testkit::{one_of, prop_assert, prop_assert_eq, props, TestRng};
+
+props! {
+    config(cases = 64);
+
+    /// The macro wires strategies, shrinking and assertions together.
+    fn macro_roundtrip(
+        x in 0u64..100,
+        flag in any::<bool>(),
+        tag in one_of![Just("a"), Just("b")],
+        xs in vec(0u32..10, 0..8),
+    ) {
+        prop_assert!(x < 100);
+        prop_assert!(tag == "a" || tag == "b");
+        prop_assert!(xs.len() < 8);
+        prop_assert_eq!(u8::from(flag), flag as u8);
+    }
+}
+
+#[test]
+fn same_seed_same_verdict_and_prng_stream() {
+    let mut a = TestRng::seed_from_u64(99);
+    let mut b = TestRng::seed_from_u64(99);
+    for _ in 0..1000 {
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+    // Different seeds diverge immediately (with overwhelming probability
+    // for a full-period generator; pinned here, so deterministic).
+    let mut c = TestRng::seed_from_u64(100);
+    assert_ne!(a.next_u64(), c.next_u64());
+}
+
+#[test]
+fn failing_property_reports_a_replayable_seed() {
+    let err = std::panic::catch_unwind(|| {
+        check_with(Config { cases: 64, ..Config::default() }, "selftest_fail", 0u64..1000, |v| {
+            if *v >= 17 {
+                Err(udma_testkit::prop::CaseFailure::new("too big"))
+            } else {
+                Ok(())
+            }
+        })
+    })
+    .expect_err("property must fail");
+    let msg = err.downcast_ref::<String>().expect("panic carries a message");
+    assert!(msg.contains("UDMA_PROP_SEED="), "no replay seed in: {msg}");
+    // Greedy shrinking must land on the boundary value.
+    assert!(msg.contains("17"), "not shrunk to minimal input: {msg}");
+}
+
+/// The explorer covers the classic toy space — two threads of three
+/// steps each — exhaustively: C(6,3) = 20 schedules, every one a valid
+/// merge, no duplicates, and a property evaluated on each.
+#[test]
+fn two_thread_three_step_toy_space_is_fully_explored() {
+    let lens = [3usize, 3];
+    assert_eq!(interleaving_count(&lens), 20);
+
+    let all: Vec<Vec<usize>> = interleavings(&lens).collect();
+    assert_eq!(all.len(), 20);
+    let unique: std::collections::HashSet<_> = all.iter().cloned().collect();
+    assert_eq!(unique.len(), 20, "duplicate schedules");
+    for sched in &all {
+        assert_eq!(sched.iter().filter(|&&t| t == 0).count(), 3);
+        assert_eq!(sched.iter().filter(|&&t| t == 1).count(), 3);
+    }
+
+    // explore() visits the whole space within budget and reports every
+    // schedule in which thread 1 finishes before thread 0 starts.
+    let report = explore(&lens, Budget::new(100, 0), |sched| {
+        if sched[..3] == [1, 1, 1] { Some(()) } else { None }
+    });
+    assert!(report.exhaustive);
+    assert_eq!(report.schedules, 20);
+    // Thread 1 running first fixes its 3 slots; the rest is thread 0's
+    // single arrangement.
+    assert_eq!(report.findings.len(), 1);
+    assert!(!report.safe());
+}
+
+#[test]
+fn explorer_sampling_beyond_budget_is_seed_deterministic() {
+    let lens = [4usize, 4, 4];
+    let run = |seed| {
+        let budget = Budget { exhaustive: 10, sampled: 50, seed };
+        let mut seen = Vec::new();
+        let report = explore(&lens, budget, |sched| {
+            seen.push(sched.to_vec());
+            None::<()>
+        });
+        assert!(!report.exhaustive);
+        seen
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
+}

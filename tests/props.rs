@@ -1,13 +1,15 @@
 //! Property-based tests over the whole machine.
 
-use proptest::prelude::*;
+use udma_testkit::prop::{any, vec, Just, OneOf};
+use udma_testkit::{one_of, prop_assert, prop_assert_eq, prop_assert_ne, props};
+
 use udma::{emit_dma_once, DmaMethod, DmaRequest, Machine, ProcessSpec};
 use udma_cpu::{FixedSchedule, Pid, ProgramBuilder, Reg};
 use udma_mem::PAGE_SIZE;
 use udma_nic::{Initiator, DMA_FAILURE};
 
-fn user_methods() -> impl Strategy<Value = DmaMethod> {
-    prop_oneof![
+fn user_methods() -> OneOf<DmaMethod> {
+    one_of![
         Just(DmaMethod::KeyBased),
         Just(DmaMethod::ExtShadow),
         Just(DmaMethod::Repeated5),
@@ -16,13 +18,12 @@ fn user_methods() -> impl Strategy<Value = DmaMethod> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    config(cases = 64);
 
     /// For any method, any aligned in-page request: the transfer happens
     /// exactly once, copies exactly the requested bytes, and the status
     /// says success.
-    #[test]
     fn any_in_page_request_transfers_exactly(
         method in user_methods(),
         src_word in 0u64..(PAGE_SIZE / 8),
@@ -61,10 +62,9 @@ proptest! {
     /// processes, every transfer the engine performs is one that some
     /// process legitimately requested (its own src page → its own dst
     /// page).
-    #[test]
     fn context_methods_never_mix_under_arbitrary_schedules(
-        method in prop_oneof![Just(DmaMethod::KeyBased), Just(DmaMethod::ExtShadow)],
-        schedule_bits in proptest::collection::vec(any::<bool>(), 10..40),
+        method in one_of![Just(DmaMethod::KeyBased), Just(DmaMethod::ExtShadow)],
+        schedule_bits in vec(any::<bool>(), 10..40),
     ) {
         let mut m = Machine::with_method(method);
         for _ in 0..2 {
@@ -97,7 +97,6 @@ proptest! {
 
     /// The kernel path refuses any request that touches unmapped space,
     /// and never kills the process for it.
-    #[test]
     fn kernel_dma_rejects_wild_addresses_cleanly(
         wild in (1u64 << 20)..(1u64 << 40),
         size in 1u64..65536,
@@ -119,7 +118,6 @@ proptest! {
 
     /// Initiator bookkeeping: user transfers are never attributed to the
     /// kernel and vice versa.
-    #[test]
     fn initiator_attribution_is_consistent(
         method in user_methods(),
     ) {
@@ -142,7 +140,6 @@ proptest! {
 
     /// Simulated time is deterministic and strictly positive, and grows
     /// with the iteration count.
-    #[test]
     fn measurement_time_scales_with_iterations(
         method in user_methods(),
         n in 2u32..20,
