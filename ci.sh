@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== format check =="
+cargo fmt --check
+
 echo "== build (release, offline) =="
 cargo build --release --offline
 
@@ -16,5 +19,27 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== experiments smoke =="
 cargo run --release --offline -p udma-bench --bin experiments -- --smoke > /dev/null
 echo "smoke OK"
+
+echo "== benches (BENCH json) =="
+cargo bench -q --offline -p udma-bench > /dev/null
+
+echo "== collect BENCH_RESULTS.json =="
+# Concatenate every per-target target/bench-json/BENCH_*.json array into
+# one top-level object keyed by target name, at the repo root.
+{
+  echo "{"
+  first=1
+  for f in target/bench-json/BENCH_*.json; do
+    [ -e "$f" ] || continue
+    name=$(basename "$f" .json)
+    name=${name#BENCH_}
+    [ $first -eq 1 ] || echo ","
+    first=0
+    printf '"%s": ' "$name"
+    cat "$f"
+  done
+  echo "}"
+} > BENCH_RESULTS.json
+echo "wrote BENCH_RESULTS.json ($(grep -c '"name"' BENCH_RESULTS.json) reports)"
 
 echo "== CI green =="

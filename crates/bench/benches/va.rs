@@ -1,0 +1,48 @@
+//! E11–E12 — virtual-address DMA: IOTLB capacity and the cost of
+//! page faults taken mid-transfer.
+
+use std::hint::black_box;
+use udma_testkit::bench::{run_target, BenchConfig};
+use udma_workloads::{fault_rate_sweep, iotlb_sweep};
+
+fn main() {
+    for row in iotlb_sweep(&[4, 8, 16, 32, 64], 16, 4) {
+        println!(
+            "E11 iotlb {:>3} entries: hit ratio {:.3} ({} hits / {} misses, {} evictions)",
+            row.entries, row.hit_ratio, row.hits, row.misses, row.evictions
+        );
+    }
+    for row in fault_rate_sweep(&[0, 25, 50, 75, 100], 16) {
+        println!(
+            "E12 {:>3}% prefaulted: {:>2} faults, stall {:>7.2} µs, completion {:>8.2} µs",
+            row.prefaulted_pct,
+            row.faults,
+            row.stall.as_us(),
+            row.completion.as_us()
+        );
+    }
+    run_target(
+        "va",
+        BenchConfig::iters(10),
+        vec![
+            (
+                "E11_iotlb_sweep",
+                Box::new(|| {
+                    let rows = iotlb_sweep(&[8, 32, 128], 16, 4);
+                    // Hit ratio rises with capacity (acceptance: E11).
+                    assert!(rows[0].hit_ratio < rows[2].hit_ratio);
+                    black_box(rows);
+                }) as Box<dyn FnMut()>,
+            ),
+            (
+                "E12_fault_rate_sweep",
+                Box::new(|| {
+                    let rows = fault_rate_sweep(&[0, 100], 8);
+                    // Fault-path cost ≫ IOTLB-hit cost (acceptance: E12).
+                    assert!(rows[0].stall.as_ns() > 10.0 * rows[1].stall.as_ns().max(1.0));
+                    black_box(rows);
+                }),
+            ),
+        ],
+    );
+}

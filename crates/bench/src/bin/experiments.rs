@@ -44,9 +44,7 @@ fn e2_kernel_decomposition() {
     let syscall = cost.syscall_round_trip();
     let translate = udma_bus::SimTime::from_ps(2 * cost.translation().as_ps());
     let bus = udma_bus::SimTime::from_ps(
-        total
-            .as_ps()
-            .saturating_sub(syscall.as_ps() + translate.as_ps()),
+        total.as_ps().saturating_sub(syscall.as_ps() + translate.as_ps()),
     );
     let mut t = Table::new(
         "E2 — Figure 1 cost decomposition (kernel-level DMA)",
@@ -170,12 +168,9 @@ fn e8_crossover(iters: u32) {
         "E8 — OS-bound message size per network generation (intro trend)",
         &["link", "kernel init", "OS-bound up to (bytes)", "speedup @256B", "speedup @64KiB"],
     );
-    for link in [
-        LinkModel::ethernet10(),
-        LinkModel::atm155(),
-        LinkModel::atm622(),
-        LinkModel::gigabit(),
-    ] {
+    for link in
+        [LinkModel::ethernet10(), LinkModel::atm155(), LinkModel::atm622(), LinkModel::gigabit()]
+    {
         let rows = crossover_rows(kernel, user, link, &[256, 65536]);
         t.row_owned(vec![
             link.name().to_string(),
@@ -214,10 +209,7 @@ fn e10_key_guessing() {
         ]);
     }
     println!("{t}");
-    println!(
-        "With the key known, redirection succeeds: {}\n",
-        pollution_with_known_key()
-    );
+    println!("With the key known, redirection succeeds: {}\n", pollution_with_known_key());
 }
 
 fn contention_extra() {
@@ -243,13 +235,23 @@ fn contention_extra() {
 fn ablation_quantum() {
     let mut t = Table::new(
         "Ablation A1 — scheduler quantum vs the shared repeated-passing FSM (2 procs × 10 inits)",
-        &["quantum (instrs)", "Rep. Passing finished?", "Rep. mean/init", "Key-based finished?", "Key mean/init"],
+        &[
+            "quantum (instrs)",
+            "Rep. Passing finished?",
+            "Rep. mean/init",
+            "Key-based finished?",
+            "Key mean/init",
+        ],
     );
     for &q in &[2u64, 5, 12, 50, 300] {
         let rep = &quantum_ablation(DmaMethod::Repeated5, &[q], 2, 10)[0];
         let key = &quantum_ablation(DmaMethod::KeyBased, &[q], 2, 10)[0];
         let fmt = |r: &udma_workloads::QuantumRow| {
-            if r.finished { format!("{:.2} µs", r.mean_per_init.as_us()) } else { "—".into() }
+            if r.finished {
+                format!("{:.2} µs", r.mean_per_init.as_us())
+            } else {
+                "—".into()
+            }
         };
         t.row_owned(vec![
             q.to_string(),
@@ -312,10 +314,9 @@ fn trend_projection() {
     let old_user = measure_initiation(DmaMethod::ExtShadow, 500).mean;
     let new_kernel = project(DmaMethod::Kernel);
     let new_user = project(DmaMethod::ExtShadow);
-    for (m, old, new) in [
-        (DmaMethod::Kernel, old_kernel, new_kernel),
-        (DmaMethod::ExtShadow, old_user, new_user),
-    ] {
+    for (m, old, new) in
+        [(DmaMethod::Kernel, old_kernel, new_kernel), (DmaMethod::ExtShadow, old_user, new_user)]
+    {
         t.row_owned(vec![
             m.name().to_string(),
             format!("{:.2}", old.as_us()),
@@ -378,12 +379,9 @@ fn messaging_layer() {
         "Application level — udma-msg channel, per-message cost (µs, 24 msgs)",
         &["method", "32 B", "128 B", "1 KiB"],
     );
-    for method in [
-        DmaMethod::Kernel,
-        DmaMethod::KeyBased,
-        DmaMethod::ExtShadow,
-        DmaMethod::Repeated5,
-    ] {
+    for method in
+        [DmaMethod::Kernel, DmaMethod::KeyBased, DmaMethod::ExtShadow, DmaMethod::Repeated5]
+    {
         let mut row = vec![method.name().to_string()];
         for words in [4u64, 16, 128] {
             let cfg = udma_msg::ChannelConfig { slots: 4, payload_words: words };

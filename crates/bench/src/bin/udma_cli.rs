@@ -161,8 +161,7 @@ fn run() -> Result<(), String> {
                 m.name(),
                 cost.mean.as_us(),
                 iters,
-                cost.paper_us
-                    .map_or(String::new(), |p| format!(", paper: {p} µs")),
+                cost.paper_us.map_or(String::new(), |p| format!(", paper: {p} µs")),
             );
         }
         "explore" => {
@@ -208,10 +207,7 @@ fn run() -> Result<(), String> {
                 ]);
             }
             println!("{t}");
-            println!(
-                "OS-bound up to {} bytes",
-                os_bound_message_size(kernel, link)
-            );
+            println!("OS-bound up to {} bytes", os_bound_message_size(kernel, link));
         }
         "atomics" => {
             let iters = get_u64(&flags, "iters", 500)? as u32;
@@ -255,11 +251,7 @@ fn run() -> Result<(), String> {
         "pingpong" => {
             let rounds = get_u64(&flags, "rounds", 16)?;
             for cost in udma_msg::pingpong_comparison(rounds) {
-                println!(
-                    "{:<36} {:.2} µs round trip",
-                    cost.method.name(),
-                    cost.round_trip.as_us()
-                );
+                println!("{:<36} {:.2} µs round trip", cost.method.name(), cost.round_trip.as_us());
             }
         }
         "broadcast" => {
@@ -284,9 +276,7 @@ fn run() -> Result<(), String> {
             }
             m.spawn(&spec, |env| {
                 let req = udma::DmaRequest::new(env.buffer(0).va, env.buffer(1).va, 64);
-                udma::emit_dma_once(env, udma_cpu::ProgramBuilder::new(), &req)
-                    .halt()
-                    .build()
+                udma::emit_dma_once(env, udma_cpu::ProgramBuilder::new(), &req).halt().build()
             });
             m.bus_mut().reset_stats();
             m.bus_mut().trace_mut().enable();

@@ -1,6 +1,8 @@
 //! The bus: address decoding, routing, timing and statistics.
 
-use crate::{BusDevice, BusOp, BusTiming, BusTrace, BusTxn, RamDevice, SharedMemory, SimTime, TraceEvent};
+use crate::{
+    BusDevice, BusOp, BusTiming, BusTrace, BusTxn, RamDevice, SharedMemory, SimTime, TraceEvent,
+};
 use udma_mem::{MemFault, PhysLayout, Region};
 
 /// Counters kept by the bus.
@@ -149,10 +151,7 @@ impl Bus {
                 (data, self.ram_latency)
             }
             Region::NicRegs { .. } | Region::Shadow => {
-                let nic = self
-                    .nic
-                    .as_deref_mut()
-                    .ok_or(MemFault::BusError { pa: txn.paddr })?;
+                let nic = self.nic.as_deref_mut().ok_or(MemFault::BusError { pa: txn.paddr })?;
                 let data = match txn.op {
                     BusOp::Read => {
                         self.stats.device_reads += 1;
@@ -205,8 +204,13 @@ mod tests {
         fn read(&mut self, _pa: PhysAddr, _tag: u32, _now: SimTime) -> Result<u64, MemFault> {
             Ok(!self.last)
         }
-        fn write(&mut self, _pa: PhysAddr, data: u64, _tag: u32, _now: SimTime)
-            -> Result<(), MemFault> {
+        fn write(
+            &mut self,
+            _pa: PhysAddr,
+            data: u64,
+            _tag: u32,
+            _now: SimTime,
+        ) -> Result<(), MemFault> {
             self.last = data;
             Ok(())
         }

@@ -122,11 +122,8 @@ impl DataCache {
         let way = match self.tags[set].iter().position(|t| t.is_none()) {
             Some(w) => w,
             None => {
-                let (w, _) = self.lru[set]
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|&(_, &t)| t)
-                    .expect("ways > 0");
+                let (w, _) =
+                    self.lru[set].iter().enumerate().min_by_key(|&(_, &t)| t).expect("ways > 0");
                 w
             }
         };

@@ -70,8 +70,13 @@ impl BusDevice for RamDevice {
         self.mem.borrow().read_u64(paddr)
     }
 
-    fn write(&mut self, paddr: PhysAddr, data: u64, _tag: u32, _now: SimTime)
-        -> Result<(), MemFault> {
+    fn write(
+        &mut self,
+        paddr: PhysAddr,
+        data: u64,
+        _tag: u32,
+        _now: SimTime,
+    ) -> Result<(), MemFault> {
         self.mem.borrow_mut().write_u64(paddr, data)
     }
 }
@@ -98,9 +103,7 @@ mod tests {
     fn ram_device_propagates_faults() {
         let mut dev = RamDevice::new(shared(1 << 13));
         assert!(dev.read(PhysAddr::new(1 << 20), 0, SimTime::ZERO).is_err());
-        assert!(dev
-            .write(PhysAddr::new(0x101), 0, 0, SimTime::ZERO)
-            .is_err());
+        assert!(dev.write(PhysAddr::new(0x101), 0, 0, SimTime::ZERO).is_err());
     }
 
     #[test]

@@ -121,8 +121,7 @@ impl Clock {
     /// Duration of `cycles` clock cycles (rounded to the nearest
     /// picosecond, computed in 128-bit to avoid overflow).
     pub fn cycles(self, cycles: u64) -> SimTime {
-        let ps = (cycles as u128 * 1_000_000_000_000u128 + self.hz as u128 / 2)
-            / self.hz as u128;
+        let ps = (cycles as u128 * 1_000_000_000_000u128 + self.hz as u128 / 2) / self.hz as u128;
         SimTime::from_ps(ps as u64)
     }
 }

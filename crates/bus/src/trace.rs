@@ -21,11 +21,7 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{}] p{} {} {} = {:#x}",
-            self.time, self.tag, self.op, self.paddr, self.data
-        )
+        write!(f, "[{}] p{} {} {} = {:#x}", self.time, self.tag, self.op, self.paddr, self.data)
     }
 }
 

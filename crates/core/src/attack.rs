@@ -47,12 +47,7 @@ impl<R> ExploreReport<R> {
 
 /// Static per-process instruction counts of the machine `factory` builds.
 fn process_lens(factory: &impl Fn() -> Machine) -> Vec<usize> {
-    factory()
-        .executor()
-        .processes()
-        .iter()
-        .map(|p| p.program().len())
-        .collect()
+    factory().executor().processes().iter().map(|p| p.program().len()).collect()
 }
 
 /// Runs one schedule (as process indices) and evaluates the predicate.
@@ -89,9 +84,8 @@ pub fn explore_bounded<R>(
     check: impl Fn(&Machine) -> Option<R>,
 ) -> ExploreReport<R> {
     let lens = process_lens(&factory);
-    let outcome = sched::explore(&lens, budget, |indices| {
-        run_schedule(&factory, max_steps, indices, &check)
-    });
+    let outcome =
+        sched::explore(&lens, budget, |indices| run_schedule(&factory, max_steps, indices, &check));
     ExploreReport {
         schedules: outcome.schedules,
         exhaustive: outcome.exhaustive,
@@ -121,7 +115,12 @@ pub fn explore<R>(
         space <= 20_000_000,
         "{space} interleavings is too many to enumerate; use explore_bounded"
     );
-    explore_bounded(factory, max_steps, Budget { exhaustive: space as u64, sampled: 0, seed: 0 }, check)
+    explore_bounded(
+        factory,
+        max_steps,
+        Budget { exhaustive: space as u64, sampled: 0, seed: 0 },
+        check,
+    )
 }
 
 /// Number of schedules [`explore`] would run for this machine.
@@ -152,11 +151,7 @@ mod tests {
         let mut m = Machine::with_method(DmaMethod::Repeated5);
         for v in [1u64, 2] {
             m.spawn(&ProcessSpec::two_buffers(), |env| {
-                ProgramBuilder::new()
-                    .store(env.buffer(0).va.as_u64(), v)
-                    .mb()
-                    .halt()
-                    .build()
+                ProgramBuilder::new().store(env.buffer(0).va.as_u64(), v).mb().halt().build()
             });
         }
         m
@@ -188,12 +183,10 @@ mod tests {
 
     #[test]
     fn sampled_exploration_is_deterministic_per_seed() {
-        let a = explore_sampled(factory, 1_000, 50, 9, |m| {
-            Some(m.reg(udma_cpu::Pid::new(0), Reg::R0))
-        });
-        let b = explore_sampled(factory, 1_000, 50, 9, |m| {
-            Some(m.reg(udma_cpu::Pid::new(0), Reg::R0))
-        });
+        let a =
+            explore_sampled(factory, 1_000, 50, 9, |m| Some(m.reg(udma_cpu::Pid::new(0), Reg::R0)));
+        let b =
+            explore_sampled(factory, 1_000, 50, 9, |m| Some(m.reg(udma_cpu::Pid::new(0), Reg::R0)));
         assert_eq!(a.schedules, 50);
         assert!(!a.exhaustive);
         let sa: Vec<_> = a.findings.iter().map(|f| f.schedule.clone()).collect();

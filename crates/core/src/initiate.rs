@@ -64,17 +64,12 @@ pub fn emit_dma(
         // retries (safe, not wait-free).
         DmaMethod::ExtShadowPairwise => {
             let l = label("esp", uniq);
-            b.label(&l)
-                .store(s_dst, req.size)
-                .load(Reg::R0, s_src)
-                .beq(Reg::R0, DMA_FAILURE, &l)
+            b.label(&l).store(s_dst, req.size).load(Reg::R0, s_src).beq(Reg::R0, DMA_FAILURE, &l)
         }
         // §2.7: the same two accesses, inside an uninterruptible PAL call.
-        DmaMethod::Pal => b
-            .imm(Reg::R1, s_dst)
-            .imm(Reg::R2, req.size)
-            .imm(Reg::R3, s_src)
-            .call_pal(PAL_DMA),
+        DmaMethod::Pal => {
+            b.imm(Reg::R1, s_dst).imm(Reg::R2, req.size).imm(Reg::R3, s_src).call_pal(PAL_DMA)
+        }
         // Figure 3: two keyed address stores, a size store, a status load.
         DmaMethod::KeyBased => {
             let grant = env.ctx.expect("can_use_user_level checked");
@@ -87,11 +82,11 @@ pub fn emit_dma(
         }
         DmaMethod::Repeated3 => {
             let l = label("r3", uniq);
-            b.label(&l)
-                .load(Reg::R0, s_src)
-                .store(s_dst, req.size)
-                .load(Reg::R0, s_src)
-                .beq(Reg::R0, DMA_FAILURE, &l)
+            b.label(&l).load(Reg::R0, s_src).store(s_dst, req.size).load(Reg::R0, s_src).beq(
+                Reg::R0,
+                DMA_FAILURE,
+                &l,
+            )
         }
         DmaMethod::Repeated4 => {
             let l = label("r4", uniq);

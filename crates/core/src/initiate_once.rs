@@ -17,10 +17,7 @@ pub fn emit_dma_once(env: &ProcessEnv, b: ProgramBuilder, req: &DmaRequest) -> P
     let s_dst = env.shadow_of(req.dst).as_u64();
     match method {
         DmaMethod::ExtShadowPairwise => b.store(s_dst, req.size).load(Reg::R0, s_src),
-        DmaMethod::Repeated3 => b
-            .load(Reg::R0, s_src)
-            .store(s_dst, req.size)
-            .load(Reg::R0, s_src),
+        DmaMethod::Repeated3 => b.load(Reg::R0, s_src).store(s_dst, req.size).load(Reg::R0, s_src),
         DmaMethod::Repeated4 => b
             .store(s_dst, req.size)
             .load(Reg::R0, s_src)

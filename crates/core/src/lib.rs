@@ -53,6 +53,7 @@ mod method;
 mod report;
 mod request;
 mod trace_report;
+mod va;
 
 pub use attack::{
     explore, explore_bounded, explore_sampled, schedule_space, Budget, ExploreReport, Finding,
@@ -61,8 +62,12 @@ pub use crossover::{crossover_rows, os_bound_message_size, CrossoverRow};
 pub use initiate::{dma_program, emit_atomic, emit_dma, AtomicRequest};
 pub use initiate_once::emit_dma_once;
 pub use machine::{BufferSpec, Machine, MachineConfig, ProcessEnv, ProcessSpec, ShareRef, PAL_DMA};
-pub use measure::{measure_atomic, measure_initiation, measure_initiation_with, measure_transfer_latency, table1, InitiationCost};
+pub use measure::{
+    measure_atomic, measure_initiation, measure_initiation_with, measure_transfer_latency, table1,
+    InitiationCost,
+};
 pub use method::DmaMethod;
 pub use report::Table;
 pub use request::DmaRequest;
 pub use trace_report::device_trace_report;
+pub use va::{emit_virt_dma, SwapRefused, VaMode, VirtDmaSetup};

@@ -1,5 +1,6 @@
 //! The simulated workstation: substrates wired together.
 
+use crate::va::{SwapRefused, VaMode, VirtDmaSetup};
 use crate::DmaMethod;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -9,8 +10,13 @@ use udma_cpu::{
     RunToCompletion, Scheduler,
 };
 use udma_mem::{PageTable, Perms, PhysLayout, PhysMemory, VirtAddr, PAGE_SIZE};
-use udma_nic::{Cluster, Destination, DmaEngine, EngineConfig, LinkModel, SharedCluster, TransferRecord};
-use udma_os::{CtxGrant, Kernel, MappedBuffer, ShadowMode};
+use udma_nic::{
+    Cluster, Destination, DmaEngine, EngineConfig, LinkModel, RejectReason, SharedCluster,
+    TransferRecord, VirtState, VirtTransfer,
+};
+use udma_os::{
+    pin_range, CtxGrant, FaultResolution, FaultService, Kernel, MappedBuffer, ShadowMode,
+};
 
 /// PAL function index of the installed user-level DMA call (§2.7).
 pub const PAL_DMA: u16 = 1;
@@ -49,6 +55,9 @@ pub struct MachineConfig {
     pub remote_nodes: u32,
     /// Memory per remote node in bytes.
     pub remote_node_bytes: u64,
+    /// Virtual-address DMA subsystem (NI-side IOMMU/IOTLB). `None` —
+    /// the default — leaves the machine exactly as the paper built it.
+    pub virt_dma: Option<VirtDmaSetup>,
 }
 
 impl MachineConfig {
@@ -68,6 +77,7 @@ impl MachineConfig {
             key_bits: 61,
             remote_nodes: 0,
             remote_node_bytes: 1 << 20,
+            virt_dma: None,
         }
     }
 }
@@ -124,10 +134,7 @@ pub struct ProcessSpec {
 impl ProcessSpec {
     /// The common case: a source and a destination buffer, one page each.
     pub fn two_buffers() -> Self {
-        ProcessSpec {
-            buffers: vec![BufferSpec::rw(1), BufferSpec::rw(1)],
-            ..Default::default()
-        }
+        ProcessSpec { buffers: vec![BufferSpec::rw(1), BufferSpec::rw(1)], ..Default::default() }
     }
 
     /// Source/destination buffers with `pages` pages each.
@@ -200,6 +207,7 @@ pub struct Machine {
     engine: DmaEngine,
     cluster: Option<SharedCluster>,
     envs: Vec<ProcessEnv>,
+    fault_service: FaultService,
 }
 
 impl std::fmt::Debug for Machine {
@@ -252,7 +260,14 @@ impl Machine {
                 .build();
             executor.install_pal(PAL_DMA, pal);
         }
-        Machine { config, bus, executor, kernel, engine, cluster, envs: Vec::new() }
+        let fault_service = match config.virt_dma {
+            Some(setup) => {
+                engine.core_mut().enable_iommu(setup.iotlb, setup.virt);
+                FaultService::new(setup.fault_costs)
+            }
+            None => FaultService::default(),
+        };
+        Machine { config, bus, executor, kernel, engine, cluster, envs: Vec::new(), fault_service }
     }
 
     /// A machine with the default (paper-testbed) configuration.
@@ -273,22 +288,17 @@ impl Machine {
     ///
     /// Panics if buffer mapping fails (address-space collision or
     /// exhausted RAM) — a configuration error, not a runtime condition.
-    pub fn spawn(
-        &mut self,
-        spec: &ProcessSpec,
-        build: impl FnOnce(&ProcessEnv) -> Program,
-    ) -> Pid {
+    pub fn spawn(&mut self, spec: &ProcessSpec, build: impl FnOnce(&ProcessEnv) -> Program) -> Pid {
         let pid = Pid::new(self.executor.processes().len() as u32);
         let mut pt = PageTable::new();
         let now = self.executor.now();
 
-        // Register context first: extended shadow mappings need the ctx id.
-        let want_ctx = spec.want_ctx.unwrap_or_else(|| self.config.method.needs_ctx());
-        let ctx = if want_ctx {
-            self.kernel.grant_context(pid, &mut self.bus, now)
-        } else {
-            None
-        };
+        // Register context first: extended shadow mappings need the ctx
+        // id — and virtual-address DMA posts through the context page, so
+        // a VA-DMA machine grants one regardless of method.
+        let want_ctx = spec.want_ctx.unwrap_or_else(|| self.config.method.needs_ctx())
+            || self.config.virt_dma.is_some();
+        let ctx = if want_ctx { self.kernel.grant_context(pid, &mut self.bus, now) } else { None };
         let shadow_mode = match (self.config.method, ctx) {
             (DmaMethod::ExtShadow | DmaMethod::ExtShadowPairwise, Some(g)) => {
                 ShadowMode::WithCtx(g.ctx)
@@ -305,7 +315,14 @@ impl Machine {
                     let src = *self.envs[r.pid.as_u32() as usize].buffer(r.buffer);
                     self.kernel
                         .vm_mut()
-                        .map_shared(&mut pt, va, src.first_frame, src.pages, bspec.perms, shadow_mode)
+                        .map_shared(
+                            &mut pt,
+                            va,
+                            src.first_frame,
+                            src.pages,
+                            bspec.perms,
+                            shadow_mode,
+                        )
                         .expect("shared mapping failed")
                 }
                 None => self
@@ -318,11 +335,22 @@ impl Machine {
         }
 
         let ctx_page_va = ctx.map(|g| {
-            self.kernel
-                .vm_mut()
-                .map_ctx_page(&mut pt, g.ctx)
-                .expect("context page mapping failed")
+            self.kernel.vm_mut().map_ctx_page(&mut pt, g.ctx).expect("context page mapping failed")
         });
+
+        // Virtual-address DMA: the granted context id doubles as the
+        // process's ASID in the NI-side IOMMU.
+        if let (Some(setup), Some(g)) = (self.config.virt_dma, ctx) {
+            let mut core = self.engine.core_mut();
+            let iommu = core.iommu_mut().expect("virt_dma config enables the IOMMU");
+            iommu.create_context(g.ctx);
+            if setup.mode == VaMode::PinOnPost {
+                for buf in &buffers {
+                    pin_range(g.ctx, buf.va, buf.len(), &pt, iommu)
+                        .expect("pin-on-post registration of a just-mapped buffer");
+                }
+            }
+        }
 
         // SHRIMP-1 mapped-out table (local twins).
         for &(src_i, dst_i) in &spec.mapped_out {
@@ -444,6 +472,121 @@ impl Machine {
     pub fn transfers(&self) -> Vec<TransferRecord> {
         self.engine.core().mover().records().to_vec()
     }
+
+    // ---- virtual-address DMA ----------------------------------------
+
+    /// The OS I/O-fault service (statistics).
+    pub fn fault_service(&self) -> &FaultService {
+        &self.fault_service
+    }
+
+    /// Posts a virtual-address DMA on behalf of `pid` directly (the
+    /// programmatic twin of the `CTX_VIRT_*` store sequence). Returns
+    /// the engine's transfer id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine has no [`VirtDmaSetup`] or the process has
+    /// no register context.
+    pub fn post_virt(
+        &mut self,
+        pid: Pid,
+        src: VirtAddr,
+        dst: VirtAddr,
+        size: u64,
+    ) -> Result<usize, RejectReason> {
+        let asid =
+            self.envs[pid.as_u32() as usize].ctx.expect("virtual-address DMA needs a context").ctx;
+        let now = self.executor.now();
+        self.engine.core_mut().post_virt_dma(asid, src, dst, size, now)
+    }
+
+    /// Snapshot of a virtual-address transfer.
+    pub fn virt_xfer(&self, id: usize) -> Option<VirtTransfer> {
+        self.engine.core().virt_xfer(id).copied()
+    }
+
+    /// Drains the engine's I/O fault queue through the OS fault service:
+    /// each fault is checked against the faulting process's CPU page
+    /// table, then its transfer is resumed (fault resolved) or failed
+    /// (fault unresolvable). Returns the number of faults serviced.
+    pub fn service_va_faults(&mut self) -> u64 {
+        let mut serviced = 0;
+        loop {
+            let Some(pending) = self.engine.core_mut().pop_fault() else {
+                return serviced;
+            };
+            serviced += 1;
+            let now = self.executor.now();
+            let pid = self
+                .envs
+                .iter()
+                .find(|e| e.ctx.map(|g| g.ctx) == Some(pending.fault.asid))
+                .map(|e| e.pid);
+            let mut core = self.engine.core_mut();
+            let (resolution, cost) = match pid {
+                Some(pid) => {
+                    let pt = self.executor.process_mut(pid).page_table_mut();
+                    let iommu = core.iommu_mut().expect("virt faults imply an IOMMU");
+                    self.fault_service.service(&pending.fault, pt, self.kernel.vm_mut(), iommu)
+                }
+                // An ASID no process owns: nothing to consult, fail it.
+                None => (FaultResolution::Unresolvable, SimTime::ZERO),
+            };
+            match resolution {
+                FaultResolution::Unresolvable => {
+                    core.fail_virt(pending.xfer, now + cost);
+                }
+                FaultResolution::Mapped | FaultResolution::SwappedIn => {
+                    core.resume_virt(pending.xfer, now + cost);
+                }
+            }
+        }
+    }
+
+    /// Drives one virtual-address transfer to a terminal state: services
+    /// faults as the OS would, resorting to spontaneous engine retries
+    /// when no fault is queued. Bounded by `max_rounds`.
+    pub fn run_virt(&mut self, id: usize, max_rounds: u32) -> VirtState {
+        for _ in 0..max_rounds {
+            let Some(t) = self.virt_xfer(id) else {
+                break;
+            };
+            if t.is_terminal() {
+                return t.state;
+            }
+            if self.service_va_faults() == 0 {
+                let now = self.executor.now();
+                self.engine.core_mut().resume_virt(id, now);
+            }
+        }
+        self.virt_xfer(id).map(|t| t.state).unwrap_or(VirtState::Running)
+    }
+
+    /// The model swapper: takes one page of `pid`'s address space out of
+    /// memory (CPU PTE into the swap ledger, I/O translation shot down).
+    /// Refuses pages the IOMMU holds pinned — a device transfer may be
+    /// streaming over them.
+    ///
+    /// # Errors
+    ///
+    /// [`SwapRefused`] naming why the page stayed resident.
+    pub fn swap_out_va(&mut self, pid: Pid, va: VirtAddr) -> Result<(), SwapRefused> {
+        let page = va.page();
+        let asid = self.envs[pid.as_u32() as usize].ctx.map(|g| g.ctx);
+        let mut core = self.engine.core_mut();
+        if let (Some(asid), Some(iommu)) = (asid, core.iommu_mut()) {
+            if iommu.table(asid).and_then(|t| t.entry(page)).is_some_and(|e| e.pinned) {
+                return Err(SwapRefused::Pinned);
+            }
+            iommu.unmap(asid, page);
+        }
+        let pt = self.executor.process_mut(pid).page_table_mut();
+        self.kernel
+            .vm_mut()
+            .swap_out(asid.unwrap_or(pid.as_u32()), pt, page)
+            .map_err(|_| SwapRefused::NotMapped)
+    }
 }
 
 #[cfg(test)]
@@ -463,9 +606,7 @@ mod tests {
         let pt = m.executor().process(pid).page_table().clone();
         // Data and shadow both mapped.
         assert!(pt.translate(env.buffer(0).va, Access::Write).is_ok());
-        assert!(pt
-            .translate(env.shadow_of(env.buffer(0).va), Access::Write)
-            .is_ok());
+        assert!(pt.translate(env.shadow_of(env.buffer(0).va), Access::Write).is_ok());
         // No context for repeated passing.
         assert!(env.ctx.is_none());
     }
@@ -473,9 +614,7 @@ mod tests {
     #[test]
     fn key_based_processes_get_context_and_page() {
         let mut m = Machine::with_method(DmaMethod::KeyBased);
-        let pid = m.spawn(&ProcessSpec::two_buffers(), |_| {
-            ProgramBuilder::new().halt().build()
-        });
+        let pid = m.spawn(&ProcessSpec::two_buffers(), |_| ProgramBuilder::new().halt().build());
         let env = m.env(pid);
         let grant = env.ctx.expect("key-based process needs a context");
         assert!(env.ctx_page_va.is_some());
@@ -491,9 +630,8 @@ mod tests {
         });
         let mut granted = 0;
         for _ in 0..4 {
-            let pid = m.spawn(&ProcessSpec::two_buffers(), |_| {
-                ProgramBuilder::new().halt().build()
-            });
+            let pid =
+                m.spawn(&ProcessSpec::two_buffers(), |_| ProgramBuilder::new().halt().build());
             if m.env(pid).ctx.is_some() {
                 granted += 1;
             } else {
@@ -506,15 +644,11 @@ mod tests {
     #[test]
     fn ext_shadow_mappings_carry_the_granted_ctx() {
         let mut m = Machine::with_method(DmaMethod::ExtShadow);
-        let pid = m.spawn(&ProcessSpec::two_buffers(), |_| {
-            ProgramBuilder::new().halt().build()
-        });
+        let pid = m.spawn(&ProcessSpec::two_buffers(), |_| ProgramBuilder::new().halt().build());
         let env = m.env(pid).clone();
         let grant = env.ctx.unwrap();
         let pt = m.executor().process(pid).page_table().clone();
-        let spa = pt
-            .translate(env.shadow_of(env.buffer(0).va), Access::Write)
-            .unwrap();
+        let spa = pt.translate(env.shadow_of(env.buffer(0).va), Access::Write).unwrap();
         let (_, ctx) = m.config().layout.shadow.decode(spa).unwrap();
         assert_eq!(ctx, grant.ctx);
     }
@@ -522,18 +656,13 @@ mod tests {
     #[test]
     fn shared_buffers_alias_frames() {
         let mut m = Machine::with_method(DmaMethod::Repeated5);
-        let owner = m.spawn(&ProcessSpec::two_buffers(), |_| {
-            ProgramBuilder::new().halt().build()
-        });
+        let owner = m.spawn(&ProcessSpec::two_buffers(), |_| ProgramBuilder::new().halt().build());
         let spec = ProcessSpec {
             buffers: vec![BufferSpec::shared(ShareRef { pid: owner, buffer: 0 }, Perms::READ)],
             ..Default::default()
         };
         let reader = m.spawn(&spec, |_| ProgramBuilder::new().halt().build());
-        assert_eq!(
-            m.env(owner).buffer(0).first_frame,
-            m.env(reader).buffer(0).first_frame
-        );
+        assert_eq!(m.env(owner).buffer(0).first_frame, m.env(reader).buffer(0).first_frame);
         assert_eq!(m.env(reader).buffer(0).perms, Perms::READ);
     }
 

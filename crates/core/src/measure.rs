@@ -89,10 +89,7 @@ pub fn measure_initiation(method: DmaMethod, iters: u32) -> InitiationCost {
 /// Regenerates **Table 1**: the paper's four rows, measured on this
 /// simulator.
 pub fn table1(iters: u32) -> Vec<InitiationCost> {
-    DmaMethod::TABLE1
-        .iter()
-        .map(|&m| measure_initiation(m, iters))
-        .collect()
+    DmaMethod::TABLE1.iter().map(|&m| measure_initiation(m, iters)).collect()
 }
 
 /// Measures the mean cost of one user-level (or kernel-path) atomic
@@ -128,10 +125,7 @@ pub fn measure_atomic(method: DmaMethod, iters: u32) -> InitiationCost {
 
 /// Helper for trend analyses: measure with a custom machine
 /// configuration (bus sweeps, cost-model variants).
-pub fn measure_initiation_with(
-    config: crate::MachineConfig,
-    iters: u32,
-) -> InitiationCost {
+pub fn measure_initiation_with(config: crate::MachineConfig, iters: u32) -> InitiationCost {
     let method = config.method;
     let mut m = Machine::new(config);
     let pages = 8u64;
@@ -161,7 +155,6 @@ pub fn measure_initiation_with(
         paper_us: method.paper_us(),
     }
 }
-
 
 /// End-to-end latency of ONE transfer of `size` bytes: initiate, then
 /// poll the context status word until the wire drains (user-level

@@ -79,12 +79,8 @@ impl DmaMethod {
     ];
 
     /// The four rows of the paper's Table 1, in the paper's order.
-    pub const TABLE1: [DmaMethod; 4] = [
-        DmaMethod::Kernel,
-        DmaMethod::ExtShadow,
-        DmaMethod::Repeated5,
-        DmaMethod::KeyBased,
-    ];
+    pub const TABLE1: [DmaMethod; 4] =
+        [DmaMethod::Kernel, DmaMethod::ExtShadow, DmaMethod::Repeated5, DmaMethod::KeyBased];
 
     /// The protocol the NIC must implement for this method.
     pub fn protocol(self) -> ProtocolKind {
@@ -115,10 +111,7 @@ impl DmaMethod {
 
     /// Whether the method needs a register context + key grant.
     pub fn needs_ctx(self) -> bool {
-        matches!(
-            self,
-            DmaMethod::KeyBased | DmaMethod::ExtShadow | DmaMethod::ExtShadowPairwise
-        )
+        matches!(self, DmaMethod::KeyBased | DmaMethod::ExtShadow | DmaMethod::ExtShadowPairwise)
     }
 
     /// Whether the machine must install the PAL DMA function.
@@ -183,12 +176,7 @@ mod tests {
         // "Our methods allow user applications to securely and atomically
         // start DMA operations from user-level without needing to change
         // the operating system kernel."
-        for m in [
-            DmaMethod::Pal,
-            DmaMethod::KeyBased,
-            DmaMethod::ExtShadow,
-            DmaMethod::Repeated5,
-        ] {
+        for m in [DmaMethod::Pal, DmaMethod::KeyBased, DmaMethod::ExtShadow, DmaMethod::Repeated5] {
             assert!(m.kernel_free(), "{m}");
         }
         assert!(!DmaMethod::Shrimp2 { patched_kernel: true }.kernel_free());

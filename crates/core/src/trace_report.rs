@@ -29,19 +29,10 @@ pub fn device_trace_report(machine: &Machine) -> String {
     for ev in machine.bus().trace().events() {
         let decoded = match layout.region_of(ev.paddr) {
             Region::Shadow => {
-                let (pa, ctx) = layout
-                    .shadow
-                    .decode(ev.paddr)
-                    .expect("shadow region decodes");
+                let (pa, ctx) = layout.shadow.decode(ev.paddr).expect("shadow region decodes");
                 match ev.op {
-                    BusOp::Write => format!(
-                        "shadow store  pa={pa} ctx={ctx} data={:#x}",
-                        ev.data
-                    ),
-                    BusOp::Read => format!(
-                        "shadow load   pa={pa} ctx={ctx} -> {:#x}",
-                        ev.data
-                    ),
+                    BusOp::Write => format!("shadow store  pa={pa} ctx={ctx} data={:#x}", ev.data),
+                    BusOp::Read => format!("shadow load   pa={pa} ctx={ctx} -> {:#x}", ev.data),
                 }
             }
             Region::NicRegs { offset } => {

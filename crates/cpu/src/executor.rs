@@ -2,12 +2,13 @@
 //! TLB and write buffer onto the bus.
 
 use crate::{
-    CostModel, Instr, Operand, Pid, Process, Program, Reg, Scheduler, SwitchReason,
-    TrapHandler,
+    CostModel, Instr, Operand, Pid, Process, Program, Reg, Scheduler, SwitchReason, TrapHandler,
 };
 use std::collections::HashMap;
-use udma_bus::{Bus, BusTxn, CacheConfig, CacheStats, DataCache, PendingStore, SimTime, WriteBuffer,
-    WriteBufferPolicy};
+use udma_bus::{
+    Bus, BusTxn, CacheConfig, CacheStats, DataCache, PendingStore, SimTime, WriteBuffer,
+    WriteBufferPolicy,
+};
 use udma_mem::{Access, MemFault, PageTable, Tlb, TlbStats};
 
 /// Counters kept by the executor.
@@ -134,11 +135,7 @@ impl Executor {
 
     /// Pids currently able to run.
     pub fn ready_pids(&self) -> Vec<Pid> {
-        self.processes
-            .iter()
-            .filter(|p| p.state().is_ready())
-            .map(|p| p.pid())
-            .collect()
+        self.processes.iter().filter(|p| p.state().is_ready()).map(|p| p.pid()).collect()
     }
 
     /// Executor counters.
@@ -385,11 +382,14 @@ impl Executor {
         }
     }
 
-    fn translate(&mut self, idx: usize, va: u64, access: Access) -> Result<udma_mem::PhysAddr, MemFault> {
+    fn translate(
+        &mut self,
+        idx: usize,
+        va: u64,
+        access: Access,
+    ) -> Result<udma_mem::PhysAddr, MemFault> {
         let va = udma_mem::VirtAddr::new(va);
-        let (pa, hit) = self
-            .tlb
-            .translate(self.processes[idx].page_table(), va, access)?;
+        let (pa, hit) = self.tlb.translate(self.processes[idx].page_table(), va, access)?;
         if !hit {
             self.now += self.cost.tlb_miss();
         }
@@ -447,7 +447,13 @@ impl Executor {
         }
     }
 
-    fn do_store(&mut self, idx: usize, addr: Operand, src: Operand, bus: &mut Bus) -> Result<(), ()> {
+    fn do_store(
+        &mut self,
+        idx: usize,
+        addr: Operand,
+        src: Operand,
+        bus: &mut Bus,
+    ) -> Result<(), ()> {
         let va = self.resolve(idx, addr);
         let data = self.resolve(idx, src);
         let pa = match self.translate(idx, va, Access::Write) {
@@ -537,11 +543,8 @@ mod tests {
         let (mut bus, pt) = world();
         let mut ex = exec();
         // No barrier between store and load to the same address.
-        let prog = ProgramBuilder::new()
-            .store(0x100u64, 7u64)
-            .load(Reg::R1, 0x100u64)
-            .halt()
-            .build();
+        let prog =
+            ProgramBuilder::new().store(0x100u64, 7u64).load(Reg::R1, 0x100u64).halt().build();
         let pid = ex.spawn(prog, pt);
         ex.run(&mut RunToCompletion, &mut NullTrapHandler, &mut bus, 100);
         assert_eq!(ex.process(pid).reg(Reg::R1), 7);
@@ -570,10 +573,7 @@ mod tests {
         let prog = ProgramBuilder::new().store(0x10u64, 1u64).halt().build();
         let pid = ex.spawn(prog, pt);
         ex.run(&mut RunToCompletion, &mut NullTrapHandler, &mut bus, 100);
-        assert!(matches!(
-            ex.process(pid).state(),
-            ProcState::Faulted(MemFault::Protection { .. })
-        ));
+        assert!(matches!(ex.process(pid).state(), ProcState::Faulted(MemFault::Protection { .. })));
     }
 
     #[test]
@@ -612,7 +612,13 @@ mod tests {
     fn syscall_reaches_handler_and_returns() {
         struct Adder;
         impl TrapHandler for Adder {
-            fn syscall(&mut self, no: u16, p: &mut Process, _b: &mut Bus, _t: SimTime) -> crate::TrapOutcome {
+            fn syscall(
+                &mut self,
+                no: u16,
+                p: &mut Process,
+                _b: &mut Bus,
+                _t: SimTime,
+            ) -> crate::TrapOutcome {
                 crate::TrapOutcome {
                     retval: p.reg(Reg::R1) + p.reg(Reg::R2) + no as u64,
                     time: SimTime::from_us(1),
@@ -631,12 +637,8 @@ mod tests {
         }
         let (mut bus, pt) = world();
         let mut ex = exec();
-        let prog = ProgramBuilder::new()
-            .imm(Reg::R1, 10)
-            .imm(Reg::R2, 20)
-            .syscall(7)
-            .halt()
-            .build();
+        let prog =
+            ProgramBuilder::new().imm(Reg::R1, 10).imm(Reg::R2, 20).syscall(7).halt().build();
         let pid = ex.spawn(prog, pt);
         let before = ex.now();
         ex.run(&mut RunToCompletion, &mut Adder, &mut bus, 100);
@@ -705,9 +707,7 @@ mod tests {
         pt_b.map(VirtPage::new(1), shared, Perms::READ_WRITE).unwrap();
 
         let page1 = VirtAddr::new(udma_mem::PAGE_SIZE).as_u64();
-        let prog = |v: u64| {
-            ProgramBuilder::new().store(page1, v).mb().halt().build()
-        };
+        let prog = |v: u64| ProgramBuilder::new().store(page1, v).mb().halt().build();
         let a = ex.spawn(prog(1), pt_a);
         let b = ex.spawn(prog(2), pt_b);
         // Schedule: a runs fully first, then b → b's store lands last.
@@ -725,10 +725,8 @@ mod tests {
         let (mut bus, pt) = world();
         let (_, pt2) = world();
         let mut ex = exec();
-        let a = ex.spawn(
-            ProgramBuilder::new().store(0x100u64, 1u64).compute(10).halt().build(),
-            pt,
-        );
+        let a =
+            ex.spawn(ProgramBuilder::new().store(0x100u64, 1u64).compute(10).halt().build(), pt);
         let b = ex.spawn(ProgramBuilder::new().load(Reg::R1, 0x100u64).halt().build(), pt2);
         // a stores (buffered), switch to b, b loads: because the switch
         // drains, b sees a's store in RAM (same frame via identical
@@ -746,10 +744,7 @@ mod tests {
         let mut ex = exec();
         let nic_window_miss = ex.now();
         assert_eq!(nic_window_miss, SimTime::ZERO);
-        ex.spawn(
-            ProgramBuilder::new().store(0x100u64, 1u64).mb().halt().build(),
-            pt,
-        );
+        ex.spawn(ProgramBuilder::new().store(0x100u64, 1u64).mb().halt().build(), pt);
         ex.run(&mut RunToCompletion, &mut NullTrapHandler, &mut bus, 100);
         // mb retirement charged the RAM latency at least.
         assert!(ex.now() > SimTime::from_ns(180));
@@ -776,10 +771,7 @@ mod tests {
             .bne(Reg::R2, 0, "top")
             .build();
         ex.install_pal(4, pal);
-        let pid = ex.spawn(
-            ProgramBuilder::new().imm(Reg::R1, 14).call_pal(4).halt().build(),
-            pt,
-        );
+        let pid = ex.spawn(ProgramBuilder::new().imm(Reg::R1, 14).call_pal(4).halt().build(), pt);
         ex.run(&mut RunToCompletion, &mut NullTrapHandler, &mut bus, 100);
         assert_eq!(ex.process(pid).reg(Reg::R0), 42);
     }
@@ -808,18 +800,11 @@ mod tests {
         // PAL 6: store 1 to 0x100; load r0 from 0x100.
         ex.install_pal(
             6,
-            ProgramBuilder::new()
-                .store(0x100u64, 1u64)
-                .mb()
-                .load(Reg::R0, 0x100u64)
-                .build(),
+            ProgramBuilder::new().store(0x100u64, 1u64).mb().load(Reg::R0, 0x100u64).build(),
         );
         let a = ex.spawn(ProgramBuilder::new().call_pal(6).halt().build(), pt);
         // b overwrites the same word (same frames via identical mapping).
-        let b = ex.spawn(
-            ProgramBuilder::new().store(0x100u64, 99u64).mb().halt().build(),
-            pt2,
-        );
+        let b = ex.spawn(ProgramBuilder::new().store(0x100u64, 99u64).mb().halt().build(), pt2);
         // Alternate every step: a, b, a, b, …
         let mut sched = crate::FixedSchedule::new(vec![a, b, a, b, a, b]);
         ex.run(&mut sched, &mut NullTrapHandler, &mut bus, 100);

@@ -28,10 +28,7 @@
 /// Panics if the total count exceeds 20 000 000 (use sampling instead).
 pub fn interleavings(lens: &[usize]) -> Vec<Vec<usize>> {
     let count = interleaving_count(lens);
-    assert!(
-        count <= 20_000_000,
-        "{count} interleavings is too many to enumerate; sample instead"
-    );
+    assert!(count <= 20_000_000, "{count} interleavings is too many to enumerate; sample instead");
     udma_testkit::sched::interleavings(lens).collect()
 }
 

@@ -37,7 +37,7 @@ mod trap;
 pub use cost::CostModel;
 pub use executor::{ExecStats, Executor, RunOutcome};
 pub use instr::{Instr, Operand, Reg};
-pub use interleave::{interleavings, interleaving_count};
+pub use interleave::{interleaving_count, interleavings};
 pub use process::{Pid, ProcState, Process};
 pub use program::{Program, ProgramBuilder};
 pub use sched::{FixedSchedule, RandomPreempt, RoundRobin, RunToCompletion, Scheduler};

@@ -219,10 +219,8 @@ impl ProgramBuilder {
     /// Panics on a reference to an undefined label.
     pub fn build(mut self) -> Program {
         for (idx, label) in &self.fixups {
-            let target = *self
-                .labels
-                .get(label)
-                .unwrap_or_else(|| panic!("undefined label `{label}`"));
+            let target =
+                *self.labels.get(label).unwrap_or_else(|| panic!("undefined label `{label}`"));
             match &mut self.instrs[*idx] {
                 Instr::Beq { target: t, .. }
                 | Instr::Bne { target: t, .. }
@@ -284,11 +282,7 @@ mod tests {
     #[test]
     fn concat_rebases_targets_and_drops_halt() {
         let a = ProgramBuilder::new().imm(Reg::R0, 1).halt().build();
-        let b = ProgramBuilder::new()
-            .label("top")
-            .imm(Reg::R1, 2)
-            .jmp("top")
-            .build();
+        let b = ProgramBuilder::new().label("top").imm(Reg::R1, 2).jmp("top").build();
         let c = a.concat(&b);
         assert_eq!(c.len(), 3); // halt dropped
         assert_eq!(c.instrs()[2], Instr::Jmp { target: 1 });

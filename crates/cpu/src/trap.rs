@@ -70,7 +70,13 @@ pub trait TrapHandler {
 pub struct NullTrapHandler;
 
 impl TrapHandler for NullTrapHandler {
-    fn syscall(&mut self, _no: u16, _p: &mut Process, _bus: &mut Bus, _now: SimTime) -> TrapOutcome {
+    fn syscall(
+        &mut self,
+        _no: u16,
+        _p: &mut Process,
+        _bus: &mut Bus,
+        _now: SimTime,
+    ) -> TrapOutcome {
         TrapOutcome::ret(u64::MAX)
     }
 

@@ -78,20 +78,32 @@ fn instrs() -> impl Strategy<Value = Vec<Instr>> {
     vec(
         one_of![
             (reg(), any::<u64>()).prop_map(|(dst, value)| Instr::Imm { dst, value }),
-            (reg(), reg(), -100i64..100).prop_map(|(dst, src, imm)| Instr::AddImm { dst, src, imm }),
+            (reg(), reg(), -100i64..100).prop_map(|(dst, src, imm)| Instr::AddImm {
+                dst,
+                src,
+                imm
+            }),
             (reg(), reg(), reg()).prop_map(|(dst, a, b)| Instr::Add { dst, a, b }),
             (reg(), 0u64..(PAGE_SIZE / 8))
                 .prop_map(|(dst, w)| Instr::Load { dst, addr: Operand::Imm(w * 8) }),
-            (0u64..(PAGE_SIZE / 8), reg())
-                .prop_map(|(w, src)| Instr::Store { addr: Operand::Imm(w * 8), src: Operand::Reg(src) }),
+            (0u64..(PAGE_SIZE / 8), reg()).prop_map(|(w, src)| Instr::Store {
+                addr: Operand::Imm(w * 8),
+                src: Operand::Reg(src)
+            }),
             Just(Instr::Mb),
             (1u32..50).prop_map(|cycles| Instr::Compute { cycles }),
             // Forward branches only (skip 1–4 instructions): termination
             // is structural.
-            (reg(), 0u64..4, 1usize..5)
-                .prop_map(|(r, value, skip)| Instr::Beq { reg: r, value, target: usize::MAX - skip }),
-            (reg(), 0u64..4, 1usize..5)
-                .prop_map(|(r, value, skip)| Instr::Bne { reg: r, value, target: usize::MAX - skip }),
+            (reg(), 0u64..4, 1usize..5).prop_map(|(r, value, skip)| Instr::Beq {
+                reg: r,
+                value,
+                target: usize::MAX - skip
+            }),
+            (reg(), 0u64..4, 1usize..5).prop_map(|(r, value, skip)| Instr::Bne {
+                reg: r,
+                value,
+                target: usize::MAX - skip
+            }),
         ],
         0..40,
     )
@@ -115,11 +127,7 @@ fn machine() -> (Executor, Bus, PageTable) {
     let mut pt = PageTable::new();
     let mut alloc = FrameAllocator::with_range(1, 16);
     pt.map(VirtPage::new(0), alloc.alloc().unwrap(), Perms::READ_WRITE).unwrap();
-    (
-        Executor::new(CostModel::alpha_3000_300(), WriteBufferPolicy::default()),
-        bus,
-        pt,
-    )
+    (Executor::new(CostModel::alpha_3000_300(), WriteBufferPolicy::default()), bus, pt)
 }
 
 props! {

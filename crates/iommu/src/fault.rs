@@ -1,0 +1,140 @@
+//! I/O page faults: what the NI reports when a translation fails
+//! mid-transfer.
+
+use crate::Asid;
+use std::collections::VecDeque;
+use std::fmt;
+use udma_mem::{Access, Perms, VirtAddr};
+
+/// Why an IOMMU translation failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// No I/O page-table entry for the page (never registered, or
+    /// swapped out and shot down).
+    Unmapped,
+    /// An entry exists but lacks the needed permission.
+    Protection {
+        /// Permission the access required.
+        needed: Perms,
+        /// Permission the entry grants.
+        granted: Perms,
+    },
+    /// The ASID has no I/O page table at all (context never registered
+    /// with the IOMMU).
+    NoContext,
+}
+
+/// One I/O page fault, as queued by the engine for the OS fault service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoFault {
+    /// Address-space id of the posting context.
+    pub asid: Asid,
+    /// Faulting virtual address.
+    pub va: VirtAddr,
+    /// The access the DMA engine was attempting.
+    pub access: Access,
+    /// Why the translation failed.
+    pub kind: IoFaultKind,
+}
+
+impl fmt::Display for IoFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            IoFaultKind::Unmapped => "unmapped".to_string(),
+            IoFaultKind::Protection { needed, granted } => {
+                format!("protection (needed {needed}, granted {granted})")
+            }
+            IoFaultKind::NoContext => "no context".to_string(),
+        };
+        write!(f, "io-fault asid={} va={} {:?} {}", self.asid, self.va, self.access, kind)
+    }
+}
+
+/// A FIFO of pending I/O faults (the engine's fault queue; the OS fault
+/// service drains it).
+#[derive(Clone, Debug, Default)]
+pub struct FaultQueue {
+    queue: VecDeque<IoFault>,
+    /// Faults ever enqueued (monotonic; `len()` only reports pending).
+    raised: u64,
+}
+
+impl FaultQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        FaultQueue::default()
+    }
+
+    /// Enqueues a fault.
+    pub fn push(&mut self, fault: IoFault) {
+        self.raised += 1;
+        self.queue.push_back(fault);
+    }
+
+    /// Dequeues the oldest pending fault.
+    pub fn pop(&mut self) -> Option<IoFault> {
+        self.queue.pop_front()
+    }
+
+    /// Oldest pending fault without dequeuing.
+    pub fn peek(&self) -> Option<&IoFault> {
+        self.queue.front()
+    }
+
+    /// Pending faults.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no fault is pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Faults ever raised (including serviced ones).
+    pub fn raised(&self) -> u64 {
+        self.raised
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault(va: u64) -> IoFault {
+        IoFault {
+            asid: 1,
+            va: VirtAddr::new(va),
+            access: Access::Read,
+            kind: IoFaultKind::Unmapped,
+        }
+    }
+
+    #[test]
+    fn queue_is_fifo_and_counts() {
+        let mut q = FaultQueue::new();
+        assert!(q.is_empty());
+        q.push(fault(0x1000));
+        q.push(fault(0x2000));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.raised(), 2);
+        assert_eq!(q.peek().unwrap().va, VirtAddr::new(0x1000));
+        assert_eq!(q.pop().unwrap().va, VirtAddr::new(0x1000));
+        assert_eq!(q.pop().unwrap().va, VirtAddr::new(0x2000));
+        assert!(q.pop().is_none());
+        // Draining does not reset the raised counter.
+        assert_eq!(q.raised(), 2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = fault(0x3000).to_string();
+        assert!(s.contains("asid=1"));
+        assert!(s.contains("unmapped"));
+        let p = IoFault {
+            kind: IoFaultKind::Protection { needed: Perms::WRITE, granted: Perms::READ },
+            ..fault(0)
+        };
+        assert!(p.to_string().contains("protection"));
+    }
+}

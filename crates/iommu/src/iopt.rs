@@ -1,0 +1,171 @@
+//! Per-ASID I/O page tables: the authoritative NI-side translation
+//! structure the IOTLB caches.
+
+use crate::{IoFaultKind, PinError};
+use std::collections::BTreeMap;
+use udma_mem::{Access, MemFault, Perms, PhysAddr, PhysFrame, VirtAddr, VirtPage};
+
+/// One I/O page-table entry.
+///
+/// Unlike a CPU PTE it carries a *pin* bit: the OS must not swap out a
+/// page while the NI may still DMA to it, so the fault service pins
+/// pages as it maps them and the swapper refuses pinned pages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoPte {
+    /// Backing physical frame.
+    pub frame: PhysFrame,
+    /// Permissions granted to device accesses.
+    pub perms: Perms,
+    /// Whether the frame is pinned (not swappable).
+    pub pinned: bool,
+}
+
+/// The I/O page table of one address space (one ASID).
+#[derive(Clone, Debug, Default)]
+pub struct IoPageTable {
+    entries: BTreeMap<VirtPage, IoPte>,
+}
+
+impl IoPageTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        IoPageTable::default()
+    }
+
+    /// Installs a translation.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::AlreadyMapped`] if the page already has an entry.
+    pub fn map(
+        &mut self,
+        page: VirtPage,
+        frame: PhysFrame,
+        perms: Perms,
+        pinned: bool,
+    ) -> Result<(), MemFault> {
+        if self.entries.contains_key(&page) {
+            return Err(MemFault::AlreadyMapped { va: page.base() });
+        }
+        self.entries.insert(page, IoPte { frame, perms, pinned });
+        Ok(())
+    }
+
+    /// Removes a translation, returning the old entry if present.
+    pub fn unmap(&mut self, page: VirtPage) -> Option<IoPte> {
+        self.entries.remove(&page)
+    }
+
+    /// Changes the permissions of an existing entry.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::Unmapped`] if the page has no entry.
+    pub fn protect(&mut self, page: VirtPage, perms: Perms) -> Result<(), MemFault> {
+        match self.entries.get_mut(&page) {
+            Some(e) => {
+                e.perms = perms;
+                Ok(())
+            }
+            None => Err(MemFault::Unmapped { va: page.base() }),
+        }
+    }
+
+    /// Sets or clears the pin bit of an existing entry.
+    ///
+    /// # Errors
+    ///
+    /// [`PinError::Unmapped`] if the page has no entry.
+    pub fn set_pinned(&mut self, page: VirtPage, pinned: bool) -> Result<(), PinError> {
+        match self.entries.get_mut(&page) {
+            Some(e) => {
+                e.pinned = pinned;
+                Ok(())
+            }
+            None => Err(PinError::Unmapped),
+        }
+    }
+
+    /// The entry for a page.
+    pub fn entry(&self, page: VirtPage) -> Option<&IoPte> {
+        self.entries.get(&page)
+    }
+
+    /// Walks the table for `va`, permission-checking against `access`.
+    pub fn translate(&self, va: VirtAddr, access: Access) -> Result<PhysAddr, IoFaultKind> {
+        let pte = self.entries.get(&va.page()).ok_or(IoFaultKind::Unmapped)?;
+        let needed = access.required_perms();
+        if !pte.perms.allows(needed) {
+            return Err(IoFaultKind::Protection { needed, granted: pte.perms });
+        }
+        Ok(pte.frame.base() + va.page_offset())
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates the installed entries in page order.
+    pub fn iter(&self) -> impl Iterator<Item = (&VirtPage, &IoPte)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udma_mem::PAGE_SIZE;
+
+    #[test]
+    fn map_translate_round_trip() {
+        let mut t = IoPageTable::new();
+        t.map(VirtPage::new(2), PhysFrame::new(7), Perms::READ_WRITE, true).unwrap();
+        let pa = t.translate(VirtAddr::new(2 * PAGE_SIZE + 0x18), Access::Write).unwrap();
+        assert_eq!(pa, PhysFrame::new(7).base() + 0x18);
+        assert!(t.entry(VirtPage::new(2)).unwrap().pinned);
+    }
+
+    #[test]
+    fn unmapped_and_protection_faults() {
+        let mut t = IoPageTable::new();
+        assert_eq!(t.translate(VirtAddr::new(0), Access::Read), Err(IoFaultKind::Unmapped));
+        t.map(VirtPage::new(0), PhysFrame::new(1), Perms::READ, false).unwrap();
+        assert!(t.translate(VirtAddr::new(0), Access::Read).is_ok());
+        assert_eq!(
+            t.translate(VirtAddr::new(8), Access::Write),
+            Err(IoFaultKind::Protection { needed: Perms::WRITE, granted: Perms::READ })
+        );
+    }
+
+    #[test]
+    fn double_map_rejected_unmap_clears() {
+        let mut t = IoPageTable::new();
+        t.map(VirtPage::new(1), PhysFrame::new(1), Perms::READ, false).unwrap();
+        assert!(matches!(
+            t.map(VirtPage::new(1), PhysFrame::new(2), Perms::READ, false),
+            Err(MemFault::AlreadyMapped { .. })
+        ));
+        let old = t.unmap(VirtPage::new(1)).unwrap();
+        assert_eq!(old.frame, PhysFrame::new(1));
+        assert!(t.is_empty());
+        assert!(t.unmap(VirtPage::new(1)).is_none());
+    }
+
+    #[test]
+    fn protect_and_pin_update_entries() {
+        let mut t = IoPageTable::new();
+        t.map(VirtPage::new(3), PhysFrame::new(3), Perms::READ, false).unwrap();
+        t.protect(VirtPage::new(3), Perms::READ_WRITE).unwrap();
+        assert!(t.translate(VirtPage::new(3).base(), Access::Write).is_ok());
+        t.set_pinned(VirtPage::new(3), true).unwrap();
+        assert!(t.entry(VirtPage::new(3)).unwrap().pinned);
+        assert!(t.protect(VirtPage::new(9), Perms::READ).is_err());
+        assert_eq!(t.set_pinned(VirtPage::new(9), true), Err(PinError::Unmapped));
+    }
+}

@@ -1,0 +1,370 @@
+//! The IOTLB: a set-associative, ASID-tagged translation cache on the
+//! network interface.
+//!
+//! ASID tagging is the point: a host context switch does **not** flush
+//! the IOTLB (entries of the switched-out process stay valid and keep
+//! serving its in-flight transfers), and tearing down one address space
+//! invalidates only its own entries ([`Iotlb::invalidate_asid`]) instead
+//! of everyone's.
+
+use crate::Asid;
+use udma_mem::{Perms, PhysFrame, TlbStats, VirtPage};
+
+/// Replacement policy within a set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IotlbReplacement {
+    /// Replace the oldest fill (per-set round-robin pointer).
+    #[default]
+    Fifo,
+    /// Replace the least recently used entry.
+    Lru,
+    /// Replace a pseudo-random way (deterministic splitmix stream).
+    Random,
+}
+
+/// IOTLB geometry and policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IotlbConfig {
+    /// Total entries (must be a multiple of `ways`).
+    pub entries: usize,
+    /// Associativity; `entries == ways` makes the IOTLB fully
+    /// associative.
+    pub ways: usize,
+    /// Replacement policy within a set.
+    pub replacement: IotlbReplacement,
+    /// Seed for the `Random` policy's deterministic stream.
+    pub seed: u64,
+}
+
+impl Default for IotlbConfig {
+    fn default() -> Self {
+        // The ARMv8 SMMU the follow-on work targets has small per-TBU
+        // micro-TLBs; 32 × 4-way is in that class.
+        IotlbConfig { entries: 32, ways: 4, replacement: IotlbReplacement::Fifo, seed: 0 }
+    }
+}
+
+impl IotlbConfig {
+    /// A fully associative IOTLB of `entries` entries.
+    pub fn fully_associative(entries: usize) -> Self {
+        IotlbConfig { entries, ways: entries, ..IotlbConfig::default() }
+    }
+}
+
+/// IOTLB counters: the shared [`TlbStats`] shape plus the
+/// invalidation traffic that only exists on the device side.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IotlbStats {
+    /// Hit/miss/flush/eviction counters (same shape as the CPU TLB).
+    pub tlb: TlbStats,
+    /// Single-page invalidations (OS unmap/swap-out shootdowns).
+    pub shootdowns: u64,
+    /// Selective per-ASID invalidations (address-space teardown).
+    pub asid_flushes: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    asid: Asid,
+    page: VirtPage,
+    frame: PhysFrame,
+    perms: Perms,
+    /// LRU timestamp (monotonic fill/touch tick).
+    stamp: u64,
+}
+
+/// The translation cache proper.
+#[derive(Clone, Debug)]
+pub struct Iotlb {
+    sets: Vec<Vec<Option<Line>>>,
+    ways: usize,
+    replacement: IotlbReplacement,
+    fifo_ptr: Vec<usize>,
+    tick: u64,
+    rng_state: u64,
+    stats: IotlbStats,
+}
+
+impl Iotlb {
+    /// Builds an IOTLB from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero, `ways` is zero, or `entries` is not
+    /// a multiple of `ways`.
+    pub fn new(config: IotlbConfig) -> Self {
+        assert!(config.entries > 0, "IOTLB must have entries");
+        assert!(config.ways > 0, "IOTLB associativity must be nonzero");
+        assert!(
+            config.entries.is_multiple_of(config.ways),
+            "IOTLB entries must be a multiple of the associativity"
+        );
+        let num_sets = config.entries / config.ways;
+        Iotlb {
+            sets: vec![vec![None; config.ways]; num_sets],
+            ways: config.ways,
+            replacement: config.replacement,
+            fifo_ptr: vec![0; num_sets],
+            tick: 0,
+            rng_state: config.seed,
+            stats: IotlbStats::default(),
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Valid entries currently cached.
+    pub fn len(&self) -> usize {
+        self.sets.iter().flatten().filter(|l| l.is_some()).count()
+    }
+
+    /// Whether the IOTLB caches nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> IotlbStats {
+        self.stats
+    }
+
+    fn set_index(&self, asid: Asid, page: VirtPage) -> usize {
+        // Hash the ASID into the index so two processes touching the
+        // same page numbers (the common buffer layout) don't contend
+        // for the same sets.
+        ((page.number() ^ (asid as u64).wrapping_mul(0x9E37_79B9)) % self.sets.len() as u64)
+            as usize
+    }
+
+    fn next_random(&mut self) -> u64 {
+        // splitmix64 step: deterministic per seed.
+        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Looks up `(asid, page)`; counts a hit only when the cached entry
+    /// also allows `needed`. A permission-insufficient entry counts as
+    /// a miss so the caller re-walks the I/O page table (the same
+    /// rewalk-on-permission-miss rule as the CPU TLB).
+    pub fn lookup(
+        &mut self,
+        asid: Asid,
+        page: VirtPage,
+        needed: Perms,
+    ) -> Option<(PhysFrame, Perms)> {
+        let idx = self.set_index(asid, page);
+        self.tick += 1;
+        let tick = self.tick;
+        let hit = self.sets[idx]
+            .iter_mut()
+            .flatten()
+            .find(|l| l.asid == asid && l.page == page && l.perms.allows(needed));
+        match hit {
+            Some(line) => {
+                line.stamp = tick;
+                self.stats.tlb.hits += 1;
+                Some((line.frame, line.perms))
+            }
+            None => {
+                self.stats.tlb.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Fills a translation, evicting within the set per the replacement
+    /// policy. An existing line for the same `(asid, page)` is updated
+    /// in place (permission upgrade after a `protect`).
+    pub fn insert(&mut self, asid: Asid, page: VirtPage, frame: PhysFrame, perms: Perms) {
+        let idx = self.set_index(asid, page);
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(line) =
+            self.sets[idx].iter_mut().flatten().find(|l| l.asid == asid && l.page == page)
+        {
+            *line = Line { asid, page, frame, perms, stamp: tick };
+            return;
+        }
+        let way = match self.sets[idx].iter().position(|l| l.is_none()) {
+            Some(free) => free,
+            None => {
+                self.stats.tlb.evictions += 1;
+                match self.replacement {
+                    IotlbReplacement::Fifo => {
+                        let w = self.fifo_ptr[idx];
+                        self.fifo_ptr[idx] = (w + 1) % self.ways;
+                        w
+                    }
+                    IotlbReplacement::Lru => self.sets[idx]
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, l)| l.map(|l| l.stamp).unwrap_or(0))
+                        .map(|(w, _)| w)
+                        .expect("ways > 0"),
+                    IotlbReplacement::Random => (self.next_random() % self.ways as u64) as usize,
+                }
+            }
+        };
+        self.sets[idx][way] = Some(Line { asid, page, frame, perms, stamp: tick });
+    }
+
+    /// Shoots down one page of one address space (OS unmap/swap-out).
+    pub fn invalidate_page(&mut self, asid: Asid, page: VirtPage) {
+        self.stats.shootdowns += 1;
+        let idx = self.set_index(asid, page);
+        for line in self.sets[idx].iter_mut() {
+            if line.is_some_and(|l| l.asid == asid && l.page == page) {
+                *line = None;
+            }
+        }
+    }
+
+    /// Invalidates every entry of one ASID — what a context teardown
+    /// costs *instead of* a full flush, thanks to the tags.
+    pub fn invalidate_asid(&mut self, asid: Asid) {
+        self.stats.asid_flushes += 1;
+        for set in self.sets.iter_mut() {
+            for line in set.iter_mut() {
+                if line.is_some_and(|l| l.asid == asid) {
+                    *line = None;
+                }
+            }
+        }
+    }
+
+    /// Invalidates everything (device reset).
+    pub fn flush_all(&mut self) {
+        self.stats.tlb.flushes += 1;
+        for set in self.sets.iter_mut() {
+            set.iter_mut().for_each(|l| *l = None);
+        }
+        self.fifo_ptr.iter_mut().for_each(|p| *p = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tlb(entries: usize, ways: usize, replacement: IotlbReplacement) -> Iotlb {
+        Iotlb::new(IotlbConfig { entries, ways, replacement, seed: 7 })
+    }
+
+    #[test]
+    fn miss_fill_hit() {
+        let mut t = tlb(8, 2, IotlbReplacement::Fifo);
+        assert!(t.lookup(1, VirtPage::new(5), Perms::READ).is_none());
+        t.insert(1, VirtPage::new(5), PhysFrame::new(9), Perms::READ_WRITE);
+        let (frame, perms) = t.lookup(1, VirtPage::new(5), Perms::READ).unwrap();
+        assert_eq!(frame, PhysFrame::new(9));
+        assert!(perms.allows(Perms::WRITE));
+        assert_eq!(t.stats().tlb.hits, 1);
+        assert_eq!(t.stats().tlb.misses, 1);
+    }
+
+    #[test]
+    fn asid_tags_separate_address_spaces() {
+        let mut t = tlb(8, 2, IotlbReplacement::Fifo);
+        t.insert(1, VirtPage::new(5), PhysFrame::new(9), Perms::READ_WRITE);
+        // Same page number, different ASID: miss — never another
+        // context's frame.
+        assert!(t.lookup(2, VirtPage::new(5), Perms::READ).is_none());
+        t.insert(2, VirtPage::new(5), PhysFrame::new(22), Perms::READ);
+        assert_eq!(t.lookup(1, VirtPage::new(5), Perms::READ).unwrap().0, PhysFrame::new(9));
+        assert_eq!(t.lookup(2, VirtPage::new(5), Perms::READ).unwrap().0, PhysFrame::new(22));
+    }
+
+    #[test]
+    fn permission_insufficient_line_counts_as_miss() {
+        let mut t = tlb(4, 4, IotlbReplacement::Fifo);
+        t.insert(1, VirtPage::new(0), PhysFrame::new(1), Perms::READ);
+        assert!(t.lookup(1, VirtPage::new(0), Perms::WRITE).is_none());
+        assert_eq!(t.stats().tlb.misses, 1);
+        // Upgrade in place after the caller re-walks.
+        t.insert(1, VirtPage::new(0), PhysFrame::new(1), Perms::READ_WRITE);
+        assert_eq!(t.len(), 1);
+        assert!(t.lookup(1, VirtPage::new(0), Perms::WRITE).is_some());
+    }
+
+    #[test]
+    fn eviction_within_a_full_set() {
+        // 2 sets × 2 ways; same set gets 3 pages → one eviction.
+        let mut t = tlb(4, 2, IotlbReplacement::Fifo);
+        let idx = t.set_index(1, VirtPage::new(0));
+        let same_set: Vec<u64> =
+            (0..64).filter(|&p| t.set_index(1, VirtPage::new(p)) == idx).take(3).collect();
+        for &p in &same_set {
+            t.insert(1, VirtPage::new(p), PhysFrame::new(p), Perms::READ);
+        }
+        assert_eq!(t.stats().tlb.evictions, 1);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lru_keeps_the_recently_touched_line() {
+        let mut t = tlb(2, 2, IotlbReplacement::Lru);
+        t.insert(1, VirtPage::new(0), PhysFrame::new(0), Perms::READ);
+        t.insert(1, VirtPage::new(1), PhysFrame::new(1), Perms::READ);
+        // Touch page 0 so page 1 is the LRU victim.
+        t.lookup(1, VirtPage::new(0), Perms::READ).unwrap();
+        t.insert(1, VirtPage::new(2), PhysFrame::new(2), Perms::READ);
+        assert!(t.lookup(1, VirtPage::new(0), Perms::READ).is_some());
+        assert!(t.lookup(1, VirtPage::new(1), Perms::READ).is_none());
+    }
+
+    #[test]
+    fn random_replacement_is_deterministic_per_seed() {
+        let fills = |seed| {
+            let mut t = Iotlb::new(IotlbConfig {
+                entries: 2,
+                ways: 2,
+                replacement: IotlbReplacement::Random,
+                seed,
+            });
+            for p in 0..16u64 {
+                t.insert(1, VirtPage::new(p), PhysFrame::new(p), Perms::READ);
+            }
+            (0..16u64)
+                .map(|p| t.lookup(1, VirtPage::new(p), Perms::READ).is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fills(1), fills(1));
+    }
+
+    #[test]
+    fn shootdown_and_asid_flush_are_selective() {
+        let mut t = tlb(8, 4, IotlbReplacement::Fifo);
+        t.insert(1, VirtPage::new(0), PhysFrame::new(0), Perms::READ);
+        t.insert(1, VirtPage::new(1), PhysFrame::new(1), Perms::READ);
+        t.insert(2, VirtPage::new(0), PhysFrame::new(2), Perms::READ);
+        t.invalidate_page(1, VirtPage::new(0));
+        assert!(t.lookup(1, VirtPage::new(0), Perms::READ).is_none());
+        assert!(t.lookup(1, VirtPage::new(1), Perms::READ).is_some());
+        assert!(t.lookup(2, VirtPage::new(0), Perms::READ).is_some());
+        t.invalidate_asid(1);
+        assert!(t.lookup(1, VirtPage::new(1), Perms::READ).is_none());
+        assert!(t.lookup(2, VirtPage::new(0), Perms::READ).is_some());
+        assert_eq!(t.stats().shootdowns, 1);
+        assert_eq!(t.stats().asid_flushes, 1);
+        t.flush_all();
+        assert!(t.is_empty());
+        assert_eq!(t.stats().tlb.flushes, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the associativity")]
+    fn bad_geometry_panics() {
+        let _ = Iotlb::new(IotlbConfig { entries: 6, ways: 4, ..IotlbConfig::default() });
+    }
+}

@@ -1,0 +1,263 @@
+//! NI-side address translation for virtual-address DMA.
+//!
+//! The paper's shadow-addressing protocols make the *user* prove a
+//! physical address, so every transfer in the base reproduction names a
+//! pre-translated, resident frame. The Telegraphos follow-on work
+//! (Psistakis et al., *IOMMU Support for Virtual-Address Remote DMA*
+//! and *Handling of Memory Page Faults during Virtual-Address RDMA*)
+//! moves the translation into the network interface instead: user code
+//! posts **virtual** addresses, the NI walks an I/O page table, caches
+//! translations in an ASID-tagged **IOTLB**, and raises an I/O page
+//! fault when a page is unmapped or swapped out.
+//!
+//! This crate is that translation unit, deliberately free of any engine
+//! or OS dependency so both sides can share it:
+//!
+//! * [`IoPageTable`] — per-ASID authoritative translations, with a pin
+//!   bit the swapper honours;
+//! * [`Iotlb`] — set-associative, ASID-tagged translation cache with
+//!   configurable replacement and full hit/miss/eviction/shootdown
+//!   statistics ([`IotlbStats`] embeds the CPU-side
+//!   [`udma_mem::TlbStats`] shape);
+//! * [`IoFault`]/[`FaultQueue`] — what the engine reports to the OS
+//!   fault service when a translation fails mid-transfer;
+//! * [`Iommu`] — the unit itself: context lifecycle, map/unmap with
+//!   IOTLB shootdown, and [`Iommu::translate`], the one call the DMA
+//!   engine makes per page of a virtual-address transfer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fault;
+mod iopt;
+mod iotlb;
+
+pub use fault::{FaultQueue, IoFault, IoFaultKind};
+pub use iopt::{IoPageTable, IoPte};
+pub use iotlb::{Iotlb, IotlbConfig, IotlbReplacement, IotlbStats};
+
+use std::collections::BTreeMap;
+use udma_mem::{Access, MemFault, Perms, PhysAddr, PhysFrame, VirtAddr, VirtPage};
+
+/// Address-space identifier. The machine uses the granted register
+/// context id: the OS hands each process at most one context, so the
+/// context id already names the posting address space uniquely.
+pub type Asid = u32;
+
+/// Why a pin/unpin request failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PinError {
+    /// The page has no I/O page-table entry.
+    Unmapped,
+    /// The ASID has no I/O page table.
+    NoContext,
+}
+
+/// The IOMMU: per-ASID I/O page tables behind one shared IOTLB.
+#[derive(Clone, Debug)]
+pub struct Iommu {
+    tables: BTreeMap<Asid, IoPageTable>,
+    tlb: Iotlb,
+}
+
+impl Iommu {
+    /// Creates an IOMMU with the given IOTLB geometry.
+    pub fn new(config: IotlbConfig) -> Self {
+        Iommu { tables: BTreeMap::new(), tlb: Iotlb::new(config) }
+    }
+
+    /// Registers an address space (idempotent).
+    pub fn create_context(&mut self, asid: Asid) {
+        self.tables.entry(asid).or_default();
+    }
+
+    /// Tears down an address space: drops its I/O page table and
+    /// invalidates only its IOTLB entries (ASID tags make the flush
+    /// selective).
+    pub fn remove_context(&mut self, asid: Asid) {
+        if self.tables.remove(&asid).is_some() {
+            self.tlb.invalidate_asid(asid);
+        }
+    }
+
+    /// Whether `asid` is registered.
+    pub fn has_context(&self, asid: Asid) -> bool {
+        self.tables.contains_key(&asid)
+    }
+
+    /// The I/O page table of one address space.
+    pub fn table(&self, asid: Asid) -> Option<&IoPageTable> {
+        self.tables.get(&asid)
+    }
+
+    /// Installs a translation for `asid`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::AlreadyMapped`] if the page already has an entry;
+    /// [`MemFault::Unmapped`] if the ASID is not registered.
+    pub fn map(
+        &mut self,
+        asid: Asid,
+        page: VirtPage,
+        frame: PhysFrame,
+        perms: Perms,
+        pinned: bool,
+    ) -> Result<(), MemFault> {
+        self.tables
+            .get_mut(&asid)
+            .ok_or(MemFault::Unmapped { va: page.base() })?
+            .map(page, frame, perms, pinned)
+    }
+
+    /// Removes a translation and shoots the page down from the IOTLB.
+    /// Returns the removed entry, if any.
+    pub fn unmap(&mut self, asid: Asid, page: VirtPage) -> Option<IoPte> {
+        let old = self.tables.get_mut(&asid)?.unmap(page)?;
+        self.tlb.invalidate_page(asid, page);
+        Some(old)
+    }
+
+    /// Changes the permissions of an installed translation and shoots
+    /// the stale IOTLB line down.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::Unmapped`] if the ASID or page is not installed.
+    pub fn protect(&mut self, asid: Asid, page: VirtPage, perms: Perms) -> Result<(), MemFault> {
+        self.tables
+            .get_mut(&asid)
+            .ok_or(MemFault::Unmapped { va: page.base() })?
+            .protect(page, perms)?;
+        self.tlb.invalidate_page(asid, page);
+        Ok(())
+    }
+
+    /// Sets or clears the pin bit of an installed translation.
+    ///
+    /// # Errors
+    ///
+    /// [`PinError`] naming what was missing.
+    pub fn set_pinned(&mut self, asid: Asid, page: VirtPage, pinned: bool) -> Result<(), PinError> {
+        self.tables.get_mut(&asid).ok_or(PinError::NoContext)?.set_pinned(page, pinned)
+    }
+
+    /// Translates a device access: IOTLB first, I/O page-table walk on a
+    /// miss (filling the IOTLB), fault if the walk fails. This is the
+    /// per-page step of every virtual-address DMA.
+    ///
+    /// # Errors
+    ///
+    /// The [`IoFault`] the engine should queue for the OS.
+    pub fn translate(
+        &mut self,
+        asid: Asid,
+        va: VirtAddr,
+        access: Access,
+    ) -> Result<PhysAddr, IoFault> {
+        let fault = |kind| IoFault { asid, va, access, kind };
+        let needed = access.required_perms();
+        let page = va.page();
+        if let Some((frame, _)) = self.tlb.lookup(asid, page, needed) {
+            return Ok(frame.base() + va.page_offset());
+        }
+        let table = self.tables.get(&asid).ok_or(fault(IoFaultKind::NoContext))?;
+        let pa = table.translate(va, access).map_err(fault)?;
+        let pte = table.entry(page).expect("walk succeeded");
+        self.tlb.insert(asid, page, pte.frame, pte.perms);
+        Ok(pa)
+    }
+
+    /// Combined IOTLB statistics.
+    pub fn stats(&self) -> IotlbStats {
+        self.tlb.stats()
+    }
+
+    /// The IOTLB (geometry inspection, explicit flushes in tests).
+    pub fn tlb_mut(&mut self) -> &mut Iotlb {
+        &mut self.tlb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udma_mem::PAGE_SIZE;
+
+    fn iommu() -> Iommu {
+        let mut i = Iommu::new(IotlbConfig::default());
+        i.create_context(1);
+        i
+    }
+
+    #[test]
+    fn translate_walks_then_hits() {
+        let mut i = iommu();
+        i.map(1, VirtPage::new(4), PhysFrame::new(11), Perms::READ_WRITE, true).unwrap();
+        let va = VirtAddr::new(4 * PAGE_SIZE + 8);
+        let pa = i.translate(1, va, Access::Write).unwrap();
+        assert_eq!(pa, PhysFrame::new(11).base() + 8);
+        assert_eq!(i.stats().tlb.misses, 1);
+        let pa2 = i.translate(1, va, Access::Read).unwrap();
+        assert_eq!(pa, pa2);
+        assert_eq!(i.stats().tlb.hits, 1);
+    }
+
+    #[test]
+    fn faults_carry_asid_and_kind() {
+        let mut i = iommu();
+        let f = i.translate(1, VirtAddr::new(0), Access::Read).unwrap_err();
+        assert_eq!(f.kind, IoFaultKind::Unmapped);
+        assert_eq!(f.asid, 1);
+        let f = i.translate(9, VirtAddr::new(0), Access::Read).unwrap_err();
+        assert_eq!(f.kind, IoFaultKind::NoContext);
+    }
+
+    #[test]
+    fn unmap_shoots_down_the_iotlb() {
+        let mut i = iommu();
+        i.map(1, VirtPage::new(4), PhysFrame::new(11), Perms::READ, false).unwrap();
+        i.translate(1, VirtPage::new(4).base(), Access::Read).unwrap();
+        i.unmap(1, VirtPage::new(4)).unwrap();
+        // A stale IOTLB line must not survive the unmap.
+        assert!(i.translate(1, VirtPage::new(4).base(), Access::Read).is_err());
+        assert_eq!(i.stats().shootdowns, 1);
+    }
+
+    #[test]
+    fn protect_invalidates_stale_permissions() {
+        let mut i = iommu();
+        i.map(1, VirtPage::new(2), PhysFrame::new(5), Perms::READ_WRITE, false).unwrap();
+        i.translate(1, VirtPage::new(2).base(), Access::Write).unwrap();
+        i.protect(1, VirtPage::new(2), Perms::READ).unwrap();
+        let f = i.translate(1, VirtPage::new(2).base(), Access::Write).unwrap_err();
+        assert!(matches!(f.kind, IoFaultKind::Protection { .. }));
+        assert!(i.translate(1, VirtPage::new(2).base(), Access::Read).is_ok());
+    }
+
+    #[test]
+    fn remove_context_is_selective() {
+        let mut i = iommu();
+        i.create_context(2);
+        i.map(1, VirtPage::new(0), PhysFrame::new(1), Perms::READ, false).unwrap();
+        i.map(2, VirtPage::new(0), PhysFrame::new(2), Perms::READ, false).unwrap();
+        i.translate(1, VirtAddr::new(0), Access::Read).unwrap();
+        i.translate(2, VirtAddr::new(0), Access::Read).unwrap();
+        i.remove_context(1);
+        assert!(!i.has_context(1));
+        assert_eq!(
+            i.translate(1, VirtAddr::new(0), Access::Read).unwrap_err().kind,
+            IoFaultKind::NoContext
+        );
+        // ASID 2 is untouched — and still hits its cached line.
+        assert!(i.translate(2, VirtAddr::new(0), Access::Read).is_ok());
+        assert_eq!(i.stats().asid_flushes, 1);
+    }
+
+    #[test]
+    fn map_requires_a_context() {
+        let mut i = Iommu::new(IotlbConfig::default());
+        assert!(i.map(3, VirtPage::new(0), PhysFrame::new(1), Perms::READ, false).is_err());
+        assert_eq!(i.set_pinned(3, VirtPage::new(0), true), Err(PinError::NoContext));
+    }
+}

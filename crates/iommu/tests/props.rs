@@ -1,0 +1,122 @@
+//! Property tests: the IOMMU against the CPU page table as oracle.
+//!
+//! The OS populates the I/O page table *from* the process's page table,
+//! so for any populated page the two must agree exactly — same frame,
+//! same permission verdicts — no matter the IOTLB geometry, replacement
+//! policy, or access history in between.
+
+use udma_iommu::{IoFaultKind, Iommu, IotlbConfig, IotlbReplacement};
+use udma_mem::{Access, PageTable, Perms, PhysFrame, VirtAddr, VirtPage, PAGE_SIZE};
+use udma_testkit::prop::{any, vec};
+use udma_testkit::{prop_assert, prop_assert_eq, props};
+
+fn perms_of(bits: u8) -> Perms {
+    let mut p = Perms::NONE;
+    if bits & 1 != 0 {
+        p |= Perms::READ;
+    }
+    if bits & 2 != 0 {
+        p |= Perms::WRITE;
+    }
+    p
+}
+
+props! {
+    /// Translation correctness: for every access to every mapped page,
+    /// the IOMMU's answer equals the CPU page table's answer — same
+    /// physical address on success, matching fault class on failure —
+    /// regardless of IOTLB geometry/policy and with repeated lookups
+    /// exercising hit, miss and eviction paths.
+    fn iommu_agrees_with_cpu_page_table(
+        page_specs in vec((0u64..48, 0u8..4), 1..24),
+        entries_log in 0u32..4,
+        ways_choice in 0usize..3,
+        policy_choice in 0usize..3,
+        probes in vec((0u64..48, 0u64..PAGE_SIZE, any::<bool>()), 1..64),
+    ) {
+        let entries = 1usize << (entries_log + 1); // 2..16
+        let ways = [1, 2, entries][ways_choice].min(entries);
+        let entries = entries - entries % ways;
+        let replacement = [
+            IotlbReplacement::Fifo,
+            IotlbReplacement::Lru,
+            IotlbReplacement::Random,
+        ][policy_choice];
+        let mut iommu = Iommu::new(IotlbConfig { entries, ways, replacement, seed: 42 });
+        iommu.create_context(1);
+
+        // Build both tables from the same spec (first spec per page wins,
+        // as `map` rejects duplicates in both).
+        let mut pt = PageTable::new();
+        for (i, &(page, perm_bits)) in page_specs.iter().enumerate() {
+            let frame = PhysFrame::new(100 + i as u64);
+            let perms = perms_of(perm_bits);
+            if pt.map(VirtPage::new(page), frame, perms).is_ok() {
+                iommu.map(1, VirtPage::new(page), frame, perms, true).unwrap();
+            }
+        }
+
+        for &(page, offset, write) in &probes {
+            let va = VirtAddr::new(page * PAGE_SIZE + offset);
+            let access = if write { Access::Write } else { Access::Read };
+            match (pt.translate(va, access), iommu.translate(1, va, access)) {
+                (Ok(cpu_pa), Ok(io_pa)) => prop_assert_eq!(cpu_pa, io_pa),
+                (Err(udma_mem::MemFault::Unmapped { .. }), Err(f)) => {
+                    prop_assert_eq!(f.kind, IoFaultKind::Unmapped);
+                }
+                (Err(udma_mem::MemFault::Protection { .. }), Err(f)) => {
+                    prop_assert!(matches!(f.kind, IoFaultKind::Protection { .. }));
+                }
+                (cpu, io) => prop_assert!(
+                    false,
+                    "oracle disagreement at {:?}: cpu {:?}, iommu {:?}",
+                    va, cpu, io
+                ),
+            }
+        }
+    }
+
+    /// The IOTLB never invents rights: after an arbitrary interleaving
+    /// of maps, unmaps, protects and translations, a successful
+    /// translation always has a live, permission-sufficient entry in the
+    /// authoritative I/O page table.
+    fn iotlb_never_outlives_the_table(
+        ops in vec((0u8..4, 0u64..12, 0u8..4), 1..64),
+    ) {
+        let mut iommu = Iommu::new(IotlbConfig { entries: 4, ways: 2, ..IotlbConfig::default() });
+        iommu.create_context(7);
+        for &(op, page, perm_bits) in &ops {
+            let vp = VirtPage::new(page);
+            match op {
+                0 => {
+                    let _ = iommu.map(7, vp, PhysFrame::new(50 + page), perms_of(perm_bits), false);
+                }
+                1 => {
+                    let _ = iommu.unmap(7, vp);
+                }
+                2 => {
+                    let _ = iommu.protect(7, vp, perms_of(perm_bits));
+                }
+                _ => {
+                    let access = if perm_bits & 2 != 0 { Access::Write } else { Access::Read };
+                    let result = iommu.translate(7, vp.base(), access);
+                    let authoritative = iommu
+                        .table(7)
+                        .unwrap()
+                        .entry(vp)
+                        .filter(|e| e.perms.allows(access.required_perms()))
+                        .copied();
+                    match (result, authoritative) {
+                        (Ok(pa), Some(e)) => prop_assert_eq!(pa, e.frame.base()),
+                        (Err(_), None) => {}
+                        (got, want) => prop_assert!(
+                            false,
+                            "IOTLB and table disagree on page {}: {:?} vs {:?}",
+                            page, got, want
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}

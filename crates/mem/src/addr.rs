@@ -220,10 +220,7 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert_eq!(
-            PhysAddr::new(10).checked_add(5),
-            Some(PhysAddr::new(15))
-        );
+        assert_eq!(PhysAddr::new(10).checked_add(5), Some(PhysAddr::new(15)));
         assert!(PhysAddr::new(u64::MAX).checked_add(1).is_none());
     }
 

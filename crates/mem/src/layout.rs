@@ -87,10 +87,7 @@ impl PhysLayout {
     /// Panics with a description of the first violated constraint. Called
     /// by machine builders at configuration time.
     pub fn validate(&self) {
-        assert!(
-            self.ram_size <= self.nic_base.as_u64(),
-            "RAM overlaps the NIC register window"
-        );
+        assert!(self.ram_size <= self.nic_base.as_u64(), "RAM overlaps the NIC register window");
         assert!(
             self.nic_base.as_u64() + self.nic_size <= self.shadow.shadow_mask(),
             "NIC register window overlaps the shadow window"
@@ -111,10 +108,7 @@ mod tests {
         let l = PhysLayout::default();
         l.validate();
         assert_eq!(l.region_of(PhysAddr::new(0x100)), Region::Ram { offset: 0x100 });
-        assert_eq!(
-            l.region_of(PhysAddr::new((1 << 42) + 0x40)),
-            Region::NicRegs { offset: 0x40 }
-        );
+        assert_eq!(l.region_of(PhysAddr::new((1 << 42) + 0x40)), Region::NicRegs { offset: 0x40 });
         assert_eq!(l.region_of(PhysAddr::new(1 << 45)), Region::Shadow);
         assert_eq!(l.region_of(PhysAddr::new(1 << 30)), Region::Unmapped);
     }
@@ -144,10 +138,7 @@ mod tests {
         assert_eq!(l.region_of(PhysAddr::new(l.ram_size)), Region::Unmapped);
         let end = l.nic_base.as_u64() + l.nic_size;
         assert_eq!(l.region_of(PhysAddr::new(end)), Region::Unmapped);
-        assert_eq!(
-            l.region_of(PhysAddr::new(end - 1)),
-            Region::NicRegs { offset: l.nic_size - 1 }
-        );
+        assert_eq!(l.region_of(PhysAddr::new(end - 1)), Region::NicRegs { offset: l.nic_size - 1 });
     }
 
     #[test]

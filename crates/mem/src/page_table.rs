@@ -99,10 +99,7 @@ impl PageTable {
     /// [`MemFault::Unmapped`] if no entry exists;
     /// [`MemFault::Protection`] if the entry lacks the needed permission.
     pub fn translate(&self, va: VirtAddr, access: Access) -> Result<PhysAddr, MemFault> {
-        let e = self
-            .entries
-            .get(&va.page())
-            .ok_or(MemFault::Unmapped { va })?;
+        let e = self.entries.get(&va.page()).ok_or(MemFault::Unmapped { va })?;
         let needed = access.required_perms();
         if !e.perms.allows(needed) {
             return Err(MemFault::Protection { va, needed, granted: e.perms });
@@ -131,9 +128,7 @@ impl PageTable {
         if len == 0 {
             return Ok(first);
         }
-        let last = va
-            .checked_add(len - 1)
-            .ok_or(MemFault::Unmapped { va })?;
+        let last = va.checked_add(len - 1).ok_or(MemFault::Unmapped { va })?;
         let mut page = va.page();
         while page <= last.page() {
             self.translate(page.base(), access)?;
@@ -200,10 +195,7 @@ mod tests {
         let pt = table_with(0, 0, Perms::WRITE);
         let va = VirtAddr::new(0x8);
         assert!(pt.translate(va, Access::Write).is_ok());
-        assert!(matches!(
-            pt.translate(va, Access::Read),
-            Err(MemFault::Protection { .. })
-        ));
+        assert!(matches!(pt.translate(va, Access::Read), Err(MemFault::Protection { .. })));
     }
 
     #[test]
@@ -240,9 +232,8 @@ mod tests {
         // page 2 unmapped
 
         // Read across pages 0..=1 ok.
-        let pa = pt
-            .translate_range(VirtAddr::new(0x10), 2 * PAGE_SIZE - 0x20, Access::Read)
-            .unwrap();
+        let pa =
+            pt.translate_range(VirtAddr::new(0x10), 2 * PAGE_SIZE - 0x20, Access::Read).unwrap();
         assert_eq!(pa, PhysAddr::new(10 * PAGE_SIZE + 0x10));
 
         // Write across pages 0..=1 faults on page 1.

@@ -46,9 +46,7 @@ impl PhysMemory {
     }
 
     fn check(&self, pa: PhysAddr, len: u64) -> Result<(), MemFault> {
-        let end = pa
-            .checked_add(len)
-            .ok_or(MemFault::BusError { pa })?;
+        let end = pa.checked_add(len).ok_or(MemFault::BusError { pa })?;
         if end.as_u64() > self.size || len == 0 && pa.as_u64() >= self.size {
             return Err(MemFault::BusError { pa });
         }
@@ -56,9 +54,7 @@ impl PhysMemory {
     }
 
     fn frame_mut(&mut self, frame: u64) -> &mut [u8] {
-        self.frames
-            .entry(frame)
-            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+        self.frames.entry(frame).or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
     }
 
     /// Reads `buf.len()` bytes starting at `pa`, crossing frame boundaries
@@ -182,11 +178,7 @@ impl FrameAllocator {
 
     /// Creates an allocator over frames `[base_frame, base_frame + count)`.
     pub fn with_range(base_frame: u64, count: u64) -> Self {
-        FrameAllocator {
-            next: base_frame,
-            limit: base_frame + count,
-            free: Vec::new(),
-        }
+        FrameAllocator { next: base_frame, limit: base_frame + count, free: Vec::new() }
     }
 
     /// Allocates a frame, reusing freed frames first. Returns `None` when
@@ -269,10 +261,7 @@ mod tests {
         let pa = PhysAddr::new(PAGE_SIZE);
         assert!(matches!(mem.read_u64(pa), Err(MemFault::BusError { .. })));
         let pa = PhysAddr::new(PAGE_SIZE - 4);
-        assert!(matches!(
-            mem.write_bytes(pa, &[0u8; 8]),
-            Err(MemFault::BusError { .. })
-        ));
+        assert!(matches!(mem.write_bytes(pa, &[0u8; 8]), Err(MemFault::BusError { .. })));
     }
 
     #[test]

@@ -60,10 +60,7 @@ impl ShadowLayout {
     /// a 64-bit address.
     pub fn new(shadow_bit: u32, ctx_shift: u32, ctx_bits: u32) -> Self {
         assert!(shadow_bit < 64, "shadow bit out of range");
-        assert!(
-            ctx_shift + ctx_bits <= shadow_bit,
-            "context field must sit below the shadow bit"
-        );
+        assert!(ctx_shift + ctx_bits <= shadow_bit, "context field must sit below the shadow bit");
         ShadowLayout { shadow_bit, ctx_shift, ctx_bits }
     }
 
@@ -108,9 +105,7 @@ impl ShadowLayout {
         if pa.as_u64() >= self.plain_limit() || ctx >= self.num_contexts() {
             return None;
         }
-        Some(PhysAddr::new(
-            self.shadow_mask() | ((ctx as u64) << self.ctx_shift) | pa.as_u64(),
-        ))
+        Some(PhysAddr::new(self.shadow_mask() | ((ctx as u64) << self.ctx_shift) | pa.as_u64()))
     }
 
     /// Inverts `shadow(...)`: recovers the plain physical address and the

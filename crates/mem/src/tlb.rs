@@ -13,7 +13,10 @@ pub struct TlbEntry {
     pub perms: Perms,
 }
 
-/// Hit/miss/flush counters.
+/// Hit/miss/flush/eviction counters.
+///
+/// Shared by the CPU-side [`Tlb`] and the NI-side IOTLB (`udma-iommu`),
+/// so sweeps can report both through one shape.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TlbStats {
     /// Lookups satisfied by the TLB.
@@ -22,6 +25,9 @@ pub struct TlbStats {
     pub misses: u64,
     /// Whole-TLB flushes (context switches).
     pub flushes: u64,
+    /// Valid entries displaced to make room for a fill (capacity
+    /// pressure, as opposed to flushes or targeted invalidations).
+    pub evictions: u64,
 }
 
 impl TlbStats {
@@ -66,7 +72,12 @@ impl Tlb {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "TLB capacity must be nonzero");
-        Tlb { entries: Vec::with_capacity(capacity), capacity, next_victim: 0, stats: TlbStats::default() }
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            next_victim: 0,
+            stats: TlbStats::default(),
+        }
     }
 
     /// Translates `va` through the TLB, walking `pt` on a miss and
@@ -115,6 +126,7 @@ impl Tlb {
         } else {
             self.entries[self.next_victim] = entry;
             self.next_victim = (self.next_victim + 1) % self.capacity;
+            self.stats.evictions += 1;
         }
     }
 
@@ -170,7 +182,7 @@ mod tests {
         let (pa2, hit2) = tlb.translate(&pt, va, Access::Read).unwrap();
         assert!(hit2);
         assert_eq!(pa1, pa2);
-        assert_eq!(tlb.stats(), TlbStats { hits: 1, misses: 1, flushes: 0 });
+        assert_eq!(tlb.stats(), TlbStats { hits: 1, misses: 1, flushes: 0, evictions: 0 });
     }
 
     #[test]
@@ -180,9 +192,11 @@ mod tests {
             tlb.translate(&pt, VirtPage::new(p).base(), Access::Read).unwrap();
         }
         assert_eq!(tlb.len(), 4);
+        assert_eq!(tlb.stats().evictions, 1);
         // Page 0 was the FIFO victim; touching it again misses.
         let (_, hit) = tlb.translate(&pt, VirtAddr::new(0), Access::Read).unwrap();
         assert!(!hit);
+        assert_eq!(tlb.stats().evictions, 2);
         // Page 2 is still resident.
         let (_, hit) = tlb.translate(&pt, VirtPage::new(2).base(), Access::Read).unwrap();
         assert!(hit);
@@ -244,8 +258,16 @@ mod tests {
     #[test]
     fn insert_replaces_same_page() {
         let mut tlb = Tlb::new(2);
-        tlb.insert(TlbEntry { page: VirtPage::new(1), frame: PhysFrame::new(1), perms: Perms::READ });
-        tlb.insert(TlbEntry { page: VirtPage::new(1), frame: PhysFrame::new(2), perms: Perms::READ_WRITE });
+        tlb.insert(TlbEntry {
+            page: VirtPage::new(1),
+            frame: PhysFrame::new(1),
+            perms: Perms::READ,
+        });
+        tlb.insert(TlbEntry {
+            page: VirtPage::new(1),
+            frame: PhysFrame::new(2),
+            perms: Perms::READ_WRITE,
+        });
         assert_eq!(tlb.len(), 1);
     }
 

@@ -104,6 +104,29 @@ props! {
         }
     }
 
+    /// Evictions are exactly the fills that exceeded capacity: after
+    /// touching `pages` distinct pages through a cold TLB of `cap`
+    /// entries, `evictions == misses - len` and the TLB never overfills.
+    fn tlb_evictions_account_for_capacity(
+        cap in 1usize..8,
+        pages in 1u64..32,
+    ) {
+        let mut pt = PageTable::new();
+        let mut alloc = FrameAllocator::with_range(1, 4096);
+        for p in 0..pages {
+            pt.map(VirtPage::new(p), alloc.alloc().unwrap(), Perms::READ).unwrap();
+        }
+        let mut tlb = udma_mem::Tlb::new(cap);
+        for p in 0..pages {
+            tlb.translate(&pt, VirtPage::new(p).base(), Access::Read).unwrap();
+        }
+        let stats = tlb.stats();
+        prop_assert_eq!(stats.misses, pages);
+        prop_assert!(tlb.len() <= cap);
+        prop_assert_eq!(stats.evictions, pages.saturating_sub(cap as u64));
+        prop_assert_eq!(stats.evictions, stats.misses - tlb.len() as u64);
+    }
+
     /// The frame allocator never hands out the same frame twice while it
     /// is live, and never exceeds its range.
     fn allocator_uniqueness(count in 1u64..128, take in 1usize..200) {

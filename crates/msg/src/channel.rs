@@ -124,9 +124,7 @@ pub fn emit_recv_one(
     let mut b = b.label(&wait).load(Reg::R4, flag).beq(Reg::R4, 0, &wait);
     b = b.load(Reg::R6, base);
     for j in 0..cfg.payload_words {
-        b = b
-            .load(Reg::R5, base + 8 * j)
-            .add(CHECKSUM_REG, CHECKSUM_REG, Reg::R5);
+        b = b.load(Reg::R5, base + 8 * j).add(CHECKSUM_REG, CHECKSUM_REG, Reg::R5);
     }
     b.store(flag, 0u64).mb()
 }
@@ -188,17 +186,12 @@ pub fn emit_receive_all(
 /// Deterministic test payloads: message `i`, word `j` carries
 /// `i·1000 + j + 1`, padded with zeros to the configured width.
 pub fn test_messages(cfg: &ChannelConfig, count: u64) -> Vec<Vec<u64>> {
-    (0..count)
-        .map(|i| (0..cfg.payload_words).map(|j| i * 1000 + j + 1).collect())
-        .collect()
+    (0..count).map(|i| (0..cfg.payload_words).map(|j| i * 1000 + j + 1).collect()).collect()
 }
 
 /// Reference checksum over whole messages (wrapping sum of all words).
 pub fn checksum(messages: &[Vec<u64>]) -> u64 {
-    messages
-        .iter()
-        .flatten()
-        .fold(0u64, |acc, &w| acc.wrapping_add(w))
+    messages.iter().flatten().fold(0u64, |acc, &w| acc.wrapping_add(w))
 }
 
 /// Spawned channel endpoints.
@@ -276,20 +269,14 @@ mod tests {
     fn flow_control_handles_more_messages_than_slots() {
         let cfg = ChannelConfig { slots: 2, payload_words: 4 };
         let (m, ends) = exchange(DmaMethod::KeyBased, 9, cfg);
-        assert_eq!(
-            ends.received_checksum(&m),
-            checksum(&test_messages(&cfg, 9))
-        );
+        assert_eq!(ends.received_checksum(&m), checksum(&test_messages(&cfg, 9)));
     }
 
     #[test]
     fn single_slot_ring_serialises_fully() {
         let cfg = ChannelConfig { slots: 1, payload_words: 2 };
         let (m, ends) = exchange(DmaMethod::ExtShadow, 5, cfg);
-        assert_eq!(
-            ends.received_checksum(&m),
-            checksum(&test_messages(&cfg, 5))
-        );
+        assert_eq!(ends.received_checksum(&m), checksum(&test_messages(&cfg, 5)));
     }
 
     #[test]
@@ -315,11 +302,7 @@ mod tests {
         let slot = (count - 1) % cfg.slots;
         let frame = m.env(ends.receiver).buffer(0).first_frame.offset(slot);
         for (j, &w) in last.iter().enumerate() {
-            let got = m
-                .memory()
-                .borrow()
-                .read_u64(frame.base() + 8 * j as u64)
-                .unwrap();
+            let got = m.memory().borrow().read_u64(frame.base() + 8 * j as u64).unwrap();
             assert_eq!(got, w, "word {j}");
         }
     }

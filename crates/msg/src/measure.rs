@@ -33,11 +33,7 @@ pub fn measure_messaging(method: DmaMethod, cfg: &ChannelConfig, count: u64) -> 
     let ends = Endpoints::spawn(&mut m, cfg, &messages);
     let out = m.run_with(&mut RoundRobin::new(60), 20_000_000);
     assert!(out.finished, "{method}: exchange did not complete");
-    assert_eq!(
-        ends.received_checksum(&m),
-        checksum(&messages),
-        "{method}: corrupted payload"
-    );
+    assert_eq!(ends.received_checksum(&m), checksum(&messages), "{method}: corrupted payload");
     MessagingCost {
         method,
         messages: count,

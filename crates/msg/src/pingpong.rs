@@ -6,8 +6,7 @@
 //! initiation method shows up directly — the measurement SHRIMP,
 //! Hamlyn and Telegraphos papers all report.
 
-use crate::{emit_recv_one, emit_send_one, receiver_spec, sender_spec, ChannelConfig,
-    ChannelView};
+use crate::{emit_recv_one, emit_send_one, receiver_spec, sender_spec, ChannelConfig, ChannelView};
 use udma::{DmaMethod, Machine, ProcessEnv};
 use udma_bus::SimTime;
 use udma_cpu::{ProgramBuilder, RoundRobin};
@@ -86,8 +85,14 @@ pub fn measure_pingpong(method: DmaMethod, rounds: u64) -> PingPongCost {
     let pinger = {
         let mut spec = udma::ProcessSpec {
             buffers: vec![
-                udma::BufferSpec::shared(udma::ShareRef { pid: a, buffer: 0 }, udma_mem::Perms::READ_WRITE),
-                udma::BufferSpec::shared(udma::ShareRef { pid: a, buffer: 1 }, udma_mem::Perms::READ_WRITE),
+                udma::BufferSpec::shared(
+                    udma::ShareRef { pid: a, buffer: 0 },
+                    udma_mem::Perms::READ_WRITE,
+                ),
+                udma::BufferSpec::shared(
+                    udma::ShareRef { pid: a, buffer: 1 },
+                    udma_mem::Perms::READ_WRITE,
+                ),
             ],
             ..Default::default()
         };
@@ -104,11 +109,7 @@ pub fn measure_pingpong(method: DmaMethod, rounds: u64) -> PingPongCost {
     assert_eq!(m.reg(pinger, crate::CHECKSUM_REG), expect, "{method}: pinger sum");
     assert_eq!(m.reg(b, crate::CHECKSUM_REG), expect, "{method}: ponger sum");
 
-    PingPongCost {
-        method,
-        rounds,
-        round_trip: SimTime::from_ps(m.time().as_ps() / rounds),
-    }
+    PingPongCost { method, rounds, round_trip: SimTime::from_ps(m.time().as_ps() / rounds) }
 }
 
 /// Convenience: compare round-trip latency across methods.
@@ -141,13 +142,7 @@ mod tests {
         let rows = pingpong_comparison(10);
         let kernel = rows[0].round_trip;
         for r in &rows[1..] {
-            assert!(
-                r.round_trip < kernel,
-                "{}: {} !< kernel {}",
-                r.method,
-                r.round_trip,
-                kernel
-            );
+            assert!(r.round_trip < kernel, "{}: {} !< kernel {}", r.method, r.round_trip, kernel);
         }
     }
 

@@ -79,11 +79,7 @@ mod tests {
         for _ in 0..INCREMENTS {
             b = emit_lock_acquire(env, b, lock, ticket, &mut uniq);
             // Critical section: a plain (racy-without-the-lock) RMW.
-            b = b
-                .load(Reg::R5, counter)
-                .add_imm(Reg::R5, Reg::R5, 1)
-                .store(counter, Reg::R5)
-                .mb();
+            b = b.load(Reg::R5, counter).add_imm(Reg::R5, Reg::R5, 1).store(counter, Reg::R5).mb();
             b = emit_lock_release(env, b, lock);
         }
         b.halt().build()
@@ -125,14 +121,11 @@ mod tests {
     #[should_panic(expected = "ticket 0")]
     fn zero_ticket_rejected() {
         let mut m = Machine::with_method(DmaMethod::KeyBased);
-        m.spawn(
-            &ProcessSpec { buffers: vec![BufferSpec::rw(1)], ..Default::default() },
-            |env| {
-                let mut uniq = 0;
-                emit_lock_acquire(env, ProgramBuilder::new(), env.buffer(0).va, 0, &mut uniq)
-                    .halt()
-                    .build()
-            },
-        );
+        m.spawn(&ProcessSpec { buffers: vec![BufferSpec::rw(1)], ..Default::default() }, |env| {
+            let mut uniq = 0;
+            emit_lock_acquire(env, ProgramBuilder::new(), env.buffer(0).va, 0, &mut uniq)
+                .halt()
+                .build()
+        });
     }
 }

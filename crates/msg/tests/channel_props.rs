@@ -74,8 +74,20 @@ props! {
 fn single_slot_channel_with_ragged_messages_regression() {
     let cfg = ChannelConfig { slots: 1, payload_words: 5 };
     let messages: Vec<Vec<u64>> = vec![
-        vec![0, 8522592925518894686, 3760868465131930690, 16019984819981630349, 17072650938625799619],
-        vec![12575817246813566016, 15445577823014267184, 10132335833660790417, 12050550725852419245, 0],
+        vec![
+            0,
+            8522592925518894686,
+            3760868465131930690,
+            16019984819981630349,
+            17072650938625799619,
+        ],
+        vec![
+            12575817246813566016,
+            15445577823014267184,
+            10132335833660790417,
+            12050550725852419245,
+            0,
+        ],
     ];
     let mut m = Machine::with_method(DmaMethod::KeyBased);
     let ends = Endpoints::spawn(&mut m, &cfg, &messages);

@@ -1,14 +1,16 @@
 //! The engine core: registers, contexts, key table, statistics, and the
 //! services protocols build on.
 
-use crate::regs::MAX_CONTEXTS;
+use crate::regs::{self, MAX_CONTEXTS};
+use crate::virt::{PendingFault, VirtDmaConfig, VirtStage, VirtState, VirtStats, VirtTransfer};
 use crate::{
     AtomicOp, Destination, DmaMover, Initiator, LinkModel, RegisterContext, RejectReason,
     SharedCluster, TransferRecord, DMA_FAILURE,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use udma_bus::{SharedMemory, SimTime};
-use udma_mem::{PhysAddr, PhysFrame, PhysLayout};
+use udma_iommu::{Asid, IoFault, IoFaultKind, Iommu, IotlbConfig};
+use udma_mem::{Access, PhysAddr, PhysFrame, PhysLayout, VirtAddr, PAGE_SIZE};
 
 /// Configuration of the DMA engine.
 #[derive(Clone, Copy, Debug)]
@@ -82,6 +84,13 @@ pub struct EngineCore {
     atomic_op1: u64,
     atomic_op2: u64,
     atomic_result: u64,
+    // Virtual-address DMA unit (present when the engine has an IOMMU).
+    iommu: Option<Iommu>,
+    virt_config: VirtDmaConfig,
+    virt_xfers: Vec<VirtTransfer>,
+    virt_faults: VecDeque<PendingFault>,
+    virt_stage: Vec<VirtStage>,
+    virt_stats: VirtStats,
 }
 
 impl EngineCore {
@@ -91,10 +100,7 @@ impl EngineCore {
     ///
     /// Panics if `config.num_contexts` exceeds [`MAX_CONTEXTS`] or is 0.
     pub fn new(layout: PhysLayout, mem: SharedMemory, config: EngineConfig) -> Self {
-        assert!(
-            (1..=MAX_CONTEXTS).contains(&config.num_contexts),
-            "context count out of range"
-        );
+        assert!((1..=MAX_CONTEXTS).contains(&config.num_contexts), "context count out of range");
         EngineCore {
             layout,
             mem: mem.clone(),
@@ -112,6 +118,12 @@ impl EngineCore {
             atomic_op1: 0,
             atomic_op2: 0,
             atomic_result: 0,
+            iommu: None,
+            virt_config: VirtDmaConfig::default(),
+            virt_xfers: Vec::new(),
+            virt_faults: VecDeque::new(),
+            virt_stage: vec![VirtStage::default(); config.num_contexts as usize],
+            virt_stats: VirtStats::default(),
         }
     }
 
@@ -346,13 +358,7 @@ impl EngineCore {
 
     /// Executes an atomic operation against memory (shared by the kernel
     /// path and the user-level context paths).
-    pub fn exec_atomic(
-        &mut self,
-        op: AtomicOp,
-        addr: PhysAddr,
-        op1: u64,
-        op2: u64,
-    ) -> Option<u64> {
+    pub fn exec_atomic(&mut self, op: AtomicOp, addr: PhysAddr, op1: u64, op2: u64) -> Option<u64> {
         match op.apply(&self.mem, addr, op1, op2) {
             Ok(old) => {
                 self.stats.atomics += 1;
@@ -362,6 +368,294 @@ impl EngineCore {
                 self.note_reject(RejectReason::BadRange);
                 None
             }
+        }
+    }
+
+    // ---- virtual-address DMA unit -----------------------------------
+
+    /// Equips the engine with an IOMMU, enabling the `CTX_VIRT_*`
+    /// context-page window and [`EngineCore::post_virt_dma`].
+    pub fn enable_iommu(&mut self, iotlb: IotlbConfig, config: VirtDmaConfig) {
+        self.iommu = Some(Iommu::new(iotlb));
+        self.virt_config = config;
+    }
+
+    /// Whether the engine has an IOMMU (= virtual-address DMA decodes).
+    pub fn virt_enabled(&self) -> bool {
+        self.iommu.is_some()
+    }
+
+    /// The IOMMU, if enabled.
+    pub fn iommu(&self) -> Option<&Iommu> {
+        self.iommu.as_ref()
+    }
+
+    /// Mutable IOMMU (the OS maps/unmaps/pins through this).
+    pub fn iommu_mut(&mut self) -> Option<&mut Iommu> {
+        self.iommu.as_mut()
+    }
+
+    /// The virtual-address unit's tunables.
+    pub fn virt_config(&self) -> VirtDmaConfig {
+        self.virt_config
+    }
+
+    /// Counters of the virtual-address unit.
+    pub fn virt_stats(&self) -> VirtStats {
+        self.virt_stats
+    }
+
+    /// One virtual-address transfer.
+    pub fn virt_xfer(&self, id: usize) -> Option<&VirtTransfer> {
+        self.virt_xfers.get(id)
+    }
+
+    /// All virtual-address transfers, in posting order.
+    pub fn virt_xfers(&self) -> &[VirtTransfer] {
+        &self.virt_xfers
+    }
+
+    /// Takes the oldest unserviced I/O fault (the OS fault service polls
+    /// this; hardware would raise an interrupt).
+    pub fn pop_fault(&mut self) -> Option<PendingFault> {
+        self.virt_faults.pop_front()
+    }
+
+    /// Unserviced I/O faults queued for the OS.
+    pub fn fault_backlog(&self) -> usize {
+        self.virt_faults.len()
+    }
+
+    /// Posts a virtual-address DMA for address space `asid` and streams
+    /// as many page-bounded chunks as translate cleanly. Returns the
+    /// transfer id; inspect its [`VirtState`] for faults.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::ZeroSize`] for an empty transfer (counted, like
+    /// every engine reject).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has no IOMMU ([`EngineCore::enable_iommu`]).
+    pub fn post_virt_dma(
+        &mut self,
+        asid: Asid,
+        src: VirtAddr,
+        dst: VirtAddr,
+        size: u64,
+        now: SimTime,
+    ) -> Result<usize, RejectReason> {
+        assert!(self.iommu.is_some(), "virtual-address DMA requires enable_iommu");
+        if size == 0 {
+            self.note_reject(RejectReason::ZeroSize);
+            return Err(RejectReason::ZeroSize);
+        }
+        let id = self.virt_xfers.len();
+        self.virt_xfers.push(VirtTransfer {
+            id,
+            asid,
+            src,
+            dst,
+            size,
+            moved: 0,
+            chunks: 0,
+            retries: 0,
+            state: VirtState::Running,
+            started: now,
+            clock: now,
+            finished: None,
+            stall: SimTime::ZERO,
+        });
+        self.virt_stats.posted += 1;
+        self.pump_virt(id);
+        Ok(id)
+    }
+
+    /// Streams chunks of transfer `id` until it completes or faults.
+    ///
+    /// Each chunk ends at the nearest source *or* destination page
+    /// boundary, so every chunk obeys the mover's user-level single-page
+    /// rule on both sides, and a fault pauses the transfer exactly at a
+    /// page boundary: the moved prefix is fully delivered, nothing past
+    /// it is touched.
+    fn pump_virt(&mut self, id: usize) {
+        loop {
+            let t = self.virt_xfers[id];
+            if t.state != VirtState::Running {
+                return;
+            }
+            if t.moved >= t.size {
+                let x = &mut self.virt_xfers[id];
+                x.state = VirtState::Complete;
+                x.finished = Some(x.clock);
+                self.virt_stats.completed += 1;
+                return;
+            }
+            let src_va = VirtAddr::new(t.src.as_u64() + t.moved);
+            let dst_va = VirtAddr::new(t.dst.as_u64() + t.moved);
+            let chunk = (t.size - t.moved)
+                .min(PAGE_SIZE - src_va.page_offset())
+                .min(PAGE_SIZE - dst_va.page_offset());
+
+            let iommu = self.iommu.as_mut().expect("pump without IOMMU");
+            let misses_before = iommu.stats().tlb.misses;
+            let translated = iommu
+                .translate(t.asid, src_va, Access::Read)
+                .and_then(|s| iommu.translate(t.asid, dst_va, Access::Write).map(|d| (s, d)));
+            let walks = iommu.stats().tlb.misses - misses_before;
+            let walk_cost = SimTime::from_ps(self.virt_config.walk_latency.as_ps() * walks);
+            {
+                let x = &mut self.virt_xfers[id];
+                x.clock += walk_cost;
+                x.stall += walk_cost;
+            }
+            let (src_pa, dst_pa) = match translated {
+                Ok(pair) => pair,
+                Err(fault) => {
+                    self.virt_xfers[id].state = VirtState::Faulted(fault);
+                    self.virt_faults.push_back(PendingFault { xfer: id, fault });
+                    self.virt_stats.faults += 1;
+                    return;
+                }
+            };
+
+            let clock = self.virt_xfers[id].clock;
+            match self.mover.start(
+                src_pa,
+                dst_pa,
+                chunk,
+                Initiator::VirtDma { asid: t.asid },
+                false,
+                clock,
+            ) {
+                Ok(rec) => {
+                    let finished = rec.finished;
+                    self.stats.started += 1;
+                    self.virt_stats.chunks += 1;
+                    let x = &mut self.virt_xfers[id];
+                    x.moved += chunk;
+                    x.chunks += 1;
+                    x.clock = finished;
+                }
+                Err(reason) => {
+                    // Translation succeeded but the frame is not backed by
+                    // installed RAM — an OS mapping bug. Surface it as an
+                    // unmapped-page failure rather than wedging.
+                    self.note_reject(reason);
+                    let fault = IoFault {
+                        asid: t.asid,
+                        va: src_va,
+                        access: Access::Read,
+                        kind: IoFaultKind::Unmapped,
+                    };
+                    let x = &mut self.virt_xfers[id];
+                    x.state = VirtState::Failed(fault);
+                    x.finished = Some(x.clock);
+                    self.virt_stats.failed += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Resumes a faulted transfer (the OS calls this after servicing the
+    /// fault; tests also call it *without* servicing to model a slow or
+    /// absent OS). Each fruitless resume doubles the backoff; after
+    /// [`VirtDmaConfig::max_retries`] consecutive attempts with no
+    /// progress the transfer fails with its reported fault.
+    pub fn resume_virt(&mut self, id: usize, now: SimTime) -> VirtState {
+        let t = self.virt_xfers[id];
+        let VirtState::Faulted(fault) = t.state else {
+            return t.state;
+        };
+        if t.retries >= self.virt_config.max_retries {
+            let x = &mut self.virt_xfers[id];
+            x.state = VirtState::Failed(fault);
+            x.finished = Some(x.clock.max(now));
+            self.virt_stats.failed += 1;
+            return x.state;
+        }
+        let backoff = SimTime::from_ps(self.virt_config.retry_backoff.as_ps() << t.retries.min(16));
+        let moved_before = t.moved;
+        {
+            let x = &mut self.virt_xfers[id];
+            x.retries += 1;
+            x.state = VirtState::Running;
+            let resume_at = x.clock.max(now) + backoff;
+            x.stall += resume_at - x.clock;
+            x.clock = resume_at;
+        }
+        self.virt_stats.retries += 1;
+        self.pump_virt(id);
+        let x = &mut self.virt_xfers[id];
+        if x.moved > moved_before {
+            x.retries = 0;
+        }
+        x.state
+    }
+
+    /// Fails a faulted transfer outright (the OS found the fault
+    /// unresolvable — e.g. the VA is simply not part of the posting
+    /// address space).
+    pub fn fail_virt(&mut self, id: usize, now: SimTime) -> VirtState {
+        let t = &mut self.virt_xfers[id];
+        if let VirtState::Faulted(fault) = t.state {
+            t.state = VirtState::Failed(fault);
+            t.finished = Some(t.clock.max(now));
+            self.virt_stats.failed += 1;
+        }
+        t.state
+    }
+
+    /// Status of a virtual-address transfer, in the paper's status-load
+    /// convention: bytes remaining, 0 = complete, `-1` = failed.
+    pub fn virt_status(&self, id: usize, now: SimTime) -> u64 {
+        match self.virt_xfers.get(id) {
+            None => DMA_FAILURE,
+            Some(t) => match t.state {
+                VirtState::Failed(_) => DMA_FAILURE,
+                _ => t.remaining_at(now),
+            },
+        }
+    }
+
+    /// Store to a `CTX_VIRT_*` offset of context `ctx`'s page.
+    pub fn ctx_virt_store(&mut self, ctx: u32, off: u64, data: u64, now: SimTime) {
+        if !self.has_context(ctx) {
+            return;
+        }
+        match off {
+            regs::CTX_VIRT_SRC => self.virt_stage[ctx as usize].src = Some(data),
+            regs::CTX_VIRT_DST => self.virt_stage[ctx as usize].dst = Some(data),
+            regs::CTX_VIRT_GO => {
+                let stage = self.virt_stage[ctx as usize];
+                let (Some(src), Some(dst)) = (stage.src, stage.dst) else {
+                    self.note_reject(RejectReason::MissingArgs);
+                    self.virt_stage[ctx as usize].last = None;
+                    return;
+                };
+                let posted =
+                    self.post_virt_dma(ctx, VirtAddr::new(src), VirtAddr::new(dst), data, now).ok();
+                self.virt_stage[ctx as usize].last = posted;
+            }
+            _ => {}
+        }
+    }
+
+    /// Load from a `CTX_VIRT_*` offset of context `ctx`'s page.
+    pub fn ctx_virt_load(&self, ctx: u32, off: u64, now: SimTime) -> u64 {
+        let Some(stage) = self.virt_stage.get(ctx as usize) else {
+            return DMA_FAILURE;
+        };
+        match off {
+            regs::CTX_VIRT_SRC => stage.src.unwrap_or(0),
+            regs::CTX_VIRT_DST => stage.dst.unwrap_or(0),
+            regs::CTX_VIRT_GO => match stage.last {
+                Some(id) => self.virt_status(id, now),
+                None => DMA_FAILURE,
+            },
+            _ => DMA_FAILURE,
         }
     }
 
@@ -413,9 +707,7 @@ mod tests {
         let mut c = core();
         let src = PhysAddr::new(PAGE_SIZE - 8);
         let dst = PhysAddr::new(4 * PAGE_SIZE);
-        let err = c
-            .start_user_dma(src, dst, 64, Initiator::Anonymous, SimTime::ZERO)
-            .unwrap_err();
+        let err = c.start_user_dma(src, dst, 64, Initiator::Anonymous, SimTime::ZERO).unwrap_err();
         assert_eq!(err, RejectReason::PageCross);
         assert_eq!(c.stats().rejected(), 1);
     }
@@ -479,10 +771,7 @@ mod tests {
         assert_eq!(cluster.borrow().read_u64(1, PhysAddr::new(0x400)).unwrap(), 0x77);
         let rec = c.mover().record(idx).unwrap();
         assert_eq!(rec.remote_node, Some(1));
-        assert_eq!(
-            rec.destination(),
-            Destination::Remote { node: 1, addr: PhysAddr::new(0x400) }
-        );
+        assert_eq!(rec.destination(), Destination::Remote { node: 1, addr: PhysAddr::new(0x400) });
     }
 
     #[test]
@@ -511,15 +800,203 @@ mod tests {
         assert_eq!(c.take_pending_extra(), SimTime::ZERO);
     }
 
+    fn virt_core() -> EngineCore {
+        let mut c = core();
+        c.enable_iommu(IotlbConfig::default(), VirtDmaConfig::default());
+        let iommu = c.iommu_mut().unwrap();
+        iommu.create_context(1);
+        // VA pages 0..4 → frames 8..12 (src), VA pages 8..12 → frames
+        // 16..20 (dst), read-write, resident.
+        for p in 0..4u64 {
+            iommu
+                .map(
+                    1,
+                    udma_mem::VirtPage::new(p),
+                    PhysFrame::new(8 + p),
+                    udma_mem::Perms::READ_WRITE,
+                    true,
+                )
+                .unwrap();
+            iommu
+                .map(
+                    1,
+                    udma_mem::VirtPage::new(8 + p),
+                    PhysFrame::new(16 + p),
+                    udma_mem::Perms::READ_WRITE,
+                    true,
+                )
+                .unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn virt_dma_splits_at_page_boundaries() {
+        let mut c = virt_core();
+        c.mem.borrow_mut().write_u64(PhysAddr::new(8 * PAGE_SIZE + 0x100), 0xABCD).unwrap();
+        // 2.5 pages, starting mid-page: chunks must never cross a page.
+        let src = VirtAddr::new(0x100);
+        let dst = VirtAddr::new(8 * PAGE_SIZE + 0x100);
+        let id = c.post_virt_dma(1, src, dst, 2 * PAGE_SIZE + 128, SimTime::ZERO).unwrap();
+        let t = *c.virt_xfer(id).unwrap();
+        assert_eq!(t.state, VirtState::Complete);
+        assert_eq!(t.moved, 2 * PAGE_SIZE + 128);
+        assert_eq!(t.chunks, 3); // (PAGE-0x100) + PAGE + (128+0x100)
+        for rec in c.mover().records() {
+            assert_eq!(rec.initiator, Initiator::VirtDma { asid: 1 });
+            assert!(rec.src.page_offset() + rec.size <= PAGE_SIZE);
+            assert!(rec.dst.page_offset() + rec.size <= PAGE_SIZE);
+        }
+        // The data actually landed (frame 16 = VA page 8).
+        assert_eq!(c.mem.borrow().read_u64(PhysAddr::new(16 * PAGE_SIZE + 0x100)).unwrap(), 0xABCD);
+        assert_eq!(c.virt_status(id, SimTime::from_us(100_000)), 0);
+    }
+
+    #[test]
+    fn virt_fault_pauses_at_the_boundary_and_resumes() {
+        let mut c = virt_core();
+        // Second source page (VA page 1) is not mapped.
+        c.iommu_mut().unwrap().unmap(1, udma_mem::VirtPage::new(1)).unwrap();
+        let id = c
+            .post_virt_dma(
+                1,
+                VirtAddr::new(0),
+                VirtAddr::new(8 * PAGE_SIZE),
+                2 * PAGE_SIZE,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let t = *c.virt_xfer(id).unwrap();
+        assert!(matches!(t.state, VirtState::Faulted(_)));
+        // Exactly the first page moved; nothing past the fault.
+        assert_eq!(t.moved, PAGE_SIZE);
+        let pending = c.pop_fault().unwrap();
+        assert_eq!(pending.xfer, id);
+        assert_eq!(pending.fault.va.page(), udma_mem::VirtPage::new(1));
+        assert_eq!(pending.fault.kind, IoFaultKind::Unmapped);
+        // OS services the fault, engine resumes and completes.
+        c.iommu_mut()
+            .unwrap()
+            .map(
+                1,
+                udma_mem::VirtPage::new(1),
+                PhysFrame::new(9),
+                udma_mem::Perms::READ_WRITE,
+                true,
+            )
+            .unwrap();
+        let state = c.resume_virt(id, SimTime::from_us(5));
+        assert_eq!(state, VirtState::Complete);
+        assert_eq!(c.virt_xfer(id).unwrap().moved, 2 * PAGE_SIZE);
+        assert_eq!(c.virt_stats().faults, 1);
+        assert_eq!(c.virt_stats().retries, 1);
+    }
+
+    #[test]
+    fn virt_retries_are_bounded() {
+        let mut c = virt_core();
+        c.iommu_mut().unwrap().unmap(1, udma_mem::VirtPage::new(0)).unwrap();
+        let id = c
+            .post_virt_dma(1, VirtAddr::new(0), VirtAddr::new(8 * PAGE_SIZE), 64, SimTime::ZERO)
+            .unwrap();
+        let max = c.virt_config().max_retries;
+        let mut state = c.virt_xfer(id).unwrap().state;
+        let mut resumes = 0;
+        while matches!(state, VirtState::Faulted(_)) {
+            state = c.resume_virt(id, SimTime::ZERO);
+            resumes += 1;
+            assert!(resumes <= max + 1, "resume loop did not terminate");
+        }
+        assert!(matches!(state, VirtState::Failed(_)));
+        assert_eq!(resumes, max + 1);
+        assert_eq!(c.virt_status(id, SimTime::from_us(100)), DMA_FAILURE);
+        assert_eq!(c.virt_xfer(id).unwrap().moved, 0);
+        // Backoff showed up as stall time.
+        assert!(c.virt_xfer(id).unwrap().stall > SimTime::ZERO);
+    }
+
+    #[test]
+    fn virt_fail_is_terminal_and_preserves_prefix_rule() {
+        let mut c = virt_core();
+        c.iommu_mut().unwrap().unmap(1, udma_mem::VirtPage::new(1)).unwrap();
+        let id = c
+            .post_virt_dma(
+                1,
+                VirtAddr::new(0),
+                VirtAddr::new(8 * PAGE_SIZE),
+                2 * PAGE_SIZE,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let state = c.fail_virt(id, SimTime::from_us(1));
+        assert!(matches!(state, VirtState::Failed(_)));
+        assert_eq!(c.virt_xfer(id).unwrap().moved, PAGE_SIZE);
+        assert_eq!(c.virt_status(id, SimTime::from_us(1)), DMA_FAILURE);
+        // Further resumes do nothing.
+        assert_eq!(c.resume_virt(id, SimTime::from_us(2)), state);
+    }
+
+    #[test]
+    fn ctx_virt_window_posts_and_reports() {
+        let mut c = virt_core();
+        let now = SimTime::ZERO;
+        // GO before staging: rejected with MissingArgs.
+        c.ctx_virt_store(1, regs::CTX_VIRT_GO, 64, now);
+        assert_eq!(c.ctx_virt_load(1, regs::CTX_VIRT_GO, now), DMA_FAILURE);
+        assert_eq!(c.stats().rejected_for(RejectReason::MissingArgs), 1);
+
+        c.ctx_virt_store(1, regs::CTX_VIRT_SRC, 0x40, now);
+        c.ctx_virt_store(1, regs::CTX_VIRT_DST, 8 * PAGE_SIZE, now);
+        c.ctx_virt_store(1, regs::CTX_VIRT_GO, 64, now);
+        assert_eq!(c.ctx_virt_load(1, regs::CTX_VIRT_SRC, now), 0x40);
+        assert_eq!(c.ctx_virt_load(1, regs::CTX_VIRT_GO, SimTime::from_us(100_000)), 0);
+        assert_eq!(c.virt_stats().posted, 1);
+        // Unknown context: store ignored, load fails.
+        c.ctx_virt_store(9, regs::CTX_VIRT_GO, 64, now);
+        assert_eq!(c.ctx_virt_load(9, regs::CTX_VIRT_GO, now), DMA_FAILURE);
+    }
+
+    #[test]
+    fn virt_iotlb_hits_skip_the_walk_cost() {
+        let mut c = virt_core();
+        let id1 = c
+            .post_virt_dma(
+                1,
+                VirtAddr::new(0),
+                VirtAddr::new(8 * PAGE_SIZE),
+                PAGE_SIZE,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let cold = c.virt_xfer(id1).unwrap().stall;
+        let id2 = c
+            .post_virt_dma(
+                1,
+                VirtAddr::new(0),
+                VirtAddr::new(8 * PAGE_SIZE),
+                PAGE_SIZE,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let warm = c.virt_xfer(id2).unwrap().stall;
+        assert!(cold > SimTime::ZERO);
+        assert_eq!(warm, SimTime::ZERO);
+        assert_eq!(c.iommu().unwrap().stats().tlb.hits, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires enable_iommu")]
+    fn virt_post_without_iommu_panics() {
+        let mut c = core();
+        let _ = c.post_virt_dma(0, VirtAddr::new(0), VirtAddr::new(0), 8, SimTime::ZERO);
+    }
+
     #[test]
     #[should_panic(expected = "context count")]
     fn too_many_contexts_panics() {
         let layout = PhysLayout::default();
         let mem = Rc::new(RefCell::new(PhysMemory::new(1 << 20)));
-        let _ = EngineCore::new(
-            layout,
-            mem,
-            EngineConfig { num_contexts: 9, ..Default::default() },
-        );
+        let _ =
+            EngineCore::new(layout, mem, EngineConfig { num_contexts: 9, ..Default::default() });
     }
 }

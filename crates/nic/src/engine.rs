@@ -37,7 +37,12 @@ impl std::fmt::Debug for DmaEngine {
 
 impl DmaEngine {
     /// Builds an engine running `kind` over the machine's memory.
-    pub fn new(layout: PhysLayout, mem: SharedMemory, config: EngineConfig, kind: ProtocolKind) -> Self {
+    pub fn new(
+        layout: PhysLayout,
+        mem: SharedMemory,
+        config: EngineConfig,
+        kind: ProtocolKind,
+    ) -> Self {
         DmaEngine {
             inner: Rc::new(RefCell::new(Inner {
                 core: EngineCore::new(layout, mem, config),
@@ -64,21 +69,31 @@ impl DmaEngine {
 }
 
 impl BusDevice for DmaEngine {
-    fn write(&mut self, paddr: PhysAddr, data: u64, _tag: u32, now: SimTime) -> Result<(), MemFault> {
+    fn write(
+        &mut self,
+        paddr: PhysAddr,
+        data: u64,
+        _tag: u32,
+        now: SimTime,
+    ) -> Result<(), MemFault> {
         let mut inner = self.inner.borrow_mut();
         let Inner { core, protocol } = &mut *inner;
         match core.layout().region_of(paddr) {
             Region::Shadow => {
-                let (pa, ctx) = core
-                    .layout()
-                    .shadow
-                    .decode(paddr)
-                    .ok_or(MemFault::BusError { pa: paddr })?;
+                let (pa, ctx) =
+                    core.layout().shadow.decode(paddr).ok_or(MemFault::BusError { pa: paddr })?;
                 protocol.shadow_store(core, pa, ctx, data, now);
                 Ok(())
             }
             Region::NicRegs { offset } => {
                 if let Some((ctx, off)) = regs::decode_ctx_offset(offset) {
+                    // The virtual-address window shadows part of each
+                    // context page, but only decodes on IOMMU-equipped
+                    // engines; otherwise the protocol sees the store.
+                    if core.virt_enabled() && regs::is_virt_offset(off) {
+                        core.ctx_virt_store(ctx, off, data, now);
+                        return Ok(());
+                    }
                     protocol.ctx_store(core, ctx, off, data, now);
                     return Ok(());
                 }
@@ -110,15 +125,15 @@ impl BusDevice for DmaEngine {
         let Inner { core, protocol } = &mut *inner;
         match core.layout().region_of(paddr) {
             Region::Shadow => {
-                let (pa, ctx) = core
-                    .layout()
-                    .shadow
-                    .decode(paddr)
-                    .ok_or(MemFault::BusError { pa: paddr })?;
+                let (pa, ctx) =
+                    core.layout().shadow.decode(paddr).ok_or(MemFault::BusError { pa: paddr })?;
                 Ok(protocol.shadow_load(core, pa, ctx, now))
             }
             Region::NicRegs { offset } => {
                 if let Some((ctx, off)) = regs::decode_ctx_offset(offset) {
+                    if core.virt_enabled() && regs::is_virt_offset(off) {
+                        return Ok(core.ctx_virt_load(ctx, off, now));
+                    }
                     return Ok(protocol.ctx_load(core, ctx, off, now));
                 }
                 match offset {
@@ -126,8 +141,13 @@ impl BusDevice for DmaEngine {
                     regs::ATOMIC_CMD => Ok(core.kernel_atomic_result()),
                     // Staged kernel registers read back as zero (the real
                     // FPGA's write-only setup registers).
-                    regs::DMA_SOURCE | regs::DMA_DEST | regs::DMA_SIZE | regs::CURRENT_PID
-                    | regs::ABORT | regs::ATOMIC_ADDR | regs::ATOMIC_OPERAND1
+                    regs::DMA_SOURCE
+                    | regs::DMA_DEST
+                    | regs::DMA_SIZE
+                    | regs::CURRENT_PID
+                    | regs::ABORT
+                    | regs::ATOMIC_ADDR
+                    | regs::ATOMIC_OPERAND1
                     | regs::ATOMIC_OPERAND2 => Ok(0),
                     _ => Err(MemFault::BusError { pa: paddr }),
                 }
@@ -191,8 +211,7 @@ mod tests {
     fn key_table_writes_land_in_core() {
         let (mut e, layout) = engine(ProtocolKind::KeyBased);
         let base = layout.nic_base;
-        e.write(base + regs::KEY_TABLE_BASE + 16, 0xCAFE_F00Du64, 0, SimTime::ZERO)
-            .unwrap();
+        e.write(base + regs::KEY_TABLE_BASE + 16, 0xCAFE_F00Du64, 0, SimTime::ZERO).unwrap();
         assert_eq!(e.core().key(2), 0xCAFE_F00Du64);
     }
 

@@ -23,22 +23,24 @@
 
 mod atomic;
 mod context;
+mod engine;
 #[path = "core.rs"]
 mod engine_core;
-mod engine;
 mod link;
 mod mover;
-mod remote;
 pub mod protocol;
 pub mod regs;
+mod remote;
 mod status;
+mod virt;
 
 pub use atomic::AtomicOp;
 pub use context::RegisterContext;
-pub use engine_core::{EngineConfig, EngineCore, EngineStats};
 pub use engine::DmaEngine;
+pub use engine_core::{EngineConfig, EngineCore, EngineStats};
 pub use link::LinkModel;
 pub use mover::{DmaMover, TransferRecord};
-pub use remote::{Cluster, Destination, SharedCluster};
 pub use protocol::{InitiationProtocol, ProtocolKind};
+pub use remote::{Cluster, Destination, SharedCluster};
 pub use status::{Initiator, RejectReason, DMA_FAILURE, DMA_PENDING, DMA_STARTED};
+pub use virt::{PendingFault, VirtDmaConfig, VirtStage, VirtState, VirtStats, VirtTransfer};

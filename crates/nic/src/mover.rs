@@ -160,15 +160,9 @@ impl DmaMover {
             return Err(RejectReason::PageCross);
         }
         let mut buf = vec![0u8; size as usize];
-        self.mem
-            .borrow()
-            .read_bytes(src, &mut buf)
-            .map_err(|_| RejectReason::BadRange)?;
+        self.mem.borrow().read_bytes(src, &mut buf).map_err(|_| RejectReason::BadRange)?;
         let cluster = self.cluster.as_ref().ok_or(RejectReason::BadRange)?;
-        cluster
-            .borrow_mut()
-            .deposit(node, addr, &buf)
-            .map_err(|_| RejectReason::BadRange)?;
+        cluster.borrow_mut().deposit(node, addr, &buf).map_err(|_| RejectReason::BadRange)?;
         let rec = TransferRecord {
             src,
             dst: addr,
@@ -242,7 +236,14 @@ mod tests {
     fn zero_size_rejected() {
         let mut m = mover();
         let err = m
-            .start(PhysAddr::new(0), PhysAddr::new(0x2000), 0, Initiator::Kernel, true, SimTime::ZERO)
+            .start(
+                PhysAddr::new(0),
+                PhysAddr::new(0x2000),
+                0,
+                Initiator::Kernel,
+                true,
+                SimTime::ZERO,
+            )
             .unwrap_err();
         assert_eq!(err, RejectReason::ZeroSize);
     }
@@ -285,7 +286,14 @@ mod tests {
         let mut m = mover();
         // 1 Gb/s, no latency: 1000 bytes = 8 µs.
         let rec = *m
-            .start(PhysAddr::new(0), PhysAddr::new(0x4000), 1000, Initiator::Kernel, true, SimTime::ZERO)
+            .start(
+                PhysAddr::new(0),
+                PhysAddr::new(0x4000),
+                1000,
+                Initiator::Kernel,
+                true,
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(rec.remaining_at(SimTime::ZERO), 1000);
         assert_eq!(rec.remaining_at(SimTime::from_us(4)), 500);

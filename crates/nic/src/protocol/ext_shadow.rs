@@ -41,7 +41,14 @@ impl InitiationProtocol for ExtShadow {
         ProtocolKind::ExtShadow
     }
 
-    fn shadow_store(&mut self, core: &mut EngineCore, pa: PhysAddr, ctx: u32, size: u64, _now: SimTime) {
+    fn shadow_store(
+        &mut self,
+        core: &mut EngineCore,
+        pa: PhysAddr,
+        ctx: u32,
+        size: u64,
+        _now: SimTime,
+    ) {
         if !core.has_context(ctx) {
             core.note_reject(RejectReason::CtxMismatch);
             return;
@@ -73,7 +80,14 @@ impl InitiationProtocol for ExtShadow {
         }
     }
 
-    fn ctx_store(&mut self, core: &mut EngineCore, ctx: u32, offset: u64, data: u64, _now: SimTime) {
+    fn ctx_store(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: u32,
+        offset: u64,
+        data: u64,
+        _now: SimTime,
+    ) {
         if !core.has_context(ctx) {
             return;
         }
@@ -129,7 +143,14 @@ impl InitiationProtocol for ExtShadowPairwise {
         ProtocolKind::ExtShadowPairwise
     }
 
-    fn shadow_store(&mut self, _core: &mut EngineCore, pa: PhysAddr, ctx: u32, size: u64, _now: SimTime) {
+    fn shadow_store(
+        &mut self,
+        _core: &mut EngineCore,
+        pa: PhysAddr,
+        ctx: u32,
+        size: u64,
+        _now: SimTime,
+    ) {
         self.pending = Some((pa, size, ctx));
     }
 
@@ -227,7 +248,7 @@ mod tests {
         p.shadow_store(&mut core, dst, 0, 4096, SimTime::ZERO);
         let r0 = p.shadow_load(&mut core, src, 0, SimTime::ZERO);
         assert!(r0 > 0 && r0 != DMA_FAILURE); // bytes still in flight
-        // Long after the wire time has elapsed the context reads 0.
+                                              // Long after the wire time has elapsed the context reads 0.
         let done = p.ctx_load(&mut core, 0, regs::CTX_SIZE_TRIGGER, SimTime::from_us(100_000));
         assert_eq!(done, 0);
     }

@@ -39,7 +39,14 @@ impl InitiationProtocol for Flash {
         ProtocolKind::Flash
     }
 
-    fn shadow_store(&mut self, _core: &mut EngineCore, pa: PhysAddr, _ctx: u32, size: u64, _now: SimTime) {
+    fn shadow_store(
+        &mut self,
+        _core: &mut EngineCore,
+        pa: PhysAddr,
+        _ctx: u32,
+        size: u64,
+        _now: SimTime,
+    ) {
         self.pending.insert(self.current_pid, (pa, size));
     }
 

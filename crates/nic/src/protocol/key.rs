@@ -35,7 +35,14 @@ impl InitiationProtocol for KeyBased {
         ProtocolKind::KeyBased
     }
 
-    fn shadow_store(&mut self, core: &mut EngineCore, pa: PhysAddr, _ctx: u32, data: u64, _now: SimTime) {
+    fn shadow_store(
+        &mut self,
+        core: &mut EngineCore,
+        pa: PhysAddr,
+        _ctx: u32,
+        data: u64,
+        _now: SimTime,
+    ) {
         core.charge_key_check();
         let (key, ctx) = decode_key_ctx(data);
         if !core.has_context(ctx) || core.key(ctx) != key {
@@ -45,14 +52,27 @@ impl InitiationProtocol for KeyBased {
         core.context_mut(ctx).push_addr(pa);
     }
 
-    fn shadow_load(&mut self, core: &mut EngineCore, _pa: PhysAddr, _ctx: u32, _now: SimTime) -> u64 {
+    fn shadow_load(
+        &mut self,
+        core: &mut EngineCore,
+        _pa: PhysAddr,
+        _ctx: u32,
+        _now: SimTime,
+    ) -> u64 {
         // The key-based scheme passes both addresses with stores; loads
         // from the shadow window mean nothing here.
         core.note_reject(RejectReason::BadSequence);
         DMA_FAILURE
     }
 
-    fn ctx_store(&mut self, core: &mut EngineCore, ctx: u32, offset: u64, data: u64, _now: SimTime) {
+    fn ctx_store(
+        &mut self,
+        core: &mut EngineCore,
+        ctx: u32,
+        offset: u64,
+        data: u64,
+        _now: SimTime,
+    ) {
         if !core.has_context(ctx) {
             return;
         }
@@ -85,16 +105,12 @@ impl InitiationProtocol for KeyBased {
         }
         if offset == regs::CTX_SIZE_TRIGGER && core.context(ctx).args_complete() {
             // Figure 3's final LOAD: initiate and report.
-            let (src, dst, size) = core
-                .context_mut(ctx)
-                .take_args()
-                .expect("args_complete checked");
+            let (src, dst, size) =
+                core.context_mut(ctx).take_args().expect("args_complete checked");
             return match core.start_user_dma(src, dst, size, Initiator::Context(ctx), now) {
                 Ok(index) => {
                     core.context_mut(ctx).set_last_transfer(index);
-                    core.context_transfer(ctx)
-                        .map(|r| r.remaining_at(now))
-                        .unwrap_or(DMA_FAILURE)
+                    core.context_transfer(ctx).map(|r| r.remaining_at(now)).unwrap_or(DMA_FAILURE)
                 }
                 Err(_) => DMA_FAILURE,
             };

@@ -138,7 +138,14 @@ pub trait InitiationProtocol {
     /// address, `ctx` the context id embedded in the shadow address
     /// (always 0 unless the OS created extended-shadow mappings), `data`
     /// the store payload.
-    fn shadow_store(&mut self, core: &mut EngineCore, pa: PhysAddr, ctx: u32, data: u64, now: SimTime);
+    fn shadow_store(
+        &mut self,
+        core: &mut EngineCore,
+        pa: PhysAddr,
+        ctx: u32,
+        data: u64,
+        now: SimTime,
+    );
 
     /// A load hit the shadow window; returns the load's data (a status
     /// code or byte count).
@@ -190,9 +197,23 @@ impl InitiationProtocol for KernelOnly {
         ProtocolKind::KernelOnly
     }
 
-    fn shadow_store(&mut self, _core: &mut EngineCore, _pa: PhysAddr, _ctx: u32, _d: u64, _n: SimTime) {}
+    fn shadow_store(
+        &mut self,
+        _core: &mut EngineCore,
+        _pa: PhysAddr,
+        _ctx: u32,
+        _d: u64,
+        _n: SimTime,
+    ) {
+    }
 
-    fn shadow_load(&mut self, _core: &mut EngineCore, _pa: PhysAddr, _ctx: u32, _n: SimTime) -> u64 {
+    fn shadow_load(
+        &mut self,
+        _core: &mut EngineCore,
+        _pa: PhysAddr,
+        _ctx: u32,
+        _n: SimTime,
+    ) -> u64 {
         DMA_FAILURE
     }
 }

@@ -41,7 +41,11 @@ impl Repeated {
     /// The 3-instruction variant (insecure; kept as the Figure 5
     /// baseline).
     pub fn three() -> Self {
-        Repeated { kind: ProtocolKind::Repeated3, pattern: &[Acc::Ld, Acc::St, Acc::Ld], state: Vec::new() }
+        Repeated {
+            kind: ProtocolKind::Repeated3,
+            pattern: &[Acc::Ld, Acc::St, Acc::Ld],
+            state: Vec::new(),
+        }
     }
 
     /// The 4-instruction variant (insecure; kept as the Figure 6
@@ -95,7 +99,14 @@ impl Repeated {
         }
     }
 
-    fn on_access(&mut self, core: &mut EngineCore, kind: Acc, pa: PhysAddr, data: u64, now: SimTime) -> u64 {
+    fn on_access(
+        &mut self,
+        core: &mut EngineCore,
+        kind: Acc,
+        pa: PhysAddr,
+        data: u64,
+        now: SimTime,
+    ) -> u64 {
         let pos = self.state.len();
         if kind == self.pattern[pos] && self.constraints_ok(pos, pa, data) {
             self.state.push((pa, data));
@@ -126,7 +137,14 @@ impl InitiationProtocol for Repeated {
         self.kind
     }
 
-    fn shadow_store(&mut self, core: &mut EngineCore, pa: PhysAddr, _ctx: u32, data: u64, now: SimTime) {
+    fn shadow_store(
+        &mut self,
+        core: &mut EngineCore,
+        pa: PhysAddr,
+        _ctx: u32,
+        data: u64,
+        now: SimTime,
+    ) {
         let _ = self.on_access(core, Acc::St, pa, data, now);
     }
 
@@ -188,7 +206,7 @@ mod tests {
         p.shadow_store(&mut c, a(4), 0, 64, SimTime::ZERO);
         assert_eq!(p.shadow_load(&mut c, a(2), 0, SimTime::ZERO), DMA_PENDING);
         p.shadow_store(&mut c, a(4), 0, 65, SimTime::ZERO); // size differs
-        // The store restarts a sequence at position 1.
+                                                            // The store restarts a sequence at position 1.
         assert_eq!(p.position(), 1);
         assert!(c.mover().records().is_empty());
     }
@@ -239,8 +257,8 @@ mod tests {
         p.shadow_store(&mut c, addr_b, 0, 64, SimTime::ZERO); // 1 victim
         assert_eq!(p.shadow_load(&mut c, addr_a, 0, SimTime::ZERO), DMA_PENDING); // 2 victim
         p.shadow_store(&mut c, addr_b, 0, 64, SimTime::ZERO); // 3 victim
-        // 4: malicious LOAD shadow(A) completes the sequence → DMA starts
-        // and the *malicious* process gets the success status.
+                                                              // 4: malicious LOAD shadow(A) completes the sequence → DMA starts
+                                                              // and the *malicious* process gets the success status.
         assert_eq!(p.shadow_load(&mut c, addr_a, 0, SimTime::ZERO), DMA_STARTED);
         assert_eq!(c.mover().records().len(), 1);
         // 5: victim's own LOAD shadow(A) is now out of order → it is told

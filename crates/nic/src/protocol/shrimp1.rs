@@ -30,7 +30,14 @@ impl InitiationProtocol for Shrimp1 {
         ProtocolKind::Shrimp1
     }
 
-    fn shadow_store(&mut self, core: &mut EngineCore, pa: PhysAddr, _ctx: u32, size: u64, now: SimTime) {
+    fn shadow_store(
+        &mut self,
+        core: &mut EngineCore,
+        pa: PhysAddr,
+        _ctx: u32,
+        size: u64,
+        now: SimTime,
+    ) {
         let Some(dst_base) = core.mapped_out(pa.page()) else {
             core.note_reject(RejectReason::MissingArgs);
             self.last_status = DMA_FAILURE;
@@ -55,7 +62,13 @@ impl InitiationProtocol for Shrimp1 {
         };
     }
 
-    fn shadow_load(&mut self, _core: &mut EngineCore, _pa: PhysAddr, _ctx: u32, _now: SimTime) -> u64 {
+    fn shadow_load(
+        &mut self,
+        _core: &mut EngineCore,
+        _pa: PhysAddr,
+        _ctx: u32,
+        _now: SimTime,
+    ) -> u64 {
         // The compare-and-exchange of the real SHRIMP returns the
         // initiation result; modelled as a status load.
         self.last_status
@@ -94,7 +107,10 @@ mod tests {
     fn unmapped_source_page_rejected() {
         let (mut p, mut core) = world();
         p.shadow_store(&mut core, PhysAddr::new(PAGE_SIZE), 0, 64, SimTime::ZERO);
-        assert_eq!(p.shadow_load(&mut core, PhysAddr::new(PAGE_SIZE), 0, SimTime::ZERO), DMA_FAILURE);
+        assert_eq!(
+            p.shadow_load(&mut core, PhysAddr::new(PAGE_SIZE), 0, SimTime::ZERO),
+            DMA_FAILURE
+        );
         assert!(core.mover().records().is_empty());
         assert_eq!(core.stats().rejected_for(RejectReason::MissingArgs), 1);
     }

@@ -37,7 +37,14 @@ impl InitiationProtocol for Shrimp2 {
         ProtocolKind::Shrimp2
     }
 
-    fn shadow_store(&mut self, _core: &mut EngineCore, pa: PhysAddr, _ctx: u32, size: u64, _now: SimTime) {
+    fn shadow_store(
+        &mut self,
+        _core: &mut EngineCore,
+        pa: PhysAddr,
+        _ctx: u32,
+        size: u64,
+        _now: SimTime,
+    ) {
         self.pending = Some((pa, size));
     }
 

@@ -56,6 +56,22 @@ pub const CTX_ATOMIC_OPERAND2: u64 = 0x10;
 /// Offset within a context page: store op-code = execute atomic, load =
 /// result.
 pub const CTX_ATOMIC_CMD: u64 = 0x18;
+/// Offset within a context page: stage the source **virtual** address of
+/// a virtual-address DMA (IOMMU-equipped engines only; the follow-on
+/// Telegraphos IOMMU work).
+pub const CTX_VIRT_SRC: u64 = 0x20;
+/// Offset within a context page: stage the destination virtual address.
+pub const CTX_VIRT_DST: u64 = 0x28;
+/// Offset within a context page: store = size, posts the staged
+/// virtual-address DMA; load = its status (bytes remaining, or
+/// [`crate::DMA_FAILURE`]).
+pub const CTX_VIRT_GO: u64 = 0x30;
+
+/// Whether a within-page offset belongs to the virtual-address DMA
+/// window (only decoded when the engine has an IOMMU).
+pub fn is_virt_offset(off: u64) -> bool {
+    matches!(off, CTX_VIRT_SRC | CTX_VIRT_DST | CTX_VIRT_GO)
+}
 
 /// Offset (from the NIC base) of context `ctx`'s page.
 pub fn ctx_page_offset(ctx: u32) -> u64 {

@@ -24,9 +24,7 @@ pub struct Cluster {
 impl Cluster {
     /// Creates `count` remote nodes with `bytes_per_node` of memory each.
     pub fn new(count: u32, bytes_per_node: u64) -> Self {
-        Cluster {
-            nodes: (0..count).map(|_| PhysMemory::new(bytes_per_node)).collect(),
-        }
+        Cluster { nodes: (0..count).map(|_| PhysMemory::new(bytes_per_node)).collect() }
     }
 
     /// Wraps the cluster for sharing.
@@ -57,10 +55,7 @@ impl Cluster {
     /// [`MemFault::BusError`] if the node does not exist or the range is
     /// outside its memory.
     pub fn deposit(&mut self, node: u32, addr: PhysAddr, data: &[u8]) -> Result<(), MemFault> {
-        let mem = self
-            .nodes
-            .get_mut(node as usize)
-            .ok_or(MemFault::BusError { pa: addr })?;
+        let mem = self.nodes.get_mut(node as usize).ok_or(MemFault::BusError { pa: addr })?;
         mem.write_bytes(addr, data)
     }
 
@@ -72,10 +67,7 @@ impl Cluster {
     /// [`MemFault::BusError`] if the node does not exist or the range is
     /// outside its memory.
     pub fn read(&self, node: u32, addr: PhysAddr, buf: &mut [u8]) -> Result<(), MemFault> {
-        let mem = self
-            .nodes
-            .get(node as usize)
-            .ok_or(MemFault::BusError { pa: addr })?;
+        let mem = self.nodes.get(node as usize).ok_or(MemFault::BusError { pa: addr })?;
         mem.read_bytes(addr, buf)
     }
 
@@ -85,10 +77,7 @@ impl Cluster {
     ///
     /// As for [`read`](Self::read), plus misalignment.
     pub fn read_u64(&self, node: u32, addr: PhysAddr) -> Result<u64, MemFault> {
-        self.nodes
-            .get(node as usize)
-            .ok_or(MemFault::BusError { pa: addr })?
-            .read_u64(addr)
+        self.nodes.get(node as usize).ok_or(MemFault::BusError { pa: addr })?.read_u64(addr)
     }
 }
 

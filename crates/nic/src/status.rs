@@ -25,6 +25,12 @@ pub enum Initiator {
     /// A user-level protocol without register contexts (SHRIMP-2, FLASH,
     /// repeated passing).
     Anonymous,
+    /// A chunk of a virtual-address DMA, translated by the engine's
+    /// IOMMU on behalf of address space `asid`.
+    VirtDma {
+        /// The posting address space (= granted register context).
+        asid: u32,
+    },
 }
 
 impl fmt::Display for Initiator {
@@ -33,6 +39,7 @@ impl fmt::Display for Initiator {
             Initiator::Kernel => write!(f, "kernel"),
             Initiator::Context(c) => write!(f, "ctx{c}"),
             Initiator::Anonymous => write!(f, "anon"),
+            Initiator::VirtDma { asid } => write!(f, "va{asid}"),
         }
     }
 }
@@ -96,6 +103,7 @@ mod tests {
         assert_eq!(Initiator::Kernel.to_string(), "kernel");
         assert_eq!(Initiator::Context(2).to_string(), "ctx2");
         assert_eq!(Initiator::Anonymous.to_string(), "anon");
+        assert_eq!(Initiator::VirtDma { asid: 3 }.to_string(), "va3");
         assert!(RejectReason::PageCross.to_string().contains("page boundary"));
     }
 }

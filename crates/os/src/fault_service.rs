@@ -1,0 +1,278 @@
+//! OS-side service of I/O page faults raised during virtual-address DMA.
+//!
+//! When the engine's IOMMU cannot translate a page mid-transfer it pauses
+//! the transfer and queues an [`IoFault`]. This module is the kernel
+//! handler that drains the queue: it consults the faulting process's
+//! **CPU page table** — the ground truth of what the process may touch —
+//! and either installs the missing I/O translation (pinning the page so
+//! the swapper keeps its hands off until the transfer drains), swaps the
+//! page back in first, or declares the fault unresolvable, after which
+//! the OS fails the transfer. Costs are charged in simulated time so the
+//! fault path's expense relative to an IOTLB hit is measurable (the E12
+//! experiment).
+//!
+//! The alternative discipline, pin-on-post ([`pin_range`]), registers a
+//! whole buffer up front — RDMA-style memory registration: transfers
+//! then never fault, at the cost of eager pinning.
+
+use crate::VmManager;
+use udma_bus::SimTime;
+use udma_iommu::{IoFault, IoFaultKind, Iommu};
+use udma_mem::{MemFault, PageTable, VirtAddr, PAGE_SIZE};
+
+/// Simulated costs of the fault-service path.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultCosts {
+    /// Fixed entry cost: interrupt delivery, queue pop, table lookup.
+    pub service_base: SimTime,
+    /// Installing one I/O page-table entry (plus shootdown bookkeeping).
+    pub map_page: SimTime,
+    /// Bringing a swapped-out page back from backing store. Dominates
+    /// everything else, as a real page-in does.
+    pub swap_in: SimTime,
+}
+
+impl Default for FaultCosts {
+    fn default() -> Self {
+        FaultCosts {
+            service_base: SimTime::from_us(5),
+            map_page: SimTime::from_us(1),
+            swap_in: SimTime::from_us(50),
+        }
+    }
+}
+
+/// How a fault was resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultResolution {
+    /// The page was resident and accessible; its I/O translation was
+    /// installed (pinned).
+    Mapped,
+    /// The page was swapped out; it was brought back and its I/O
+    /// translation installed (pinned).
+    SwappedIn,
+    /// The posting address space has no right to the page (or no such
+    /// page at all). The transfer must be failed.
+    Unresolvable,
+}
+
+/// Counters of the fault service.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultServiceStats {
+    /// Faults serviced (all outcomes).
+    pub serviced: u64,
+    /// Resolved by installing a translation for a resident page.
+    pub mapped: u64,
+    /// Resolved by swapping the page back in first.
+    pub swapped_in: u64,
+    /// Declared unresolvable.
+    pub unresolvable: u64,
+    /// Total simulated time spent servicing.
+    pub busy: SimTime,
+}
+
+/// The kernel's I/O fault handler.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultService {
+    costs: FaultCosts,
+    stats: FaultServiceStats,
+}
+
+impl FaultService {
+    /// Creates a service with the given cost model.
+    pub fn new(costs: FaultCosts) -> Self {
+        FaultService { costs, stats: FaultServiceStats::default() }
+    }
+
+    /// The cost model.
+    pub fn costs(&self) -> FaultCosts {
+        self.costs
+    }
+
+    /// Service counters.
+    pub fn stats(&self) -> FaultServiceStats {
+        self.stats
+    }
+
+    /// Services one fault against the faulting process's CPU page table.
+    /// Returns the resolution and the simulated time the service took;
+    /// the caller resumes (or fails) the paused transfer accordingly.
+    pub fn service(
+        &mut self,
+        fault: &IoFault,
+        pt: &mut PageTable,
+        vm: &mut VmManager,
+        iommu: &mut Iommu,
+    ) -> (FaultResolution, SimTime) {
+        let mut cost = self.costs.service_base;
+        let page = fault.va.page();
+        let resolution = if fault.kind == IoFaultKind::NoContext || !iommu.has_context(fault.asid) {
+            FaultResolution::Unresolvable
+        } else if vm.swapped_out(fault.asid, page) {
+            let pte = vm.swap_in(fault.asid, pt, page).expect("ledger said swapped out");
+            cost += self.costs.swap_in;
+            if pte.perms.allows(fault.access.required_perms()) {
+                cost += self.costs.map_page;
+                install(iommu, fault, pt);
+                FaultResolution::SwappedIn
+            } else {
+                FaultResolution::Unresolvable
+            }
+        } else {
+            match pt.entry(page) {
+                Some(pte) if pte.perms.allows(fault.access.required_perms()) => {
+                    cost += self.costs.map_page;
+                    install(iommu, fault, pt);
+                    FaultResolution::Mapped
+                }
+                _ => FaultResolution::Unresolvable,
+            }
+        };
+        self.stats.serviced += 1;
+        self.stats.busy += cost;
+        match resolution {
+            FaultResolution::Mapped => self.stats.mapped += 1,
+            FaultResolution::SwappedIn => self.stats.swapped_in += 1,
+            FaultResolution::Unresolvable => self.stats.unresolvable += 1,
+        }
+        (resolution, cost)
+    }
+}
+
+/// Copies the CPU PTE of the faulting page into the I/O page table,
+/// pinned. Handles the protection-fault case where an I/O entry already
+/// exists but with stale (narrower) permissions.
+fn install(iommu: &mut Iommu, fault: &IoFault, pt: &PageTable) {
+    let page = fault.va.page();
+    let pte = *pt.entry(page).expect("caller checked residency");
+    let present = iommu.table(fault.asid).is_some_and(|t| t.entry(page).is_some());
+    if present {
+        iommu.protect(fault.asid, page, pte.perms).expect("entry present");
+    } else {
+        iommu.map(fault.asid, page, pte.frame, pte.perms, true).expect("context present");
+    }
+    iommu.set_pinned(fault.asid, page, true).expect("just installed");
+}
+
+/// Pin-on-post registration: installs pinned I/O translations for every
+/// page of `[va, va + len)` from the process's CPU page table, so
+/// transfers over the range never fault (the RDMA memory-registration
+/// discipline). Returns the number of pages registered; pages already
+/// registered are left pinned.
+///
+/// # Errors
+///
+/// [`MemFault::Unmapped`] at the first page the CPU table does not map;
+/// nothing past it is registered.
+pub fn pin_range(
+    asid: u32,
+    va: VirtAddr,
+    len: u64,
+    pt: &PageTable,
+    iommu: &mut Iommu,
+) -> Result<u64, MemFault> {
+    let first = va.page().number();
+    let last = (va.as_u64() + len.max(1) - 1) / PAGE_SIZE;
+    let mut registered = 0;
+    for n in first..=last {
+        let page = udma_mem::VirtPage::new(n);
+        let pte = *pt.entry(page).ok_or(MemFault::Unmapped { va: page.base() })?;
+        match iommu.map(asid, page, pte.frame, pte.perms, true) {
+            Ok(()) => registered += 1,
+            Err(MemFault::AlreadyMapped { .. }) => {
+                iommu.set_pinned(asid, page, true).expect("entry present");
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(registered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShadowMode;
+    use udma_mem::{Access, Perms, PhysLayout};
+
+    fn setup() -> (FaultService, VmManager, PageTable, Iommu) {
+        let mut vm = VmManager::new(PhysLayout::default());
+        let mut pt = PageTable::new();
+        vm.map_buffer(&mut pt, VirtAddr::new(0x4000), 2, Perms::READ_WRITE, ShadowMode::None)
+            .unwrap();
+        let mut iommu = Iommu::new(udma_iommu::IotlbConfig::default());
+        iommu.create_context(1);
+        (FaultService::default(), vm, pt, iommu)
+    }
+
+    fn fault(asid: u32, va: u64, kind: IoFaultKind) -> IoFault {
+        IoFault { asid, va: VirtAddr::new(va), access: Access::Read, kind }
+    }
+
+    #[test]
+    fn resident_page_gets_mapped_and_pinned() {
+        let (mut svc, mut vm, mut pt, mut iommu) = setup();
+        let f = fault(1, 0x4000, IoFaultKind::Unmapped);
+        let (res, cost) = svc.service(&f, &mut pt, &mut vm, &mut iommu);
+        assert_eq!(res, FaultResolution::Mapped);
+        assert_eq!(cost, SimTime::from_us(6)); // base + map
+        assert!(iommu.translate(1, VirtAddr::new(0x4000), Access::Read).is_ok());
+        let page = VirtAddr::new(0x4000).page();
+        assert!(iommu.table(1).unwrap().entry(page).unwrap().pinned);
+        assert_eq!(svc.stats().mapped, 1);
+    }
+
+    #[test]
+    fn swapped_out_page_costs_a_page_in() {
+        let (mut svc, mut vm, mut pt, mut iommu) = setup();
+        vm.swap_out(1, &mut pt, VirtAddr::new(0x4000).page()).unwrap();
+        let f = fault(1, 0x4000, IoFaultKind::Unmapped);
+        let (res, cost) = svc.service(&f, &mut pt, &mut vm, &mut iommu);
+        assert_eq!(res, FaultResolution::SwappedIn);
+        assert_eq!(cost, SimTime::from_us(56)); // base + swap_in + map
+        assert!(pt.translate(VirtAddr::new(0x4000), Access::Read).is_ok());
+        assert_eq!(svc.stats().swapped_in, 1);
+        assert_eq!(svc.stats().busy, cost);
+    }
+
+    #[test]
+    fn foreign_or_absent_pages_are_unresolvable() {
+        let (mut svc, mut vm, mut pt, mut iommu) = setup();
+        // A VA the process simply does not map.
+        let f = fault(1, 0x9000_0000, IoFaultKind::Unmapped);
+        assert_eq!(svc.service(&f, &mut pt, &mut vm, &mut iommu).0, FaultResolution::Unresolvable);
+        // A context the IOMMU does not know.
+        let f = fault(9, 0x4000, IoFaultKind::NoContext);
+        assert_eq!(svc.service(&f, &mut pt, &mut vm, &mut iommu).0, FaultResolution::Unresolvable);
+        assert_eq!(svc.stats().unresolvable, 2);
+    }
+
+    #[test]
+    fn protection_fault_refreshes_stale_io_perms() {
+        let (mut svc, mut vm, mut pt, mut iommu) = setup();
+        // I/O table has a stale read-only entry; the CPU table says RW.
+        let page = VirtAddr::new(0x4000).page();
+        let pte = *pt.entry(page).unwrap();
+        iommu.map(1, page, pte.frame, Perms::READ, false).unwrap();
+        let f = IoFault {
+            asid: 1,
+            va: VirtAddr::new(0x4000),
+            access: Access::Write,
+            kind: IoFaultKind::Protection { needed: Perms::WRITE, granted: Perms::READ },
+        };
+        let (res, _) = svc.service(&f, &mut pt, &mut vm, &mut iommu);
+        assert_eq!(res, FaultResolution::Mapped);
+        assert!(iommu.translate(1, VirtAddr::new(0x4000), Access::Write).is_ok());
+    }
+
+    #[test]
+    fn pin_range_registers_every_page_or_nothing_past_a_hole() {
+        let (_, _, pt, mut iommu) = setup();
+        // Two mapped pages: both register.
+        assert_eq!(pin_range(1, VirtAddr::new(0x4000), 2 * PAGE_SIZE, &pt, &mut iommu), Ok(2));
+        // Idempotent: re-registration pins, doesn't duplicate.
+        assert_eq!(pin_range(1, VirtAddr::new(0x4100), 64, &pt, &mut iommu), Ok(0));
+        // A range running past the buffer stops at the hole.
+        assert!(pin_range(1, VirtAddr::new(0x4000), 3 * PAGE_SIZE, &pt, &mut iommu).is_err());
+        assert!(iommu.translate(1, VirtAddr::new(0x4000 + PAGE_SIZE + 8), Access::Write).is_ok());
+    }
+}

@@ -1,6 +1,6 @@
 //! The kernel proper: trap handling, the DMA driver, the switch handler.
 
-use crate::{CtxGrant, KeyRegistry, Sys, SwitchPolicy, VmManager};
+use crate::{CtxGrant, KeyRegistry, SwitchPolicy, Sys, VmManager};
 use udma_bus::{Bus, BusTxn, SimTime};
 use udma_cpu::{CostModel, Pid, Process, Reg, SwitchReason, TrapHandler, TrapOutcome};
 use udma_mem::{Access, PhysLayout, VirtAddr};
@@ -286,13 +286,17 @@ mod tests {
         let mut pt = PageTable::new();
         let buf = kernel
             .vm_mut()
-            .map_buffer(&mut pt, VirtAddr::new(0x4000), 2, Perms::READ_WRITE, crate::ShadowMode::None)
+            .map_buffer(
+                &mut pt,
+                VirtAddr::new(0x4000),
+                2,
+                Perms::READ_WRITE,
+                crate::ShadowMode::None,
+            )
             .unwrap();
         // Seed source data directly in RAM.
         let mem = bus.memory();
-        mem.borrow_mut()
-            .write_u64(buf.first_frame.base(), 0x5EED)
-            .unwrap();
+        mem.borrow_mut().write_u64(buf.first_frame.base(), 0x5EED).unwrap();
 
         let mut ex = Executor::new(CostModel::alpha_3000_300(), WriteBufferPolicy::default());
         let src = buf.va.as_u64();
@@ -311,10 +315,7 @@ mod tests {
         assert_eq!(kernel.stats().dma_syscalls, 1);
         assert_eq!(engine.core().stats().started, 1);
         // Data arrived at the destination frame.
-        let got = mem
-            .borrow()
-            .read_u64(buf.first_frame.offset(1).base())
-            .unwrap();
+        let got = mem.borrow().read_u64(buf.first_frame.offset(1).base()).unwrap();
         assert_eq!(got, 0x5EED);
         // ~19 µs: syscall entry/exit + translations + four bus accesses.
         let us = ex.now().as_us();
@@ -351,7 +352,13 @@ mod tests {
         let mut pt = PageTable::new();
         let buf = kernel
             .vm_mut()
-            .map_buffer(&mut pt, VirtAddr::new(0x4000), 1, Perms::READ_WRITE, crate::ShadowMode::None)
+            .map_buffer(
+                &mut pt,
+                VirtAddr::new(0x4000),
+                1,
+                Perms::READ_WRITE,
+                crate::ShadowMode::None,
+            )
             .unwrap();
         let mem = bus.memory();
         mem.borrow_mut().write_u64(buf.first_frame.base(), 100).unwrap();
@@ -374,10 +381,7 @@ mod tests {
     fn unknown_syscall_fails() {
         let (mut kernel, mut bus, _engine) = machine(SwitchPolicy::Vanilla);
         let mut ex = Executor::new(CostModel::alpha_3000_300(), WriteBufferPolicy::default());
-        let pid = ex.spawn(
-            ProgramBuilder::new().syscall(999).halt().build(),
-            PageTable::new(),
-        );
+        let pid = ex.spawn(ProgramBuilder::new().syscall(999).halt().build(), PageTable::new());
         ex.run(&mut RunToCompletion, &mut kernel, &mut bus, 100);
         assert_eq!(ex.process(pid).reg(Reg::R0), DMA_FAILURE);
         assert_eq!(kernel.stats().failed_syscalls, 1);

@@ -22,11 +22,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault_service;
 mod kernel;
 mod keys;
 mod syscalls;
 mod vm;
 
+pub use fault_service::{pin_range, FaultCosts, FaultResolution, FaultService, FaultServiceStats};
 pub use kernel::{Kernel, KernelStats};
 pub use keys::{CtxGrant, KeyRegistry};
 pub use syscalls::{Sys, SYS_ATOMIC, SYS_DMA, SYS_NOOP};

@@ -1,8 +1,9 @@
 //! Virtual-memory management: user buffers and their shadow mappings.
 
+use std::collections::BTreeMap;
 use udma_mem::{
-    FrameAllocator, MemFault, PageTable, Perms, PhysFrame, PhysLayout, VirtAddr, VirtPage,
-    PAGE_SIZE,
+    FrameAllocator, MemFault, PageTable, Perms, PhysFrame, PhysLayout, PteEntry, VirtAddr,
+    VirtPage, PAGE_SIZE,
 };
 use udma_nic::regs;
 
@@ -58,6 +59,12 @@ impl MappedBuffer {
 pub struct VmManager {
     layout: PhysLayout,
     frames: FrameAllocator,
+    /// Swap ledger: PTEs the swapper has taken out of address spaces,
+    /// keyed by (address-space id, page). The model keeps the frame
+    /// contents in place — only the *mapping* disappears, which is what
+    /// a device-side translation observes — so swap-in restores the
+    /// original entry.
+    swapped: BTreeMap<(u32, VirtPage), PteEntry>,
 }
 
 impl VmManager {
@@ -65,7 +72,53 @@ impl VmManager {
     pub fn new(layout: PhysLayout) -> Self {
         // Frame 0 is reserved (null-page hygiene).
         let total = layout.ram_size >> udma_mem::PAGE_SHIFT;
-        VmManager { layout, frames: FrameAllocator::with_range(1, total - 1) }
+        VmManager {
+            layout,
+            frames: FrameAllocator::with_range(1, total - 1),
+            swapped: BTreeMap::new(),
+        }
+    }
+
+    /// Swaps a page out of address space `asid`: removes the CPU PTE and
+    /// remembers it in the swap ledger. The caller is responsible for the
+    /// matching IOMMU unmap/shootdown (and for honouring I/O pin bits —
+    /// the swapper must not steal a page a device transfer relies on).
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::Unmapped`] if the page is not mapped.
+    pub fn swap_out(
+        &mut self,
+        asid: u32,
+        pt: &mut PageTable,
+        page: VirtPage,
+    ) -> Result<(), MemFault> {
+        let pte = pt.unmap(page).ok_or(MemFault::Unmapped { va: page.base() })?;
+        self.swapped.insert((asid, page), pte);
+        Ok(())
+    }
+
+    /// Swaps a page back in: reinstalls the remembered PTE (same frame,
+    /// same permissions). Returns the restored entry.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::Unmapped`] if the page is not in the swap ledger.
+    pub fn swap_in(
+        &mut self,
+        asid: u32,
+        pt: &mut PageTable,
+        page: VirtPage,
+    ) -> Result<PteEntry, MemFault> {
+        let pte =
+            self.swapped.remove(&(asid, page)).ok_or(MemFault::Unmapped { va: page.base() })?;
+        pt.map(page, pte.frame, pte.perms)?;
+        Ok(pte)
+    }
+
+    /// Whether `page` of address space `asid` is swapped out.
+    pub fn swapped_out(&self, asid: u32, page: VirtPage) -> bool {
+        self.swapped.contains_key(&(asid, page))
     }
 
     /// The machine layout.
@@ -257,7 +310,13 @@ mod tests {
     fn ext_shadow_mapping_carries_ctx() {
         let (mut vm, mut pt) = vm();
         let buf = vm
-            .map_buffer(&mut pt, VirtAddr::new(0x4000), 1, Perms::READ_WRITE, ShadowMode::WithCtx(2))
+            .map_buffer(
+                &mut pt,
+                VirtAddr::new(0x4000),
+                1,
+                Perms::READ_WRITE,
+                ShadowMode::WithCtx(2),
+            )
             .unwrap();
         let spa = pt.translate(buf.shadow_va, Access::Write).unwrap();
         let (_, ctx) = PhysLayout::default().shadow.decode(spa).unwrap();
@@ -317,10 +376,7 @@ mod tests {
         let va2 = vm.map_ctx_page(&mut pt2, 2).unwrap();
         let pa2 = pt2.translate(va2, Access::Write).unwrap();
         assert_ne!(pa, pa2);
-        assert_eq!(
-            PhysAddr::new(pa2.as_u64() - pa.as_u64()),
-            PhysAddr::new(PAGE_SIZE)
-        );
+        assert_eq!(PhysAddr::new(pa2.as_u64() - pa.as_u64()), PhysAddr::new(PAGE_SIZE));
     }
 
     #[test]
@@ -336,6 +392,27 @@ mod tests {
         assert!(vm
             .map_buffer(&mut pt, VirtAddr::new(0x40000), 1, Perms::READ_WRITE, ShadowMode::None)
             .is_err());
+    }
+
+    #[test]
+    fn swap_ledger_round_trip() {
+        let (mut vm, mut pt) = vm();
+        let buf = vm
+            .map_buffer(&mut pt, VirtAddr::new(0x4000), 1, Perms::READ_WRITE, ShadowMode::None)
+            .unwrap();
+        let page = buf.va.page();
+        assert!(!vm.swapped_out(1, page));
+        vm.swap_out(1, &mut pt, page).unwrap();
+        assert!(vm.swapped_out(1, page));
+        assert!(pt.translate(buf.va, Access::Read).is_err());
+        // Swapping an unmapped page fails; swapping in for the wrong
+        // address space fails.
+        assert!(vm.swap_out(1, &mut pt, page).is_err());
+        assert!(vm.swap_in(2, &mut pt, page).is_err());
+        let pte = vm.swap_in(1, &mut pt, page).unwrap();
+        assert_eq!(pte.frame, buf.first_frame);
+        assert_eq!(pt.translate(buf.va, Access::Write).unwrap(), buf.first_frame.base());
+        assert!(!vm.swapped_out(1, page));
     }
 
     #[test]

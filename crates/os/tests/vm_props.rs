@@ -7,11 +7,7 @@ use udma_mem::{Access, PageTable, Perms, PhysLayout, VirtAddr, PAGE_SIZE};
 use udma_os::{ShadowMode, VmManager};
 
 fn perms_strategy() -> OneOf<Perms> {
-    one_of![
-        Just(Perms::READ),
-        Just(Perms::WRITE),
-        Just(Perms::READ_WRITE),
-    ]
+    one_of![Just(Perms::READ), Just(Perms::WRITE), Just(Perms::READ_WRITE),]
 }
 
 props! {

@@ -65,8 +65,14 @@ impl BenchReport {
         format!(
             "{{\"name\":{:?},\"iters\":{},\"min_ns\":{:.1},\"p10_ns\":{:.1},\
              \"median_ns\":{:.1},\"p90_ns\":{:.1},\"max_ns\":{:.1},\"mean_ns\":{:.1}}}",
-            self.name, self.iters, self.min_ns, self.p10_ns, self.median_ns, self.p90_ns,
-            self.max_ns, self.mean_ns
+            self.name,
+            self.iters,
+            self.min_ns,
+            self.p10_ns,
+            self.median_ns,
+            self.p90_ns,
+            self.max_ns,
+            self.mean_ns
         )
     }
 }
@@ -115,10 +121,7 @@ pub fn emit(report: &BenchReport) {
 /// `cargo bench` runs bench binaries from the *package* directory.
 fn workspace_root() -> PathBuf {
     let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
-    cwd.ancestors()
-        .find(|d| d.join("Cargo.lock").is_file())
-        .map(PathBuf::from)
-        .unwrap_or(cwd)
+    cwd.ancestors().find(|d| d.join("Cargo.lock").is_file()).map(PathBuf::from).unwrap_or(cwd)
 }
 
 /// Writes all reports of a bench target to

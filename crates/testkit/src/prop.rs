@@ -194,7 +194,11 @@ impl Strategy for AnyBool {
         self::bool_from_bit(rng)
     }
     fn shrink(&self, value: &bool) -> Vec<bool> {
-        if *value { vec![false] } else { Vec::new() }
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 

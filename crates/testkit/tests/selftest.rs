@@ -74,9 +74,18 @@ fn two_thread_three_step_toy_space_is_fully_explored() {
 
     // explore() visits the whole space within budget and reports every
     // schedule in which thread 1 finishes before thread 0 starts.
-    let report = explore(&lens, Budget::new(100, 0), |sched| {
-        if sched[..3] == [1, 1, 1] { Some(()) } else { None }
-    });
+    let report =
+        explore(
+            &lens,
+            Budget::new(100, 0),
+            |sched| {
+                if sched[..3] == [1, 1, 1] {
+                    Some(())
+                } else {
+                    None
+                }
+            },
+        );
     assert!(report.exhaustive);
     assert_eq!(report.schedules, 20);
     // Thread 1 running first fixes its 3 slots; the rest is thread 0's
@@ -100,4 +109,21 @@ fn explorer_sampling_beyond_budget_is_seed_deterministic() {
     };
     assert_eq!(run(7), run(7));
     assert_ne!(run(7), run(8));
+}
+
+/// The exhaustive→sampled decision flips exactly at the budget
+/// boundary: a space of 20 schedules is enumerated when
+/// `exhaustive == 20` and sampled when `exhaustive == 19`.
+#[test]
+fn explorer_switches_to_sampling_exactly_at_the_budget_boundary() {
+    let lens = [3usize, 3];
+    assert_eq!(interleaving_count(&lens), 20);
+
+    let at = explore(&lens, Budget { exhaustive: 20, sampled: 5, seed: 0 }, |_| None::<()>);
+    assert!(at.exhaustive, "space == budget must still be exhaustive");
+    assert_eq!(at.schedules, 20);
+
+    let below = explore(&lens, Budget { exhaustive: 19, sampled: 5, seed: 0 }, |_| None::<()>);
+    assert!(!below.exhaustive, "space one over budget must sample");
+    assert_eq!(below.schedules, 5);
 }

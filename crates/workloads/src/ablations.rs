@@ -110,11 +110,8 @@ pub fn context_count_ablation(processes: u32, inits: u32, counts: &[u32]) -> Vec
                     let mut uniq = 0;
                     for i in 0..inits as u64 {
                         let off = (i * 128) % (udma_mem::PAGE_SIZE - 128);
-                        let req = udma::DmaRequest::new(
-                            env.addr_in(0, off),
-                            env.addr_in(1, off),
-                            8,
-                        );
+                        let req =
+                            udma::DmaRequest::new(env.addr_in(0, off), env.addr_in(1, off), 8);
                         b = udma::emit_dma(env, b, &req, &mut uniq);
                     }
                     b.halt().build()
@@ -146,10 +143,7 @@ mod tests {
     #[test]
     fn tiny_quantum_livelocks_repeated_passing_but_not_key_based() {
         let rep = quantum_ablation(DmaMethod::Repeated5, &[2, 300], 2, 5);
-        assert!(
-            !rep[0].finished,
-            "quantum 2 should livelock the shared-FSM protocol"
-        );
+        assert!(!rep[0].finished, "quantum 2 should livelock the shared-FSM protocol");
         assert!(rep[1].finished, "a quantum ≫ sequence length recovers");
 
         let key = quantum_ablation(DmaMethod::KeyBased, &[2, 300], 2, 5);

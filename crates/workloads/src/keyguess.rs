@@ -45,9 +45,7 @@ pub fn guess_acceptance(key_bits: u32, attempts: u64, key_seed: u64) -> GuessSta
         ..MachineConfig::new(DmaMethod::KeyBased)
     });
     // The victim holds context 0; its key is what the guesser hunts.
-    let victim = m.spawn(&ProcessSpec::two_buffers(), |_| {
-        ProgramBuilder::new().halt().build()
-    });
+    let victim = m.spawn(&ProcessSpec::two_buffers(), |_| ProgramBuilder::new().halt().build());
     let victim_ctx = m.env(victim).ctx.expect("victim granted").ctx;
 
     let spec = ProcessSpec {
@@ -71,11 +69,7 @@ pub fn guess_acceptance(key_bits: u32, attempts: u64, key_seed: u64) -> GuessSta
     });
     m.run(attempts * 8 + 10_000);
     let stats = m.engine().core().stats().clone();
-    GuessStats {
-        key_bits,
-        attempts,
-        accepted: attempts - stats.key_mismatches,
-    }
+    GuessStats { key_bits, attempts, accepted: attempts - stats.key_mismatches }
 }
 
 /// Demonstrates what one correct guess enables: the adversary, knowing

@@ -14,7 +14,9 @@
 //! * [`microbench`] — lmbench-style syscall, context-switch and TLB-miss
 //!   latencies of the simulated host;
 //! * [`sweeps`] — parameter sweeps: bus frequency (E7), message-size
-//!   crossover inputs (E8), atomic-operation comparison (E9).
+//!   crossover inputs (E8), atomic-operation comparison (E9);
+//! * [`va`] — virtual-address DMA: IOTLB capacity sweep (E11) and
+//!   fault-rate sweep (E12).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,17 +28,19 @@ pub mod microbench;
 pub mod now;
 pub mod scenarios;
 pub mod sweeps;
+pub mod va;
 
 pub use ablations::{
     context_count_ablation, quantum_ablation, write_buffer_ablation, CtxCountRow, QuantumRow,
     WbPolicyRow,
 };
 pub use contention::{run_contention, ContentionResult};
+pub use keyguess::{guess_acceptance, pollution_with_known_key, GuessStats};
 pub use microbench::{context_switch, dcache_effect, empty_syscall, tlb_miss};
 pub use now::{broadcast, BroadcastResult};
-pub use keyguess::{guess_acceptance, pollution_with_known_key, GuessStats};
 pub use scenarios::{
     any_violation, data_theft, illegal_transfer, misinformation, AdversaryKind, AttackScenario,
     ADVERSARY, VICTIM,
 };
 pub use sweeps::{atomic_comparison, bus_sweep, BusSweepRow};
+pub use va::{fault_rate_sweep, iotlb_sweep, FaultRateRow, IotlbSweepRow};

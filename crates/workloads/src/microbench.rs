@@ -62,10 +62,7 @@ pub fn tlb_miss(pages: u64, touches_per_page: u32) -> SimTime {
     let run = |distinct: u64| {
         let mut m = Machine::with_method(DmaMethod::Kernel);
         m.spawn(
-            &ProcessSpec {
-                buffers: vec![udma::BufferSpec::rw(pages)],
-                ..Default::default()
-            },
+            &ProcessSpec { buffers: vec![udma::BufferSpec::rw(pages)], ..Default::default() },
             |env| {
                 let mut b = ProgramBuilder::new();
                 for round in 0..touches_per_page as u64 {
@@ -100,10 +97,7 @@ pub fn dcache_effect(touches: u32) -> (SimTime, SimTime) {
     let run = |stride_pages: u64, pages: u64| {
         let mut m = Machine::with_method(DmaMethod::Kernel);
         m.spawn(
-            &ProcessSpec {
-                buffers: vec![udma::BufferSpec::rw(pages)],
-                ..Default::default()
-            },
+            &ProcessSpec { buffers: vec![udma::BufferSpec::rw(pages)], ..Default::default() },
             |env| {
                 let mut b = ProgramBuilder::new();
                 for i in 0..touches as u64 {

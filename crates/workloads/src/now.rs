@@ -40,10 +40,7 @@ pub fn broadcast(nodes: u32, bytes: u64) -> BroadcastResult {
         ..MachineConfig::new(DmaMethod::Shrimp1)
     });
     // One source page per node (mapped-out destinations are per-frame).
-    let spec = ProcessSpec {
-        buffers: vec![BufferSpec::rw(nodes as u64)],
-        ..Default::default()
-    };
+    let spec = ProcessSpec { buffers: vec![BufferSpec::rw(nodes as u64)], ..Default::default() };
     let pid = m.spawn(&spec, |env| {
         let mut b = ProgramBuilder::new();
         for n in 0..nodes as u64 {
@@ -74,21 +71,13 @@ pub fn broadcast(nodes: u32, bytes: u64) -> BroadcastResult {
     let out = m.run(1_000_000);
     assert!(out.finished, "broadcast did not complete");
     let initiation_time = m.time();
-    let completion_time = m
-        .transfers()
-        .iter()
-        .map(|r| r.finished)
-        .max()
-        .unwrap_or(initiation_time);
+    let completion_time = m.transfers().iter().map(|r| r.finished).max().unwrap_or(initiation_time);
 
     let cluster = m.cluster().expect("remote nodes configured");
     let verified = (0..nodes as u64).all(|n| {
         let mut buf = vec![0u8; bytes as usize];
         cluster.borrow().read(n as u32, PhysAddr::new(0), &mut buf).is_ok()
-            && buf
-                .iter()
-                .enumerate()
-                .all(|(i, &b)| b == (i as u8).wrapping_add(n as u8))
+            && buf.iter().enumerate().all(|(i, &b)| b == (i as u8).wrapping_add(n as u8))
     });
 
     BroadcastResult {

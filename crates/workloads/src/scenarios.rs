@@ -1,7 +1,8 @@
 //! Victim/adversary attack scenarios (paper Figures 5, 6, 8; §2.5 race).
 
-use udma::{emit_dma_once, BufferSpec, DmaMethod, DmaRequest, Machine, MachineConfig, ProcessSpec,
-    ShareRef};
+use udma::{
+    emit_dma_once, BufferSpec, DmaMethod, DmaRequest, Machine, MachineConfig, ProcessSpec, ShareRef,
+};
 use udma_cpu::{Pid, ProgramBuilder, Reg};
 use udma_mem::Perms;
 use udma_nic::{TransferRecord, DMA_FAILURE};
@@ -91,19 +92,11 @@ impl AttackScenario {
                 }
                 AdversaryKind::SandwichSteal => {
                     let d = env.shadow_of(env.buffer(0).va).as_u64();
-                    b.store(d, size)
-                        .mb()
-                        .store(d, size)
-                        .mb()
-                        .load(Reg::R1, d)
-                        .halt()
-                        .build()
+                    b.store(d, size).mb().store(d, size).mb().load(Reg::R1, d).halt().build()
                 }
                 AdversaryKind::Figure5 => {
                     let probe = env.shadow_of(env.buffer(0).va).as_u64();
-                    let c = env
-                        .shadow_of(env.addr_in(0, udma_mem::PAGE_SIZE))
-                        .as_u64();
+                    let c = env.shadow_of(env.addr_in(0, udma_mem::PAGE_SIZE)).as_u64();
                     b.store(probe, 1u64)
                         .load(Reg::R1, probe)
                         .load(Reg::R1, c)
@@ -125,9 +118,7 @@ pub fn illegal_transfer(m: &Machine) -> Option<TransferRecord> {
     let env = m.env(VICTIM);
     let vsrc = env.buffer(0).first_frame;
     let vdst = env.buffer(1).first_frame;
-    m.transfers()
-        .into_iter()
-        .find(|r| r.dst.page() == vdst && r.src.page() != vsrc)
+    m.transfers().into_iter().find(|r| r.dst.page() == vdst && r.src.page() != vsrc)
 }
 
 /// Safety predicate: the victim was told its DMA did **not** start, yet a
@@ -155,17 +146,13 @@ pub fn data_theft(m: &Machine) -> Option<TransferRecord> {
         .iter()
         .flat_map(|b| (0..b.pages).map(move |p| b.first_frame.offset(p)))
         .collect();
-    m.transfers()
-        .into_iter()
-        .find(|r| r.src.page() == vdst && adv_frames.contains(&r.dst.page()))
+    m.transfers().into_iter().find(|r| r.src.page() == vdst && adv_frames.contains(&r.dst.page()))
 }
 
 /// Every predicate (the union checked in the E6 verification of the
 /// 5-instruction scheme).
 pub fn any_violation(m: &Machine) -> Option<TransferRecord> {
-    illegal_transfer(m)
-        .or_else(|| misinformation(m))
-        .or_else(|| data_theft(m))
+    illegal_transfer(m).or_else(|| misinformation(m)).or_else(|| data_theft(m))
 }
 
 #[cfg(test)]
@@ -178,10 +165,7 @@ mod tests {
         let a = s.build();
         let b = s.build();
         // Same frames on every build → predicates are stable.
-        assert_eq!(
-            a.env(VICTIM).buffer(0).first_frame,
-            b.env(VICTIM).buffer(0).first_frame
-        );
+        assert_eq!(a.env(VICTIM).buffer(0).first_frame, b.env(VICTIM).buffer(0).first_frame);
         assert_eq!(a.env(ADVERSARY).buffers.len(), 3);
         assert_eq!(a.env(ADVERSARY).buffer(2).perms, Perms::READ);
     }

@@ -22,8 +22,14 @@ fn main() {
         report.findings.len()
     );
     if let Some(f) = report.findings.first() {
-        println!("first bad schedule : {:?}", f.schedule.iter().map(|p| p.as_u32()).collect::<Vec<_>>());
-        println!("stolen transfer    : {} -> {} ({} bytes)", f.detail.src, f.detail.dst, f.detail.size);
+        println!(
+            "first bad schedule : {:?}",
+            f.schedule.iter().map(|p| p.as_u32()).collect::<Vec<_>>()
+        );
+        println!(
+            "stolen transfer    : {} -> {} ({} bytes)",
+            f.detail.src, f.detail.dst, f.detail.size
+        );
         println!("(the malicious process wrote ITS data into the victim's private page)");
     }
     println!();

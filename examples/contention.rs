@@ -14,7 +14,9 @@ fn main() {
         "Contention: 1–8 processes × 50 initiations, round-robin quantum 200 (4 register contexts)",
         &["method", "procs", "user-level", "kernel-fallback", "mean/init", "ctx switches"],
     );
-    for method in [DmaMethod::KeyBased, DmaMethod::ExtShadow, DmaMethod::Repeated5, DmaMethod::Kernel] {
+    for method in
+        [DmaMethod::KeyBased, DmaMethod::ExtShadow, DmaMethod::Repeated5, DmaMethod::Kernel]
+    {
         for procs in [1u32, 2, 4, 6, 8] {
             let r = run_contention(method, procs, 50, 200);
             assert!(r.finished, "{method} with {procs} processes did not finish");

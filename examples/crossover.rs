@@ -16,12 +16,9 @@ fn main() {
     let user = measure_initiation(DmaMethod::ExtShadow, 500).mean;
     println!("measured initiation: kernel = {kernel}, ext-shadow = {user}\n");
 
-    for link in [
-        LinkModel::ethernet10(),
-        LinkModel::atm155(),
-        LinkModel::atm622(),
-        LinkModel::gigabit(),
-    ] {
+    for link in
+        [LinkModel::ethernet10(), LinkModel::atm155(), LinkModel::atm622(), LinkModel::gigabit()]
+    {
         let mut t = Table::new(
             &format!("{}: kernel vs user-level initiation", link.name()),
             &["message (B)", "wire", "kernel total", "user total", "OS fraction", "speedup"],

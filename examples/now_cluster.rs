@@ -14,17 +14,12 @@ use udma_mem::{PhysAddr, PAGE_SIZE};
 use udma_nic::DMA_STARTED;
 
 fn main() {
-    let mut m = Machine::new(MachineConfig {
-        remote_nodes: 3,
-        ..MachineConfig::new(DmaMethod::Shrimp1)
-    });
+    let mut m =
+        Machine::new(MachineConfig { remote_nodes: 3, ..MachineConfig::new(DmaMethod::Shrimp1) });
 
     // One send buffer of 3 pages; page i will be mapped out to node i
     // (fan-out needs per-page destinations, configured below).
-    let spec = ProcessSpec {
-        buffers: vec![BufferSpec::rw(3)],
-        ..Default::default()
-    };
+    let spec = ProcessSpec { buffers: vec![BufferSpec::rw(3)], ..Default::default() };
     let pid = m.spawn(&spec, |env| {
         // One store per page: the shadow address names the source page,
         // the data carries the message length. Then read the status.

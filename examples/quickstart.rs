@@ -23,9 +23,7 @@ fn main() {
         let req = DmaRequest::new(env.buffer(0).va, env.buffer(1).va, 256);
         println!("issuing {req}");
         let mut uniq = 0;
-        emit_dma(env, ProgramBuilder::new(), &req, &mut uniq)
-            .halt()
-            .build()
+        emit_dma(env, ProgramBuilder::new(), &req, &mut uniq).halt().build()
     });
 
     // Put something recognisable in the source.

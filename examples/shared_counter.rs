@@ -8,8 +8,10 @@
 //! cargo run --release --example shared_counter
 //! ```
 
-use udma::{emit_atomic, AtomicRequest, BufferSpec, DmaMethod, Machine, MachineConfig,
-    ProcessSpec, ShareRef};
+use udma::{
+    emit_atomic, AtomicRequest, BufferSpec, DmaMethod, Machine, MachineConfig, ProcessSpec,
+    ShareRef,
+};
 use udma_cpu::{Pid, ProgramBuilder, RandomPreempt, Reg};
 use udma_mem::Perms;
 use udma_nic::AtomicOp;
@@ -18,13 +20,12 @@ const INCREMENTS: u32 = 200;
 
 fn spawn_pair(m: &mut Machine, racy: bool) -> Pid {
     // First process owns the counter page; second maps it shared.
-    let owner = m.spawn(&ProcessSpec { buffers: vec![BufferSpec::rw(1)], ..Default::default() },
-        |env| increment_program(env, racy));
+    let owner = m
+        .spawn(&ProcessSpec { buffers: vec![BufferSpec::rw(1)], ..Default::default() }, |env| {
+            increment_program(env, racy)
+        });
     let spec = ProcessSpec {
-        buffers: vec![BufferSpec::shared(
-            ShareRef { pid: owner, buffer: 0 },
-            Perms::READ_WRITE,
-        )],
+        buffers: vec![BufferSpec::shared(ShareRef { pid: owner, buffer: 0 }, Perms::READ_WRITE)],
         ..Default::default()
     };
     m.spawn(&spec, |env| increment_program(env, racy));
@@ -46,12 +47,8 @@ fn increment_program(env: &udma::ProcessEnv, racy: bool) -> udma_cpu::Program {
             .bne(Reg::R2, 0, "loop");
     } else {
         // NIC-resident atomic_add through the process's register context.
-        let req = AtomicRequest {
-            va: env.buffer(0).va,
-            op: AtomicOp::Add,
-            operand1: 1,
-            operand2: 0,
-        };
+        let req =
+            AtomicRequest { va: env.buffer(0).va, op: AtomicOp::Add, operand1: 1, operand2: 0 };
         for _ in 0..INCREMENTS {
             b = emit_atomic(env, b, &req);
         }
@@ -87,10 +84,7 @@ fn main() {
         );
         assert_eq!(atomic, expect, "user-level atomics must never lose an update");
     }
-    assert!(
-        lost_somewhere,
-        "expected at least one seed to demonstrate the lost-update race"
-    );
+    assert!(lost_somewhere, "expected at least one seed to demonstrate the lost-update race");
     println!("\nexpected total: {expect}. The atomic path is exact on every seed —");
     println!("and never enters the kernel, which is the point of §3.5.");
 }

@@ -18,8 +18,7 @@ fn main() {
             cost.paper_us.map_or("—".into(), |p| format!("{p:.1}")),
             format!("{:.2}", cost.mean.as_us()),
             cost.vs_paper().map_or("—".into(), |r| format!("{r:.2}×")),
-            cost.user_instructions
-                .map_or("thousands".into(), |n| n.to_string()),
+            cost.user_instructions.map_or("thousands".into(), |n| n.to_string()),
         ]);
     }
     println!("{t}");

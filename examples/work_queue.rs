@@ -61,10 +61,10 @@ fn main() {
                         .add(Reg::R1, Reg::R1, Reg::R6)
                         .add_imm(Reg::R1, Reg::R1, 1)
                         .store(env.buffer(2).va.as_u64() + 8, Reg::R1); // park it
-                    // …and reply. The payload staging store happens inside
-                    // emit_send_one from an immediate, so instead send via
-                    // the parked register: stage manually then reuse the
-                    // send path with an empty message body.
+                                                                        // …and reply. The payload staging store happens inside
+                                                                        // emit_send_one from an immediate, so instead send via
+                                                                        // the parked register: stage manually then reuse the
+                                                                        // send path with an empty message body.
                     b = b
                         .load(Reg::R2, env.buffer(2).va.as_u64() + 8)
                         .store(env.buffer(2).va.as_u64(), Reg::R2)
@@ -83,13 +83,17 @@ fn main() {
         for &w in &workers {
             // Per worker: staging + request ring/ctrl views.
             spec.buffers.push(BufferSpec::rw(1));
-            spec.buffers.push(BufferSpec::shared(ShareRef { pid: w, buffer: 0 }, Perms::READ_WRITE));
-            spec.buffers.push(BufferSpec::shared(ShareRef { pid: w, buffer: 1 }, Perms::READ_WRITE));
+            spec.buffers
+                .push(BufferSpec::shared(ShareRef { pid: w, buffer: 0 }, Perms::READ_WRITE));
+            spec.buffers
+                .push(BufferSpec::shared(ShareRef { pid: w, buffer: 1 }, Perms::READ_WRITE));
         }
         for &r in &reply_owner {
             // Per worker: reply ring/ctrl views (read + flag writes).
-            spec.buffers.push(BufferSpec::shared(ShareRef { pid: r, buffer: 0 }, Perms::READ_WRITE));
-            spec.buffers.push(BufferSpec::shared(ShareRef { pid: r, buffer: 1 }, Perms::READ_WRITE));
+            spec.buffers
+                .push(BufferSpec::shared(ShareRef { pid: r, buffer: 0 }, Perms::READ_WRITE));
+            spec.buffers
+                .push(BufferSpec::shared(ShareRef { pid: r, buffer: 1 }, Perms::READ_WRITE));
         }
         m.spawn(&spec, |env| {
             let mut b = ProgramBuilder::new().imm(udma_msg::CHECKSUM_REG, 0);

@@ -1,8 +1,10 @@
 //! §3.5 in depth: user-level atomic operations are *atomic* under every
 //! interleaving — model-checked, not just spot-tested.
 
-use udma::{emit_atomic, explore, AtomicRequest, BufferSpec, DmaMethod, Machine, MachineConfig,
-    ProcessSpec, ShareRef};
+use udma::{
+    emit_atomic, explore, AtomicRequest, BufferSpec, DmaMethod, Machine, MachineConfig,
+    ProcessSpec, ShareRef,
+};
 use udma_cpu::{Pid, ProgramBuilder, Reg};
 use udma_mem::Perms;
 use udma_nic::AtomicOp;
@@ -11,29 +13,19 @@ use udma_nic::AtomicOp;
 /// atomic path. Builds a fresh machine for the explorer.
 fn two_adders(method: DmaMethod) -> Machine {
     let mut m = Machine::new(MachineConfig::new(method));
-    let owner = m.spawn(
-        &ProcessSpec { buffers: vec![BufferSpec::rw(1)], ..Default::default() },
-        |env| {
-            let req = AtomicRequest {
-                va: env.buffer(0).va,
-                op: AtomicOp::Add,
-                operand1: 1,
-                operand2: 0,
-            };
+    let owner =
+        m.spawn(&ProcessSpec { buffers: vec![BufferSpec::rw(1)], ..Default::default() }, |env| {
+            let req =
+                AtomicRequest { va: env.buffer(0).va, op: AtomicOp::Add, operand1: 1, operand2: 0 };
             emit_atomic(env, ProgramBuilder::new(), &req).halt().build()
-        },
-    );
+        });
     let spec = ProcessSpec {
         buffers: vec![BufferSpec::shared(ShareRef { pid: owner, buffer: 0 }, Perms::READ_WRITE)],
         ..Default::default()
     };
     m.spawn(&spec, |env| {
-        let req = AtomicRequest {
-            va: env.buffer(0).va,
-            op: AtomicOp::Add,
-            operand1: 1,
-            operand2: 0,
-        };
+        let req =
+            AtomicRequest { va: env.buffer(0).va, op: AtomicOp::Add, operand1: 1, operand2: 0 };
         emit_atomic(env, ProgramBuilder::new(), &req).halt().build()
     });
     m

@@ -16,11 +16,7 @@ fn figure_5_attack_is_found_on_the_3_instruction_variant() {
     let s = AttackScenario::new(DmaMethod::Repeated3, AdversaryKind::Figure5);
     let report = explore(|| s.build(), 5_000, illegal_transfer);
     assert!(report.exhaustive);
-    assert!(
-        !report.safe(),
-        "expected the Figure 5 attack among {} schedules",
-        report.schedules
-    );
+    assert!(!report.safe(), "expected the Figure 5 attack among {} schedules", report.schedules);
 
     // The stolen transfer's source is the adversary's page C (second page
     // of its buffer 0), exactly as in the figure.
@@ -55,10 +51,7 @@ fn figure_6_misinformation_is_found_on_the_4_instruction_variant() {
     let probe = s.build();
     let a = probe.env(VICTIM).buffer(0).first_frame;
     let b = probe.env(VICTIM).buffer(1).first_frame;
-    assert!(report
-        .findings
-        .iter()
-        .any(|f| f.detail.src.page() == a && f.detail.dst.page() == b));
+    assert!(report.findings.iter().any(|f| f.detail.src.page() == a && f.detail.dst.page() == b));
 }
 
 #[test]
@@ -98,14 +91,9 @@ fn key_based_and_ext_shadow_resist_the_same_adversaries() {
     for method in [DmaMethod::KeyBased, DmaMethod::ExtShadow] {
         for adv in [AdversaryKind::Figure5, AdversaryKind::ProbeSharedSource] {
             let s = AttackScenario::new(method, adv);
-            let report = explore(|| s.build(), 5_000, |m| {
-                illegal_transfer(m).or_else(|| misinformation(m))
-            });
-            assert!(
-                report.safe(),
-                "{method} vs {adv:?}: {} violations",
-                report.findings.len()
-            );
+            let report =
+                explore(|| s.build(), 5_000, |m| illegal_transfer(m).or_else(|| misinformation(m)));
+            assert!(report.safe(), "{method} vs {adv:?}: {} violations", report.findings.len());
         }
     }
 }

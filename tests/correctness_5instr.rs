@@ -4,8 +4,9 @@
 //! adversary shape (SandwichSteal) the paper's well-formedness assumption
 //! does not cover.
 
-use udma::{emit_dma, explore, explore_sampled, DmaMethod, DmaRequest, Machine, MachineConfig,
-    ProcessSpec};
+use udma::{
+    emit_dma, explore, explore_sampled, DmaMethod, DmaRequest, Machine, MachineConfig, ProcessSpec,
+};
 use udma_cpu::{ProgramBuilder, RandomPreempt, Reg};
 use udma_nic::DMA_FAILURE;
 use udma_workloads::{any_violation, AdversaryKind, AttackScenario, VICTIM};
@@ -51,10 +52,7 @@ fn sampled_three_process_schedules_stay_safe() {
         let s = AttackScenario::new(DmaMethod::Repeated5, AdversaryKind::Figure5);
         let mut m = s.build();
         // A third process: another sandwich-style attacker.
-        let spec = ProcessSpec {
-            buffers: vec![udma::BufferSpec::rw(1)],
-            ..Default::default()
-        };
+        let spec = ProcessSpec { buffers: vec![udma::BufferSpec::rw(1)], ..Default::default() };
         m.spawn(&spec, |env| {
             let d = env.shadow_of(env.buffer(0).va).as_u64();
             ProgramBuilder::new()
@@ -84,9 +82,7 @@ fn victim_with_retry_loop_eventually_succeeds_despite_interference() {
         let victim = m.spawn(&ProcessSpec::two_buffers(), |env| {
             let req = DmaRequest::new(env.buffer(0).va, env.buffer(1).va, 64);
             let mut uniq = 0;
-            emit_dma(env, ProgramBuilder::new(), &req, &mut uniq)
-                .halt()
-                .build()
+            emit_dma(env, ProgramBuilder::new(), &req, &mut uniq).halt().build()
         });
         let spec = ProcessSpec {
             buffers: vec![udma::BufferSpec::rw(1), udma::BufferSpec::rw(1)],
@@ -95,9 +91,7 @@ fn victim_with_retry_loop_eventually_succeeds_despite_interference() {
         m.spawn(&spec, |env| {
             let req = DmaRequest::new(env.buffer(0).va, env.buffer(1).va, 32);
             let mut uniq = 0;
-            emit_dma(env, ProgramBuilder::new(), &req, &mut uniq)
-                .halt()
-                .build()
+            emit_dma(env, ProgramBuilder::new(), &req, &mut uniq).halt().build()
         });
         let out = m.run_with(&mut RandomPreempt::new(seed, 0.3), 200_000);
         assert!(out.finished, "seed {seed}: livelock under random preemption");

@@ -12,18 +12,19 @@ fn payload(len: usize) -> Vec<u8> {
 
 /// Builds a machine, runs one `size`-byte transfer at `src_off`/`dst_off`
 /// within the two buffers, returns the machine and the victim pid.
-fn one_transfer(method: DmaMethod, src_off: u64, dst_off: u64, size: u64) -> (Machine, udma_cpu::Pid) {
+fn one_transfer(
+    method: DmaMethod,
+    src_off: u64,
+    dst_off: u64,
+    size: u64,
+) -> (Machine, udma_cpu::Pid) {
     let mut m = Machine::with_method(method);
     let mut spec = ProcessSpec::two_buffers();
     if method == DmaMethod::Shrimp1 {
         spec.mapped_out.push((0, 1));
     }
     let pid = m.spawn(&spec, |env| {
-        let req = DmaRequest::new(
-            env.buffer(0).va + src_off,
-            env.buffer(1).va + dst_off,
-            size,
-        );
+        let req = DmaRequest::new(env.buffer(0).va + src_off, env.buffer(1).va + dst_off, size);
         emit_dma_once(env, ProgramBuilder::new(), &req).halt().build()
     });
     // Seed the source.
@@ -47,10 +48,7 @@ fn every_method_moves_the_bytes() {
         let dst_frame = m.env(pid).buffer(1).first_frame;
         let want_off = if method == DmaMethod::Shrimp1 { 0x100 } else { 0x300 };
         let mut got = vec![0u8; 64];
-        m.memory()
-            .borrow()
-            .read_bytes(dst_frame.base() + want_off, &mut got)
-            .unwrap();
+        m.memory().borrow().read_bytes(dst_frame.base() + want_off, &mut got).unwrap();
         assert_eq!(got, payload(64), "{method}: data mismatch");
     }
 }
@@ -60,11 +58,7 @@ fn user_level_initiations_avoid_the_kernel() {
     for method in [DmaMethod::KeyBased, DmaMethod::ExtShadow, DmaMethod::Repeated5, DmaMethod::Pal]
     {
         let (m, _) = one_transfer(method, 0, 0, 32);
-        assert_eq!(
-            m.kernel().stats().dma_syscalls,
-            0,
-            "{method}: user-level path must not trap"
-        );
+        assert_eq!(m.kernel().stats().dma_syscalls, 0, "{method}: user-level path must not trap");
         assert_eq!(m.executor().stats().syscalls, 0, "{method}");
     }
     let (m, _) = one_transfer(DmaMethod::Kernel, 0, 0, 32);
@@ -136,10 +130,7 @@ fn unmapped_shadow_address_faults_the_process() {
         ProgramBuilder::new().store(bogus.as_u64(), 1u64).halt().build()
     });
     m.run(10_000);
-    assert!(matches!(
-        m.state(pid),
-        ProcState::Faulted(MemFault::Unmapped { .. })
-    ));
+    assert!(matches!(m.state(pid), ProcState::Faulted(MemFault::Unmapped { .. })));
 }
 
 #[test]
@@ -225,10 +216,8 @@ fn trace_shows_exactly_the_expected_device_accesses() {
     assert_eq!(stats.device_writes, 1);
     assert_eq!(stats.device_reads, 1);
     let events = m.bus().trace().events();
-    let device: Vec<_> = events
-        .iter()
-        .filter(|e| m.config().layout.shadow.is_shadow(e.paddr))
-        .collect();
+    let device: Vec<_> =
+        events.iter().filter(|e| m.config().layout.shadow.is_shadow(e.paddr)).collect();
     assert_eq!(device.len(), 2);
     assert_eq!(device[0].op, udma_bus::BusOp::Write);
     assert_eq!(device[1].op, udma_bus::BusOp::Read);

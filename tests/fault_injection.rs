@@ -41,17 +41,11 @@ fn missing_nic_is_a_contained_bus_error() {
             .build(),
         pt,
     );
-    let healthy = ex.spawn(
-        ProgramBuilder::new().imm(Reg::R1, 7).halt().build(),
-        PageTable::new(),
-    );
+    let healthy = ex.spawn(ProgramBuilder::new().imm(Reg::R1, 7).halt().build(), PageTable::new());
 
     let out = ex.run(&mut RunToCompletion, &mut NullTrapHandler, &mut bus, 1_000);
     assert!(out.finished);
-    assert!(matches!(
-        ex.process(victim).state(),
-        ProcState::Faulted(MemFault::BusError { .. })
-    ));
+    assert!(matches!(ex.process(victim).state(), ProcState::Faulted(MemFault::BusError { .. })));
     // The other process is untouched.
     assert_eq!(ex.process(healthy).state(), ProcState::Halted);
     assert_eq!(ex.process(healthy).reg(Reg::R1), 7);
@@ -117,9 +111,7 @@ fn register_window_decode_hole_faults_only_the_writer() {
     let mut m = Machine::with_method(DmaMethod::KeyBased);
     // Map the privileged NIC page into a process "by mistake" (simulate
     // a kernel bug): the engine still rejects undecodable offsets.
-    let hole = m.spawn(&ProcessSpec::default(), |_| {
-        ProgramBuilder::new().halt().build()
-    });
+    let hole = m.spawn(&ProcessSpec::default(), |_| ProgramBuilder::new().halt().build());
     let _ = hole;
     // A well-behaved process still initiates fine afterwards.
     let clean = m.spawn(&ProcessSpec::two_buffers(), |env| {
@@ -136,10 +128,7 @@ fn register_window_decode_hole_faults_only_the_writer() {
 fn step_limit_is_a_clean_timeout() {
     let mut m = Machine::with_method(DmaMethod::Kernel);
     let pid = m.spawn(&ProcessSpec::default(), |_| {
-        ProgramBuilder::new()
-            .label("spin")
-            .jmp("spin")
-            .build()
+        ProgramBuilder::new().label("spin").jmp("spin").build()
     });
     let out = m.run(1_000);
     assert!(!out.finished);

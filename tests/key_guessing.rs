@@ -10,10 +10,7 @@ fn exhaustive_sweep_of_small_keyspaces_accepts_exactly_one_key() {
     for bits in [4, 5, 6, 8] {
         let space = (1u64 << bits) - 1; // keys are nonzero
         let stats = guess_acceptance(bits, space, 0xBEEF + bits as u64);
-        assert_eq!(
-            stats.accepted, 1,
-            "{bits}-bit sweep: exactly the victim's key must match"
-        );
+        assert_eq!(stats.accepted, 1, "{bits}-bit sweep: exactly the victim's key must match");
         let expected = 1.0 / space as f64;
         assert!((stats.acceptance_rate() - expected).abs() < 1e-12);
     }
@@ -33,10 +30,7 @@ fn per_guess_acceptance_halves_per_extra_bit() {
     }
     let freq = hits as f64 / trials as f64;
     let expected = guesses as f64 / ((1u64 << bits) - 1) as f64;
-    assert!(
-        (freq - expected).abs() < 0.2,
-        "observed {freq}, expected ≈{expected}"
-    );
+    assert!((freq - expected).abs() < 0.2, "observed {freq}, expected ≈{expected}");
 }
 
 #[test]

@@ -7,10 +7,7 @@ use udma_mem::{PhysAddr, PAGE_SIZE};
 use udma_nic::{Destination, DMA_FAILURE, DMA_STARTED};
 
 fn now_machine() -> Machine {
-    Machine::new(MachineConfig {
-        remote_nodes: 2,
-        ..MachineConfig::new(DmaMethod::Shrimp1)
-    })
+    Machine::new(MachineConfig { remote_nodes: 2, ..MachineConfig::new(DmaMethod::Shrimp1) })
 }
 
 #[test]
@@ -23,11 +20,7 @@ fn remote_mapped_out_send_delivers_bytes() {
     };
     let pid = m.spawn(&spec, |env| {
         let s = env.shadow_of(env.addr_in(0, 0x40));
-        ProgramBuilder::new()
-            .store(s.as_u64(), 32u64)
-            .load(Reg::R0, s.as_u64())
-            .halt()
-            .build()
+        ProgramBuilder::new().store(s.as_u64(), 32u64).load(Reg::R0, s.as_u64()).halt().build()
     });
     let frame = m.env(pid).buffer(0).first_frame;
     m.memory()
@@ -47,10 +40,7 @@ fn remote_mapped_out_send_delivers_bytes() {
 
     let rec = &m.transfers()[0];
     assert_eq!(rec.remote_node, Some(1));
-    assert_eq!(
-        rec.destination(),
-        Destination::Remote { node: 1, addr: PhysAddr::new(0x8040) }
-    );
+    assert_eq!(rec.destination(), Destination::Remote { node: 1, addr: PhysAddr::new(0x8040) });
     // Nothing landed on node 0.
     let mut other = [0u8; 32];
     cluster.borrow().read(0, PhysAddr::new(0x8040), &mut other).unwrap();
@@ -67,21 +57,14 @@ fn second_page_maps_to_the_next_remote_page() {
     };
     let pid = m.spawn(&spec, |env| {
         let s = env.shadow_of(env.addr_in(0, PAGE_SIZE));
-        ProgramBuilder::new()
-            .store(s.as_u64(), 8u64)
-            .load(Reg::R0, s.as_u64())
-            .halt()
-            .build()
+        ProgramBuilder::new().store(s.as_u64(), 8u64).load(Reg::R0, s.as_u64()).halt().build()
     });
     let frame = m.env(pid).buffer(0).first_frame.offset(1);
     m.memory().borrow_mut().write_u64(frame.base(), 0xFEED).unwrap();
     m.run(10_000);
     assert_eq!(m.reg(pid, Reg::R0), DMA_STARTED);
     let cluster = m.cluster().unwrap();
-    assert_eq!(
-        cluster.borrow().read_u64(0, PhysAddr::new(PAGE_SIZE)).unwrap(),
-        0xFEED
-    );
+    assert_eq!(cluster.borrow().read_u64(0, PhysAddr::new(PAGE_SIZE)).unwrap(), 0xFEED);
 }
 
 #[test]

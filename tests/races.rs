@@ -15,11 +15,7 @@ fn explore_method(method: DmaMethod) -> udma::ExploreReport<udma_nic::TransferRe
 fn shrimp2_races_under_an_unmodified_kernel() {
     let report = explore_method(DmaMethod::Shrimp2 { patched_kernel: false });
     assert!(report.exhaustive);
-    assert!(
-        !report.safe(),
-        "expected the §2.5 race among {} schedules",
-        report.schedules
-    );
+    assert!(!report.safe(), "expected the §2.5 race among {} schedules", report.schedules);
     // The violation is argument mixing: the adversary's source landed in
     // the victim's private destination.
     let f = &report.findings[0];
@@ -49,8 +45,11 @@ fn shrimp_kernel_patch_closes_the_race() {
 #[test]
 fn flash_races_without_its_kernel_patch() {
     let report = explore_method(DmaMethod::Flash { patched_kernel: false });
-    assert!(!report.safe(), "FLASH degrades to the SHRIMP-2 race when the \
-        kernel never updates the current-pid register");
+    assert!(
+        !report.safe(),
+        "FLASH degrades to the SHRIMP-2 race when the \
+        kernel never updates the current-pid register"
+    );
 }
 
 #[test]
@@ -154,12 +153,7 @@ fn pairwise_ext_shadow_refuses_mixed_pairs_instead_of_mixing() {
         let schedule: Vec<udma_cpu::Pid> =
             inter.iter().map(|&i| udma_cpu::Pid::new(i as u32)).collect();
         m.run_with(&mut udma_cpu::FixedSchedule::new(schedule), 5_000);
-        if m.engine()
-            .core()
-            .stats()
-            .rejected_for(udma_nic::RejectReason::CtxMismatch)
-            > 0
-        {
+        if m.engine().core().stats().rejected_for(udma_nic::RejectReason::CtxMismatch) > 0 {
             mismatches_seen = true;
         }
     }

@@ -29,11 +29,7 @@ fn user_level_methods_are_an_order_of_magnitude_faster() {
     assert_eq!(rows[0].method, DmaMethod::Kernel);
     for row in &rows[1..] {
         let speedup = kernel.as_ns() / row.mean.as_ns();
-        assert!(
-            speedup > 6.0,
-            "{}: only {speedup:.1}× faster than kernel DMA",
-            row.method
-        );
+        assert!(speedup > 6.0, "{}: only {speedup:.1}× faster than kernel DMA", row.method);
     }
 }
 
@@ -80,9 +76,7 @@ fn kernel_cost_tracks_the_empty_syscall() {
     // "Kernel level DMA costs close to 19 µs, which is a little more
     // than the cost of an empty system call on this workstation."
     let kernel = measure_initiation(DmaMethod::Kernel, 300).mean.as_us();
-    let syscall = udma_cpu::CostModel::alpha_3000_300()
-        .syscall_round_trip()
-        .as_us();
+    let syscall = udma_cpu::CostModel::alpha_3000_300().syscall_round_trip().as_us();
     assert!(kernel > syscall);
     assert!(kernel < syscall * 1.5, "kernel {kernel} ≫ syscall {syscall}");
 }

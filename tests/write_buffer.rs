@@ -15,12 +15,7 @@ fn back_to_back_stores_to_one_shadow_address_collapse() {
     m.spawn(&ProcessSpec::two_buffers(), |env| {
         let dst = env.shadow_of(env.buffer(1).va).as_u64();
         // Two stores, no barrier, then a barrier to drain.
-        ProgramBuilder::new()
-            .store(dst, 64u64)
-            .store(dst, 64u64)
-            .mb()
-            .halt()
-            .build()
+        ProgramBuilder::new().store(dst, 64u64).store(dst, 64u64).mb().halt().build()
     });
     m.run(1_000);
     // The engine saw ONE store: the second was merged in the buffer.
@@ -33,13 +28,7 @@ fn barriers_make_both_stores_visible() {
     let mut m = Machine::with_method(DmaMethod::Repeated5);
     m.spawn(&ProcessSpec::two_buffers(), |env| {
         let dst = env.shadow_of(env.buffer(1).va).as_u64();
-        ProgramBuilder::new()
-            .store(dst, 64u64)
-            .mb()
-            .store(dst, 64u64)
-            .mb()
-            .halt()
-            .build()
+        ProgramBuilder::new().store(dst, 64u64).mb().store(dst, 64u64).mb().halt().build()
     });
     m.run(1_000);
     assert_eq!(m.bus().stats().device_writes, 2);
