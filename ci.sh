@@ -13,6 +13,13 @@ cargo build --release --offline
 echo "== tests (workspace, offline) =="
 cargo test -q --offline --workspace
 
+echo "== VA property/explorer replay (pinned seed) =="
+# Deterministic replay of the virtual-address DMA property suites —
+# local (va_dma) and remote (remote_va_dma, fault_injection NACK tests)
+# — under a pinned seed so a CI failure names a reproducible case.
+UDMA_PROP_SEED=3603 cargo test -q --offline \
+  --test va_dma --test remote_va_dma --test fault_injection
+
 echo "== clippy (deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

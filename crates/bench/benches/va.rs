@@ -1,9 +1,10 @@
-//! E11–E12 — virtual-address DMA: IOTLB capacity and the cost of
-//! page faults taken mid-transfer.
+//! E11–E13 — virtual-address DMA: IOTLB capacity, the cost of page
+//! faults taken mid-transfer, and the cross-link remote-fault path.
 
 use std::hint::black_box;
+use udma_nic::LinkModel;
 use udma_testkit::bench::{run_target, BenchConfig};
-use udma_workloads::{fault_rate_sweep, iotlb_sweep};
+use udma_workloads::{fault_rate_sweep, iotlb_sweep, remote_fault_sweep};
 
 fn main() {
     for row in iotlb_sweep(&[4, 8, 16, 32, 64], 16, 4) {
@@ -17,6 +18,20 @@ fn main() {
             "E12 {:>3}% prefaulted: {:>2} faults, stall {:>7.2} µs, completion {:>8.2} µs",
             row.prefaulted_pct,
             row.faults,
+            row.stall.as_us(),
+            row.completion.as_us()
+        );
+    }
+    let links =
+        [LinkModel::ethernet10(), LinkModel::atm155(), LinkModel::atm622(), LinkModel::gigabit()];
+    for row in remote_fault_sweep(&links, &[0, 50, 100], 8) {
+        println!(
+            "E13 {:<15} {:>3}% prefaulted: {:>2} NACKs, nack stall {:>7.2} µs, \
+             stall {:>8.2} µs, completion {:>9.2} µs",
+            row.link,
+            row.prefaulted_pct,
+            row.remote_faults,
+            row.nack_stall.as_us(),
             row.stall.as_us(),
             row.completion.as_us()
         );
@@ -40,6 +55,18 @@ fn main() {
                     let rows = fault_rate_sweep(&[0, 100], 8);
                     // Fault-path cost ≫ IOTLB-hit cost (acceptance: E12).
                     assert!(rows[0].stall.as_ns() > 10.0 * rows[1].stall.as_ns().max(1.0));
+                    black_box(rows);
+                }),
+            ),
+            (
+                "E13_remote_fault_sweep",
+                Box::new(|| {
+                    let links = [LinkModel::gigabit(), LinkModel::ethernet10()];
+                    let rows = remote_fault_sweep(&links, &[0, 100], 4);
+                    // The NACK round trip scales with wire latency: the
+                    // slow link pays 10× the fast one (acceptance: E13).
+                    assert_eq!(rows[2].nack_stall.as_ps(), rows[0].nack_stall.as_ps() * 10);
+                    assert_eq!(rows[1].remote_faults, 0);
                     black_box(rows);
                 }),
             ),

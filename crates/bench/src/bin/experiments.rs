@@ -436,6 +436,33 @@ fn microbench_host(iters: u32) {
     println!("{t}");
 }
 
+fn e13_remote_va(pages: u64) {
+    let mut t = Table::new(
+        "E13 — remote virtual-address DMA: NACK round-trip cost vs link and fault rate",
+        &[
+            "link",
+            "wire latency",
+            "prefaulted",
+            "remote faults",
+            "NACK stall (µs)",
+            "completion (µs)",
+        ],
+    );
+    let links =
+        [LinkModel::ethernet10(), LinkModel::atm155(), LinkModel::atm622(), LinkModel::gigabit()];
+    for row in udma_workloads::remote_fault_sweep(&links, &[0, 50, 100], pages) {
+        t.row_owned(vec![
+            row.link.to_string(),
+            format!("{:.0} µs", row.link_latency.as_us()),
+            format!("{}%", row.prefaulted_pct),
+            row.remote_faults.to_string(),
+            format!("{:.2}", row.nack_stall.as_us()),
+            format!("{:.2}", row.completion.as_us()),
+        ]);
+    }
+    println!("{t}");
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     if smoke {
@@ -448,6 +475,7 @@ fn main() {
         e8_crossover(50);
         e9_atomics(50);
         e10_key_guessing();
+        e13_remote_va(4);
         microbench_host(50);
         return;
     }
@@ -467,6 +495,7 @@ fn main() {
     ablation_quantum();
     ablation_write_buffer();
     ablation_contexts();
+    e13_remote_va(8);
     messaging_layer();
     pingpong_latency();
     microbench_host(500);

@@ -11,11 +11,12 @@ use udma_cpu::{
 };
 use udma_mem::{PageTable, Perms, PhysLayout, PhysMemory, VirtAddr, PAGE_SIZE};
 use udma_nic::{
-    Cluster, Destination, DmaEngine, EngineConfig, LinkModel, RejectReason, SharedCluster,
-    TransferRecord, VirtState, VirtTransfer,
+    Cluster, Destination, DmaEngine, EngineConfig, LinkModel, RejectReason, RemoteVaTarget,
+    SharedCluster, TransferRecord, VirtState, VirtTransfer,
 };
 use udma_os::{
-    pin_range, CtxGrant, FaultResolution, FaultService, Kernel, MappedBuffer, ShadowMode,
+    pin_range, CtxGrant, FaultResolution, FaultService, Kernel, MappedBuffer, RemoteFaultService,
+    RemoteSwapRefused, ShadowMode,
 };
 
 /// PAL function index of the installed user-level DMA call (§2.7).
@@ -208,6 +209,9 @@ pub struct Machine {
     cluster: Option<SharedCluster>,
     envs: Vec<ProcessEnv>,
     fault_service: FaultService,
+    /// One OS per remote node, answering NACKed receive-side faults
+    /// (populated when both `remote_nodes > 0` and `virt_dma` are set).
+    remote_os: Vec<RemoteFaultService>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -267,7 +271,26 @@ impl Machine {
             }
             None => FaultService::default(),
         };
-        Machine { config, bus, executor, kernel, engine, cluster, envs: Vec::new(), fault_service }
+        // Virtual-address RDMA: every remote node gets a receive-side
+        // IOMMU and an OS of its own to answer NACKed faults.
+        let mut remote_os = Vec::new();
+        if let (Some(setup), Some(c)) = (config.virt_dma, &cluster) {
+            c.borrow_mut().enable_virt(setup.iotlb);
+            remote_os = (0..config.remote_nodes)
+                .map(|_| RemoteFaultService::new(config.remote_node_bytes, setup.fault_costs))
+                .collect();
+        }
+        Machine {
+            config,
+            bus,
+            executor,
+            kernel,
+            engine,
+            cluster,
+            envs: Vec::new(),
+            fault_service,
+            remote_os,
+        }
     }
 
     /// A machine with the default (paper-testbed) configuration.
@@ -555,7 +578,7 @@ impl Machine {
             if t.is_terminal() {
                 return t.state;
             }
-            if self.service_va_faults() == 0 {
+            if self.service_va_faults() == 0 && self.service_remote_faults() == 0 {
                 let now = self.executor.now();
                 self.engine.core_mut().resume_virt(id, now);
             }
@@ -586,6 +609,134 @@ impl Machine {
             .vm_mut()
             .swap_out(asid.unwrap_or(pid.as_u32()), pt, page)
             .map_err(|_| SwapRefused::NotMapped)
+    }
+
+    // ---- virtual-address *remote* DMA -------------------------------
+
+    /// The OS of remote node `node` (statistics, swap ledger).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine has no such node or no [`VirtDmaSetup`].
+    pub fn remote_fault_service(&self, node: u32) -> &RemoteFaultService {
+        &self.remote_os[node as usize]
+    }
+
+    /// Exposes `pages` fresh frames of remote `node` at `va` in the
+    /// node's address space `asid` — the far-side process offering
+    /// memory for incoming RDMA. Creates the node's IOMMU context; under
+    /// [`VaMode::PinOnPost`] the whole buffer is registered (pinned)
+    /// into the node's IOMMU immediately, so incoming transfers never
+    /// NACK.
+    ///
+    /// # Panics
+    ///
+    /// Panics without `remote_nodes > 0` + `virt_dma`, or if the node's
+    /// memory is exhausted.
+    pub fn grant_remote_buffer(
+        &mut self,
+        node: u32,
+        asid: u32,
+        va: VirtAddr,
+        pages: u64,
+        perms: Perms,
+    ) -> MappedBuffer {
+        let cluster = self.cluster.clone().expect("grant_remote_buffer needs remote_nodes > 0");
+        let setup = self.config.virt_dma.expect("grant_remote_buffer needs virt_dma");
+        let os = self.remote_os.get_mut(node as usize).expect("no such remote node");
+        let buf = os.expose(asid, va, pages, perms).expect("remote buffer mapping failed");
+        let mut cl = cluster.borrow_mut();
+        let iommu = cl.node_iommu_mut(node).expect("virt_dma equips every node");
+        iommu.create_context(asid);
+        if setup.mode == VaMode::PinOnPost {
+            os.pin_into(asid, buf.va, buf.len(), iommu)
+                .expect("pin-on-post registration of a just-exposed remote buffer");
+        }
+        buf
+    }
+
+    /// Posts a virtual-address DMA on behalf of `pid` whose destination
+    /// is a VA in address space `remote_asid` on cluster node `node`.
+    /// The source translates on the local IOMMU, the destination on the
+    /// node's receive-side IOMMU; remote faults NACK back over the link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine has no [`VirtDmaSetup`] or the process has
+    /// no register context.
+    pub fn post_virt_remote(
+        &mut self,
+        pid: Pid,
+        src: VirtAddr,
+        node: u32,
+        remote_asid: u32,
+        dst: VirtAddr,
+        size: u64,
+    ) -> Result<usize, RejectReason> {
+        let asid =
+            self.envs[pid.as_u32() as usize].ctx.expect("virtual-address DMA needs a context").ctx;
+        let now = self.executor.now();
+        let to = RemoteVaTarget { node, asid: remote_asid };
+        self.engine.core_mut().post_virt_dma_remote(asid, src, to, dst, size, now)
+    }
+
+    /// Drains every node's NACK queue through that node's OS: each fault
+    /// is serviced against the node's own page tables, then the sender's
+    /// paused transfer is resumed (resolved) or failed (unresolvable).
+    /// Returns the number of faults serviced.
+    pub fn service_remote_faults(&mut self) -> u64 {
+        let Some(cluster) = self.cluster.clone() else {
+            return 0;
+        };
+        let mut serviced = 0;
+        for node in 0..self.remote_os.len() as u32 {
+            loop {
+                let Some(pending) = cluster.borrow_mut().pop_fault(node) else {
+                    break;
+                };
+                serviced += 1;
+                let now = self.executor.now();
+                let (resolution, cost) = {
+                    let mut cl = cluster.borrow_mut();
+                    let iommu = cl.node_iommu_mut(node).expect("remote faults imply node IOMMUs");
+                    self.remote_os[node as usize].service(&pending.fault, iommu)
+                };
+                let mut core = self.engine.core_mut();
+                match resolution {
+                    FaultResolution::Unresolvable => {
+                        core.fail_virt(pending.xfer, now + cost);
+                    }
+                    FaultResolution::Mapped | FaultResolution::SwappedIn => {
+                        core.resume_virt(pending.xfer, now + cost);
+                    }
+                }
+            }
+        }
+        serviced
+    }
+
+    /// The model swapper on a remote node: takes one page of the node's
+    /// address space `asid` out (PTE into the node's swap ledger, node
+    /// IOMMU translation shot down). Refuses pages the node's IOMMU
+    /// holds pinned.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteSwapRefused`] naming why the page stayed resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics without `remote_nodes > 0` + `virt_dma`.
+    pub fn swap_out_remote(
+        &mut self,
+        node: u32,
+        asid: u32,
+        va: VirtAddr,
+    ) -> Result<(), RemoteSwapRefused> {
+        let cluster = self.cluster.clone().expect("swap_out_remote needs remote_nodes > 0");
+        let mut cl = cluster.borrow_mut();
+        let iommu = cl.node_iommu_mut(node).expect("virt_dma equips every node");
+        self.remote_os[node as usize].swap_out(asid, va.page(), iommu)
     }
 }
 

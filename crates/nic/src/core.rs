@@ -2,7 +2,9 @@
 //! services protocols build on.
 
 use crate::regs::{self, MAX_CONTEXTS};
-use crate::virt::{PendingFault, VirtDmaConfig, VirtStage, VirtState, VirtStats, VirtTransfer};
+use crate::virt::{
+    PendingFault, RemoteVaTarget, VirtDmaConfig, VirtStage, VirtState, VirtStats, VirtTransfer,
+};
 use crate::{
     AtomicOp, Destination, DmaMover, Initiator, LinkModel, RegisterContext, RejectReason,
     SharedCluster, TransferRecord, DMA_FAILURE,
@@ -446,6 +448,52 @@ impl EngineCore {
         size: u64,
         now: SimTime,
     ) -> Result<usize, RejectReason> {
+        self.post_virt_common(asid, src, dst, None, size, now)
+    }
+
+    /// Posts a virtual-address DMA whose destination is a virtual
+    /// address on a *remote* cluster node: the source translates on this
+    /// engine's IOMMU, `dst` on the receive-side IOMMU of `to.node`
+    /// (address space `to.asid` there). A receive-side fault is NACKed
+    /// back over the link and pauses the transfer at the page boundary,
+    /// exactly like a local fault.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::BadRange`] when no cluster is attached, the node
+    /// does not exist, or the node has no receive-side IOMMU;
+    /// [`RejectReason::ZeroSize`] for an empty transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has no IOMMU ([`EngineCore::enable_iommu`]).
+    pub fn post_virt_dma_remote(
+        &mut self,
+        asid: Asid,
+        src: VirtAddr,
+        to: RemoteVaTarget,
+        dst: VirtAddr,
+        size: u64,
+        now: SimTime,
+    ) -> Result<usize, RejectReason> {
+        let reachable =
+            self.mover.cluster().is_some_and(|c| c.borrow().node_iommu(to.node).is_some());
+        if !reachable {
+            self.note_reject(RejectReason::BadRange);
+            return Err(RejectReason::BadRange);
+        }
+        self.post_virt_common(asid, src, dst, Some(to), size, now)
+    }
+
+    fn post_virt_common(
+        &mut self,
+        asid: Asid,
+        src: VirtAddr,
+        dst: VirtAddr,
+        remote: Option<RemoteVaTarget>,
+        size: u64,
+        now: SimTime,
+    ) -> Result<usize, RejectReason> {
         assert!(self.iommu.is_some(), "virtual-address DMA requires enable_iommu");
         if size == 0 {
             self.note_reject(RejectReason::ZeroSize);
@@ -457,6 +505,7 @@ impl EngineCore {
             asid,
             src,
             dst,
+            remote,
             size,
             moved: 0,
             chunks: 0,
@@ -466,6 +515,8 @@ impl EngineCore {
             clock: now,
             finished: None,
             stall: SimTime::ZERO,
+            nacks: 0,
+            nack_stall: SimTime::ZERO,
         });
         self.virt_stats.posted += 1;
         self.pump_virt(id);
@@ -498,11 +549,15 @@ impl EngineCore {
                 .min(PAGE_SIZE - src_va.page_offset())
                 .min(PAGE_SIZE - dst_va.page_offset());
 
+            // The source always translates on the sender's own IOMMU; a
+            // purely local transfer translates its destination there too.
             let iommu = self.iommu.as_mut().expect("pump without IOMMU");
             let misses_before = iommu.stats().tlb.misses;
-            let translated = iommu
-                .translate(t.asid, src_va, Access::Read)
-                .and_then(|s| iommu.translate(t.asid, dst_va, Access::Write).map(|d| (s, d)));
+            let src_res = iommu.translate(t.asid, src_va, Access::Read);
+            let local_dst_res = match (t.remote, src_res) {
+                (None, Ok(_)) => Some(iommu.translate(t.asid, dst_va, Access::Write)),
+                _ => None,
+            };
             let walks = iommu.stats().tlb.misses - misses_before;
             let walk_cost = SimTime::from_ps(self.virt_config.walk_latency.as_ps() * walks);
             {
@@ -510,8 +565,8 @@ impl EngineCore {
                 x.clock += walk_cost;
                 x.stall += walk_cost;
             }
-            let (src_pa, dst_pa) = match translated {
-                Ok(pair) => pair,
+            let src_pa = match src_res {
+                Ok(pa) => pa,
                 Err(fault) => {
                     self.virt_xfers[id].state = VirtState::Faulted(fault);
                     self.virt_faults.push_back(PendingFault { xfer: id, fault });
@@ -519,18 +574,79 @@ impl EngineCore {
                     return;
                 }
             };
+            let dst_pa = match t.remote {
+                None => match local_dst_res.expect("local destination translated") {
+                    Ok(pa) => pa,
+                    Err(fault) => {
+                        self.virt_xfers[id].state = VirtState::Faulted(fault);
+                        self.virt_faults.push_back(PendingFault { xfer: id, fault });
+                        self.virt_stats.faults += 1;
+                        return;
+                    }
+                },
+                Some(rt) => {
+                    // Receive-side translation on the node's IOMMU. Its
+                    // walk cost charges the sender's clock like a local
+                    // walk: the packet waits at the NI while it walks.
+                    let cluster =
+                        self.mover.cluster().expect("remote virt transfer without cluster");
+                    let (res, rwalks) = {
+                        let mut cl = cluster.borrow_mut();
+                        let before =
+                            cl.node_iommu(rt.node).expect("validated at post").stats().tlb.misses;
+                        let res = cl.translate(rt.node, rt.asid, dst_va, Access::Write);
+                        let after =
+                            cl.node_iommu(rt.node).expect("validated at post").stats().tlb.misses;
+                        (res, after - before)
+                    };
+                    let rcost = SimTime::from_ps(self.virt_config.walk_latency.as_ps() * rwalks);
+                    {
+                        let x = &mut self.virt_xfers[id];
+                        x.clock += rcost;
+                        x.stall += rcost;
+                    }
+                    match res {
+                        Ok(pa) => pa,
+                        Err(fault) => {
+                            // The node NACKs the faulting packet back to
+                            // the sender: the fault queues on the *node*
+                            // for its OS, and the sender pays the wire
+                            // latency both ways, then pauses at the page
+                            // boundary exactly like a local fault.
+                            let one_way = self.mover.link().latency();
+                            let rtt = one_way + one_way;
+                            cluster
+                                .borrow_mut()
+                                .push_fault(rt.node, PendingFault { xfer: id, fault });
+                            let x = &mut self.virt_xfers[id];
+                            x.state = VirtState::Faulted(fault);
+                            x.clock += rtt;
+                            x.stall += rtt;
+                            x.nack_stall += rtt;
+                            x.nacks += 1;
+                            self.virt_stats.faults += 1;
+                            self.virt_stats.remote_faults += 1;
+                            self.virt_stats.nacks += 1;
+                            return;
+                        }
+                    }
+                }
+            };
 
             let clock = self.virt_xfers[id].clock;
-            match self.mover.start(
-                src_pa,
-                dst_pa,
-                chunk,
-                Initiator::VirtDma { asid: t.asid },
-                false,
-                clock,
-            ) {
-                Ok(rec) => {
-                    let finished = rec.finished;
+            let initiator = Initiator::VirtDma { asid: t.asid };
+            let started = match t.remote {
+                Some(rt) => self
+                    .mover
+                    .start_remote(src_pa, rt.node, dst_pa, chunk, initiator, clock)
+                    .map(|rec| rec.finished),
+                None => self
+                    .mover
+                    .start(src_pa, dst_pa, chunk, initiator, false, clock)
+                    .map(|rec| rec.finished),
+            };
+            match started {
+                Ok(finished) => {
                     self.stats.started += 1;
                     self.virt_stats.chunks += 1;
                     let x = &mut self.virt_xfers[id];
@@ -982,6 +1098,177 @@ mod tests {
         assert!(cold > SimTime::ZERO);
         assert_eq!(warm, SimTime::ZERO);
         assert_eq!(c.iommu().unwrap().stats().tlb.hits, 2);
+    }
+
+    /// A virt core attached to a 2-node cluster with receive-side
+    /// IOMMUs; node 0's ASID 7 maps VA pages 0..4 → node frames 2..6.
+    fn remote_virt_core() -> (EngineCore, crate::SharedCluster) {
+        let mut c = virt_core();
+        let mut cluster = crate::Cluster::new(2, 1 << 16);
+        cluster.enable_virt(IotlbConfig::default());
+        let iommu = cluster.node_iommu_mut(0).unwrap();
+        iommu.create_context(7);
+        for p in 0..4u64 {
+            iommu
+                .map(
+                    7,
+                    udma_mem::VirtPage::new(p),
+                    PhysFrame::new(2 + p),
+                    udma_mem::Perms::READ_WRITE,
+                    true,
+                )
+                .unwrap();
+        }
+        let shared = cluster.shared();
+        c.attach_cluster(shared.clone());
+        (c, shared)
+    }
+
+    #[test]
+    fn remote_virt_dma_translates_on_the_receive_side() {
+        let (mut c, cluster) = remote_virt_core();
+        c.mem.borrow_mut().write_u64(PhysAddr::new(8 * PAGE_SIZE + 0x40), 0xFEED).unwrap();
+        // 1.5 pages from local VA 0x40 to node 0's VA 0x40 in ASID 7.
+        let id = c
+            .post_virt_dma_remote(
+                1,
+                VirtAddr::new(0x40),
+                RemoteVaTarget { node: 0, asid: 7 },
+                VirtAddr::new(0x40),
+                PAGE_SIZE + PAGE_SIZE / 2,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let t = *c.virt_xfer(id).unwrap();
+        assert_eq!(t.state, VirtState::Complete);
+        assert_eq!(t.nacks, 0);
+        // The first word landed in node 0's frame 2 (VA page 0 there),
+        // read back via the node's physical memory.
+        assert_eq!(cluster.borrow().read_u64(0, PhysFrame::new(2).base() + 0x40).unwrap(), 0xFEED);
+        // Every chunk is a remote deposit on node 0.
+        for rec in c.mover().records() {
+            assert_eq!(rec.remote_node, Some(0));
+            assert_eq!(rec.initiator, Initiator::VirtDma { asid: 1 });
+        }
+    }
+
+    #[test]
+    fn remote_fault_nacks_back_and_pauses_at_the_boundary() {
+        let (mut c, cluster) = remote_virt_core();
+        // Node 0's VA page 1 is not mapped: second chunk faults remotely.
+        cluster
+            .borrow_mut()
+            .node_iommu_mut(0)
+            .unwrap()
+            .unmap(7, udma_mem::VirtPage::new(1))
+            .unwrap();
+        let id = c
+            .post_virt_dma_remote(
+                1,
+                VirtAddr::new(0),
+                RemoteVaTarget { node: 0, asid: 7 },
+                VirtAddr::new(0),
+                2 * PAGE_SIZE,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let t = *c.virt_xfer(id).unwrap();
+        assert!(matches!(t.state, VirtState::Faulted(_)));
+        assert_eq!(t.moved, PAGE_SIZE, "pauses exactly at the page boundary");
+        assert_eq!(t.nacks, 1);
+        // NACK cost = wire latency out and back.
+        let one_way = c.mover().link().latency();
+        assert_eq!(t.nack_stall, one_way + one_way);
+        assert!(t.stall >= t.nack_stall);
+        // The fault queued on the *node*, not the local engine.
+        assert_eq!(c.fault_backlog(), 0);
+        assert_eq!(cluster.borrow().fault_backlog(0), 1);
+        let pending = cluster.borrow_mut().pop_fault(0).unwrap();
+        assert_eq!(pending.xfer, id);
+        assert_eq!(pending.fault.asid, 7);
+        assert_eq!(c.virt_stats().remote_faults, 1);
+        assert_eq!(c.virt_stats().nacks, 1);
+        // Node's OS maps the page; the sender's retry completes.
+        cluster
+            .borrow_mut()
+            .node_iommu_mut(0)
+            .unwrap()
+            .map(
+                7,
+                udma_mem::VirtPage::new(1),
+                PhysFrame::new(3),
+                udma_mem::Perms::READ_WRITE,
+                true,
+            )
+            .unwrap();
+        assert_eq!(c.resume_virt(id, SimTime::from_us(10)), VirtState::Complete);
+        assert_eq!(c.virt_xfer(id).unwrap().moved, 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn unserviced_remote_fault_fails_cleanly() {
+        let (mut c, cluster) = remote_virt_core();
+        cluster
+            .borrow_mut()
+            .node_iommu_mut(0)
+            .unwrap()
+            .unmap(7, udma_mem::VirtPage::new(1))
+            .unwrap();
+        let id = c
+            .post_virt_dma_remote(
+                1,
+                VirtAddr::new(0),
+                RemoteVaTarget { node: 0, asid: 7 },
+                VirtAddr::new(0),
+                2 * PAGE_SIZE,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        let max = c.virt_config().max_retries;
+        let mut state = c.virt_xfer(id).unwrap().state;
+        let mut resumes = 0;
+        while matches!(state, VirtState::Faulted(_)) {
+            state = c.resume_virt(id, SimTime::ZERO);
+            resumes += 1;
+            assert!(resumes <= max + 1, "remote resume loop did not terminate");
+        }
+        assert!(matches!(state, VirtState::Failed(_)));
+        assert_eq!(c.virt_status(id, SimTime::from_us(100)), DMA_FAILURE);
+        // No byte past the faulting boundary, ever.
+        assert_eq!(c.virt_xfer(id).unwrap().moved, PAGE_SIZE);
+        // Each fruitless retry re-NACKed over the link.
+        assert_eq!(c.virt_xfer(id).unwrap().nacks, 1 + max);
+    }
+
+    #[test]
+    fn remote_virt_post_requires_a_virt_enabled_node() {
+        let mut c = virt_core();
+        // No cluster at all.
+        let err = c
+            .post_virt_dma_remote(
+                1,
+                VirtAddr::new(0),
+                RemoteVaTarget { node: 0, asid: 7 },
+                VirtAddr::new(0),
+                8,
+                SimTime::ZERO,
+            )
+            .unwrap_err();
+        assert_eq!(err, RejectReason::BadRange);
+        // Cluster without enable_virt.
+        c.attach_cluster(crate::Cluster::new(1, 1 << 16).shared());
+        let err = c
+            .post_virt_dma_remote(
+                1,
+                VirtAddr::new(0),
+                RemoteVaTarget { node: 0, asid: 7 },
+                VirtAddr::new(0),
+                8,
+                SimTime::ZERO,
+            )
+            .unwrap_err();
+        assert_eq!(err, RejectReason::BadRange);
+        assert_eq!(c.stats().rejected_for(RejectReason::BadRange), 2);
     }
 
     #[test]

@@ -41,6 +41,8 @@ pub use engine_core::{EngineConfig, EngineCore, EngineStats};
 pub use link::LinkModel;
 pub use mover::{DmaMover, TransferRecord};
 pub use protocol::{InitiationProtocol, ProtocolKind};
-pub use remote::{Cluster, Destination, SharedCluster};
+pub use remote::{Cluster, Destination, RemoteError, SharedCluster};
 pub use status::{Initiator, RejectReason, DMA_FAILURE, DMA_PENDING, DMA_STARTED};
-pub use virt::{PendingFault, VirtDmaConfig, VirtStage, VirtState, VirtStats, VirtTransfer};
+pub use virt::{
+    PendingFault, RemoteVaTarget, VirtDmaConfig, VirtStage, VirtState, VirtStats, VirtTransfer,
+};

@@ -6,25 +6,94 @@
 //! physical memories the DMA engine can deposit into over the link.
 //! Only the data path is modelled (deposits appear after the wire time);
 //! remote nodes do not initiate traffic of their own.
+//!
+//! With [`Cluster::enable_virt`] each node additionally owns a
+//! receive-side [`Iommu`] (I/O page table + IOTLB, reused wholesale from
+//! `udma-iommu`) and a NACK queue, which is what the Psistakis follow-on
+//! theses add to Telegraphos: incoming packets name **virtual** addresses
+//! in a destination address space, the receiving NI translates them, and
+//! a translation failure NACKs the packet back to the sender instead of
+//! depositing anywhere.
 
+use crate::virt::PendingFault;
 use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
 use std::rc::Rc;
-use udma_mem::{MemFault, PhysAddr, PhysMemory};
+use udma_iommu::{Asid, IoFault, Iommu, IotlbConfig};
+use udma_mem::{Access, MemFault, PhysAddr, PhysMemory, VirtAddr};
 
 /// A handle to the cluster's remote memories, shared between the engine
 /// and the experiment code that inspects arrivals.
 pub type SharedCluster = Rc<RefCell<Cluster>>;
 
+/// Why a cluster access failed. Unlike a bare [`MemFault`], this keeps
+/// "the node does not exist" distinct from "the node exists but the
+/// address is bad", and names the node either way.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemoteError {
+    /// The cluster has no node with this index.
+    NoSuchNode {
+        /// The requested node index.
+        node: u32,
+    },
+    /// The node exists, but the access faulted in its memory (out of
+    /// range, misaligned, …).
+    Mem {
+        /// The node the access was addressed to.
+        node: u32,
+        /// The underlying memory fault on that node.
+        fault: MemFault,
+    },
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteError::NoSuchNode { node } => write!(f, "no such cluster node {node}"),
+            RemoteError::Mem { node, fault } => write!(f, "node {node}: {fault}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+/// One remote workstation: its memory, and — when virtual-address RDMA
+/// is enabled — its receive-side translation unit and NACK queue.
+#[derive(Clone, Debug)]
+struct RemoteNode {
+    mem: PhysMemory,
+    /// Receive-side IOMMU (present once [`Cluster::enable_virt`] ran).
+    iommu: Option<Iommu>,
+    /// Faults this node NACKed back to the sender, tagged with the
+    /// sender's transfer id so the retry finds its transfer. The remote
+    /// node's OS drains this, exactly as the local OS drains the
+    /// engine's own fault queue.
+    nacks: VecDeque<PendingFault>,
+    /// NACKs ever raised (monotonic; the queue length only reports
+    /// pending ones).
+    nacks_raised: u64,
+}
+
 /// The remote nodes reachable over the machine's link.
 #[derive(Clone, Debug)]
 pub struct Cluster {
-    nodes: Vec<PhysMemory>,
+    nodes: Vec<RemoteNode>,
 }
 
 impl Cluster {
     /// Creates `count` remote nodes with `bytes_per_node` of memory each.
     pub fn new(count: u32, bytes_per_node: u64) -> Self {
-        Cluster { nodes: (0..count).map(|_| PhysMemory::new(bytes_per_node)).collect() }
+        Cluster {
+            nodes: (0..count)
+                .map(|_| RemoteNode {
+                    mem: PhysMemory::new(bytes_per_node),
+                    iommu: None,
+                    nacks: VecDeque::new(),
+                    nacks_raised: 0,
+                })
+                .collect(),
+        }
     }
 
     /// Wraps the cluster for sharing.
@@ -47,16 +116,26 @@ impl Cluster {
         (node as usize) < self.nodes.len()
     }
 
+    fn node(&self, node: u32) -> Result<&RemoteNode, RemoteError> {
+        self.nodes.get(node as usize).ok_or(RemoteError::NoSuchNode { node })
+    }
+
+    fn node_mut(&mut self, node: u32) -> Result<&mut RemoteNode, RemoteError> {
+        self.nodes.get_mut(node as usize).ok_or(RemoteError::NoSuchNode { node })
+    }
+
     /// Writes `data` into `node`'s memory at `addr` (the engine's deposit
     /// path).
     ///
     /// # Errors
     ///
-    /// [`MemFault::BusError`] if the node does not exist or the range is
-    /// outside its memory.
-    pub fn deposit(&mut self, node: u32, addr: PhysAddr, data: &[u8]) -> Result<(), MemFault> {
-        let mem = self.nodes.get_mut(node as usize).ok_or(MemFault::BusError { pa: addr })?;
-        mem.write_bytes(addr, data)
+    /// [`RemoteError::NoSuchNode`] if the node does not exist,
+    /// [`RemoteError::Mem`] if the range is outside its memory.
+    pub fn deposit(&mut self, node: u32, addr: PhysAddr, data: &[u8]) -> Result<(), RemoteError> {
+        self.node_mut(node)?
+            .mem
+            .write_bytes(addr, data)
+            .map_err(|fault| RemoteError::Mem { node, fault })
     }
 
     /// Reads from `node`'s memory (experiment inspection: "did the
@@ -64,11 +143,9 @@ impl Cluster {
     ///
     /// # Errors
     ///
-    /// [`MemFault::BusError`] if the node does not exist or the range is
-    /// outside its memory.
-    pub fn read(&self, node: u32, addr: PhysAddr, buf: &mut [u8]) -> Result<(), MemFault> {
-        let mem = self.nodes.get(node as usize).ok_or(MemFault::BusError { pa: addr })?;
-        mem.read_bytes(addr, buf)
+    /// As for [`deposit`](Self::deposit).
+    pub fn read(&self, node: u32, addr: PhysAddr, buf: &mut [u8]) -> Result<(), RemoteError> {
+        self.node(node)?.mem.read_bytes(addr, buf).map_err(|fault| RemoteError::Mem { node, fault })
     }
 
     /// Reads one word from a node's memory.
@@ -76,8 +153,94 @@ impl Cluster {
     /// # Errors
     ///
     /// As for [`read`](Self::read), plus misalignment.
-    pub fn read_u64(&self, node: u32, addr: PhysAddr) -> Result<u64, MemFault> {
-        self.nodes.get(node as usize).ok_or(MemFault::BusError { pa: addr })?.read_u64(addr)
+    pub fn read_u64(&self, node: u32, addr: PhysAddr) -> Result<u64, RemoteError> {
+        self.node(node)?.mem.read_u64(addr).map_err(|fault| RemoteError::Mem { node, fault })
+    }
+
+    // ---- virtual-address RDMA (receive side) ------------------------
+
+    /// Equips every node with a receive-side IOMMU so incoming transfers
+    /// can name virtual addresses in the node's address spaces
+    /// (idempotent per node: existing IOMMUs are kept).
+    pub fn enable_virt(&mut self, iotlb: IotlbConfig) {
+        for n in &mut self.nodes {
+            if n.iommu.is_none() {
+                n.iommu = Some(Iommu::new(iotlb));
+            }
+        }
+    }
+
+    /// Whether the nodes have receive-side IOMMUs.
+    pub fn virt_enabled(&self) -> bool {
+        self.nodes.iter().all(|n| n.iommu.is_some()) && !self.nodes.is_empty()
+    }
+
+    /// A node's receive-side IOMMU.
+    pub fn node_iommu(&self, node: u32) -> Option<&Iommu> {
+        self.nodes.get(node as usize).and_then(|n| n.iommu.as_ref())
+    }
+
+    /// Mutable receive-side IOMMU of a node (the node's OS maps/unmaps
+    /// and pins through this).
+    pub fn node_iommu_mut(&mut self, node: u32) -> Option<&mut Iommu> {
+        self.nodes.get_mut(node as usize).and_then(|n| n.iommu.as_mut())
+    }
+
+    /// Translates an incoming deposit's destination on `node`'s
+    /// receive-side IOMMU. This is the per-chunk step of every
+    /// virtual-address *remote* transfer, and the walk count it adds to
+    /// the node's IOTLB stats is the receive-side walk cost the sender's
+    /// clock is charged with.
+    ///
+    /// # Errors
+    ///
+    /// The [`IoFault`] that the node NACKs back over the link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist or [`Cluster::enable_virt`]
+    /// never ran — the engine validates both at post time.
+    pub fn translate(
+        &mut self,
+        node: u32,
+        asid: Asid,
+        va: VirtAddr,
+        access: Access,
+    ) -> Result<PhysAddr, IoFault> {
+        self.nodes[node as usize]
+            .iommu
+            .as_mut()
+            .expect("remote translate requires enable_virt")
+            .translate(asid, va, access)
+    }
+
+    /// Queues a NACKed fault on `node` for its OS fault service. Tests
+    /// may push the same fault twice to model a duplicated NACK.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn push_fault(&mut self, node: u32, pending: PendingFault) {
+        let n = &mut self.nodes[node as usize];
+        n.nacks_raised += 1;
+        n.nacks.push_back(pending);
+    }
+
+    /// Dequeues the oldest NACKed fault of `node` (the node's OS fault
+    /// service polls this). Tests may pop-and-discard to model a NACK
+    /// lost on the wire.
+    pub fn pop_fault(&mut self, node: u32) -> Option<PendingFault> {
+        self.nodes.get_mut(node as usize).and_then(|n| n.nacks.pop_front())
+    }
+
+    /// Pending NACKed faults on `node`.
+    pub fn fault_backlog(&self, node: u32) -> usize {
+        self.nodes.get(node as usize).map_or(0, |n| n.nacks.len())
+    }
+
+    /// NACKs ever raised by `node` (including serviced ones).
+    pub fn faults_raised(&self, node: u32) -> u64 {
+        self.nodes.get(node as usize).map_or(0, |n| n.nacks_raised)
     }
 }
 
@@ -86,12 +249,24 @@ impl Cluster {
 pub enum Destination {
     /// This workstation's own memory.
     Local(PhysAddr),
-    /// A remote node's memory.
+    /// A remote node's memory, by physical address (SHRIMP-1 style:
+    /// the sender proved the mapping at map-out time).
     Remote {
         /// Node index within the cluster.
         node: u32,
         /// Physical address on that node.
         addr: PhysAddr,
+    },
+    /// A remote node's memory, by **virtual** address in one of the
+    /// node's address spaces — the receiving NI translates (and may
+    /// NACK a page fault back).
+    RemoteVirt {
+        /// Node index within the cluster.
+        node: u32,
+        /// Destination address space on that node.
+        asid: Asid,
+        /// Virtual address within that address space.
+        va: VirtAddr,
     },
 }
 
@@ -100,6 +275,9 @@ impl std::fmt::Display for Destination {
         match self {
             Destination::Local(pa) => write!(f, "{pa}"),
             Destination::Remote { node, addr } => write!(f, "node{node}:{addr}"),
+            Destination::RemoteVirt { node, asid, va } => {
+                write!(f, "node{node}:as{asid}:{va}")
+            }
         }
     }
 }
@@ -107,6 +285,8 @@ impl std::fmt::Display for Destination {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use udma_iommu::IoFaultKind;
+    use udma_mem::{Perms, PhysFrame, VirtPage, PAGE_SIZE};
 
     #[test]
     fn deposit_and_read_back() {
@@ -122,19 +302,83 @@ mod tests {
         assert_eq!(buf, [0u8; 10]);
     }
 
+    /// Pins the error shape: a nonexistent node and an out-of-range
+    /// address are *distinct* failures, and both carry the node index.
     #[test]
-    fn missing_node_is_bus_error() {
-        let mut c = Cluster::new(1, 1 << 16);
+    fn missing_node_and_bad_offset_are_distinct_errors() {
+        let mut c = Cluster::new(1, 1 << 13);
         assert!(!c.has_node(1));
-        assert!(c.deposit(1, PhysAddr::new(0), b"x").is_err());
+        // No such node: NoSuchNode, carrying the node id.
+        assert_eq!(c.deposit(1, PhysAddr::new(0), b"x"), Err(RemoteError::NoSuchNode { node: 1 }));
         let mut b = [0u8; 1];
-        assert!(c.read(9, PhysAddr::new(0), &mut b).is_err());
+        assert_eq!(c.read(9, PhysAddr::new(0), &mut b), Err(RemoteError::NoSuchNode { node: 9 }));
+        assert_eq!(c.read_u64(7, PhysAddr::new(0)), Err(RemoteError::NoSuchNode { node: 7 }));
+        // Existing node, bad offset: Mem with the node's own BusError.
+        let off = PhysAddr::new(1 << 13);
+        assert_eq!(
+            c.deposit(0, off, b"x"),
+            Err(RemoteError::Mem { node: 0, fault: MemFault::BusError { pa: off } })
+        );
+        assert!(matches!(c.read(0, off, &mut b), Err(RemoteError::Mem { node: 0, .. })));
+        // Display keeps them tellable-apart too.
+        assert!(RemoteError::NoSuchNode { node: 1 }.to_string().contains("no such"));
+        assert!(c.deposit(0, off, b"x").unwrap_err().to_string().contains("node 0"));
     }
 
     #[test]
-    fn out_of_range_deposit_fails() {
-        let mut c = Cluster::new(1, 1 << 13);
-        assert!(c.deposit(0, PhysAddr::new(1 << 13), b"x").is_err());
+    fn enable_virt_gives_every_node_an_iommu() {
+        let mut c = Cluster::new(2, 1 << 16);
+        assert!(!c.virt_enabled());
+        assert!(c.node_iommu(0).is_none());
+        c.enable_virt(IotlbConfig::default());
+        assert!(c.virt_enabled());
+        assert!(c.node_iommu(0).is_some());
+        assert!(c.node_iommu(1).is_some());
+        assert!(c.node_iommu(2).is_none());
+    }
+
+    #[test]
+    fn remote_translate_faults_until_mapped() {
+        let mut c = Cluster::new(1, 1 << 16);
+        c.enable_virt(IotlbConfig::default());
+        let iommu = c.node_iommu_mut(0).unwrap();
+        iommu.create_context(7);
+        let va = VirtAddr::new(2 * PAGE_SIZE + 0x40);
+        let f = c.translate(0, 7, va, Access::Write).unwrap_err();
+        assert_eq!(f.kind, IoFaultKind::Unmapped);
+        assert_eq!(f.asid, 7);
+        c.node_iommu_mut(0)
+            .unwrap()
+            .map(7, VirtPage::new(2), PhysFrame::new(3), Perms::READ_WRITE, true)
+            .unwrap();
+        let pa = c.translate(0, 7, va, Access::Write).unwrap();
+        assert_eq!(pa, PhysFrame::new(3).base() + 0x40);
+    }
+
+    #[test]
+    fn nack_queue_is_fifo_and_counts() {
+        let mut c = Cluster::new(1, 1 << 16);
+        let f = |va: u64| PendingFault {
+            xfer: 3,
+            fault: IoFault {
+                asid: 7,
+                va: VirtAddr::new(va),
+                access: Access::Write,
+                kind: IoFaultKind::Unmapped,
+            },
+        };
+        assert_eq!(c.fault_backlog(0), 0);
+        c.push_fault(0, f(0x1000));
+        c.push_fault(0, f(0x2000));
+        assert_eq!(c.fault_backlog(0), 2);
+        assert_eq!(c.faults_raised(0), 2);
+        assert_eq!(c.pop_fault(0).unwrap().fault.va, VirtAddr::new(0x1000));
+        assert_eq!(c.pop_fault(0).unwrap().fault.va, VirtAddr::new(0x2000));
+        assert!(c.pop_fault(0).is_none());
+        // Draining does not reset the raised counter; bad node is calm.
+        assert_eq!(c.faults_raised(0), 2);
+        assert_eq!(c.fault_backlog(9), 0);
+        assert!(c.pop_fault(9).is_none());
     }
 
     #[test]
@@ -143,6 +387,10 @@ mod tests {
         assert_eq!(
             Destination::Remote { node: 2, addr: PhysAddr::new(0x80) }.to_string(),
             "node2:0x80"
+        );
+        assert_eq!(
+            Destination::RemoteVirt { node: 1, asid: 7, va: VirtAddr::new(0x2000) }.to_string(),
+            "node1:as7:0x2000"
         );
     }
 }

@@ -52,6 +52,17 @@ pub enum VirtState {
     Failed(IoFault),
 }
 
+/// The remote end of a virtual-address transfer whose destination lives
+/// on another workstation: the cluster node and the address space the
+/// destination VA is translated in **by the receiving NI**.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RemoteVaTarget {
+    /// Destination node within the cluster.
+    pub node: u32,
+    /// Address space on that node (independent of local ASIDs).
+    pub asid: Asid,
+}
+
 /// One virtual-address transfer, as tracked by the engine.
 #[derive(Clone, Copy, Debug)]
 pub struct VirtTransfer {
@@ -61,8 +72,12 @@ pub struct VirtTransfer {
     pub asid: Asid,
     /// Source virtual address.
     pub src: VirtAddr,
-    /// Destination virtual address.
+    /// Destination virtual address. For a remote transfer this is a VA
+    /// in the *remote* address space named by `remote`.
     pub dst: VirtAddr,
+    /// Remote destination, when the transfer crosses the link
+    /// (`None` = both ends local).
+    pub remote: Option<RemoteVaTarget>,
     /// Total bytes requested.
     pub size: u64,
     /// Bytes fully transferred (always a prefix; always ends at a page
@@ -84,6 +99,12 @@ pub struct VirtTransfer {
     /// Time lost to walks, fault services and backoff (excluded wire
     /// time) — the fault-path cost the E12 sweep reports.
     pub stall: SimTime,
+    /// NACKs received from the remote node (remote transfers only).
+    pub nacks: u32,
+    /// Time lost to NACK round trips alone — wire latency out and back
+    /// for every remote fault, the cross-link cost E13 isolates. Always
+    /// a subset of `stall`.
+    pub nack_stall: SimTime,
 }
 
 impl VirtTransfer {
@@ -132,6 +153,11 @@ pub struct VirtStats {
     pub retries: u64,
     /// Page-bounded chunks issued.
     pub chunks: u64,
+    /// Faults raised by a *remote* node's receive-side IOMMU (a subset
+    /// of `faults`).
+    pub remote_faults: u64,
+    /// NACK packets that crossed the link back to this sender.
+    pub nacks: u64,
 }
 
 /// Per-context staging registers for the `CTX_VIRT_*` window.
@@ -156,6 +182,7 @@ mod tests {
             asid: 1,
             src: VirtAddr::new(0),
             dst: VirtAddr::new(0),
+            remote: None,
             size: 1000,
             moved: 600,
             chunks: 1,
@@ -165,6 +192,8 @@ mod tests {
             clock: SimTime::from_us(6),
             finished: None,
             stall: SimTime::ZERO,
+            nacks: 0,
+            nack_stall: SimTime::ZERO,
         };
         // At the clock: only the unmoved tail remains.
         assert_eq!(t.remaining_at(SimTime::from_us(6)), 400);

@@ -25,12 +25,14 @@
 mod fault_service;
 mod kernel;
 mod keys;
+mod remote_fault;
 mod syscalls;
 mod vm;
 
 pub use fault_service::{pin_range, FaultCosts, FaultResolution, FaultService, FaultServiceStats};
 pub use kernel::{Kernel, KernelStats};
 pub use keys::{CtxGrant, KeyRegistry};
+pub use remote_fault::{RemoteFaultService, RemoteSwapRefused};
 pub use syscalls::{Sys, SYS_ATOMIC, SYS_DMA, SYS_NOOP};
 pub use vm::{MappedBuffer, ShadowMode, VmManager, CTX_PAGE_VA_BASE};
 

@@ -1,0 +1,214 @@
+//! The *remote* node's half of the cross-link fault protocol.
+//!
+//! When a virtual-address transfer targets another workstation, the
+//! receiving NI translates the destination VA on its own IOMMU; a miss is
+//! NACKed back to the sender and queued on the node. This module is the
+//! remote node's kernel: it owns the node's authoritative per-ASID CPU
+//! page tables and swap ledger, and drains the NACK queue by delegating
+//! to the same [`FaultService`] the local path uses — map-and-pin a
+//! resident page, swap a paged-out one back in first, or declare the
+//! fault unresolvable so the sender fails the transfer with `-1`.
+//!
+//! This mirrors the receive-side design of the Telegraphos follow-on
+//! work (Psistakis 2017, 2019 — see PAPERS.md): the I/O page table lives
+//! at the *destination*, so the sender never needs to know the remote
+//! physical layout, and a remote page fault costs a link round trip plus
+//! an ordinary fault service on the far side.
+
+use crate::{
+    FaultCosts, FaultResolution, FaultService, FaultServiceStats, MappedBuffer, VmManager,
+};
+use std::collections::BTreeMap;
+use udma_bus::SimTime;
+use udma_iommu::{Asid, IoFault, Iommu};
+use udma_mem::{MemFault, PageTable, Perms, PhysLayout, VirtAddr, VirtPage};
+
+/// Why a remote swap-out was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemoteSwapRefused {
+    /// The page is pinned in the node's IOMMU (a transfer relies on it).
+    Pinned,
+    /// The address space does not map the page.
+    NotMapped,
+}
+
+/// One remote node's OS: authoritative page tables, VM, and the fault
+/// service that answers NACKed I/O faults.
+#[derive(Clone, Debug)]
+pub struct RemoteFaultService {
+    tables: BTreeMap<Asid, PageTable>,
+    vm: VmManager,
+    service: FaultService,
+}
+
+impl RemoteFaultService {
+    /// Creates the node OS over `node_bytes` of node-local RAM.
+    pub fn new(node_bytes: u64, costs: FaultCosts) -> Self {
+        let layout = PhysLayout { ram_size: node_bytes, ..PhysLayout::default() };
+        RemoteFaultService {
+            tables: BTreeMap::new(),
+            vm: VmManager::new(layout),
+            service: FaultService::new(costs),
+        }
+    }
+
+    /// Exposes a buffer of `pages` fresh node frames at `va` in address
+    /// space `asid` — the remote process offering memory for incoming
+    /// RDMA. Creates the address space on first use. No I/O translation
+    /// is installed here; that happens on fault (demand) or via
+    /// [`pin_into`](Self::pin_into) (registration).
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::AlreadyMapped`] if a page is taken,
+    /// [`MemFault::BusError`] if the node is out of frames.
+    pub fn expose(
+        &mut self,
+        asid: Asid,
+        va: VirtAddr,
+        pages: u64,
+        perms: Perms,
+    ) -> Result<MappedBuffer, MemFault> {
+        let pt = self.tables.entry(asid).or_default();
+        self.vm.map_buffer(pt, va, pages, perms, crate::ShadowMode::None)
+    }
+
+    /// Pin-on-post registration of `[va, va + len)` into the node's
+    /// IOMMU (the receive-side analogue of RDMA memory registration).
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::Unmapped`] at the first hole in the ASID's table.
+    pub fn pin_into(
+        &mut self,
+        asid: Asid,
+        va: VirtAddr,
+        len: u64,
+        iommu: &mut Iommu,
+    ) -> Result<u64, MemFault> {
+        let pt = self.tables.get(&asid).ok_or(MemFault::Unmapped { va })?;
+        crate::pin_range(asid, va, len, pt, iommu)
+    }
+
+    /// Services one NACKed fault against the node's own tables,
+    /// installing translations into the node's IOMMU. Returns the
+    /// resolution and the service time (charged on top of the NACK round
+    /// trip the sender already paid). An ASID the node never created is
+    /// unresolvable.
+    pub fn service(&mut self, fault: &IoFault, iommu: &mut Iommu) -> (FaultResolution, SimTime) {
+        match self.tables.get_mut(&fault.asid) {
+            Some(pt) => self.service.service(fault, pt, &mut self.vm, iommu),
+            None => (FaultResolution::Unresolvable, SimTime::ZERO),
+        }
+    }
+
+    /// Swaps `page` of `asid` out of the node (and shoots the I/O
+    /// translation down), unless a transfer has it pinned.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteSwapRefused::Pinned`] while the IOMMU holds a pin,
+    /// [`RemoteSwapRefused::NotMapped`] if the ASID does not map it.
+    pub fn swap_out(
+        &mut self,
+        asid: Asid,
+        page: VirtPage,
+        iommu: &mut Iommu,
+    ) -> Result<(), RemoteSwapRefused> {
+        if iommu.table(asid).and_then(|t| t.entry(page)).is_some_and(|e| e.pinned) {
+            return Err(RemoteSwapRefused::Pinned);
+        }
+        let pt = self.tables.get_mut(&asid).ok_or(RemoteSwapRefused::NotMapped)?;
+        self.vm.swap_out(asid, pt, page).map_err(|_| RemoteSwapRefused::NotMapped)?;
+        let _ = iommu.unmap(asid, page);
+        Ok(())
+    }
+
+    /// Whether `page` of `asid` is in the node's swap ledger.
+    pub fn swapped_out(&self, asid: Asid, page: VirtPage) -> bool {
+        self.vm.swapped_out(asid, page)
+    }
+
+    /// The node's authoritative page table for `asid`, if created.
+    pub fn page_table(&self, asid: Asid) -> Option<&PageTable> {
+        self.tables.get(&asid)
+    }
+
+    /// Fault-service counters of this node.
+    pub fn stats(&self) -> FaultServiceStats {
+        self.service.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udma_iommu::{IoFaultKind, IotlbConfig};
+    use udma_mem::{Access, PAGE_SIZE};
+
+    fn fault(asid: u32, va: u64) -> IoFault {
+        IoFault { asid, va: VirtAddr::new(va), access: Access::Write, kind: IoFaultKind::Unmapped }
+    }
+
+    #[test]
+    fn exposed_buffer_is_serviced_on_demand() {
+        let mut os = RemoteFaultService::new(1 << 20, FaultCosts::default());
+        let mut iommu = Iommu::new(IotlbConfig::default());
+        iommu.create_context(7);
+        os.expose(7, VirtAddr::new(0x4000), 2, Perms::READ_WRITE).unwrap();
+        let (res, cost) = os.service(&fault(7, 0x4000), &mut iommu);
+        assert_eq!(res, FaultResolution::Mapped);
+        assert!(cost > SimTime::ZERO);
+        assert!(iommu.translate(7, VirtAddr::new(0x4000), Access::Write).is_ok());
+        // Installed pinned: the swapper must refuse while the pin holds.
+        assert_eq!(
+            os.swap_out(7, VirtAddr::new(0x4000).page(), &mut iommu),
+            Err(RemoteSwapRefused::Pinned)
+        );
+        assert_eq!(os.stats().mapped, 1);
+    }
+
+    #[test]
+    fn unknown_asid_and_foreign_va_are_unresolvable() {
+        let mut os = RemoteFaultService::new(1 << 20, FaultCosts::default());
+        let mut iommu = Iommu::new(IotlbConfig::default());
+        iommu.create_context(7);
+        // ASID never exposed anything: no table at all.
+        assert_eq!(os.service(&fault(9, 0x4000), &mut iommu).0, FaultResolution::Unresolvable);
+        // Known ASID, but a VA it does not map.
+        os.expose(7, VirtAddr::new(0x4000), 1, Perms::READ_WRITE).unwrap();
+        assert_eq!(os.service(&fault(7, 0x9000_0000), &mut iommu).0, FaultResolution::Unresolvable);
+    }
+
+    #[test]
+    fn swap_out_and_fault_driven_swap_in() {
+        let mut os = RemoteFaultService::new(1 << 20, FaultCosts::default());
+        let mut iommu = Iommu::new(IotlbConfig::default());
+        iommu.create_context(7);
+        os.expose(7, VirtAddr::new(0x4000), 1, Perms::READ_WRITE).unwrap();
+        let page = VirtAddr::new(0x4000).page();
+        os.swap_out(7, page, &mut iommu).unwrap();
+        assert!(os.swapped_out(7, page));
+        // The next fault pages it back in (at swap-in cost) and pins it.
+        let (res, cost) = os.service(&fault(7, 0x4000), &mut iommu);
+        assert_eq!(res, FaultResolution::SwappedIn);
+        assert!(cost >= FaultCosts::default().swap_in);
+        assert!(!os.swapped_out(7, page));
+        assert_eq!(os.swap_out(7, page, &mut iommu), Err(RemoteSwapRefused::Pinned));
+        // Unpin, and the swapper may take it again.
+        iommu.set_pinned(7, page, false).unwrap();
+        assert_eq!(os.swap_out(7, page, &mut iommu), Ok(()));
+    }
+
+    #[test]
+    fn pin_into_registers_the_whole_buffer() {
+        let mut os = RemoteFaultService::new(1 << 20, FaultCosts::default());
+        let mut iommu = Iommu::new(IotlbConfig::default());
+        iommu.create_context(7);
+        os.expose(7, VirtAddr::new(0x4000), 2, Perms::READ_WRITE).unwrap();
+        assert_eq!(os.pin_into(7, VirtAddr::new(0x4000), 2 * PAGE_SIZE, &mut iommu), Ok(2));
+        assert!(iommu.translate(7, VirtAddr::new(0x4000 + PAGE_SIZE), Access::Write).is_ok());
+        // Unknown ASID refuses.
+        assert!(os.pin_into(9, VirtAddr::new(0x4000), 8, &mut iommu).is_err());
+    }
+}

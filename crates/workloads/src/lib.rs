@@ -15,8 +15,8 @@
 //!   latencies of the simulated host;
 //! * [`sweeps`] — parameter sweeps: bus frequency (E7), message-size
 //!   crossover inputs (E8), atomic-operation comparison (E9);
-//! * [`va`] — virtual-address DMA: IOTLB capacity sweep (E11) and
-//!   fault-rate sweep (E12).
+//! * [`va`] — virtual-address DMA: IOTLB capacity sweep (E11),
+//!   fault-rate sweep (E12) and the remote-fault × link sweep (E13).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,4 +43,6 @@ pub use scenarios::{
     ADVERSARY, VICTIM,
 };
 pub use sweeps::{atomic_comparison, bus_sweep, BusSweepRow};
-pub use va::{fault_rate_sweep, iotlb_sweep, FaultRateRow, IotlbSweepRow};
+pub use va::{
+    fault_rate_sweep, iotlb_sweep, remote_fault_sweep, FaultRateRow, IotlbSweepRow, RemoteFaultRow,
+};

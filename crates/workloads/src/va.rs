@@ -1,22 +1,26 @@
-//! Virtual-address DMA workloads (E11, E12).
+//! Virtual-address DMA workloads (E11, E12, E13).
 //!
 //! The base reproduction's schemes all pass physical (shadow) addresses.
 //! The virtual-address extension puts an IOMMU in the NI; these drivers
-//! characterise its two cost centres:
+//! characterise its cost centres:
 //!
 //! * [`iotlb_sweep`] (E11) — IOTLB hit ratio as a function of capacity
 //!   against a fixed working set, on pre-pinned (never-faulting)
 //!   transfers;
 //! * [`fault_rate_sweep`] (E12) — end-to-end transfer cost as a function
 //!   of how many of its pages must be demand-faulted in by the OS
-//!   mid-transfer.
+//!   mid-transfer;
+//! * [`remote_fault_sweep`] (E13) — the *cross-link* fault path: cost of
+//!   a transfer into a remote node's virtual memory as a function of the
+//!   remote-fault rate and the link model, isolating the NACK round-trip
+//!   term that scales with wire latency.
 
 use udma::{DmaMethod, Machine, MachineConfig, ProcessSpec, VirtDmaSetup};
 use udma_bus::SimTime;
 use udma_cpu::ProgramBuilder;
 use udma_iommu::IotlbConfig;
-use udma_mem::{VirtAddr, PAGE_SIZE};
-use udma_nic::VirtState;
+use udma_mem::{Perms, VirtAddr, PAGE_SIZE};
+use udma_nic::{LinkModel, VirtState};
 
 /// One IOTLB-capacity point of the E11 sweep.
 #[derive(Clone, Copy, Debug)]
@@ -129,6 +133,112 @@ pub fn fault_rate_sweep(prefaulted_pcts: &[u32], pages: u64) -> Vec<FaultRateRow
         .collect()
 }
 
+/// One (link, remote-fault-rate) point of the E13 sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct RemoteFaultRow {
+    /// Link preset name.
+    pub link: &'static str,
+    /// One-way wire latency of that link.
+    pub link_latency: SimTime,
+    /// Percentage of the destination's page pairs resident in the
+    /// *node's* I/O page table before the measured transfer.
+    pub prefaulted_pct: u32,
+    /// Receive-side faults the measured transfer raised (each one
+    /// crossed the link as a NACK).
+    pub remote_faults: u64,
+    /// Time lost to NACK round trips alone (2 × wire latency each).
+    pub nack_stall: SimTime,
+    /// Total engine-side overhead (walks, NACKs, service waits,
+    /// backoff).
+    pub stall: SimTime,
+    /// Total modeled duration, post to completion.
+    pub completion: SimTime,
+}
+
+/// Address space and base VA the remote node exposes for E13.
+const REMOTE_ASID: u32 = 7;
+const REMOTE_VA: u64 = 32 * PAGE_SIZE;
+
+/// Experiment E13: posts one `pages`-page transfer into a remote node's
+/// virtual memory for every (link, prefaulted-fraction) pair. The
+/// destination pages *not* warmed up fault on the node's receive-side
+/// IOMMU, NACK back over the link (2 × wire latency each), get serviced
+/// by the node's OS, and complete on the sender's retry — so `nack_stall`
+/// grows with both the fault rate and the link's latency, which is
+/// exactly the cross-link term the local E12 sweep cannot see.
+pub fn remote_fault_sweep(
+    links: &[LinkModel],
+    prefaulted_pcts: &[u32],
+    pages: u64,
+) -> Vec<RemoteFaultRow> {
+    let mut rows = Vec::new();
+    for &link in links {
+        for &pct in prefaulted_pcts {
+            let config = MachineConfig {
+                virt_dma: Some(VirtDmaSetup::default()),
+                remote_nodes: 1,
+                link,
+                ..MachineConfig::new(DmaMethod::Kernel)
+            };
+            let mut m = Machine::new(config);
+            let pid = m.spawn(&ProcessSpec::two_buffers_of(pages), |_| {
+                ProgramBuilder::new().halt().build()
+            });
+            let src = m.env(pid).buffer(0).va;
+            let dst = m
+                .grant_remote_buffer(
+                    0,
+                    REMOTE_ASID,
+                    VirtAddr::new(REMOTE_VA),
+                    pages,
+                    Perms::READ_WRITE,
+                )
+                .va;
+            // Warm-up: a minimal transfer per prefaulted page makes the
+            // node's OS map-and-pin it, as a prior transfer would. The
+            // local source pages are warmed for *every* page so only the
+            // receive side faults during the measured run.
+            for p in 0..pages {
+                let id = m
+                    .post_virt(pid, src + p * PAGE_SIZE, src + p * PAGE_SIZE, 8)
+                    .expect("local warm-up post");
+                assert_eq!(m.run_virt(id, 16), VirtState::Complete);
+            }
+            let warm = pages * u64::from(pct.min(100)) / 100;
+            for p in 0..warm {
+                let id = m
+                    .post_virt_remote(
+                        pid,
+                        src + p * PAGE_SIZE,
+                        0,
+                        REMOTE_ASID,
+                        dst + p * PAGE_SIZE,
+                        8,
+                    )
+                    .expect("remote warm-up post");
+                assert_eq!(m.run_virt(id, 16), VirtState::Complete);
+            }
+            let before = m.engine().core().virt_stats().remote_faults;
+            let id = m
+                .post_virt_remote(pid, src, 0, REMOTE_ASID, dst, pages * PAGE_SIZE)
+                .expect("measured post");
+            let rounds = (4 * pages + 16) as u32;
+            assert_eq!(m.run_virt(id, rounds), VirtState::Complete);
+            let t = m.virt_xfer(id).expect("transfer exists");
+            rows.push(RemoteFaultRow {
+                link: link.name(),
+                link_latency: link.latency(),
+                prefaulted_pct: pct,
+                remote_faults: m.engine().core().virt_stats().remote_faults - before,
+                nack_stall: t.nack_stall,
+                stall: t.stall,
+                completion: t.finished.expect("complete") - t.started,
+            });
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +267,21 @@ mod tests {
         assert!(rows[0].stall > rows[1].stall);
         assert!(rows[1].stall > rows[2].stall);
         assert!(rows[0].completion > rows[2].completion);
+    }
+
+    #[test]
+    fn nack_cost_scales_with_fault_rate_and_link_latency() {
+        let links = [LinkModel::gigabit(), LinkModel::ethernet10()];
+        let rows = remote_fault_sweep(&links, &[0, 100], 4);
+        // rows: [gigabit/0, gigabit/100, ethernet/0, ethernet/100]
+        assert_eq!(rows[0].remote_faults, 4, "cold destination faults every page");
+        assert_eq!(rows[1].remote_faults, 0, "warm destination never NACKs");
+        assert_eq!(rows[1].nack_stall, SimTime::ZERO);
+        // Per-NACK cost is exactly the round trip, so the slow link pays
+        // 10× the fast one (50 µs vs 5 µs one-way).
+        assert_eq!(rows[0].nack_stall, SimTime::from_us(4 * 2 * 5));
+        assert_eq!(rows[2].nack_stall, SimTime::from_us(4 * 2 * 50));
+        assert!(rows[2].completion > rows[3].completion);
     }
 
     #[test]

@@ -122,6 +122,142 @@ fn register_window_decode_hole_faults_only_the_writer() {
     assert_ne!(m.reg(clean, Reg::R0), udma_nic::DMA_FAILURE);
 }
 
+// ---- cross-link NACK loss and duplication --------------------------
+
+use udma::{MachineConfig, ProcessSpec as Spec, VirtDmaSetup};
+use udma_mem::{PhysAddr, VirtAddr, PAGE_SIZE};
+use udma_nic::VirtState;
+
+const NODE: u32 = 0;
+const REMOTE_ASID: u32 = 7;
+const REMOTE_VA: u64 = 32 * PAGE_SIZE;
+
+/// A remote-capable machine with a two-page remote grant and warm local
+/// source translations, carrying `pages` pages of seeded data.
+fn remote_setup(pages: u64) -> (Machine, udma_cpu::Pid, Vec<u8>) {
+    let mut m = Machine::new(MachineConfig {
+        virt_dma: Some(VirtDmaSetup::default()),
+        remote_nodes: 1,
+        ..MachineConfig::new(DmaMethod::Kernel)
+    });
+    let pid = m.spawn(&Spec::two_buffers_of(pages), |_| ProgramBuilder::new().halt().build());
+    m.grant_remote_buffer(
+        NODE,
+        REMOTE_ASID,
+        VirtAddr::new(REMOTE_VA),
+        pages,
+        udma_mem::Perms::READ_WRITE,
+    );
+    let src = m.env(pid).buffer(0).va;
+    let src_frame = m.env(pid).buffer(0).first_frame;
+    let data: Vec<u8> = (0..pages * PAGE_SIZE).map(|i| (i % 249) as u8).collect();
+    m.memory().borrow_mut().write_bytes(src_frame.base(), &data).unwrap();
+    for p in 0..pages {
+        let warm = m.post_virt(pid, src + p * PAGE_SIZE, src + p * PAGE_SIZE, 8).unwrap();
+        assert_eq!(m.run_virt(warm, 16), VirtState::Complete);
+    }
+    (m, pid, data)
+}
+
+/// A lost NACK: the sender's pause is never serviced, so the bounded
+/// backoff must terminate the transfer in `max_retries + 1` resumes —
+/// with a `-1` status, never a success over the partial deposit, and not
+/// one byte past the faulting page boundary.
+#[test]
+fn dropped_nack_terminates_bounded_with_failure_not_partial_success() {
+    let (mut m, pid, data) = remote_setup(2);
+    let src = m.env(pid).buffer(0).va;
+    // Warm the remote translation of page 0 only, so the measured
+    // transfer deposits one page and then NACKs on page 1.
+    let warm =
+        m.post_virt_remote(pid, src, NODE, REMOTE_ASID, VirtAddr::new(REMOTE_VA), 8).unwrap();
+    assert_eq!(m.run_virt(warm, 16), VirtState::Complete);
+
+    let id = m
+        .post_virt_remote(pid, src, NODE, REMOTE_ASID, VirtAddr::new(REMOTE_VA), 2 * PAGE_SIZE)
+        .unwrap();
+    let max_retries = m.engine().core().virt_config().max_retries;
+    let cluster = m.cluster().unwrap();
+
+    let mut resumes = 0;
+    loop {
+        // The link eats every NACK: the node OS never hears about the
+        // fault, and the sender retries blind.
+        while cluster.borrow_mut().pop_fault(NODE).is_some() {}
+        let now = m.time();
+        let state = m.engine().core_mut().resume_virt(id, now);
+        resumes += 1;
+        if matches!(state, VirtState::Failed(_)) {
+            break;
+        }
+        assert!(resumes < 32, "bounded backoff never terminated");
+    }
+    assert_eq!(resumes, max_retries as u64 + 1);
+
+    let t = m.virt_xfer(id).unwrap();
+    assert_eq!(t.moved, PAGE_SIZE, "failure must sit exactly on the page boundary");
+    let now = m.time();
+    assert_eq!(m.engine().core_mut().virt_status(id, now), udma_nic::DMA_FAILURE);
+
+    // Page 0 of the grant holds the prefix (plus the 8-byte warm-up
+    // rewrite of the same bytes); page 1's frame never saw a byte.
+    let cl = cluster.borrow();
+    let frame = |p: u64| {
+        cl.node_iommu(NODE)
+            .and_then(|i| i.table(REMOTE_ASID))
+            .and_then(|t| t.entry(VirtAddr::new(REMOTE_VA + p * PAGE_SIZE).page()))
+            .map(|e| e.frame.base())
+            .unwrap()
+    };
+    let mut got = vec![0u8; PAGE_SIZE as usize];
+    cl.read(NODE, frame(0), &mut got).unwrap();
+    assert_eq!(got, data[..PAGE_SIZE as usize], "deposited prefix corrupted");
+    // Page 1 never translated: its would-be frame (contiguous after
+    // page 0's) is still all zero.
+    let mut past = vec![0u8; PAGE_SIZE as usize];
+    cl.read(NODE, PhysAddr::new(frame(0).as_u64() + PAGE_SIZE), &mut past).unwrap();
+    assert!(past.iter().all(|&b| b == 0), "bytes leaked past the faulting boundary");
+}
+
+/// A duplicated NACK: the node OS services the same fault twice. The
+/// second service must be idempotent — the transfer still completes,
+/// and the destination page is deposited exactly once.
+#[test]
+fn duplicated_nack_is_serviced_idempotently() {
+    let (mut m, pid, data) = remote_setup(1);
+    let src = m.env(pid).buffer(0).va;
+    let id = m
+        .post_virt_remote(pid, src, NODE, REMOTE_ASID, VirtAddr::new(REMOTE_VA), PAGE_SIZE)
+        .unwrap();
+    let cluster = m.cluster().unwrap();
+    // The link delivers the NACK twice.
+    let nack = cluster.borrow_mut().pop_fault(NODE).unwrap();
+    cluster.borrow_mut().push_fault(NODE, nack);
+    cluster.borrow_mut().push_fault(NODE, nack);
+    assert_eq!(cluster.borrow().fault_backlog(NODE), 2);
+
+    assert_eq!(m.service_remote_faults(), 2);
+    assert_eq!(m.virt_xfer(id).unwrap().state, VirtState::Complete);
+    // Both deliveries were serviced, one mapped the page, and the mover
+    // deposited the destination exactly once.
+    assert_eq!(m.remote_fault_service(NODE).stats().serviced, 2);
+    let deposits: Vec<_> =
+        m.transfers().iter().filter(|r| r.remote_node == Some(NODE)).cloned().collect();
+    assert_eq!(deposits.len(), 1);
+    assert_eq!(deposits[0].size, PAGE_SIZE);
+
+    let cl = cluster.borrow();
+    let frame = cl
+        .node_iommu(NODE)
+        .and_then(|i| i.table(REMOTE_ASID))
+        .and_then(|t| t.entry(VirtAddr::new(REMOTE_VA).page()))
+        .map(|e| e.frame.base())
+        .unwrap();
+    let mut got = vec![0u8; PAGE_SIZE as usize];
+    cl.read(NODE, frame, &mut got).unwrap();
+    assert_eq!(got, data, "duplicate service corrupted the deposit");
+}
+
 /// Step-limit exhaustion reports `finished = false` and leaves state
 /// inspectable (no panic, no corruption).
 #[test]
