@@ -20,6 +20,12 @@ echo "== VA property/explorer replay (pinned seed) =="
 UDMA_PROP_SEED=3603 cargo test -q --offline \
   --test va_dma --test remote_va_dma --test fault_injection
 
+echo "== lossy-link chaos replay (pinned seed) =="
+# Seeded chaos replay of the go-back-N/watchdog/breaker suite: the
+# FaultyLink acceptance property (chaos vs lossless oracle) and the
+# retry/service/watchdog interleaving explorer, pinned for bisection.
+UDMA_PROP_SEED=3604 cargo test -q --offline --test lossy_link
+
 echo "== clippy (deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

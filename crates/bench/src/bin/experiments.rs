@@ -463,6 +463,35 @@ fn e13_remote_va(pages: u64) {
     println!("{t}");
 }
 
+fn e14_lossy_link(loss_pcts: &[u32], budgets: &[u32], pages: u64, transfers: u32) {
+    let mut t = Table::new(
+        "E14 — reliable delivery over a lossy link: goodput and p99 completion vs loss × budget",
+        &[
+            "loss",
+            "budget",
+            "completed",
+            "aborted",
+            "breaker trips",
+            "retransmits",
+            "goodput (MB/s)",
+            "p99 completion (µs)",
+        ],
+    );
+    for row in udma_workloads::lossy_link_sweep(loss_pcts, budgets, pages, transfers) {
+        t.row_owned(vec![
+            format!("{}%", row.loss_pct),
+            row.retry_budget.to_string(),
+            format!("{}/{}", row.completed, row.transfers),
+            row.link_failed.to_string(),
+            row.breaker_trips.to_string(),
+            row.retransmits.to_string(),
+            format!("{:.2}", row.goodput_mb_s),
+            format!("{:.2}", row.p99_completion.as_us()),
+        ]);
+    }
+    println!("{t}");
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     if smoke {
@@ -476,6 +505,7 @@ fn main() {
         e9_atomics(50);
         e10_key_guessing();
         e13_remote_va(4);
+        e14_lossy_link(&[0, 25], &[2, 6], 2, 6);
         microbench_host(50);
         return;
     }
@@ -496,6 +526,7 @@ fn main() {
     ablation_write_buffer();
     ablation_contexts();
     e13_remote_va(8);
+    e14_lossy_link(&[0, 10, 20, 30, 40], &[1, 3, 6], 4, 16);
     messaging_layer();
     pingpong_latency();
     microbench_host(500);

@@ -11,8 +11,9 @@ use udma_cpu::{
 };
 use udma_mem::{PageTable, Perms, PhysLayout, PhysMemory, VirtAddr, PAGE_SIZE};
 use udma_nic::{
-    Cluster, Destination, DmaEngine, EngineConfig, LinkModel, RejectReason, RemoteVaTarget,
-    SharedCluster, TransferRecord, VirtState, VirtTransfer,
+    Cluster, Destination, DmaEngine, EngineConfig, FaultPlan, FaultyLinkStats, LinkModel,
+    NodeLinkStats, RejectReason, ReliabilityConfig, RemoteVaTarget, SharedCluster, TransferRecord,
+    VirtState, VirtTransfer,
 };
 use udma_os::{
     pin_range, CtxGrant, FaultResolution, FaultService, Kernel, MappedBuffer, RemoteFaultService,
@@ -59,6 +60,13 @@ pub struct MachineConfig {
     /// Virtual-address DMA subsystem (NI-side IOMMU/IOTLB). `None` —
     /// the default — leaves the machine exactly as the paper built it.
     pub virt_dma: Option<VirtDmaSetup>,
+    /// Seeded fault plan for the outgoing link. `None` — the default —
+    /// keeps the link lossless and the remote data path byte-for-byte
+    /// identical to a machine built before chaos existed.
+    pub link_chaos: Option<FaultPlan>,
+    /// Link-reliability tunables: go-back-N framing, ACK timeout, retry
+    /// budget, watchdog deadline and circuit-breaker threshold.
+    pub reliability: ReliabilityConfig,
 }
 
 impl MachineConfig {
@@ -79,6 +87,8 @@ impl MachineConfig {
             remote_nodes: 0,
             remote_node_bytes: 1 << 20,
             virt_dma: None,
+            link_chaos: None,
+            reliability: ReliabilityConfig::default(),
         }
     }
 }
@@ -236,10 +246,14 @@ impl Machine {
             EngineConfig {
                 num_contexts: config.num_contexts,
                 link: config.link,
+                reliability: config.reliability,
                 ..EngineConfig::default()
             },
             config.method.protocol(),
         );
+        if let Some(plan) = config.link_chaos {
+            engine.core_mut().attach_link_chaos(plan);
+        }
         bus.attach_nic(Box::new(engine.clone()));
         let kernel = Kernel::new(
             config.layout,
@@ -737,6 +751,51 @@ impl Machine {
         let mut cl = cluster.borrow_mut();
         let iommu = cl.node_iommu_mut(node).expect("virt_dma equips every node");
         self.remote_os[node as usize].swap_out(asid, va.page(), iommu)
+    }
+
+    // ---- lossy-link reliability -------------------------------------
+
+    /// Chaos-link counters (frames dropped, duplicated, reordered,
+    /// corrupted; control packets lost), when a
+    /// [`MachineConfig::link_chaos`] plan is attached.
+    pub fn link_chaos_stats(&self) -> Option<FaultyLinkStats> {
+        self.engine.core().link_chaos_stats()
+    }
+
+    /// Receive-side delivery counters of remote `node` (bytes accepted,
+    /// retransmitted frames seen, CRC drops, duplicates ignored).
+    pub fn node_link_stats(&self, node: u32) -> NodeLinkStats {
+        self.cluster.as_ref().map(|c| c.borrow().link_stats(node)).unwrap_or_default()
+    }
+
+    /// Whether the circuit breaker has tripped: after
+    /// [`ReliabilityConfig::breaker_threshold`] consecutive link-failed
+    /// remote transfers, new remote posts fail fast with
+    /// [`RejectReason::LinkDown`] until [`Machine::link_repair`].
+    pub fn link_down(&self) -> bool {
+        self.engine.core().link_down()
+    }
+
+    /// Clears the circuit breaker (the operator repaired the link).
+    pub fn link_repair(&mut self) {
+        self.engine.core_mut().link_repair();
+    }
+
+    /// Runs the transfer watchdog at the current simulation time: every
+    /// non-terminal remote transfer with no byte progress for longer
+    /// than [`ReliabilityConfig::watchdog`] is aborted with
+    /// [`VirtState::LinkFailed`] (status [`udma_nic::DMA_LINK_FAILED`]),
+    /// leaving exactly the contiguous in-order prefix delivered. Returns
+    /// the aborted transfer ids.
+    pub fn link_watchdog(&mut self) -> Vec<usize> {
+        let now = self.executor.now();
+        self.link_watchdog_at(now)
+    }
+
+    /// Runs the transfer watchdog at an explicit instant (tests model a
+    /// later inspection without running programs to advance the clock).
+    pub fn link_watchdog_at(&mut self, now: SimTime) -> Vec<usize> {
+        self.engine.core_mut().link_watchdog(now)
     }
 }
 

@@ -1,13 +1,14 @@
 //! The engine core: registers, contexts, key table, statistics, and the
 //! services protocols build on.
 
+use crate::faulty::{ControlFate, FaultPlan, FaultyLinkStats, ReliabilityConfig};
 use crate::regs::{self, MAX_CONTEXTS};
 use crate::virt::{
     PendingFault, RemoteVaTarget, VirtDmaConfig, VirtStage, VirtState, VirtStats, VirtTransfer,
 };
 use crate::{
     AtomicOp, Destination, DmaMover, Initiator, LinkModel, RegisterContext, RejectReason,
-    SharedCluster, TransferRecord, DMA_FAILURE,
+    SharedCluster, TransferRecord, DMA_FAILURE, DMA_LINK_FAILED,
 };
 use std::collections::{HashMap, VecDeque};
 use udma_bus::{SharedMemory, SimTime};
@@ -24,6 +25,10 @@ pub struct EngineConfig {
     /// Extra device latency of a keyed shadow store (the FPGA compares
     /// the key against its table before acknowledging).
     pub key_check_latency: SimTime,
+    /// Link-reliability tunables (go-back-N framing, watchdog deadline,
+    /// circuit breaker). Only consulted once a chaos plan is attached;
+    /// the watchdog and breaker guard remote transfers either way.
+    pub reliability: ReliabilityConfig,
 }
 
 impl Default for EngineConfig {
@@ -32,6 +37,7 @@ impl Default for EngineConfig {
             num_contexts: 4,
             link: LinkModel::default(),
             key_check_latency: SimTime::from_ns(120),
+            reliability: ReliabilityConfig::default(),
         }
     }
 }
@@ -93,6 +99,13 @@ pub struct EngineCore {
     virt_faults: VecDeque<PendingFault>,
     virt_stage: Vec<VirtStage>,
     virt_stats: VirtStats,
+    // Link reliability: watchdog deadline + circuit breaker.
+    reliability: ReliabilityConfig,
+    /// Consecutive link-failed remote transfers (reset by a remote
+    /// completion or a repair).
+    link_failures_row: u32,
+    /// Circuit breaker: remote posts fail fast while tripped.
+    link_down: bool,
 }
 
 impl EngineCore {
@@ -103,10 +116,12 @@ impl EngineCore {
     /// Panics if `config.num_contexts` exceeds [`MAX_CONTEXTS`] or is 0.
     pub fn new(layout: PhysLayout, mem: SharedMemory, config: EngineConfig) -> Self {
         assert!((1..=MAX_CONTEXTS).contains(&config.num_contexts), "context count out of range");
+        let mut mover = DmaMover::new(mem.clone(), config.link);
+        mover.set_reliability(config.reliability);
         EngineCore {
             layout,
-            mem: mem.clone(),
-            mover: DmaMover::new(mem, config.link),
+            mem,
+            mover,
             contexts: vec![RegisterContext::new(); config.num_contexts as usize],
             key_table: vec![0; config.num_contexts as usize],
             stats: EngineStats::default(),
@@ -126,6 +141,9 @@ impl EngineCore {
             virt_faults: VecDeque::new(),
             virt_stage: vec![VirtStage::default(); config.num_contexts as usize],
             virt_stats: VirtStats::default(),
+            reliability: config.reliability,
+            link_failures_row: 0,
+            link_down: false,
         }
     }
 
@@ -230,6 +248,79 @@ impl EngineCore {
         self.mover.attach_cluster(cluster);
     }
 
+    // ---- link reliability -------------------------------------------
+
+    /// Wraps the cluster link in seeded chaos: every remote transfer
+    /// from now on is carried by the go-back-N reliability protocol
+    /// across the faults `plan` scripts.
+    pub fn attach_link_chaos(&mut self, plan: FaultPlan) {
+        self.mover.attach_chaos(plan);
+    }
+
+    /// Everything the chaos link has done, if one is attached.
+    pub fn link_chaos_stats(&self) -> Option<FaultyLinkStats> {
+        self.mover.chaos_stats()
+    }
+
+    /// The reliability tunables in force.
+    pub fn reliability(&self) -> ReliabilityConfig {
+        self.reliability
+    }
+
+    /// Whether the remote path is circuit-broken.
+    pub fn link_down(&self) -> bool {
+        self.link_down
+    }
+
+    /// Consecutive link-failed remote transfers so far (the breaker
+    /// trips at [`ReliabilityConfig::breaker_threshold`]).
+    pub fn link_failures_row(&self) -> u32 {
+        self.link_failures_row
+    }
+
+    /// Clears the circuit breaker: remote posts are accepted again.
+    /// This is the OS-level repair action after the operator (or a
+    /// probe) decided the link is healthy.
+    pub fn link_repair(&mut self) {
+        self.link_down = false;
+        self.link_failures_row = 0;
+    }
+
+    /// Books one link-failed abort: trips the breaker after
+    /// `breaker_threshold` consecutive failures.
+    fn note_link_failure(&mut self) {
+        self.link_failures_row += 1;
+        if self.link_failures_row >= self.reliability.breaker_threshold {
+            self.link_down = true;
+        }
+    }
+
+    /// Aborts every non-terminal *remote* transfer that has made no
+    /// byte progress within the watchdog deadline: its state becomes
+    /// [`VirtState::LinkFailed`] (status loads return
+    /// [`DMA_LINK_FAILED`]), with exactly the contiguous in-order
+    /// prefix delivered. Returns the aborted transfer ids. Local
+    /// transfers are never watched — they cannot lose frames.
+    pub fn link_watchdog(&mut self, now: SimTime) -> Vec<usize> {
+        let deadline = self.reliability.watchdog;
+        let mut aborted = Vec::new();
+        for id in 0..self.virt_xfers.len() {
+            let t = self.virt_xfers[id];
+            if t.remote.is_none() || t.is_terminal() {
+                continue;
+            }
+            if now.saturating_sub(t.last_progress) > deadline {
+                let x = &mut self.virt_xfers[id];
+                x.state = VirtState::LinkFailed;
+                x.finished = Some(x.clock.max(now));
+                self.virt_stats.link_failed += 1;
+                self.note_link_failure();
+                aborted.push(id);
+            }
+        }
+        aborted
+    }
+
     /// Starts a user-level transfer into a remote node's memory.
     ///
     /// Returns the mover record index on success.
@@ -242,6 +333,10 @@ impl EngineCore {
         initiator: Initiator,
         now: SimTime,
     ) -> Result<usize, RejectReason> {
+        if self.link_down {
+            self.note_reject(RejectReason::LinkDown);
+            return Err(RejectReason::LinkDown);
+        }
         match self.mover.start_remote(src, node, addr, size, initiator, now) {
             Ok(_) => {
                 self.stats.started += 1;
@@ -462,7 +557,9 @@ impl EngineCore {
     ///
     /// [`RejectReason::BadRange`] when no cluster is attached, the node
     /// does not exist, or the node has no receive-side IOMMU;
-    /// [`RejectReason::ZeroSize`] for an empty transfer.
+    /// [`RejectReason::ZeroSize`] for an empty transfer;
+    /// [`RejectReason::LinkDown`] while the circuit breaker is tripped
+    /// (fail fast until [`EngineCore::link_repair`]).
     ///
     /// # Panics
     ///
@@ -476,6 +573,10 @@ impl EngineCore {
         size: u64,
         now: SimTime,
     ) -> Result<usize, RejectReason> {
+        if self.link_down {
+            self.note_reject(RejectReason::LinkDown);
+            return Err(RejectReason::LinkDown);
+        }
         let reachable =
             self.mover.cluster().is_some_and(|c| c.borrow().node_iommu(to.node).is_some());
         if !reachable {
@@ -517,6 +618,10 @@ impl EngineCore {
             stall: SimTime::ZERO,
             nacks: 0,
             nack_stall: SimTime::ZERO,
+            retransmits: 0,
+            link_timeouts: 0,
+            link_stall: SimTime::ZERO,
+            last_progress: now,
         });
         self.virt_stats.posted += 1;
         self.pump_virt(id);
@@ -541,6 +646,11 @@ impl EngineCore {
                 x.state = VirtState::Complete;
                 x.finished = Some(x.clock);
                 self.virt_stats.completed += 1;
+                // A remote completion proves the link carries traffic:
+                // the breaker's consecutive-failure count starts over.
+                if t.remote.is_some() {
+                    self.link_failures_row = 0;
+                }
                 return;
             }
             let src_va = VirtAddr::new(t.src.as_u64() + t.moved);
@@ -615,9 +725,20 @@ impl EngineCore {
                             // boundary exactly like a local fault.
                             let one_way = self.mover.link().latency();
                             let rtt = one_way + one_way;
-                            cluster
-                                .borrow_mut()
-                                .push_fault(rt.node, PendingFault { xfer: id, fault });
+                            // The notification itself rides the lossy
+                            // wire: it may vanish (bounded retries
+                            // recover) or arrive twice (the node's
+                            // fault service must be idempotent).
+                            let copies = match self.mover.chaos_mut().map(|f| f.control_fate()) {
+                                None | Some(ControlFate::Deliver) => 1,
+                                Some(ControlFate::Drop) => 0,
+                                Some(ControlFate::Duplicate) => 2,
+                            };
+                            for _ in 0..copies {
+                                cluster
+                                    .borrow_mut()
+                                    .push_fault(rt.node, PendingFault { xfer: id, fault });
+                            }
                             let x = &mut self.virt_xfers[id];
                             x.state = VirtState::Faulted(fault);
                             x.clock += rtt;
@@ -649,10 +770,42 @@ impl EngineCore {
                 Ok(finished) => {
                     self.stats.started += 1;
                     self.virt_stats.chunks += 1;
+                    let delivery =
+                        if t.remote.is_some() { self.mover.last_delivery() } else { None };
                     let x = &mut self.virt_xfers[id];
-                    x.moved += chunk;
                     x.chunks += 1;
                     x.clock = finished;
+                    match delivery {
+                        // The chunk crossed a chaos link: only the
+                        // in-order prefix the receiver acked counts,
+                        // and every recovery cost lands on the books.
+                        Some(o) => {
+                            x.moved += o.delivered;
+                            x.retransmits += o.retransmits;
+                            x.link_timeouts += o.timeouts;
+                            x.link_stall += o.stall;
+                            x.stall += o.stall;
+                            if o.delivered > 0 {
+                                x.last_progress = finished;
+                            }
+                            self.virt_stats.retransmits += o.retransmits as u64;
+                            self.virt_stats.link_timeouts += o.timeouts as u64;
+                            if !o.completed {
+                                // Retransmit budget ran dry: the link
+                                // layer gives up cleanly at the exact
+                                // delivered prefix.
+                                x.state = VirtState::LinkFailed;
+                                x.finished = Some(finished);
+                                self.virt_stats.link_failed += 1;
+                                self.note_link_failure();
+                                return;
+                            }
+                        }
+                        None => {
+                            x.moved += chunk;
+                            x.last_progress = finished;
+                        }
+                    }
                 }
                 Err(reason) => {
                     // Translation succeeded but the frame is not backed by
@@ -678,21 +831,22 @@ impl EngineCore {
     /// Resumes a faulted transfer (the OS calls this after servicing the
     /// fault; tests also call it *without* servicing to model a slow or
     /// absent OS). Each fruitless resume doubles the backoff; after
-    /// [`VirtDmaConfig::max_retries`] consecutive attempts with no
-    /// progress the transfer fails with its reported fault.
+    /// [`RetryPolicy::max_retries`](crate::RetryPolicy) consecutive
+    /// attempts with no progress the transfer fails with its reported
+    /// fault.
     pub fn resume_virt(&mut self, id: usize, now: SimTime) -> VirtState {
         let t = self.virt_xfers[id];
         let VirtState::Faulted(fault) = t.state else {
             return t.state;
         };
-        if t.retries >= self.virt_config.max_retries {
+        if self.virt_config.retry.exhausted(t.retries) {
             let x = &mut self.virt_xfers[id];
             x.state = VirtState::Failed(fault);
             x.finished = Some(x.clock.max(now));
             self.virt_stats.failed += 1;
             return x.state;
         }
-        let backoff = SimTime::from_ps(self.virt_config.retry_backoff.as_ps() << t.retries.min(16));
+        let backoff = self.virt_config.retry.backoff_after(t.retries);
         let moved_before = t.moved;
         {
             let x = &mut self.virt_xfers[id];
@@ -725,12 +879,14 @@ impl EngineCore {
     }
 
     /// Status of a virtual-address transfer, in the paper's status-load
-    /// convention: bytes remaining, 0 = complete, `-1` = failed.
+    /// convention: bytes remaining, 0 = complete, `-1` = failed, `-2` =
+    /// aborted by the link layer ([`DMA_LINK_FAILED`]).
     pub fn virt_status(&self, id: usize, now: SimTime) -> u64 {
         match self.virt_xfers.get(id) {
             None => DMA_FAILURE,
             Some(t) => match t.state {
                 VirtState::Failed(_) => DMA_FAILURE,
+                VirtState::LinkFailed => DMA_LINK_FAILED,
                 _ => t.remaining_at(now),
             },
         }
@@ -1015,7 +1171,7 @@ mod tests {
         let id = c
             .post_virt_dma(1, VirtAddr::new(0), VirtAddr::new(8 * PAGE_SIZE), 64, SimTime::ZERO)
             .unwrap();
-        let max = c.virt_config().max_retries;
+        let max = c.virt_config().retry.max_retries;
         let mut state = c.virt_xfer(id).unwrap().state;
         let mut resumes = 0;
         while matches!(state, VirtState::Faulted(_)) {
@@ -1224,7 +1380,7 @@ mod tests {
                 SimTime::ZERO,
             )
             .unwrap();
-        let max = c.virt_config().max_retries;
+        let max = c.virt_config().retry.max_retries;
         let mut state = c.virt_xfer(id).unwrap().state;
         let mut resumes = 0;
         while matches!(state, VirtState::Faulted(_)) {

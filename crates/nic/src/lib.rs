@@ -26,6 +26,7 @@ mod context;
 mod engine;
 #[path = "core.rs"]
 mod engine_core;
+mod faulty;
 mod link;
 mod mover;
 pub mod protocol;
@@ -38,11 +39,17 @@ pub use atomic::AtomicOp;
 pub use context::RegisterContext;
 pub use engine::DmaEngine;
 pub use engine_core::{EngineConfig, EngineCore, EngineStats};
-pub use link::LinkModel;
+pub use faulty::{
+    crc32, deliver, Burst, ControlFate, DeliveryOutcome, FaultPlan, FaultyLink, FaultyLinkStats,
+    FrameFate, ReliabilityConfig, MAX_BURSTS,
+};
+pub use link::{LinkModel, RetryPolicy};
 pub use mover::{DmaMover, TransferRecord};
 pub use protocol::{InitiationProtocol, ProtocolKind};
-pub use remote::{Cluster, Destination, RemoteError, SharedCluster};
-pub use status::{Initiator, RejectReason, DMA_FAILURE, DMA_PENDING, DMA_STARTED};
+pub use remote::{Cluster, Destination, NodeLinkStats, RemoteError, SharedCluster};
+pub use status::{
+    Initiator, RejectReason, DMA_FAILURE, DMA_LINK_DOWN, DMA_LINK_FAILED, DMA_PENDING, DMA_STARTED,
+};
 pub use virt::{
     PendingFault, RemoteVaTarget, VirtDmaConfig, VirtStage, VirtState, VirtStats, VirtTransfer,
 };

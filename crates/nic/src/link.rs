@@ -84,6 +84,45 @@ impl Default for LinkModel {
     }
 }
 
+/// Bounded retry with exponential backoff — the one policy shared by
+/// every layer that retries over the link: the virtual-address unit's
+/// fruitless-resume budget and the go-back-N retransmit path both
+/// consult the same struct, so the constants live in exactly one place.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Consecutive fruitless attempts allowed before giving up. The
+    /// counter resets whenever the layer makes byte progress.
+    pub max_retries: u32,
+    /// Base backoff; doubles on each consecutive fruitless attempt.
+    pub backoff: SimTime,
+}
+
+impl RetryPolicy {
+    /// A policy with `max_retries` attempts starting at `backoff`.
+    pub fn new(max_retries: u32, backoff: SimTime) -> Self {
+        RetryPolicy { max_retries, backoff }
+    }
+
+    /// The stall charged before fruitless attempt number `attempt`
+    /// (0-based): `backoff << attempt`, shift capped so the arithmetic
+    /// never overflows.
+    pub fn backoff_after(&self, attempt: u32) -> SimTime {
+        SimTime::from_ps(self.backoff.as_ps() << attempt.min(16))
+    }
+
+    /// Whether `retries` consecutive fruitless attempts exhaust the
+    /// budget.
+    pub fn exhausted(&self, retries: u32) -> bool {
+        retries >= self.max_retries
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 3, backoff: SimTime::from_us(2) }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +157,18 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_bandwidth_panics() {
         let _ = LinkModel::new("t", 0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let p = RetryPolicy::new(3, SimTime::from_us(2));
+        assert_eq!(p.backoff_after(0), SimTime::from_us(2));
+        assert_eq!(p.backoff_after(1), SimTime::from_us(4));
+        assert_eq!(p.backoff_after(2), SimTime::from_us(8));
+        // The shift saturates at 16 rather than overflowing.
+        assert_eq!(p.backoff_after(40), p.backoff_after(16));
+        assert!(!p.exhausted(2));
+        assert!(p.exhausted(3));
+        assert!(p.exhausted(4));
     }
 }

@@ -1,5 +1,8 @@
 //! The DMA data mover: validates and performs transfers.
 
+use crate::faulty::{
+    deliver, DeliveryOutcome, FaultPlan, FaultyLink, FaultyLinkStats, ReliabilityConfig,
+};
 use crate::{Destination, Initiator, LinkModel, RejectReason, SharedCluster};
 use udma_bus::{SharedMemory, SimTime};
 use udma_mem::{PhysAddr, PAGE_SIZE};
@@ -61,17 +64,72 @@ pub struct DmaMover {
     link: LinkModel,
     cluster: Option<SharedCluster>,
     records: Vec<TransferRecord>,
+    /// Chaos wrapper over the cluster link. While attached, every
+    /// remote transfer runs the go-back-N reliability protocol instead
+    /// of the ideal wire.
+    faulty: Option<FaultyLink>,
+    reliability: ReliabilityConfig,
+    /// Outcome of the most recent reliable remote transfer (None when
+    /// the ideal wire carried it).
+    last_delivery: Option<DeliveryOutcome>,
 }
 
 impl DmaMover {
     /// Creates a mover over the machine's memory and link.
     pub fn new(mem: SharedMemory, link: LinkModel) -> Self {
-        DmaMover { mem, link, cluster: None, records: Vec::new() }
+        DmaMover {
+            mem,
+            link,
+            cluster: None,
+            records: Vec::new(),
+            faulty: None,
+            reliability: ReliabilityConfig::default(),
+            last_delivery: None,
+        }
     }
 
     /// Attaches the cluster of remote nodes reachable over the link.
     pub fn attach_cluster(&mut self, cluster: SharedCluster) {
         self.cluster = Some(cluster);
+    }
+
+    /// Wraps the cluster link in seeded chaos: from now on every remote
+    /// transfer is framed, checksummed and carried by go-back-N across
+    /// the faults `plan` scripts.
+    pub fn attach_chaos(&mut self, plan: FaultPlan) {
+        self.faulty = Some(FaultyLink::new(plan));
+    }
+
+    /// Sets the reliability tunables (framing, window, timeouts).
+    pub fn set_reliability(&mut self, rel: ReliabilityConfig) {
+        self.reliability = rel;
+    }
+
+    /// The reliability tunables in force.
+    pub fn reliability(&self) -> ReliabilityConfig {
+        self.reliability
+    }
+
+    /// Whether a chaos plan wraps the link.
+    pub fn has_chaos(&self) -> bool {
+        self.faulty.is_some()
+    }
+
+    /// Everything the chaos link has done, if one is attached.
+    pub fn chaos_stats(&self) -> Option<FaultyLinkStats> {
+        self.faulty.as_ref().map(|f| f.stats())
+    }
+
+    /// Mutable chaos link (the engine consults it for control-message
+    /// fates).
+    pub fn chaos_mut(&mut self) -> Option<&mut FaultyLink> {
+        self.faulty.as_mut()
+    }
+
+    /// Outcome of the most recent remote transfer that ran the
+    /// reliability protocol (None when the ideal wire carried it).
+    pub fn last_delivery(&self) -> Option<DeliveryOutcome> {
+        self.last_delivery
     }
 
     /// The attached cluster, if any.
@@ -162,14 +220,39 @@ impl DmaMover {
         let mut buf = vec![0u8; size as usize];
         self.mem.borrow().read_bytes(src, &mut buf).map_err(|_| RejectReason::BadRange)?;
         let cluster = self.cluster.as_ref().ok_or(RejectReason::BadRange)?;
-        cluster.borrow_mut().deposit(node, addr, &buf).map_err(|_| RejectReason::BadRange)?;
+        self.last_delivery = None;
+        let (deposited, finished) = match &mut self.faulty {
+            // Chaos attached: the go-back-N layer frames, checksums and
+            // retransmits; only the in-order prefix the receiver acked
+            // is deposited, and the sender's clock carries every
+            // retransmission and stall.
+            Some(faulty) => {
+                let (outcome, bytes) = deliver(&self.link, &self.reliability, faulty, &buf);
+                if !bytes.is_empty() {
+                    cluster
+                        .borrow_mut()
+                        .deposit(node, addr, &bytes)
+                        .map_err(|_| RejectReason::BadRange)?;
+                }
+                cluster.borrow_mut().note_delivery(node, &outcome);
+                self.last_delivery = Some(outcome);
+                (outcome.delivered, now + outcome.elapsed)
+            }
+            None => {
+                cluster
+                    .borrow_mut()
+                    .deposit(node, addr, &buf)
+                    .map_err(|_| RejectReason::BadRange)?;
+                (size, now + self.link.transfer_time(size))
+            }
+        };
         let rec = TransferRecord {
             src,
             dst: addr,
             remote_node: Some(node),
-            size,
+            size: deposited,
             started: now,
-            finished: now + self.link.transfer_time(size),
+            finished,
             initiator,
         };
         self.records.push(rec);

@@ -15,6 +15,7 @@
 //! a translation failure NACKs the packet back to the sender instead of
 //! depositing anywhere.
 
+use crate::faulty::DeliveryOutcome;
 use crate::virt::PendingFault;
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -58,6 +59,24 @@ impl fmt::Display for RemoteError {
 
 impl std::error::Error for RemoteError {}
 
+/// What a node's receive-side delivery engine saw cross the (possibly
+/// lossy) link: the counters the go-back-N layer reports per deposit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeLinkStats {
+    /// Reliable deliveries addressed to this node.
+    pub deliveries: u64,
+    /// Bytes accepted in order (the deposited payload).
+    pub bytes_accepted: u64,
+    /// Data frames retransmitted to this node.
+    pub retransmits: u64,
+    /// Frames discarded for a bad CRC — none of these were ever acked.
+    pub crc_dropped: u64,
+    /// Duplicate frames ignored (cumulative ACK already covered them).
+    pub dup_ignored: u64,
+    /// Out-of-order frames a go-back-N receiver discards.
+    pub ooo_discarded: u64,
+}
+
 /// One remote workstation: its memory, and — when virtual-address RDMA
 /// is enabled — its receive-side translation unit and NACK queue.
 #[derive(Clone, Debug)]
@@ -73,6 +92,8 @@ struct RemoteNode {
     /// NACKs ever raised (monotonic; the queue length only reports
     /// pending ones).
     nacks_raised: u64,
+    /// Receive-side view of the lossy link (all zero on an ideal wire).
+    link_stats: NodeLinkStats,
 }
 
 /// The remote nodes reachable over the machine's link.
@@ -91,6 +112,7 @@ impl Cluster {
                     iommu: None,
                     nacks: VecDeque::new(),
                     nacks_raised: 0,
+                    link_stats: NodeLinkStats::default(),
                 })
                 .collect(),
         }
@@ -241,6 +263,30 @@ impl Cluster {
     /// NACKs ever raised by `node` (including serviced ones).
     pub fn faults_raised(&self, node: u32) -> u64 {
         self.nodes.get(node as usize).map_or(0, |n| n.nacks_raised)
+    }
+
+    /// Folds one reliable delivery's outcome into `node`'s receive-side
+    /// link counters (the mover calls this per deposit over a chaos
+    /// link).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist — the mover deposits only to
+    /// validated nodes.
+    pub fn note_delivery(&mut self, node: u32, outcome: &DeliveryOutcome) {
+        let s = &mut self.nodes[node as usize].link_stats;
+        s.deliveries += 1;
+        s.bytes_accepted += outcome.delivered;
+        s.retransmits += outcome.retransmits as u64;
+        s.crc_dropped += outcome.crc_dropped as u64;
+        s.dup_ignored += outcome.dup_ignored as u64;
+        s.ooo_discarded += outcome.ooo_discarded as u64;
+    }
+
+    /// Receive-side link counters of `node` (all zero on an ideal wire
+    /// or a missing node).
+    pub fn link_stats(&self, node: u32) -> NodeLinkStats {
+        self.nodes.get(node as usize).map_or(NodeLinkStats::default(), |n| n.link_stats)
     }
 }
 

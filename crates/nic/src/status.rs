@@ -14,6 +14,19 @@ pub const DMA_STARTED: u64 = 0;
 /// is progressing correctly.
 pub const DMA_PENDING: u64 = 1;
 
+/// Returned by a status load when a remote transfer was aborted by the
+/// link watchdog: the link stopped making forward progress (retry budget
+/// exhausted or deadline passed), and exactly the contiguous in-order
+/// prefix of the transfer was delivered. Distinct from [`DMA_FAILURE`]
+/// (`-2`) so software can tell a protection failure from a transport
+/// failure.
+pub const DMA_LINK_FAILED: u64 = u64::MAX - 1;
+
+/// Returned when the remote path is circuit-broken: too many consecutive
+/// link-failed transfers, so the engine fails new remote posts fast
+/// (`-3`) until the OS repairs the link.
+pub const DMA_LINK_DOWN: u64 = u64::MAX - 2;
+
 /// Who asked the engine to start a transfer (bookkeeping for tests and
 /// statistics; carries no protocol authority).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,6 +78,9 @@ pub enum RejectReason {
     MissingArgs,
     /// Source and destination context ids disagree (§3.2 pairwise check).
     CtxMismatch,
+    /// The remote path is circuit-broken after consecutive link-failed
+    /// transfers; posts fail fast until the link is repaired.
+    LinkDown,
 }
 
 impl fmt::Display for RejectReason {
@@ -77,6 +93,7 @@ impl fmt::Display for RejectReason {
             RejectReason::BadSequence => "shadow access out of protocol order",
             RejectReason::MissingArgs => "initiation with missing arguments",
             RejectReason::CtxMismatch => "source/destination context mismatch",
+            RejectReason::LinkDown => "remote link circuit-broken",
         };
         f.write_str(s)
     }
@@ -88,14 +105,19 @@ mod tests {
 
     #[test]
     fn status_constants_are_distinct() {
-        assert_ne!(DMA_FAILURE, DMA_STARTED);
-        assert_ne!(DMA_FAILURE, DMA_PENDING);
-        assert_ne!(DMA_STARTED, DMA_PENDING);
+        let all = [DMA_FAILURE, DMA_STARTED, DMA_PENDING, DMA_LINK_FAILED, DMA_LINK_DOWN];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
     }
 
     #[test]
     fn failure_is_minus_one() {
         assert_eq!(DMA_FAILURE as i64, -1);
+        assert_eq!(DMA_LINK_FAILED as i64, -2);
+        assert_eq!(DMA_LINK_DOWN as i64, -3);
     }
 
     #[test]

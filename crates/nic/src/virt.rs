@@ -9,6 +9,7 @@
 //! fault are transferred, bytes from the faulting page on are not — the
 //! engine never writes part of a page and never silently drops a tail.
 
+use crate::link::RetryPolicy;
 use udma_bus::SimTime;
 use udma_iommu::{Asid, IoFault};
 use udma_mem::VirtAddr;
@@ -18,11 +19,11 @@ use udma_mem::VirtAddr;
 pub struct VirtDmaConfig {
     /// Latency of one I/O page-table walk (charged per IOTLB miss).
     pub walk_latency: SimTime,
-    /// Resume attempts allowed per stretch of no progress before the
-    /// transfer fails with its reported fault.
-    pub max_retries: u32,
-    /// Base retry backoff; doubles on each consecutive fruitless retry.
-    pub retry_backoff: SimTime,
+    /// Bounded-resume policy: attempts allowed per stretch of no
+    /// progress before the transfer fails, and the (doubling) backoff
+    /// charged per fruitless attempt. Shared shape with the link-level
+    /// retransmit path ([`crate::ReliabilityConfig`]).
+    pub retry: RetryPolicy,
 }
 
 impl Default for VirtDmaConfig {
@@ -30,8 +31,7 @@ impl Default for VirtDmaConfig {
         VirtDmaConfig {
             // A walk is a couple of device-side memory reads.
             walk_latency: SimTime::from_ns(400),
-            max_retries: 3,
-            retry_backoff: SimTime::from_us(2),
+            retry: RetryPolicy::new(3, SimTime::from_us(2)),
         }
     }
 }
@@ -50,6 +50,11 @@ pub enum VirtState {
     /// unresolvable. The fault is the report; no partial page was
     /// written.
     Failed(IoFault),
+    /// Aborted by the link layer: the retransmit budget ran dry or the
+    /// watchdog saw no forward progress within its deadline. Exactly the
+    /// contiguous in-order prefix (`moved`) was delivered; a status load
+    /// returns [`crate::DMA_LINK_FAILED`].
+    LinkFailed,
 }
 
 /// The remote end of a virtual-address transfer whose destination lives
@@ -105,6 +110,18 @@ pub struct VirtTransfer {
     /// for every remote fault, the cross-link cost E13 isolates. Always
     /// a subset of `stall`.
     pub nack_stall: SimTime,
+    /// Data frames retransmitted by the go-back-N layer (remote
+    /// transfers over a lossy link only).
+    pub retransmits: u32,
+    /// Retransmit-timer expiries the go-back-N layer charged.
+    pub link_timeouts: u32,
+    /// Time lost to retransmit timeouts and link-level backoff alone —
+    /// the E14 cost. Always a subset of `stall`.
+    pub link_stall: SimTime,
+    /// When the transfer last made byte progress (= `started` until the
+    /// first chunk lands). The watchdog aborts a non-terminal remote
+    /// transfer whose `last_progress` is older than its deadline.
+    pub last_progress: SimTime,
 }
 
 impl VirtTransfer {
@@ -125,7 +142,7 @@ impl VirtTransfer {
 
     /// Whether the transfer reached a terminal state.
     pub fn is_terminal(&self) -> bool {
-        matches!(self.state, VirtState::Complete | VirtState::Failed(_))
+        matches!(self.state, VirtState::Complete | VirtState::Failed(_) | VirtState::LinkFailed)
     }
 }
 
@@ -158,6 +175,14 @@ pub struct VirtStats {
     pub remote_faults: u64,
     /// NACK packets that crossed the link back to this sender.
     pub nacks: u64,
+    /// Transfers aborted by the link layer (watchdog deadline or
+    /// retransmit budget) — a subset of neither `completed` nor
+    /// `failed`.
+    pub link_failed: u64,
+    /// Data frames retransmitted by the go-back-N layer.
+    pub retransmits: u64,
+    /// Retransmit-timer expiries charged by the go-back-N layer.
+    pub link_timeouts: u64,
 }
 
 /// Per-context staging registers for the `CTX_VIRT_*` window.
@@ -194,6 +219,10 @@ mod tests {
             stall: SimTime::ZERO,
             nacks: 0,
             nack_stall: SimTime::ZERO,
+            retransmits: 0,
+            link_timeouts: 0,
+            link_stall: SimTime::ZERO,
+            last_progress: SimTime::ZERO,
         };
         // At the clock: only the unmoved tail remains.
         assert_eq!(t.remaining_at(SimTime::from_us(6)), 400);

@@ -95,6 +95,13 @@ impl RemoteFaultService {
     /// resolution and the service time (charged on top of the NACK round
     /// trip the sender already paid). An ASID the node never created is
     /// unresolvable.
+    ///
+    /// **Idempotent under retransmission.** A lossy link may deliver the
+    /// same fault notification twice (the sender retransmits control
+    /// traffic it cannot confirm). Servicing an already-serviced fault
+    /// re-resolves to the same translation — it never remaps the page to
+    /// a fresh frame, never double-charges a swap-in, and never flips a
+    /// resolvable fault to unresolvable.
     pub fn service(&mut self, fault: &IoFault, iommu: &mut Iommu) -> (FaultResolution, SimTime) {
         match self.tables.get_mut(&fault.asid) {
             Some(pt) => self.service.service(fault, pt, &mut self.vm, iommu),
@@ -198,6 +205,27 @@ mod tests {
         // Unpin, and the swapper may take it again.
         iommu.set_pinned(7, page, false).unwrap();
         assert_eq!(os.swap_out(7, page, &mut iommu), Ok(()));
+    }
+
+    #[test]
+    fn retransmitted_fault_notification_is_serviced_idempotently() {
+        let mut os = RemoteFaultService::new(1 << 20, FaultCosts::default());
+        let mut iommu = Iommu::new(IotlbConfig::default());
+        iommu.create_context(7);
+        os.expose(7, VirtAddr::new(0x4000), 1, Perms::READ_WRITE).unwrap();
+        // First delivery of the notification: maps and pins the page.
+        let (first, _) = os.service(&fault(7, 0x4000), &mut iommu);
+        assert_eq!(first, FaultResolution::Mapped);
+        let frame = iommu.translate(7, VirtAddr::new(0x4000), Access::Write).unwrap();
+        // The link duplicated the notification: the second service must
+        // resolve identically, to the *same* frame, without a second
+        // swap-in or a remap.
+        let (second, _) = os.service(&fault(7, 0x4000), &mut iommu);
+        assert!(matches!(second, FaultResolution::Mapped | FaultResolution::SwappedIn));
+        assert_eq!(iommu.translate(7, VirtAddr::new(0x4000), Access::Write).unwrap(), frame);
+        assert_eq!(os.stats().serviced, 2, "both deliveries are accounted");
+        assert_eq!(os.stats().swapped_in, 0, "no phantom swap-in on the duplicate");
+        assert!(!os.swapped_out(7, VirtAddr::new(0x4000).page()));
     }
 
     #[test]

@@ -16,7 +16,9 @@
 //! * [`sweeps`] — parameter sweeps: bus frequency (E7), message-size
 //!   crossover inputs (E8), atomic-operation comparison (E9);
 //! * [`va`] — virtual-address DMA: IOTLB capacity sweep (E11),
-//!   fault-rate sweep (E12) and the remote-fault × link sweep (E13).
+//!   fault-rate sweep (E12) and the remote-fault × link sweep (E13);
+//! * [`lossy`] — reliable delivery over a lossy link: goodput and p99
+//!   completion vs loss rate × retry budget (E14).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +26,7 @@
 pub mod ablations;
 pub mod contention;
 pub mod keyguess;
+pub mod lossy;
 pub mod microbench;
 pub mod now;
 pub mod scenarios;
@@ -36,6 +39,7 @@ pub use ablations::{
 };
 pub use contention::{run_contention, ContentionResult};
 pub use keyguess::{guess_acceptance, pollution_with_known_key, GuessStats};
+pub use lossy::{lossy_link_sweep, LossyLinkRow};
 pub use microbench::{context_switch, dcache_effect, empty_syscall, tlb_miss};
 pub use now::{broadcast, BroadcastResult};
 pub use scenarios::{

@@ -176,7 +176,7 @@ fn dropped_nack_terminates_bounded_with_failure_not_partial_success() {
     let id = m
         .post_virt_remote(pid, src, NODE, REMOTE_ASID, VirtAddr::new(REMOTE_VA), 2 * PAGE_SIZE)
         .unwrap();
-    let max_retries = m.engine().core().virt_config().max_retries;
+    let max_retries = m.engine().core().virt_config().retry.max_retries;
     let cluster = m.cluster().unwrap();
 
     let mut resumes = 0;
@@ -256,6 +256,140 @@ fn duplicated_nack_is_serviced_idempotently() {
     let mut got = vec![0u8; PAGE_SIZE as usize];
     cl.read(NODE, frame, &mut got).unwrap();
     assert_eq!(got, data, "duplicate service corrupted the deposit");
+}
+
+// ---- data-frame chaos: drops, duplicates, reorders, corruption -----
+
+use udma_nic::{FaultPlan, DMA_LINK_FAILED};
+
+/// A remote-capable machine whose outgoing link runs a seeded fault
+/// plan. Pin-on-post on both sides so no VA fault can NACK — every
+/// observed disturbance is the link layer's own.
+fn chaos_setup(pages: u64, plan: FaultPlan) -> (Machine, udma_cpu::Pid, Vec<u8>) {
+    let mut m = Machine::new(MachineConfig {
+        virt_dma: Some(VirtDmaSetup::pin_on_post(udma_iommu::IotlbConfig::default())),
+        remote_nodes: 1,
+        link_chaos: Some(plan),
+        ..MachineConfig::new(DmaMethod::Kernel)
+    });
+    let pid = m.spawn(&Spec::two_buffers_of(pages), |_| ProgramBuilder::new().halt().build());
+    m.grant_remote_buffer(
+        NODE,
+        REMOTE_ASID,
+        VirtAddr::new(REMOTE_VA),
+        pages,
+        udma_mem::Perms::READ_WRITE,
+    );
+    let src_frame = m.env(pid).buffer(0).first_frame;
+    let data: Vec<u8> = (0..pages * PAGE_SIZE).map(|i| (i % 251) as u8).collect();
+    m.memory().borrow_mut().write_bytes(src_frame.base(), &data).unwrap();
+    (m, pid, data)
+}
+
+/// Bytes the remote grant holds, read through the node's IOMMU.
+fn remote_bytes(m: &Machine, pages: u64) -> Vec<u8> {
+    let cluster = m.cluster().unwrap();
+    let cl = cluster.borrow();
+    let mut got = vec![0u8; (pages * PAGE_SIZE) as usize];
+    for p in 0..pages {
+        let frame = cl
+            .node_iommu(NODE)
+            .and_then(|i| i.table(REMOTE_ASID))
+            .and_then(|t| t.entry(VirtAddr::new(REMOTE_VA + p * PAGE_SIZE).page()))
+            .map(|e| e.frame.base())
+            .unwrap();
+        let s = (p * PAGE_SIZE) as usize;
+        cl.read(NODE, frame, &mut got[s..s + PAGE_SIZE as usize]).unwrap();
+    }
+    got
+}
+
+/// Dropped data frames force go-back-N retransmits, but every byte
+/// still lands, in order and bit-exact.
+#[test]
+fn dropped_data_frames_retransmit_until_every_byte_lands() {
+    let (mut m, pid, data) = chaos_setup(2, FaultPlan::lossless(0xD0D0).with_drop(0.25));
+    let src = m.env(pid).buffer(0).va;
+    let id = m
+        .post_virt_remote(pid, src, NODE, REMOTE_ASID, VirtAddr::new(REMOTE_VA), 2 * PAGE_SIZE)
+        .unwrap();
+    assert_eq!(m.run_virt(id, 64), VirtState::Complete);
+
+    let t = m.virt_xfer(id).unwrap();
+    assert_eq!(t.moved, 2 * PAGE_SIZE);
+    assert!(t.retransmits > 0, "a 25% loss rate must cost retransmits");
+    assert!(t.link_stall > udma_bus::SimTime::ZERO, "recovery time must be charged");
+    let chaos = m.link_chaos_stats().unwrap();
+    assert!(chaos.dropped > 0);
+    assert!(m.node_link_stats(NODE).retransmits > 0);
+    assert_eq!(remote_bytes(&m, 2), data, "retransmission corrupted the deposit");
+}
+
+/// Duplicated and reordered frames are absorbed by the sequence-number
+/// discipline: duplicates ignored, out-of-order arrivals discarded and
+/// re-sent, deposit bit-exact.
+#[test]
+fn duplicated_and_reordered_frames_never_corrupt_the_deposit() {
+    let plan = FaultPlan::lossless(0xBEEF).with_duplicate(0.2).with_reorder(0.2);
+    let (mut m, pid, data) = chaos_setup(2, plan);
+    let src = m.env(pid).buffer(0).va;
+    let id = m
+        .post_virt_remote(pid, src, NODE, REMOTE_ASID, VirtAddr::new(REMOTE_VA), 2 * PAGE_SIZE)
+        .unwrap();
+    assert_eq!(m.run_virt(id, 64), VirtState::Complete);
+
+    let chaos = m.link_chaos_stats().unwrap();
+    assert!(chaos.duplicated > 0 && chaos.reordered > 0, "plan must actually fire");
+    let node = m.node_link_stats(NODE);
+    assert!(node.dup_ignored > 0, "receiver must have seen (and ignored) duplicates");
+    assert!(node.ooo_discarded > 0, "receiver must have discarded out-of-order frames");
+    assert_eq!(remote_bytes(&m, 2), data, "reordering corrupted the deposit");
+}
+
+/// A corrupted frame is *never* acknowledged: the CRC catches every one,
+/// the receiver drops it, and go-back-N resends until a clean copy
+/// lands. The deposit is bit-exact.
+#[test]
+fn corrupted_frames_are_dropped_by_crc_and_never_acked() {
+    let (mut m, pid, data) = chaos_setup(2, FaultPlan::lossless(0xC4C4).with_corrupt(0.3));
+    let src = m.env(pid).buffer(0).va;
+    let id = m
+        .post_virt_remote(pid, src, NODE, REMOTE_ASID, VirtAddr::new(REMOTE_VA), 2 * PAGE_SIZE)
+        .unwrap();
+    assert_eq!(m.run_virt(id, 64), VirtState::Complete);
+
+    let chaos = m.link_chaos_stats().unwrap();
+    assert!(chaos.corrupted > 0, "plan must actually fire");
+    // Every mangled frame was caught by the CRC — none was acked into
+    // the deposit, so the received bytes are exactly the source bytes.
+    assert_eq!(m.node_link_stats(NODE).crc_dropped, chaos.corrupted);
+    assert_eq!(remote_bytes(&m, 2), data, "a corrupted frame slipped past the CRC");
+}
+
+/// A burst outage longer than the retry budget aborts the transfer with
+/// `DMA_LINK_FAILED`, leaving *exactly* the contiguous in-order prefix —
+/// the frames acked before the outage — and not one byte more.
+#[test]
+fn burst_outage_aborts_with_exact_in_order_prefix() {
+    // Frames 0..3 deliver; the outage swallows everything after.
+    let (mut m, pid, data) = chaos_setup(1, FaultPlan::lossless(1).with_burst(3, 1_000_000));
+    let mtu = m.config().reliability.mtu;
+    let src = m.env(pid).buffer(0).va;
+    let id = m
+        .post_virt_remote(pid, src, NODE, REMOTE_ASID, VirtAddr::new(REMOTE_VA), PAGE_SIZE)
+        .unwrap();
+
+    let t = m.virt_xfer(id).unwrap();
+    assert_eq!(t.state, VirtState::LinkFailed);
+    assert_eq!(t.moved, 3 * mtu, "prefix must be exactly the acked frames");
+    assert!(t.link_timeouts > 0);
+    let now = m.time();
+    assert_eq!(m.engine().core_mut().virt_status(id, now), DMA_LINK_FAILED);
+
+    let got = remote_bytes(&m, 1);
+    let cut = (3 * mtu) as usize;
+    assert_eq!(&got[..cut], &data[..cut], "in-order prefix corrupted");
+    assert!(got[cut..].iter().all(|&b| b == 0), "bytes leaked past the abort point");
 }
 
 /// Step-limit exhaustion reports `finished = false` and leaves state

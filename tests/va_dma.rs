@@ -104,7 +104,7 @@ fn retry_budget_exhausts_to_failure_without_os_service() {
     let pid = m.spawn(&ProcessSpec::two_buffers_of(1), |_| ProgramBuilder::new().halt().build());
     let (src, dst) = (m.env(pid).buffer(0).va, m.env(pid).buffer(1).va);
     let id = m.post_virt(pid, src, dst, 64).unwrap();
-    let max_retries = m.engine().core().virt_config().max_retries;
+    let max_retries = m.engine().core().virt_config().retry.max_retries;
 
     // Model a lost fault: the OS never services it, the engine retries
     // on its own with bounded backoff until the budget runs out.
