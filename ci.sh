@@ -20,6 +20,12 @@ echo "== VA property/explorer replay (pinned seed) =="
 UDMA_PROP_SEED=3603 cargo test -q --offline \
   --test va_dma --test remote_va_dma --test fault_injection
 
+echo "== translation-pipeline replay (pinned seed) =="
+# Second seed over the VA suites aimed at the pipeline additions: the
+# pipelined-vs-demand oracle equivalence property and the
+# prefetch/shootdown race explorer (DESIGN.md §4e, E15).
+UDMA_PROP_SEED=3605 cargo test -q --offline --test va_dma --test remote_va_dma
+
 echo "== lossy-link chaos replay (pinned seed) =="
 # Seeded chaos replay of the go-back-N/watchdog/breaker suite: the
 # FaultyLink acceptance property (chaos vs lossless oracle) and the

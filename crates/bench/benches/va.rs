@@ -1,10 +1,13 @@
-//! E11–E13 — virtual-address DMA: IOTLB capacity, the cost of page
-//! faults taken mid-transfer, and the cross-link remote-fault path.
+//! E11–E13, E15 — virtual-address DMA: IOTLB capacity, the cost of page
+//! faults taken mid-transfer, the cross-link remote-fault path, and the
+//! translation pipeline (prefetch, batched walks, chunk coalescing).
 
 use std::hint::black_box;
 use udma_nic::LinkModel;
 use udma_testkit::bench::{run_target, BenchConfig};
-use udma_workloads::{fault_rate_sweep, iotlb_sweep, remote_fault_sweep};
+use udma_workloads::{
+    fault_rate_sweep, iotlb_sweep, pipeline_sweep, remote_fault_sweep, remote_pipeline_sweep,
+};
 
 fn main() {
     for row in iotlb_sweep(&[4, 8, 16, 32, 64], 16, 4) {
@@ -32,6 +35,33 @@ fn main() {
             row.prefaulted_pct,
             row.remote_faults,
             row.nack_stall.as_us(),
+            row.stall.as_us(),
+            row.completion.as_us()
+        );
+    }
+    for row in pipeline_sweep(&[0, 2, 8], &[8, 64], &[1, 8], 16) {
+        println!(
+            "E15 local  depth {:>2} × {:>3} entries × coalesce {:>2}: {:>3} chunks, \
+             {:>3} misses ({:>3} hidden), stall {:>7.2} µs, completion {:>8.2} µs",
+            row.depth,
+            row.entries,
+            row.max_coalesce,
+            row.chunks,
+            row.misses,
+            row.prefetch_hidden,
+            row.stall.as_us(),
+            row.completion.as_us()
+        );
+    }
+    for row in remote_pipeline_sweep(&[0, 2, 8], &[64], &[1, 8], 8) {
+        println!(
+            "E15 remote depth {:>2} × {:>3} entries × coalesce {:>2}: {:>3} chunks, \
+             {:>2} NACKs, stall {:>8.2} µs, completion {:>9.2} µs",
+            row.depth,
+            row.entries,
+            row.max_coalesce,
+            row.chunks,
+            row.nacks,
             row.stall.as_us(),
             row.completion.as_us()
         );
@@ -67,6 +97,28 @@ fn main() {
                     // slow link pays 10× the fast one (acceptance: E13).
                     assert_eq!(rows[2].nack_stall.as_ps(), rows[0].nack_stall.as_ps() * 10);
                     assert_eq!(rows[1].remote_faults, 0);
+                    black_box(rows);
+                }),
+            ),
+            (
+                "E15_pipeline_sweep",
+                Box::new(|| {
+                    let rows = pipeline_sweep(&[0, 4], &[64], &[1, 4], 8);
+                    // Prefetch hides blocking walks; coalescing (behind
+                    // the prefetcher) shrinks chunks (acceptance: E15).
+                    assert!(rows[2].stall < rows[0].stall);
+                    assert!(rows[3].chunks < rows[2].chunks);
+                    black_box(rows);
+                }),
+            ),
+            (
+                "E15_remote_pipeline_sweep",
+                Box::new(|| {
+                    let rows = remote_pipeline_sweep(&[0, 4], &[64], &[1], 4);
+                    // An announced cold range costs one NACK round trip
+                    // instead of one per page (acceptance: E15).
+                    assert_eq!(rows[0].nacks, 4);
+                    assert_eq!(rows[1].nacks, 1);
                     black_box(rows);
                 }),
             ),

@@ -492,6 +492,42 @@ fn e14_lossy_link(loss_pcts: &[u32], budgets: &[u32], pages: u64, transfers: u32
     println!("{t}");
 }
 
+fn e15_translation_pipeline(pages: u64) {
+    let mut t = Table::new(
+        "E15 — translation pipeline: prefetch depth × IOTLB capacity × chunk coalescing",
+        &[
+            "variant",
+            "depth",
+            "IOTLB",
+            "coalesce",
+            "chunks",
+            "misses",
+            "hidden",
+            "NACKs",
+            "stall (µs)",
+            "completion (µs)",
+        ],
+    );
+    let rows = udma_workloads::pipeline_sweep(&[0, 2, 8], &[8, 64], &[1, 8], pages)
+        .into_iter()
+        .chain(udma_workloads::remote_pipeline_sweep(&[0, 8], &[64], &[1, 8], pages));
+    for row in rows {
+        t.row_owned(vec![
+            row.variant.to_string(),
+            row.depth.to_string(),
+            row.entries.to_string(),
+            row.max_coalesce.to_string(),
+            row.chunks.to_string(),
+            row.misses.to_string(),
+            row.prefetch_hidden.to_string(),
+            row.nacks.to_string(),
+            format!("{:.2}", row.stall.as_us()),
+            format!("{:.2}", row.completion.as_us()),
+        ]);
+    }
+    println!("{t}");
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     if smoke {
@@ -506,6 +542,7 @@ fn main() {
         e10_key_guessing();
         e13_remote_va(4);
         e14_lossy_link(&[0, 25], &[2, 6], 2, 6);
+        e15_translation_pipeline(4);
         microbench_host(50);
         return;
     }
@@ -527,6 +564,7 @@ fn main() {
     ablation_contexts();
     e13_remote_va(8);
     e14_lossy_link(&[0, 10, 20, 30, 40], &[1, 3, 6], 4, 16);
+    e15_translation_pipeline(8);
     messaging_layer();
     pingpong_latency();
     microbench_host(500);

@@ -712,8 +712,17 @@ impl Machine {
                 let now = self.executor.now();
                 let (resolution, cost) = {
                     let mut cl = cluster.borrow_mut();
+                    let announced = cl.announcement(node, pending.xfer);
                     let iommu = cl.node_iommu_mut(node).expect("remote faults imply node IOMMUs");
-                    self.remote_os[node as usize].service(&pending.fault, iommu)
+                    let os = &mut self.remote_os[node as usize];
+                    match announced {
+                        // The sender announced the transfer's whole
+                        // destination range: service it in one kernel
+                        // entry so the device takes one NACK for the
+                        // range, not one per page.
+                        Some(a) => os.service_announced(&pending.fault, a.va, a.len, iommu),
+                        None => os.service(&pending.fault, iommu),
+                    }
                 };
                 let mut core = self.engine.core_mut();
                 match resolution {

@@ -61,6 +61,15 @@ pub struct IotlbStats {
     pub shootdowns: u64,
     /// Selective per-ASID invalidations (address-space teardown).
     pub asid_flushes: u64,
+    /// Lines filled by the prefetcher ([`Iotlb::insert_prefetched`]),
+    /// i.e. page-table walks done ahead of the streaming cursor.
+    pub prefetch_fills: u64,
+    /// Demand lookups that hit a prefetched line on its first use —
+    /// compulsory misses the prefetcher hid.
+    pub prefetch_hidden: u64,
+    /// Prefetched lines dropped (evicted, shot down, flushed or
+    /// overwritten) before any demand access used them: wasted walks.
+    pub prefetch_unused: u64,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -71,6 +80,8 @@ struct Line {
     perms: Perms,
     /// LRU timestamp (monotonic fill/touch tick).
     stamp: u64,
+    /// Filled ahead of demand and not yet used by a demand access.
+    prefetched: bool,
 }
 
 /// The translation cache proper.
@@ -83,6 +94,9 @@ pub struct Iotlb {
     tick: u64,
     rng_state: u64,
     stats: IotlbStats,
+    /// Valid-line count, maintained on every fill/invalidate so
+    /// [`Iotlb::len`] is O(1) instead of a full scan.
+    live: usize,
 }
 
 impl Iotlb {
@@ -108,6 +122,7 @@ impl Iotlb {
             tick: 0,
             rng_state: config.seed,
             stats: IotlbStats::default(),
+            live: 0,
         }
     }
 
@@ -121,9 +136,10 @@ impl Iotlb {
         self.sets.len() * self.ways
     }
 
-    /// Valid entries currently cached.
+    /// Valid entries currently cached (O(1): a live counter maintained
+    /// on fill and invalidation, not a scan over every set).
     pub fn len(&self) -> usize {
-        self.sets.iter().flatten().filter(|l| l.is_some()).count()
+        self.live
     }
 
     /// Whether the IOTLB caches nothing.
@@ -173,6 +189,10 @@ impl Iotlb {
         match hit {
             Some(line) => {
                 line.stamp = tick;
+                if line.prefetched {
+                    line.prefetched = false;
+                    self.stats.prefetch_hidden += 1;
+                }
                 self.stats.tlb.hits += 1;
                 Some((line.frame, line.perms))
             }
@@ -183,17 +203,87 @@ impl Iotlb {
         }
     }
 
+    /// Like [`Iotlb::lookup`] but a miss counts **nothing**: the
+    /// coalescing lookahead uses this to peek at the next page without
+    /// distorting the miss-delta walk-cost accounting in the engine. A
+    /// hit is a real use (the translation feeds a merged chunk), so it
+    /// still counts a hit, touches the LRU stamp and retires the
+    /// prefetched flag.
+    pub fn probe(
+        &mut self,
+        asid: Asid,
+        page: VirtPage,
+        needed: Perms,
+    ) -> Option<(PhysFrame, Perms)> {
+        let idx = self.set_index(asid, page);
+        let hit = self.sets[idx]
+            .iter_mut()
+            .flatten()
+            .find(|l| l.asid == asid && l.page == page && l.perms.allows(needed))?;
+        self.tick += 1;
+        hit.stamp = self.tick;
+        if hit.prefetched {
+            hit.prefetched = false;
+            self.stats.prefetch_hidden += 1;
+        }
+        self.stats.tlb.hits += 1;
+        Some((hit.frame, hit.perms))
+    }
+
+    /// Pure residency check: no counters, no LRU touch, no flag
+    /// retirement. The prefetcher uses this to skip pages that are
+    /// already cached with sufficient permissions.
+    pub fn contains(&self, asid: Asid, page: VirtPage, needed: Perms) -> bool {
+        let idx = self.set_index(asid, page);
+        self.sets[idx]
+            .iter()
+            .flatten()
+            .any(|l| l.asid == asid && l.page == page && l.perms.allows(needed))
+    }
+
     /// Fills a translation, evicting within the set per the replacement
     /// policy. An existing line for the same `(asid, page)` is updated
     /// in place (permission upgrade after a `protect`).
     pub fn insert(&mut self, asid: Asid, page: VirtPage, frame: PhysFrame, perms: Perms) {
+        self.fill(asid, page, frame, perms, false);
+    }
+
+    /// Fills a translation the prefetcher walked ahead of demand. The
+    /// line is tagged so its first demand use counts a hidden miss
+    /// ([`IotlbStats::prefetch_hidden`]) and a drop before any use
+    /// counts a wasted walk ([`IotlbStats::prefetch_unused`]).
+    pub fn insert_prefetched(
+        &mut self,
+        asid: Asid,
+        page: VirtPage,
+        frame: PhysFrame,
+        perms: Perms,
+    ) {
+        self.stats.prefetch_fills += 1;
+        self.fill(asid, page, frame, perms, true);
+    }
+
+    fn fill(
+        &mut self,
+        asid: Asid,
+        page: VirtPage,
+        frame: PhysFrame,
+        perms: Perms,
+        prefetched: bool,
+    ) {
         let idx = self.set_index(asid, page);
         self.tick += 1;
         let tick = self.tick;
         if let Some(line) =
             self.sets[idx].iter_mut().flatten().find(|l| l.asid == asid && l.page == page)
         {
-            *line = Line { asid, page, frame, perms, stamp: tick };
+            if line.prefetched && !prefetched {
+                // A demand walk overwrote the line before it served a
+                // demand access (e.g. a permission upgrade): the
+                // prefetched walk bought nothing.
+                self.stats.prefetch_unused += 1;
+            }
+            *line = Line { asid, page, frame, perms, stamp: tick, prefetched };
             return;
         }
         let way = match self.sets[idx].iter().position(|l| l.is_none()) {
@@ -206,49 +296,84 @@ impl Iotlb {
                         self.fifo_ptr[idx] = (w + 1) % self.ways;
                         w
                     }
+                    // Oldest *valid* line only: a vacant way must never
+                    // shadow a real victim with its default stamp (the
+                    // eviction branch implies a full set today, but the
+                    // invariant should not depend on that).
                     IotlbReplacement::Lru => self.sets[idx]
                         .iter()
                         .enumerate()
-                        .min_by_key(|(_, l)| l.map(|l| l.stamp).unwrap_or(0))
+                        .filter_map(|(w, l)| l.map(|l| (w, l.stamp)))
+                        .min_by_key(|&(_, stamp)| stamp)
                         .map(|(w, _)| w)
-                        .expect("ways > 0"),
+                        .expect("eviction requires a full set"),
                     IotlbReplacement::Random => (self.next_random() % self.ways as u64) as usize,
                 }
             }
         };
-        self.sets[idx][way] = Some(Line { asid, page, frame, perms, stamp: tick });
+        match self.sets[idx][way] {
+            Some(victim) => {
+                if victim.prefetched {
+                    self.stats.prefetch_unused += 1;
+                }
+            }
+            None => self.live += 1,
+        }
+        self.sets[idx][way] = Some(Line { asid, page, frame, perms, stamp: tick, prefetched });
     }
 
     /// Shoots down one page of one address space (OS unmap/swap-out).
     pub fn invalidate_page(&mut self, asid: Asid, page: VirtPage) {
         self.stats.shootdowns += 1;
         let idx = self.set_index(asid, page);
+        let mut dropped = 0;
+        let mut unused = 0;
         for line in self.sets[idx].iter_mut() {
-            if line.is_some_and(|l| l.asid == asid && l.page == page) {
-                *line = None;
+            if let Some(l) = line {
+                if l.asid == asid && l.page == page {
+                    dropped += 1;
+                    unused += u64::from(l.prefetched);
+                    *line = None;
+                }
             }
         }
+        self.live -= dropped;
+        self.stats.prefetch_unused += unused;
     }
 
     /// Invalidates every entry of one ASID — what a context teardown
     /// costs *instead of* a full flush, thanks to the tags.
     pub fn invalidate_asid(&mut self, asid: Asid) {
         self.stats.asid_flushes += 1;
+        let mut dropped = 0;
+        let mut unused = 0;
         for set in self.sets.iter_mut() {
             for line in set.iter_mut() {
-                if line.is_some_and(|l| l.asid == asid) {
-                    *line = None;
+                if let Some(l) = line {
+                    if l.asid == asid {
+                        dropped += 1;
+                        unused += u64::from(l.prefetched);
+                        *line = None;
+                    }
                 }
             }
         }
+        self.live -= dropped;
+        self.stats.prefetch_unused += unused;
     }
 
     /// Invalidates everything (device reset).
     pub fn flush_all(&mut self) {
         self.stats.tlb.flushes += 1;
         for set in self.sets.iter_mut() {
-            set.iter_mut().for_each(|l| *l = None);
+            for line in set.iter_mut() {
+                if let Some(l) = line {
+                    self.stats.prefetch_unused += u64::from(l.prefetched);
+                    *line = None;
+                }
+            }
         }
+        self.live = 0;
         self.fifo_ptr.iter_mut().for_each(|p| *p = 0);
     }
 }
@@ -366,5 +491,99 @@ mod tests {
     #[should_panic(expected = "multiple of the associativity")]
     fn bad_geometry_panics() {
         let _ = Iotlb::new(IotlbConfig { entries: 6, ways: 4, ..IotlbConfig::default() });
+    }
+
+    #[test]
+    fn lru_victim_is_the_oldest_valid_line() {
+        // A shootdown leaves a vacancy whose absent stamp must never be
+        // mistaken for "oldest". Refill through the vacancy, then force
+        // an eviction: the victim must be the stalest *valid* line.
+        let mut t = tlb(2, 2, IotlbReplacement::Lru);
+        t.insert(1, VirtPage::new(0), PhysFrame::new(0), Perms::READ); // stamp 1
+        t.insert(1, VirtPage::new(1), PhysFrame::new(1), Perms::READ); // stamp 2
+        t.lookup(1, VirtPage::new(0), Perms::READ).unwrap(); // page 0 → stamp 3
+        t.invalidate_page(1, VirtPage::new(1));
+        t.insert(1, VirtPage::new(2), PhysFrame::new(2), Perms::READ); // fills vacancy, stamp 4
+        assert_eq!(t.len(), 2);
+        t.insert(1, VirtPage::new(3), PhysFrame::new(3), Perms::READ); // evicts oldest valid: page 0
+        assert!(t.lookup(1, VirtPage::new(0), Perms::READ).is_none());
+        assert!(t.lookup(1, VirtPage::new(2), Perms::READ).is_some());
+        assert!(t.lookup(1, VirtPage::new(3), Perms::READ).is_some());
+        assert_eq!(t.stats().tlb.evictions, 1);
+    }
+
+    #[test]
+    fn prefetched_lines_count_hidden_and_unused() {
+        let mut t = tlb(8, 4, IotlbReplacement::Fifo);
+        t.insert_prefetched(1, VirtPage::new(0), PhysFrame::new(0), Perms::READ);
+        t.insert_prefetched(1, VirtPage::new(1), PhysFrame::new(1), Perms::READ);
+        assert_eq!(t.stats().prefetch_fills, 2);
+        // First demand use retires the flag exactly once.
+        t.lookup(1, VirtPage::new(0), Perms::READ).unwrap();
+        t.lookup(1, VirtPage::new(0), Perms::READ).unwrap();
+        assert_eq!(t.stats().prefetch_hidden, 1);
+        // The never-used line dropped by a shootdown is a wasted walk.
+        t.invalidate_page(1, VirtPage::new(1));
+        assert_eq!(t.stats().prefetch_unused, 1);
+        // A used line dropped later is not.
+        t.invalidate_page(1, VirtPage::new(0));
+        assert_eq!(t.stats().prefetch_unused, 1);
+    }
+
+    #[test]
+    fn probe_counts_no_miss() {
+        let mut t = tlb(4, 4, IotlbReplacement::Fifo);
+        assert!(t.probe(1, VirtPage::new(0), Perms::READ).is_none());
+        assert_eq!(t.stats().tlb.misses, 0);
+        t.insert_prefetched(1, VirtPage::new(0), PhysFrame::new(7), Perms::READ);
+        let (frame, _) = t.probe(1, VirtPage::new(0), Perms::READ).unwrap();
+        assert_eq!(frame, PhysFrame::new(7));
+        assert_eq!(t.stats().tlb.hits, 1);
+        assert_eq!(t.stats().prefetch_hidden, 1);
+        assert!(t.contains(1, VirtPage::new(0), Perms::READ));
+        assert!(!t.contains(1, VirtPage::new(0), Perms::WRITE));
+        // contains() is pure: counters unchanged.
+        assert_eq!(t.stats().tlb.hits, 1);
+        assert_eq!(t.stats().tlb.misses, 0);
+    }
+
+    #[test]
+    fn live_counter_matches_a_full_scan_after_random_ops() {
+        // O(1) len() selftest: drive every mutating op from a seeded
+        // stream and check the counter against an exhaustive scan.
+        for seed in 0..4u64 {
+            let mut t = tlb(16, 4, IotlbReplacement::Lru);
+            let mut state = 0x9E37_79B9_97F4_A7C1u64 ^ seed;
+            let mut next = move || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            for _ in 0..2_000 {
+                let page = VirtPage::new(next() % 24);
+                let asid = (next() % 3) as Asid;
+                match next() % 8 {
+                    0..=2 => t.insert(asid, page, PhysFrame::new(next() % 64), Perms::READ_WRITE),
+                    3..=4 => {
+                        t.insert_prefetched(asid, page, PhysFrame::new(next() % 64), Perms::READ)
+                    }
+                    5 => t.invalidate_page(asid, page),
+                    6 => {
+                        let _ = t.lookup(asid, page, Perms::READ);
+                    }
+                    _ => {
+                        if next() % 16 == 0 {
+                            t.flush_all();
+                        } else {
+                            t.invalidate_asid(asid);
+                        }
+                    }
+                }
+                let scanned = t.sets.iter().flatten().filter(|l| l.is_some()).count();
+                assert_eq!(t.len(), scanned, "live counter diverged from scan (seed {seed})");
+            }
+        }
     }
 }

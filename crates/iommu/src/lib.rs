@@ -37,7 +37,7 @@ pub use iopt::{IoPageTable, IoPte};
 pub use iotlb::{Iotlb, IotlbConfig, IotlbReplacement, IotlbStats};
 
 use std::collections::BTreeMap;
-use udma_mem::{Access, MemFault, Perms, PhysAddr, PhysFrame, VirtAddr, VirtPage};
+use udma_mem::{Access, MemFault, Perms, PhysAddr, PhysFrame, VirtAddr, VirtPage, PAGE_SIZE};
 
 /// Address-space identifier. The machine uses the granted register
 /// context id: the OS hands each process at most one context, so the
@@ -168,6 +168,55 @@ impl Iommu {
         Ok(pa)
     }
 
+    /// Peeks at the IOTLB for the frame backing `page`, without ever
+    /// counting a miss: the engine's chunk coalescer uses this to ask
+    /// "is the next page's translation already resident and does it
+    /// continue the current chunk physically?" A hit is a real use
+    /// (the frame feeds a merged chunk) so it counts as one; a miss
+    /// counts nothing and the demand path translates — or faults — at
+    /// that boundary as if the probe never happened.
+    pub fn probe(&mut self, asid: Asid, page: VirtPage, access: Access) -> Option<PhysFrame> {
+        self.tlb.probe(asid, page, access.required_perms()).map(|(frame, _)| frame)
+    }
+
+    /// Walks the I/O page table ahead of the streaming cursor and
+    /// prefills the IOTLB for every page of `[va, va + len)` not
+    /// already cached with permissions sufficient for `access`.
+    ///
+    /// Prefetch is best-effort and **never raises a fault**: the walk
+    /// stops at the first page the table cannot resolve (unmapped,
+    /// swapped out, or permission-insufficient) and leaves the demand
+    /// path to fault at exactly that boundary. Already-resident pages
+    /// are skipped without touching any hit/miss counter.
+    ///
+    /// Returns the number of table walks performed, so the caller can
+    /// charge them at an amortized batch latency (the walks pipeline
+    /// behind one another instead of each blocking the chunk stream).
+    pub fn prewalk_range(&mut self, asid: Asid, va: VirtAddr, len: u64, access: Access) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let needed = access.required_perms();
+        let Some(table) = self.tables.get(&asid) else { return 0 };
+        let first = va.page().number();
+        let pages = (va.page_offset() + len).div_ceil(PAGE_SIZE);
+        let mut walks = 0;
+        for n in first..first + pages {
+            let page = VirtPage::new(n);
+            if self.tlb.contains(asid, page, needed) {
+                continue;
+            }
+            match table.entry(page) {
+                Some(pte) if pte.perms.allows(needed) => {
+                    self.tlb.insert_prefetched(asid, page, pte.frame, pte.perms);
+                    walks += 1;
+                }
+                _ => break,
+            }
+        }
+        walks
+    }
+
     /// Combined IOTLB statistics.
     pub fn stats(&self) -> IotlbStats {
         self.tlb.stats()
@@ -252,6 +301,43 @@ mod tests {
         // ASID 2 is untouched — and still hits its cached line.
         assert!(i.translate(2, VirtAddr::new(0), Access::Read).is_ok());
         assert_eq!(i.stats().asid_flushes, 1);
+    }
+
+    #[test]
+    fn prewalk_stops_at_the_first_hole_and_raises_no_fault() {
+        let mut i = iommu();
+        for p in 0..3u64 {
+            i.map(1, VirtPage::new(p), PhysFrame::new(10 + p), Perms::READ_WRITE, true).unwrap();
+        }
+        // Page 3 is a hole; pages 4.. are mapped but unreachable by a
+        // straight-line prefetch.
+        i.map(1, VirtPage::new(4), PhysFrame::new(20), Perms::READ_WRITE, true).unwrap();
+        let walks = i.prewalk_range(1, VirtAddr::new(0), 6 * PAGE_SIZE, Access::Write);
+        assert_eq!(walks, 3);
+        assert_eq!(i.stats().prefetch_fills, 3);
+        assert_eq!(i.stats().tlb.misses, 0, "prefetch walks are not demand misses");
+        // Demand hits on the prefilled pages take no walk and are
+        // counted as hidden misses.
+        for p in 0..3u64 {
+            i.translate(1, VirtPage::new(p).base(), Access::Write).unwrap();
+        }
+        assert_eq!(i.stats().tlb.hits, 3);
+        assert_eq!(i.stats().prefetch_hidden, 3);
+        // A second prewalk of the same range skips resident pages.
+        assert_eq!(i.prewalk_range(1, VirtAddr::new(0), 3 * PAGE_SIZE, Access::Write), 0);
+    }
+
+    #[test]
+    fn prewalk_respects_shootdown() {
+        let mut i = iommu();
+        i.map(1, VirtPage::new(0), PhysFrame::new(3), Perms::READ_WRITE, false).unwrap();
+        assert_eq!(i.prewalk_range(1, VirtAddr::new(0), PAGE_SIZE, Access::Write), 1);
+        // Swap-out between prewalk and use: the prefetched line must not
+        // serve a stale frame.
+        i.unmap(1, VirtPage::new(0));
+        let f = i.translate(1, VirtAddr::new(0), Access::Write).unwrap_err();
+        assert_eq!(f.kind, IoFaultKind::Unmapped);
+        assert_eq!(i.stats().prefetch_unused, 1);
     }
 
     #[test]

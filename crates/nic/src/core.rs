@@ -7,8 +7,8 @@ use crate::virt::{
     PendingFault, RemoteVaTarget, VirtDmaConfig, VirtStage, VirtState, VirtStats, VirtTransfer,
 };
 use crate::{
-    AtomicOp, Destination, DmaMover, Initiator, LinkModel, RegisterContext, RejectReason,
-    SharedCluster, TransferRecord, DMA_FAILURE, DMA_LINK_FAILED,
+    AtomicOp, Destination, DmaMover, DstAnnouncement, Initiator, LinkModel, RegisterContext,
+    RejectReason, RemoteDst, SharedCluster, TransferRecord, DMA_FAILURE, DMA_LINK_FAILED,
 };
 use std::collections::{HashMap, VecDeque};
 use udma_bus::{SharedMemory, SimTime};
@@ -96,6 +96,11 @@ pub struct EngineCore {
     iommu: Option<Iommu>,
     virt_config: VirtDmaConfig,
     virt_xfers: Vec<VirtTransfer>,
+    /// Per-transfer prewalk window end: the byte offset (from the
+    /// transfer's start) up to which the prefetcher has already issued
+    /// walks. Refilled when the cursor catches up; reset to the cursor
+    /// on resume so a serviced fault re-primes the window.
+    virt_prefetch: Vec<u64>,
     virt_faults: VecDeque<PendingFault>,
     virt_stage: Vec<VirtStage>,
     virt_stats: VirtStats,
@@ -138,6 +143,7 @@ impl EngineCore {
             iommu: None,
             virt_config: VirtDmaConfig::default(),
             virt_xfers: Vec::new(),
+            virt_prefetch: Vec::new(),
             virt_faults: VecDeque::new(),
             virt_stage: vec![VirtStage::default(); config.num_contexts as usize],
             virt_stats: VirtStats::default(),
@@ -337,7 +343,7 @@ impl EngineCore {
             self.note_reject(RejectReason::LinkDown);
             return Err(RejectReason::LinkDown);
         }
-        match self.mover.start_remote(src, node, addr, size, initiator, now) {
+        match self.mover.start_remote(src, RemoteDst { node, addr }, size, initiator, false, now) {
             Ok(_) => {
                 self.stats.started += 1;
                 Ok(self.mover.last_index().expect("just started"))
@@ -623,9 +629,35 @@ impl EngineCore {
             link_stall: SimTime::ZERO,
             last_progress: now,
         });
+        self.virt_prefetch.push(0);
         self.virt_stats.posted += 1;
+        // With prefetch on, a remote transfer's first frame announces
+        // the full destination range: the receiving node prewalks ahead
+        // of the deposits, and its OS can service a cold range in one
+        // NACK round trip instead of one per page.
+        if self.virt_config.prefetch.depth > 0 {
+            if let Some(rt) = remote {
+                let cluster = self.mover.cluster().expect("remote post validated cluster");
+                cluster.borrow_mut().announce(
+                    rt.node,
+                    id,
+                    DstAnnouncement { asid: rt.asid, va: dst, len: size },
+                );
+            }
+        }
         self.pump_virt(id);
         Ok(id)
+    }
+
+    /// Drops a remote transfer's receive-side announcement once the
+    /// transfer reaches a terminal state.
+    fn retire_announcement(&mut self, id: usize) {
+        let t = self.virt_xfers[id];
+        if let Some(rt) = t.remote {
+            if let Some(cluster) = self.mover.cluster() {
+                cluster.borrow_mut().retire_announcement(rt.node, id);
+            }
+        }
     }
 
     /// Streams chunks of transfer `id` until it completes or faults.
@@ -651,6 +683,7 @@ impl EngineCore {
                 if t.remote.is_some() {
                     self.link_failures_row = 0;
                 }
+                self.retire_announcement(id);
                 return;
             }
             let src_va = VirtAddr::new(t.src.as_u64() + t.moved);
@@ -658,6 +691,50 @@ impl EngineCore {
             let chunk = (t.size - t.moved)
                 .min(PAGE_SIZE - src_va.page_offset())
                 .min(PAGE_SIZE - dst_va.page_offset());
+
+            // Pipeline stages 1 and 2: once the cursor reaches the end
+            // of the prewalked window, walk the next `depth` pages of
+            // every range this transfer still translates and prefill
+            // the IOTLBs ahead of the chunk stream. The whole batch is
+            // charged at the amortized rate — the walks pipeline behind
+            // one another; only a demand miss blocks a chunk for the
+            // full walk latency.
+            let pf = self.virt_config.prefetch;
+            if pf.depth > 0 && t.moved >= self.virt_prefetch[id] {
+                let span = (pf.depth * PAGE_SIZE).min(t.size - t.moved);
+                let iommu = self.iommu.as_mut().expect("pump without IOMMU");
+                let mut batch = iommu.prewalk_range(t.asid, src_va, span, Access::Read);
+                match t.remote {
+                    None => {
+                        batch += iommu.prewalk_range(t.asid, dst_va, span, Access::Write);
+                    }
+                    Some(rt) => {
+                        // Receive-side prefetch: the announced dst range
+                        // lets the node's IOMMU walk ahead of the
+                        // arriving deposits. Best-effort — a cold page
+                        // still NACKs on the demand translate below.
+                        let cluster =
+                            self.mover.cluster().expect("remote virt transfer without cluster");
+                        batch += cluster.borrow_mut().prewalk(
+                            rt.node,
+                            rt.asid,
+                            dst_va,
+                            span,
+                            Access::Write,
+                        );
+                    }
+                }
+                self.virt_prefetch[id] = t.moved + span;
+                if batch > 0 {
+                    let cost = self.virt_config.walk_latency
+                        + SimTime::from_ps(
+                            self.virt_config.walk_pipelined_latency.as_ps() * (batch - 1),
+                        );
+                    let x = &mut self.virt_xfers[id];
+                    x.clock += cost;
+                    x.stall += cost;
+                }
+            }
 
             // The source always translates on the sender's own IOMMU; a
             // purely local transfer translates its destination there too.
@@ -754,16 +831,73 @@ impl EngineCore {
                 }
             };
 
+            // Pipeline stage 3: chunk coalescing. Extend the chunk over
+            // following pages while their translations are already
+            // IOTLB-resident, permission-compatible and physically
+            // contiguous with the chunk on *both* ends. Probes count
+            // hits (the frames feed the merged chunk) but never misses,
+            // so the demand walk-cost accounting is untouched; any
+            // lookahead failure just ends the merge and leaves the
+            // demand path to translate — or fault — at that boundary.
+            let mut chunk = chunk;
+            let mut coalesced = false;
+            if pf.max_coalesce > 1 && src_va.page_offset() == dst_va.page_offset() {
+                let mut pages = 1;
+                while pages < pf.max_coalesce && t.moved + chunk < t.size {
+                    // Equal offsets: the chunk ends at a page start of
+                    // both ranges, so the lookahead walks whole pages.
+                    let ext = (t.size - t.moved - chunk).min(PAGE_SIZE);
+                    let next_src = VirtAddr::new(src_va.as_u64() + chunk).page();
+                    let next_dst = VirtAddr::new(dst_va.as_u64() + chunk).page();
+                    let iommu = self.iommu.as_mut().expect("pump without IOMMU");
+                    let src_ok = iommu
+                        .probe(t.asid, next_src, Access::Read)
+                        .is_some_and(|f| f.base().as_u64() == src_pa.as_u64() + chunk);
+                    if !src_ok {
+                        break;
+                    }
+                    let dst_frame = match t.remote {
+                        None => iommu.probe(t.asid, next_dst, Access::Write),
+                        Some(rt) => {
+                            let cluster =
+                                self.mover.cluster().expect("remote virt transfer without cluster");
+                            let f = cluster.borrow_mut().probe(
+                                rt.node,
+                                rt.asid,
+                                next_dst,
+                                Access::Write,
+                            );
+                            f
+                        }
+                    };
+                    let dst_ok =
+                        dst_frame.is_some_and(|f| f.base().as_u64() == dst_pa.as_u64() + chunk);
+                    if !dst_ok {
+                        break;
+                    }
+                    chunk += ext;
+                    pages += 1;
+                    coalesced = true;
+                }
+            }
+
             let clock = self.virt_xfers[id].clock;
             let initiator = Initiator::VirtDma { asid: t.asid };
             let started = match t.remote {
                 Some(rt) => self
                     .mover
-                    .start_remote(src_pa, rt.node, dst_pa, chunk, initiator, clock)
+                    .start_remote(
+                        src_pa,
+                        RemoteDst { node: rt.node, addr: dst_pa },
+                        chunk,
+                        initiator,
+                        coalesced,
+                        clock,
+                    )
                     .map(|rec| rec.finished),
                 None => self
                     .mover
-                    .start(src_pa, dst_pa, chunk, initiator, false, clock)
+                    .start(src_pa, dst_pa, chunk, initiator, coalesced, clock)
                     .map(|rec| rec.finished),
             };
             match started {
@@ -798,6 +932,7 @@ impl EngineCore {
                                 x.finished = Some(finished);
                                 self.virt_stats.link_failed += 1;
                                 self.note_link_failure();
+                                self.retire_announcement(id);
                                 return;
                             }
                         }
@@ -822,6 +957,7 @@ impl EngineCore {
                     x.state = VirtState::Failed(fault);
                     x.finished = Some(x.clock);
                     self.virt_stats.failed += 1;
+                    self.retire_announcement(id);
                     return;
                 }
             }
@@ -844,7 +980,8 @@ impl EngineCore {
             x.state = VirtState::Failed(fault);
             x.finished = Some(x.clock.max(now));
             self.virt_stats.failed += 1;
-            return x.state;
+            self.retire_announcement(id);
+            return self.virt_xfers[id].state;
         }
         let backoff = self.virt_config.retry.backoff_after(t.retries);
         let moved_before = t.moved;
@@ -855,6 +992,9 @@ impl EngineCore {
             let resume_at = x.clock.max(now) + backoff;
             x.stall += resume_at - x.clock;
             x.clock = resume_at;
+            // Re-prime the prefetch window at the cursor: the fault
+            // service may have mapped pages the aborted window skipped.
+            self.virt_prefetch[id] = x.moved;
         }
         self.virt_stats.retries += 1;
         self.pump_virt(id);
@@ -874,8 +1014,9 @@ impl EngineCore {
             t.state = VirtState::Failed(fault);
             t.finished = Some(t.clock.max(now));
             self.virt_stats.failed += 1;
+            self.retire_announcement(id);
         }
-        t.state
+        self.virt_xfers[id].state
     }
 
     /// Status of a virtual-address transfer, in the paper's status-load

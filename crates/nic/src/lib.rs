@@ -44,12 +44,15 @@ pub use faulty::{
     FrameFate, ReliabilityConfig, MAX_BURSTS,
 };
 pub use link::{LinkModel, RetryPolicy};
-pub use mover::{DmaMover, TransferRecord};
+pub use mover::{DmaMover, RemoteDst, TransferRecord};
 pub use protocol::{InitiationProtocol, ProtocolKind};
-pub use remote::{Cluster, Destination, NodeLinkStats, RemoteError, SharedCluster};
+pub use remote::{
+    Cluster, Destination, DstAnnouncement, NodeLinkStats, RemoteError, SharedCluster,
+};
 pub use status::{
     Initiator, RejectReason, DMA_FAILURE, DMA_LINK_DOWN, DMA_LINK_FAILED, DMA_PENDING, DMA_STARTED,
 };
 pub use virt::{
-    PendingFault, RemoteVaTarget, VirtDmaConfig, VirtStage, VirtState, VirtStats, VirtTransfer,
+    PendingFault, PrefetchConfig, RemoteVaTarget, VirtDmaConfig, VirtStage, VirtState, VirtStats,
+    VirtTransfer,
 };

@@ -27,6 +27,16 @@ pub struct TransferRecord {
     pub initiator: Initiator,
 }
 
+/// Destination of a cross-link deposit: a physical address on a
+/// specific cluster node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RemoteDst {
+    /// Receiving node's index within the cluster.
+    pub node: u32,
+    /// Physical address in that node's memory.
+    pub addr: PhysAddr,
+}
+
 impl TransferRecord {
     /// Where the transfer landed.
     pub fn destination(&self) -> Destination {
@@ -194,8 +204,11 @@ impl DmaMover {
 
     /// Validates and performs a transfer whose destination is a page on a
     /// remote cluster node (SHRIMP-1's mapped-out pages, §2.4). Source
-    /// rules are as for [`start`](Self::start) with `multipage_ok =
-    /// false`; the deposit is bounded to one remote page as well.
+    /// rules are as for [`start`](Self::start): `multipage_ok` is true
+    /// only when the caller has validated every page of both ranges
+    /// (the kernel path, or the virt engine's coalescer after proving
+    /// the pages physically contiguous on both ends); otherwise the
+    /// deposit is bounded to one page on each side.
     ///
     /// # Errors
     ///
@@ -204,18 +217,21 @@ impl DmaMover {
     pub fn start_remote(
         &mut self,
         src: PhysAddr,
-        node: u32,
-        addr: PhysAddr,
+        dst: RemoteDst,
         size: u64,
         initiator: Initiator,
+        multipage_ok: bool,
         now: SimTime,
     ) -> Result<&TransferRecord, RejectReason> {
+        let RemoteDst { node, addr } = dst;
         if size == 0 {
             return Err(RejectReason::ZeroSize);
         }
-        let crosses = |a: PhysAddr| (a.as_u64() % PAGE_SIZE) + size > PAGE_SIZE;
-        if crosses(src) || crosses(addr) {
-            return Err(RejectReason::PageCross);
+        if !multipage_ok {
+            let crosses = |a: PhysAddr| (a.as_u64() % PAGE_SIZE) + size > PAGE_SIZE;
+            if crosses(src) || crosses(addr) {
+                return Err(RejectReason::PageCross);
+            }
         }
         let mut buf = vec![0u8; size as usize];
         self.mem.borrow().read_bytes(src, &mut buf).map_err(|_| RejectReason::BadRange)?;

@@ -18,11 +18,11 @@
 use crate::faulty::DeliveryOutcome;
 use crate::virt::PendingFault;
 use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 use udma_iommu::{Asid, IoFault, Iommu, IotlbConfig};
-use udma_mem::{Access, MemFault, PhysAddr, PhysMemory, VirtAddr};
+use udma_mem::{Access, MemFault, PhysAddr, PhysFrame, PhysMemory, VirtAddr, VirtPage};
 
 /// A handle to the cluster's remote memories, shared between the engine
 /// and the experiment code that inspects arrivals.
@@ -77,6 +77,22 @@ pub struct NodeLinkStats {
     pub ooo_discarded: u64,
 }
 
+/// A multi-page `RemoteVirt` transfer's destination range, as announced
+/// in its first frame. The receive side uses it two ways: its IOMMU
+/// prewalks ahead of the arriving deposits, and — when a page does
+/// fault — the node's OS can service the *entire remaining range* in
+/// one go, so a cold contiguous buffer costs one NACK round trip
+/// instead of one per page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DstAnnouncement {
+    /// Destination address space on the node.
+    pub asid: Asid,
+    /// Start of the announced destination range.
+    pub va: VirtAddr,
+    /// Length of the announced range in bytes.
+    pub len: u64,
+}
+
 /// One remote workstation: its memory, and — when virtual-address RDMA
 /// is enabled — its receive-side translation unit and NACK queue.
 #[derive(Clone, Debug)]
@@ -94,6 +110,9 @@ struct RemoteNode {
     nacks_raised: u64,
     /// Receive-side view of the lossy link (all zero on an ideal wire).
     link_stats: NodeLinkStats,
+    /// Announced destination ranges of in-flight transfers, keyed by the
+    /// sender's transfer id.
+    announced: BTreeMap<usize, DstAnnouncement>,
 }
 
 /// The remote nodes reachable over the machine's link.
@@ -113,6 +132,7 @@ impl Cluster {
                     nacks: VecDeque::new(),
                     nacks_raised: 0,
                     link_stats: NodeLinkStats::default(),
+                    announced: BTreeMap::new(),
                 })
                 .collect(),
         }
@@ -263,6 +283,80 @@ impl Cluster {
     /// NACKs ever raised by `node` (including serviced ones).
     pub fn faults_raised(&self, node: u32) -> u64 {
         self.nodes.get(node as usize).map_or(0, |n| n.nacks_raised)
+    }
+
+    /// Peeks at `node`'s receive-side IOTLB for the frame backing
+    /// `(asid, page)` — the coalescer's lookahead, which never counts a
+    /// miss (see [`udma_iommu::Iommu::probe`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist or [`Cluster::enable_virt`]
+    /// never ran.
+    pub fn probe(
+        &mut self,
+        node: u32,
+        asid: Asid,
+        page: VirtPage,
+        access: Access,
+    ) -> Option<PhysFrame> {
+        self.nodes[node as usize]
+            .iommu
+            .as_mut()
+            .expect("remote probe requires enable_virt")
+            .probe(asid, page, access)
+    }
+
+    /// Records a transfer's announced destination range on `node`
+    /// (carried by the transfer's first frame). Overwrites any earlier
+    /// announcement of the same sender transfer id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist — the engine validates the
+    /// node at post time.
+    pub fn announce(&mut self, node: u32, xfer: usize, ann: DstAnnouncement) {
+        self.nodes[node as usize].announced.insert(xfer, ann);
+    }
+
+    /// The announced destination range of sender transfer `xfer` on
+    /// `node`, if one is in flight.
+    pub fn announcement(&self, node: u32, xfer: usize) -> Option<DstAnnouncement> {
+        self.nodes.get(node as usize).and_then(|n| n.announced.get(&xfer).copied())
+    }
+
+    /// Drops a transfer's announcement (transfer reached a terminal
+    /// state, or the sender never announced).
+    pub fn retire_announcement(&mut self, node: u32, xfer: usize) {
+        if let Some(n) = self.nodes.get_mut(node as usize) {
+            n.announced.remove(&xfer);
+        }
+    }
+
+    /// Prewalks `node`'s receive-side IOMMU over `[va, va + len)` —
+    /// the receive-side half of the translation pipeline. Best-effort
+    /// like [`udma_iommu::Iommu::prewalk_range`]: stops at the first
+    /// unresolvable page without raising a NACK. Returns the number of
+    /// walks performed so the sender's clock can charge them at the
+    /// amortized batch rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist or [`Cluster::enable_virt`]
+    /// never ran.
+    pub fn prewalk(
+        &mut self,
+        node: u32,
+        asid: Asid,
+        va: VirtAddr,
+        len: u64,
+        access: Access,
+    ) -> u64 {
+        self.nodes[node as usize]
+            .iommu
+            .as_mut()
+            .expect("remote prewalk requires enable_virt")
+            .prewalk_range(asid, va, len, access)
     }
 
     /// Folds one reliable delivery's outcome into `node`'s receive-side

@@ -14,11 +14,59 @@ use udma_bus::SimTime;
 use udma_iommu::{Asid, IoFault};
 use udma_mem::VirtAddr;
 
+/// Translation-pipeline tunables: how far the engine walks ahead of the
+/// streaming cursor and how many physically-contiguous pages it will
+/// merge into one mover chunk. The default is the demand baseline —
+/// depth 0, no coalescing — so every demand-translation number (E11,
+/// E13) is unchanged unless a workload opts in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrefetchConfig {
+    /// Pages of each range (src and dst) prewalked ahead of the cursor
+    /// at post time and at every chunk boundary. 0 disables prefetch.
+    pub depth: u64,
+    /// Maximum pages merged into one chunk when consecutive pages
+    /// translate to physically-contiguous frames with compatible
+    /// permissions. 1 disables coalescing.
+    pub max_coalesce: u64,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        PrefetchConfig { depth: 0, max_coalesce: 1 }
+    }
+}
+
+impl PrefetchConfig {
+    /// Prefetch `depth` pages ahead, without coalescing.
+    pub fn depth(depth: u64) -> Self {
+        PrefetchConfig { depth, max_coalesce: 1 }
+    }
+
+    /// Prefetch `depth` pages ahead and merge up to `max_coalesce`
+    /// contiguous pages per chunk.
+    pub fn pipelined(depth: u64, max_coalesce: u64) -> Self {
+        PrefetchConfig { depth, max_coalesce: max_coalesce.max(1) }
+    }
+
+    /// Whether any pipeline stage is enabled.
+    pub fn enabled(&self) -> bool {
+        self.depth > 0 || self.max_coalesce > 1
+    }
+}
+
 /// Tunables of the virtual-address DMA unit.
 #[derive(Clone, Copy, Debug)]
 pub struct VirtDmaConfig {
     /// Latency of one I/O page-table walk (charged per IOTLB miss).
     pub walk_latency: SimTime,
+    /// Latency of each *additional* walk in a prewalk batch: the first
+    /// walk of a batch costs `walk_latency`, every further walk
+    /// pipelines behind it at this (smaller) increment. Only prefetch
+    /// batches get the amortized rate — a demand miss still blocks the
+    /// chunk stream for the full `walk_latency`.
+    pub walk_pipelined_latency: SimTime,
+    /// Translation-pipeline stages (prefetch depth, chunk coalescing).
+    pub prefetch: PrefetchConfig,
     /// Bounded-resume policy: attempts allowed per stretch of no
     /// progress before the transfer fails, and the (doubling) backoff
     /// charged per fruitless attempt. Shared shape with the link-level
@@ -31,6 +79,10 @@ impl Default for VirtDmaConfig {
         VirtDmaConfig {
             // A walk is a couple of device-side memory reads.
             walk_latency: SimTime::from_ns(400),
+            // A pipelined walk overlaps its memory reads with the
+            // previous walk's: only the issue slot is serialized.
+            walk_pipelined_latency: SimTime::from_ns(100),
+            prefetch: PrefetchConfig::default(),
             retry: RetryPolicy::new(3, SimTime::from_us(2)),
         }
     }

@@ -109,6 +109,28 @@ impl RemoteFaultService {
         }
     }
 
+    /// Services a NACKed fault **and** pre-installs the rest of the
+    /// transfer's announced destination range in the same kernel entry
+    /// (see [`FaultService::service_range`]) — the receive-side half of
+    /// the translation pipeline. A multi-page transfer over a cold
+    /// remote buffer then costs exactly one NACK round trip instead of
+    /// one per page: the first fault hands the node's OS the whole
+    /// range, and subsequent pages hit the node IOMMU's prewalked
+    /// translations. Same idempotence guarantee as
+    /// [`service`](Self::service).
+    pub fn service_announced(
+        &mut self,
+        fault: &IoFault,
+        va: VirtAddr,
+        len: u64,
+        iommu: &mut Iommu,
+    ) -> (FaultResolution, SimTime) {
+        match self.tables.get_mut(&fault.asid) {
+            Some(pt) => self.service.service_range(fault, va, len, pt, &mut self.vm, iommu),
+            None => (FaultResolution::Unresolvable, SimTime::ZERO),
+        }
+    }
+
     /// Swaps `page` of `asid` out of the node (and shoots the I/O
     /// translation down), unless a transfer has it pinned.
     ///

@@ -16,7 +16,8 @@
 //! * [`sweeps`] — parameter sweeps: bus frequency (E7), message-size
 //!   crossover inputs (E8), atomic-operation comparison (E9);
 //! * [`va`] — virtual-address DMA: IOTLB capacity sweep (E11),
-//!   fault-rate sweep (E12) and the remote-fault × link sweep (E13);
+//!   fault-rate sweep (E12), the remote-fault × link sweep (E13) and the
+//!   translation-pipeline sweep (E15);
 //! * [`lossy`] — reliable delivery over a lossy link: goodput and p99
 //!   completion vs loss rate × retry budget (E14).
 
@@ -48,5 +49,6 @@ pub use scenarios::{
 };
 pub use sweeps::{atomic_comparison, bus_sweep, BusSweepRow};
 pub use va::{
-    fault_rate_sweep, iotlb_sweep, remote_fault_sweep, FaultRateRow, IotlbSweepRow, RemoteFaultRow,
+    fault_rate_sweep, iotlb_sweep, pipeline_sweep, remote_fault_sweep, remote_pipeline_sweep,
+    FaultRateRow, IotlbSweepRow, PipelineRow, RemoteFaultRow,
 };

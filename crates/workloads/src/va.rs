@@ -1,4 +1,4 @@
-//! Virtual-address DMA workloads (E11, E12, E13).
+//! Virtual-address DMA workloads (E11, E12, E13, E15).
 //!
 //! The base reproduction's schemes all pass physical (shadow) addresses.
 //! The virtual-address extension puts an IOMMU in the NI; these drivers
@@ -13,14 +13,19 @@
 //! * [`remote_fault_sweep`] (E13) — the *cross-link* fault path: cost of
 //!   a transfer into a remote node's virtual memory as a function of the
 //!   remote-fault rate and the link model, isolating the NACK round-trip
-//!   term that scales with wire latency.
+//!   term that scales with wire latency;
+//! * [`pipeline_sweep`] / [`remote_pipeline_sweep`] (E15) — the
+//!   translation pipeline: prefetch depth × IOTLB capacity × chunk
+//!   coalescing, locally (blocking walks hidden behind batched prewalks)
+//!   and across the link (one NACK round trip for a cold range instead
+//!   of one per page).
 
 use udma::{DmaMethod, Machine, MachineConfig, ProcessSpec, VirtDmaSetup};
 use udma_bus::SimTime;
 use udma_cpu::ProgramBuilder;
 use udma_iommu::IotlbConfig;
 use udma_mem::{Perms, VirtAddr, PAGE_SIZE};
-use udma_nic::{LinkModel, VirtState};
+use udma_nic::{LinkModel, PrefetchConfig, VirtState};
 
 /// One IOTLB-capacity point of the E11 sweep.
 #[derive(Clone, Copy, Debug)]
@@ -239,6 +244,150 @@ pub fn remote_fault_sweep(
     rows
 }
 
+/// One (variant, depth, capacity, coalescing) point of the E15 sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineRow {
+    /// `"local"` or `"remote"`.
+    pub variant: &'static str,
+    /// Prefetch depth in pages (0 = demand translation only).
+    pub depth: u64,
+    /// IOTLB entries (sender *and*, for the remote variant, node side).
+    pub entries: usize,
+    /// Maximum pages coalesced into one chunk (1 = no coalescing).
+    pub max_coalesce: u64,
+    /// Sender-IOTLB misses during the measured transfer — each one a
+    /// *blocking* full-latency walk on the demand path.
+    pub misses: u64,
+    /// IOTLB entries installed by prewalk (amortized batch rate).
+    pub prefetch_fills: u64,
+    /// Demand lookups that hit a prewalked entry — misses the pipeline
+    /// hid.
+    pub prefetch_hidden: u64,
+    /// Mover chunks issued (coalescing shrinks this).
+    pub chunks: u64,
+    /// Receive-side NACKs that crossed the link (remote variant only).
+    pub nacks: u64,
+    /// Engine-side overhead: walks, fault pauses, NACK round trips.
+    pub stall: SimTime,
+    /// Total modeled duration, post to completion.
+    pub completion: SimTime,
+}
+
+/// Experiment E15 (local): one `pages`-page transfer per (depth,
+/// capacity, coalescing) combination on a pin-on-post machine with a
+/// cold, fully-associative IOTLB of `n` entries. Every page is
+/// registered, so the only translation cost is IOTLB misses: the demand
+/// path (`depth == 0`) pays a blocking full-latency walk per miss, while
+/// prewalk batches of `depth` pages pay one full walk plus the pipelined
+/// rate per extra walk — and coalescing merges physically-contiguous
+/// pages into fewer, larger chunks.
+pub fn pipeline_sweep(
+    depths: &[u64],
+    entries: &[usize],
+    coalesce: &[u64],
+    pages: u64,
+) -> Vec<PipelineRow> {
+    let mut rows = Vec::new();
+    for &n in entries {
+        for &d in depths {
+            for &mc in coalesce {
+                let mut setup = VirtDmaSetup::pin_on_post(IotlbConfig::fully_associative(n));
+                setup.virt.prefetch = PrefetchConfig::pipelined(d, mc);
+                let (mut m, pid, src, dst) = va_machine(setup, pages);
+                let id = m.post_virt(pid, src, dst, pages * PAGE_SIZE).expect("measured post");
+                assert_eq!(m.run_virt(id, (4 * pages + 16) as u32), VirtState::Complete);
+                let t = m.virt_xfer(id).expect("transfer exists");
+                let stats = m.engine().core().iommu().expect("VA machine has an IOMMU").stats();
+                rows.push(PipelineRow {
+                    variant: "local",
+                    depth: d,
+                    entries: n,
+                    max_coalesce: mc,
+                    misses: stats.tlb.misses,
+                    prefetch_fills: stats.prefetch_fills,
+                    prefetch_hidden: stats.prefetch_hidden,
+                    chunks: m.engine().core().virt_stats().chunks,
+                    nacks: 0,
+                    stall: t.stall,
+                    completion: t.finished.expect("complete") - t.started,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Experiment E15 (remote): one `pages`-page transfer into a *cold*
+/// remote buffer per (depth, capacity, coalescing) combination. The
+/// local source is fully warmed first, so every fault is receive-side.
+/// On the demand path (`depth == 0`) each cold page NACKs back over the
+/// link; with prefetch enabled the sender announces the destination
+/// range at post time and the node's OS services the whole range on the
+/// first NACK — so the cold-range cost collapses to exactly one round
+/// trip.
+pub fn remote_pipeline_sweep(
+    depths: &[u64],
+    entries: &[usize],
+    coalesce: &[u64],
+    pages: u64,
+) -> Vec<PipelineRow> {
+    let mut rows = Vec::new();
+    for &n in entries {
+        for &d in depths {
+            for &mc in coalesce {
+                let mut setup = VirtDmaSetup::demand(IotlbConfig::fully_associative(n));
+                setup.virt.prefetch = PrefetchConfig::pipelined(d, mc);
+                let config = MachineConfig {
+                    virt_dma: Some(setup),
+                    remote_nodes: 1,
+                    ..MachineConfig::new(DmaMethod::Kernel)
+                };
+                let mut m = Machine::new(config);
+                let pid = m.spawn(&ProcessSpec::two_buffers_of(pages), |_| {
+                    ProgramBuilder::new().halt().build()
+                });
+                let src = m.env(pid).buffer(0).va;
+                let dst = m
+                    .grant_remote_buffer(
+                        0,
+                        REMOTE_ASID,
+                        VirtAddr::new(REMOTE_VA),
+                        pages,
+                        Perms::READ_WRITE,
+                    )
+                    .va;
+                for p in 0..pages {
+                    let id = m
+                        .post_virt(pid, src + p * PAGE_SIZE, src + p * PAGE_SIZE, 8)
+                        .expect("local warm-up post");
+                    assert_eq!(m.run_virt(id, 16), VirtState::Complete);
+                }
+                let stats_before = m.engine().core().virt_stats();
+                let id = m
+                    .post_virt_remote(pid, src, 0, REMOTE_ASID, dst, pages * PAGE_SIZE)
+                    .expect("measured post");
+                assert_eq!(m.run_virt(id, (4 * pages + 16) as u32), VirtState::Complete);
+                let t = m.virt_xfer(id).expect("transfer exists");
+                let stats = m.engine().core().virt_stats();
+                rows.push(PipelineRow {
+                    variant: "remote",
+                    depth: d,
+                    entries: n,
+                    max_coalesce: mc,
+                    misses: 0,
+                    prefetch_fills: 0,
+                    prefetch_hidden: 0,
+                    chunks: stats.chunks - stats_before.chunks,
+                    nacks: stats.nacks - stats_before.nacks,
+                    stall: t.stall,
+                    completion: t.finished.expect("complete") - t.started,
+                });
+            }
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +431,32 @@ mod tests {
         assert_eq!(rows[0].nack_stall, SimTime::from_us(4 * 2 * 5));
         assert_eq!(rows[2].nack_stall, SimTime::from_us(4 * 2 * 50));
         assert!(rows[2].completion > rows[3].completion);
+    }
+
+    #[test]
+    fn prefetch_hides_walks_and_coalescing_shrinks_chunks() {
+        // 8 pages, IOTLB big enough to hold the prewalk window.
+        let rows = pipeline_sweep(&[0, 4], &[64], &[1, 4], 8);
+        // rows: [d0/mc1, d0/mc4, d4/mc1, d4/mc4]
+        let (demand, coalesced, prefetch, both) = (rows[0], rows[1], rows[2], rows[3]);
+        assert!(prefetch.stall < demand.stall, "prefetch must cut translation stall");
+        assert!(prefetch.prefetch_hidden > 0, "prewalked entries absorb demand lookups");
+        assert_eq!(demand.prefetch_fills, 0);
+        // The coalescer's lookahead only merges IOTLB-resident pages, so
+        // on a cold IOTLB it needs the prefetcher in front of it.
+        assert_eq!(coalesced.chunks, demand.chunks, "cold IOTLB gives lookahead nothing to merge");
+        assert!(both.chunks < prefetch.chunks, "contiguous prewalked frames merge into one chunk");
+        assert!(both.completion <= prefetch.completion);
+        assert!(both.stall < demand.stall);
+    }
+
+    #[test]
+    fn announced_cold_remote_range_costs_one_nack() {
+        let rows = remote_pipeline_sweep(&[0, 4], &[64], &[1], 4);
+        assert_eq!(rows[0].nacks, 4, "demand path NACKs once per cold page");
+        assert_eq!(rows[1].nacks, 1, "announced range collapses to a single NACK");
+        assert!(rows[1].stall < rows[0].stall);
+        assert!(rows[1].completion < rows[0].completion);
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! End-to-end *remote* virtual-address DMA: receive-side translation,
 //! the cross-link NACK/retry fault protocol, the protection property
-//! against a straight-line oracle, and exhaustive interleaving coverage
-//! of {sender retry, remote fault service, remote swap-out}.
+//! against a straight-line oracle, exhaustive interleaving coverage of
+//! {sender retry, remote fault service, remote swap-out}, and the
+//! receive-side translation pipeline (announced ranges, one-NACK cold
+//! start, prefetch vs shootdown).
 
 use udma::{DmaMethod, Machine, MachineConfig, ProcessSpec, VirtDmaSetup};
 use udma_cpu::ProgramBuilder;
 use udma_mem::{Perms, PhysAddr, VirtAddr, PAGE_SIZE};
-use udma_nic::{Initiator, VirtState, DMA_FAILURE};
+use udma_nic::{Initiator, PrefetchConfig, VirtState, DMA_FAILURE};
 use udma_testkit::sched::{explore, Budget};
 use udma_testkit::{prop_assert, prop_assert_eq, props};
 
@@ -19,8 +21,14 @@ const NODE_BYTES: u64 = 1 << 20;
 const WILD_VA: u64 = 0x5000_0000;
 
 fn remote_machine() -> Machine {
+    remote_machine_with(PrefetchConfig::default())
+}
+
+fn remote_machine_with(prefetch: PrefetchConfig) -> Machine {
+    let mut setup = VirtDmaSetup::default();
+    setup.virt.prefetch = prefetch;
     Machine::new(MachineConfig {
-        virt_dma: Some(VirtDmaSetup::default()),
+        virt_dma: Some(setup),
         remote_nodes: 1,
         remote_node_bytes: NODE_BYTES,
         ..MachineConfig::new(DmaMethod::Kernel)
@@ -59,6 +67,67 @@ fn remote_demand_transfer_completes_with_one_nack_per_page() {
     let mut got = vec![0u8; data.len()];
     cluster.borrow().read(NODE, buf.first_frame.base(), &mut got).unwrap();
     assert_eq!(got, data, "remote deposit mismatch");
+}
+
+/// Tentpole acceptance (remote half): with the translation pipeline on,
+/// the sender announces the destination range at post time, so the
+/// first receive-side fault hands the node's OS the *whole* range — a
+/// contiguous cold remote buffer costs exactly one NACK round trip
+/// instead of one per page.
+#[test]
+fn announced_cold_range_costs_exactly_one_nack_round_trip() {
+    const PAGES: u64 = 4;
+    let run = |prefetch: PrefetchConfig| {
+        let mut m = remote_machine_with(prefetch);
+        let pid =
+            m.spawn(&ProcessSpec::two_buffers_of(PAGES), |_| ProgramBuilder::new().halt().build());
+        let buf = m.grant_remote_buffer(
+            NODE,
+            REMOTE_ASID,
+            VirtAddr::new(REMOTE_VA),
+            PAGES,
+            Perms::READ_WRITE,
+        );
+        let src = m.env(pid).buffer(0).va;
+        let src_frame = m.env(pid).buffer(0).first_frame;
+        let data = payload((PAGES * PAGE_SIZE) as usize);
+        m.memory().borrow_mut().write_bytes(src_frame.base(), &data).unwrap();
+        // Warm the local source so every fault is receive-side.
+        for p in 0..PAGES {
+            let warm = m.post_virt(pid, src + p * PAGE_SIZE, src + p * PAGE_SIZE, 8).unwrap();
+            assert_eq!(m.run_virt(warm, 16), VirtState::Complete);
+        }
+        let id = m
+            .post_virt_remote(
+                pid,
+                src,
+                NODE,
+                REMOTE_ASID,
+                VirtAddr::new(REMOTE_VA),
+                data.len() as u64,
+            )
+            .unwrap();
+        assert_eq!(m.run_virt(id, 64), VirtState::Complete);
+        let cluster = m.cluster().unwrap();
+        let mut got = vec![0u8; data.len()];
+        cluster.borrow().read(NODE, buf.first_frame.base(), &mut got).unwrap();
+        assert_eq!(got, data, "remote deposit mismatch");
+        (m.virt_xfer(id).unwrap(), m.remote_fault_service(NODE).stats())
+    };
+
+    let (demand, demand_os) = run(PrefetchConfig::default());
+    let (piped, piped_os) = run(PrefetchConfig::depth(4));
+    assert_eq!(u64::from(demand.nacks), PAGES, "demand path NACKs once per cold page");
+    assert_eq!(piped.nacks, 1, "announced range collapses to a single NACK");
+    // One round trip on the wire instead of four.
+    assert_eq!(piped.nack_stall.as_ps() * PAGES, demand.nack_stall.as_ps());
+    // The single service installed the remaining pages in one entry.
+    assert_eq!(demand_os.mapped, PAGES);
+    assert_eq!(piped_os.mapped, 1);
+    assert_eq!(piped_os.range_prefilled, PAGES - 1);
+    // Strictly faster end to end.
+    let done = |t: udma_nic::VirtTransfer| t.finished.unwrap() - t.started;
+    assert!(done(piped) < done(demand));
 }
 
 props! {
@@ -258,6 +327,130 @@ fn every_retry_service_swap_interleaving_converges_exactly_once() {
     });
     assert!(exploration.exhaustive, "30-schedule space must be enumerated exhaustively");
     assert_eq!(exploration.schedules, 30);
+    assert!(
+        exploration.findings.is_empty(),
+        "violation under schedule {:?}: {}",
+        exploration.findings[0].0,
+        exploration.findings[0].1
+    );
+}
+
+/// Satellite — the prefetch/shootdown race: a swap-out landing between
+/// the receive-side prewalk and the chunk that uses its entry must
+/// invalidate the prefetched IOTLB line, so the chunk NACKs and is
+/// re-serviced instead of silently depositing into the stale frame.
+/// Every interleaving of {sender resume, remote fault service,
+/// unpin-then-swap-out of page 1} must converge with each byte readable
+/// through the node's *final* translations — a stale-frame write would
+/// leave page 1 without a translation or with the wrong bytes behind it.
+#[test]
+fn shootdown_between_prewalk_and_use_faults_instead_of_writing_stale_frames() {
+    let data = payload(2 * PAGE_SIZE as usize);
+    // Thread 0: two sender resumes (below the retry budget of 3).
+    // Thread 1: two service drains. Thread 2: unpin page 1 (the OS
+    // pinned it on install), then swap it out — the shootdown racing
+    // the prefetched IOTLB entry.
+    let lens = [2usize, 2, 2];
+    let exploration = explore(&lens, Budget::new(2_000, 0xE15), |schedule| {
+        let mut m = remote_machine_with(PrefetchConfig::depth(4));
+        let pid =
+            m.spawn(&ProcessSpec::two_buffers_of(2), |_| ProgramBuilder::new().halt().build());
+        m.grant_remote_buffer(NODE, REMOTE_ASID, VirtAddr::new(REMOTE_VA), 2, Perms::READ_WRITE);
+        let src = m.env(pid).buffer(0).va;
+        let src_frame = m.env(pid).buffer(0).first_frame;
+        m.memory().borrow_mut().write_bytes(src_frame.base(), &data).unwrap();
+        for p in 0..2 {
+            let warm = m.post_virt(pid, src + p * PAGE_SIZE, src + p * PAGE_SIZE, 8).unwrap();
+            assert_eq!(m.run_virt(warm, 16), VirtState::Complete);
+        }
+        let id = m
+            .post_virt_remote(
+                pid,
+                src,
+                NODE,
+                REMOTE_ASID,
+                VirtAddr::new(REMOTE_VA),
+                data.len() as u64,
+            )
+            .unwrap();
+
+        let page1 = VirtAddr::new(REMOTE_VA + PAGE_SIZE);
+        let mut unpinned = false;
+        // A swap-out that lands *before* page 1's bytes are down races
+        // the prefetched translation: the deposit must re-fault.
+        let mut swapped_mid_transfer = false;
+        for &actor in schedule {
+            match actor {
+                0 => {
+                    let now = m.time();
+                    m.engine().core_mut().resume_virt(id, now);
+                }
+                1 => {
+                    m.service_remote_faults();
+                }
+                _ if !unpinned => {
+                    // The range service pins what it installs; release
+                    // page 1 so the swapper is allowed to race.
+                    unpinned = true;
+                    let cluster = m.cluster().unwrap();
+                    let mut cl = cluster.borrow_mut();
+                    let _ = cl.node_iommu_mut(NODE).unwrap().set_pinned(
+                        REMOTE_ASID,
+                        page1.page(),
+                        false,
+                    );
+                }
+                _ => {
+                    let before = m.virt_xfer(id).unwrap().moved;
+                    if m.swap_out_remote(NODE, REMOTE_ASID, page1).is_ok() && before < 2 * PAGE_SIZE
+                    {
+                        swapped_mid_transfer = true;
+                    }
+                }
+            }
+        }
+
+        let state = m.run_virt(id, 64);
+        if state != VirtState::Complete {
+            return Some(format!("lost completion: terminal state {state:?}"));
+        }
+
+        // If the shootdown preceded the deposit, the prefetched IOTLB
+        // entry must NOT have been used: the chunk re-faulted and the
+        // node's OS paid a swap-in. A stale-entry write would complete
+        // without one, with the ledger still claiming the page is out.
+        if swapped_mid_transfer && m.remote_fault_service(NODE).stats().swapped_in == 0 {
+            return Some("deposit went through a shot-down prefetched entry".into());
+        }
+
+        // Each destination byte must be readable through the node's
+        // final translations; page 1's may be legitimately gone only if
+        // the swap landed *after* its bytes were already delivered.
+        let cluster = m.cluster().unwrap();
+        let cl = cluster.borrow();
+        for p in 0..2u64 {
+            let va = VirtAddr::new(REMOTE_VA + p * PAGE_SIZE);
+            let entry = cl
+                .node_iommu(NODE)
+                .and_then(|i| i.table(REMOTE_ASID))
+                .and_then(|t| t.entry(va.page()));
+            let Some(entry) = entry else {
+                if p == 1 && !swapped_mid_transfer {
+                    continue; // clean post-completion shootdown
+                }
+                return Some(format!("page {p} lost its I/O translation"));
+            };
+            let mut got = vec![0u8; PAGE_SIZE as usize];
+            cl.read(NODE, entry.frame.base(), &mut got).unwrap();
+            let lo = (p * PAGE_SIZE) as usize;
+            if got != data[lo..lo + PAGE_SIZE as usize] {
+                return Some(format!("page {p} bytes lost to a stale frame"));
+            }
+        }
+        None
+    });
+    assert!(exploration.exhaustive, "schedule space must be enumerated exhaustively");
+    assert!(exploration.schedules > 1);
     assert!(
         exploration.findings.is_empty(),
         "violation under schedule {:?}: {}",
