@@ -32,6 +32,19 @@ echo "== lossy-link chaos replay (pinned seed) =="
 # retry/service/watchdog interleaving explorer, pinned for bisection.
 UDMA_PROP_SEED=3604 cargo test -q --offline --test lossy_link
 
+echo "== sharded determinism replay (pinned seed) =="
+# Differential replay of the sharded sim core: sequential oracle vs the
+# parallel runner at 1/2/4/8 shards over the E13/E14/E15 workload
+# shapes, plus the kernel ordering property and the NACK-vs-retransmit
+# boundary-race exploration, under a pinned seed for bisection.
+UDMA_PROP_SEED=3607 cargo test -q --offline \
+  --test sharded_determinism --test sharded_props
+
+echo "== sim core self-bench (events/sec) =="
+# The E16 self-benchmark: emits BENCH json for the sim target (collected
+# below) and digest-checks every parallel row against the oracle.
+cargo bench -q --offline -p udma-bench --bench sim > /dev/null
+
 echo "== clippy (deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

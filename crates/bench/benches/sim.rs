@@ -1,0 +1,90 @@
+//! E16 — the sharded simulation core's self-benchmark: simulation
+//! events per host second, sequential oracle vs parallel runner, with
+//! every parallel run digest-checked against the oracle.
+//!
+//! The ≥1.5× parallel-speedup expectation only makes sense with CPUs to
+//! spend; on a single-core host the parallel runner pays barrier
+//! overhead for nothing, so the assertion arms only when the host
+//! reports 4+ available cores. The ratio is printed either way.
+
+use std::hint::black_box;
+use udma_bus::sim::RunnerKind;
+use udma_workloads::{build_cluster, shard_scale_sweep, ClusterWorkload};
+
+/// Cores the host will actually run threads on.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn main() {
+    let cores = host_cores();
+    println!(
+        "host cores: {cores} (speedup assertion {})",
+        if cores >= 4 { "armed" } else { "off" }
+    );
+    for row in shard_scale_sweep(&[16, 64], &[1, 2, 4, 8], 0xE16) {
+        println!(
+            "E16 {:>3} nodes {:>2} shards {:>10}: {:>6} events in {:>8.3} ms = {:>10.0} ev/s, \
+             speedup {:>5.2}x, oracle-match {}",
+            row.nodes,
+            row.shards,
+            format!("{:?}", row.runner),
+            row.events,
+            row.wall_ms,
+            row.events_per_sec,
+            row.speedup,
+            row.matches_oracle
+        );
+    }
+    udma_testkit::bench::run_target(
+        "sim",
+        udma_testkit::bench::BenchConfig::iters(5),
+        vec![
+            (
+                "E16_sequential_64n",
+                Box::new(|| {
+                    let w = ClusterWorkload::standard(64, 0xE16);
+                    let mut sim = build_cluster(&w, 1, RunnerKind::Sequential);
+                    sim.run();
+                    assert_eq!(sim.posted(), w.total_xfers());
+                    black_box(sim.events_per_sec());
+                }) as Box<dyn FnMut()>,
+            ),
+            (
+                "E16_parallel_4shard_64n",
+                Box::new(|| {
+                    let w = ClusterWorkload::standard(64, 0xE16);
+                    let mut sim = build_cluster(&w, 4, RunnerKind::Parallel);
+                    sim.run();
+                    black_box(sim.events_per_sec());
+                }),
+            ),
+            (
+                "E16_differential_and_speedup",
+                Box::new(|| {
+                    // One full differential pass: oracle vs 4-shard
+                    // parallel on the 64-node workload, digests equal.
+                    let w = ClusterWorkload::standard(64, 0xE16);
+                    let mut seq = build_cluster(&w, 1, RunnerKind::Sequential);
+                    seq.run();
+                    let mut par = build_cluster(&w, 4, RunnerKind::Parallel);
+                    par.run();
+                    assert_eq!(
+                        seq.digest(),
+                        par.digest(),
+                        "parallel backend diverged from the sequential oracle"
+                    );
+                    let speedup = seq.wall().as_secs_f64() / par.wall().as_secs_f64().max(1e-9);
+                    if host_cores() >= 4 {
+                        assert!(
+                            speedup >= 1.5,
+                            "expected >=1.5x parallel speedup on a {}-core host, got {speedup:.2}x",
+                            host_cores()
+                        );
+                    }
+                    black_box(speedup);
+                }),
+            ),
+        ],
+    );
+}

@@ -528,6 +528,33 @@ fn e15_translation_pipeline(pages: u64) {
     println!("{t}");
 }
 
+fn e16_shard_scaling(node_counts: &[u32], shard_counts: &[usize]) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut t = Table::new(
+        "E16 — sharded sim core: events/sec and speedup by shard count (every row digest-checked \
+         against the sequential oracle)",
+        &["nodes", "shards", "runner", "events", "rounds", "done", "wall (ms)", "ev/s", "speedup"],
+    );
+    for row in udma_workloads::shard_scale_sweep(node_counts, shard_counts, 0xE16) {
+        t.row_owned(vec![
+            row.nodes.to_string(),
+            row.shards.to_string(),
+            format!("{:?}", row.runner),
+            row.events.to_string(),
+            row.rounds.to_string(),
+            row.completed.to_string(),
+            format!("{:.3}", row.wall_ms),
+            format!("{:.0}", row.events_per_sec),
+            format!("{:.2}x", row.speedup),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "(host cores: {cores} — parallel speedup over the oracle needs cores to spend; on a \
+         single-core host the parallel rows measure barrier overhead, not scaling)\n"
+    );
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     if smoke {
@@ -543,6 +570,7 @@ fn main() {
         e13_remote_va(4);
         e14_lossy_link(&[0, 25], &[2, 6], 2, 6);
         e15_translation_pipeline(4);
+        e16_shard_scaling(&[16], &[2, 4]);
         microbench_host(50);
         return;
     }
@@ -565,6 +593,7 @@ fn main() {
     e13_remote_va(8);
     e14_lossy_link(&[0, 10, 20, 30, 40], &[1, 3, 6], 4, 16);
     e15_translation_pipeline(8);
+    e16_shard_scaling(&[16, 64], &[1, 2, 4, 8]);
     messaging_layer();
     pingpong_latency();
     microbench_host(500);

@@ -14,7 +14,11 @@
 //!   *load-servicing* behaviour is exactly the hazard of the paper's
 //!   footnote 6 ("some hardware devices may attempt to collapse successive
 //!   read/write operations to the same address ... appropriate memory
-//!   barrier commands should be used").
+//!   barrier commands should be used"),
+//! * [`sim`] — the deterministic sharded discrete-event kernel
+//!   ([`SimComponent`]/[`SimRunner`]/[`ChannelBuilder`]) the cluster
+//!   experiments run on, with a sequential oracle and a
+//!   conservative-lookahead parallel runner.
 //!
 //! [TurboChannel]: BusTiming::turbochannel
 
@@ -24,6 +28,7 @@
 mod bus;
 mod cache;
 mod device;
+pub mod sim;
 mod time;
 mod timing;
 mod trace;
@@ -32,6 +37,7 @@ mod write_buffer;
 pub use bus::{Bus, BusStats};
 pub use cache::{CacheConfig, CacheStats, DataCache};
 pub use device::{BusDevice, RamDevice, SharedMemory};
+pub use sim::{ChannelBuilder, RunReport, RunnerKind, ShardId, SimComponent, SimRunner, Stamped};
 pub use time::{Clock, SimTime};
 pub use timing::BusTiming;
 pub use trace::{BusTrace, TraceEvent};

@@ -52,6 +52,7 @@ mod measure;
 mod method;
 mod report;
 mod request;
+mod sharded;
 mod trace_report;
 mod va;
 
@@ -69,5 +70,6 @@ pub use measure::{
 pub use method::DmaMethod;
 pub use report::Table;
 pub use request::DmaRequest;
+pub use sharded::{ClusterConfig, ClusterDigest, ClusterSim, LogLine, NodeDigest, XferDigest};
 pub use trace_report::device_trace_report;
 pub use va::{emit_virt_dma, SwapRefused, VaMode, VirtDmaSetup};

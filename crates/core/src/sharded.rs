@@ -1,0 +1,967 @@
+//! The sharded cluster simulation: every node a full sender.
+//!
+//! The single-machine [`Machine`](crate::Machine) world advances one
+//! sequential clock and models remote nodes as passive memories behind
+//! the sender's DMA engine. This module is the cluster-scale
+//! re-architecture on top of the deterministic sim kernel in
+//! [`udma_bus::sim`]: a [`ClusterSim`] partitions its nodes over
+//! shards, each node owns its *complete* local state — physical
+//! memory, receive-side IOMMU, node OS ([`RemoteFaultService`]), and a
+//! seeded chaos link — and all cross-node traffic (data chunks,
+//! ACK/NACK, destination announcements) travels as
+//! [`Envelope`]s over explicit latency-stamped channels, even between
+//! nodes that happen to share a shard.
+//!
+//! # Why the result is independent of the shard count
+//!
+//! A node's state evolves only through the events addressed to it,
+//! processed in `(arrival, src_node, seq)` order, where `seq` is the
+//! *emitting node's* monotonic counter — a key that never mentions
+//! shards. Whatever the layout, all of a node's events live in the one
+//! queue of the shard that owns it and pop in key order, and the
+//! runner's conservative-lookahead rounds give every layout the same
+//! horizon sequence. So 1, 2, 4 and 8 shards — sequential or parallel —
+//! replay byte-identical histories, which `tests/sharded_determinism.rs`
+//! verifies against the sequential oracle, seed by seed.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::time::{Duration, Instant};
+use udma_bus::sim::{
+    ChannelBuilder, RunReport, RunnerKind, SimComponent, SimReceiver, SimRunner, SimSender, Stamped,
+};
+use udma_bus::SimTime;
+use udma_iommu::{Asid, Iommu, IotlbConfig, IotlbStats};
+use udma_mem::{Access, MemFault, Perms, PhysAddr, PhysMemory, VirtAddr, VirtPage, PAGE_SIZE};
+use udma_nic::{
+    crc32, DstAnnouncement, Envelope, FaultPlan, FaultyLink, LinkModel, NackVerdict, NetMsg,
+    NodeLinkStats, ReliabilityConfig, SendXfer, XferCounters, XferId, XferState,
+};
+use udma_os::{
+    FaultCosts, FaultResolution, FaultServiceStats, RemoteFaultService, RemoteSwapRefused,
+};
+use udma_testkit::rng::TestRng;
+
+/// Configuration of a [`ClusterSim`]: topology, backend runner, link
+/// and fault models. All existing single-machine knobs keep their
+/// defaults; the two new ones are `shards` and `runner`.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Cluster size.
+    pub nodes: u32,
+    /// Shards the nodes are partitioned over (node `n` lives on shard
+    /// `n % shards`). Clamped to `nodes` at build time.
+    pub shards: usize,
+    /// Sequential oracle or one-thread-per-shard parallel runner.
+    pub runner: RunnerKind,
+    /// Node-local RAM.
+    pub node_bytes: u64,
+    /// The wire between any two nodes; its propagation latency is the
+    /// runner's conservative lookahead.
+    pub link: LinkModel,
+    /// Go-back-N parameters; `reliability.retry` doubles as the NACK
+    /// retry budget, as in the single-machine world.
+    pub reliability: ReliabilityConfig,
+    /// Chaos plan applied to every node's *sending* link. Each node
+    /// derives its own decorrelated PRNG seed from `plan.seed`.
+    pub chaos: Option<FaultPlan>,
+    /// Receive-side IOTLB geometry of every node.
+    pub iotlb: IotlbConfig,
+    /// Fault-service costs of every node OS.
+    pub costs: FaultCosts,
+    /// Whether [`ClusterSim::grant`] registers (pins) buffers up front —
+    /// the no-NACK discipline of E14 — instead of demand-faulting.
+    pub pin_on_post: bool,
+    /// Whether transfers announce their destination range ahead of the
+    /// first chunk, buying the one-NACK-per-range service of E15.
+    pub announce: bool,
+    /// Record a per-event log for differential divergence reporting
+    /// (costs allocations; leave off in benches).
+    pub record_log: bool,
+}
+
+impl ClusterConfig {
+    /// A sequential single-shard cluster of `nodes` nodes — the oracle
+    /// configuration.
+    pub fn new(nodes: u32) -> Self {
+        ClusterConfig {
+            nodes,
+            shards: 1,
+            runner: RunnerKind::Sequential,
+            node_bytes: 1 << 20,
+            link: LinkModel::atm155(),
+            reliability: ReliabilityConfig::default(),
+            chaos: None,
+            iotlb: IotlbConfig::default(),
+            costs: FaultCosts::default(),
+            pin_on_post: false,
+            announce: false,
+            record_log: false,
+        }
+    }
+
+    /// The same cluster on `shards` shards under the parallel runner.
+    pub fn sharded(nodes: u32, shards: usize) -> Self {
+        ClusterConfig { shards, runner: RunnerKind::Parallel, ..ClusterConfig::new(nodes) }
+    }
+}
+
+/// One line of the differential event log: the processing node, the
+/// event's layout-invariant ordering key, and a rendered description.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LogLine {
+    /// Simulated event time.
+    pub at: SimTime,
+    /// The emitting node (ties on `at` break here, then on `seq`).
+    pub src_node: u32,
+    /// The emitting node's emission counter.
+    pub seq: u64,
+    /// The node whose state the event touched.
+    pub node: u32,
+    /// Human-readable event description.
+    pub what: String,
+}
+
+impl std::fmt::Display for LogLine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{} src=n{} seq={}] node {}: {}",
+            self.at, self.src_node, self.seq, self.node, self.what
+        )
+    }
+}
+
+/// Everything observable about one node after a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeDigest {
+    /// The node.
+    pub node: u32,
+    /// CRC-32 over the node's entire physical memory.
+    pub mem_crc: u32,
+    /// Receive-side IOTLB counters.
+    pub iotlb: IotlbStats,
+    /// Node-OS fault-service counters.
+    pub faults: FaultServiceStats,
+    /// Receive-side link counters.
+    pub link: NodeLinkStats,
+    /// NACKs this node raised.
+    pub nacks_raised: u64,
+}
+
+/// Everything observable about one transfer after a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XferDigest {
+    /// The transfer.
+    pub id: XferId,
+    /// Terminal (or stuck) state.
+    pub state: XferState,
+    /// Wire/accounting counters.
+    pub counters: XferCounters,
+    /// Posting time.
+    pub posted_at: SimTime,
+    /// Completion/failure time.
+    pub finished: Option<SimTime>,
+}
+
+/// The full observable outcome of a run: compare two of these to prove
+/// two backends replayed the same history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterDigest {
+    /// Per-node state and counters, in node order.
+    pub nodes: Vec<NodeDigest>,
+    /// Per-transfer outcomes, in `(node, index)` order.
+    pub xfers: Vec<XferDigest>,
+    /// Events processed.
+    pub events: u64,
+    /// Barrier rounds executed.
+    pub rounds: u64,
+    /// The merged event log in key order (empty unless
+    /// [`ClusterConfig::record_log`]).
+    pub log: Vec<LogLine>,
+}
+
+impl ClusterDigest {
+    /// The first observable difference between two runs, rendered for a
+    /// failure message — the event log divergence if logs were
+    /// recorded, otherwise the first differing node/transfer summary.
+    /// `None` when the digests are identical.
+    pub fn diff(&self, other: &ClusterDigest) -> Option<String> {
+        if self == other {
+            return None;
+        }
+        for (i, (a, b)) in self.log.iter().zip(other.log.iter()).enumerate() {
+            if a != b {
+                return Some(format!("first diverging event #{i}:\n  a: {a}\n  b: {b}"));
+            }
+        }
+        if self.log.len() != other.log.len() {
+            let (longer, tag) =
+                if self.log.len() > other.log.len() { (self, "a") } else { (other, "b") };
+            let extra = &longer.log[self.log.len().min(other.log.len())];
+            return Some(format!("{tag} has extra event: {extra}"));
+        }
+        for (a, b) in self.nodes.iter().zip(other.nodes.iter()) {
+            if a != b {
+                return Some(format!("node {} digests differ:\n  a: {a:?}\n  b: {b:?}", a.node));
+            }
+        }
+        for (a, b) in self.xfers.iter().zip(other.xfers.iter()) {
+            if a != b {
+                return Some(format!("transfer {} digests differ:\n  a: {a:?}\n  b: {b:?}", a.id));
+            }
+        }
+        Some(format!(
+            "digests differ in counters: events {} vs {}, rounds {} vs {}",
+            self.events, other.events, self.rounds, other.rounds
+        ))
+    }
+}
+
+/// What a shard's queue holds.
+#[derive(Clone, Debug)]
+enum Work {
+    /// A cross-node message that arrived over a channel.
+    Net(Envelope),
+    /// Launch (or relaunch) the next chunk of a local transfer.
+    Launch {
+        /// The posting node.
+        node: u32,
+        /// Index of the transfer on that node.
+        index: u32,
+    },
+}
+
+/// A queued event with the layout-invariant ordering key.
+#[derive(Clone, Debug)]
+struct Ordered {
+    at: SimTime,
+    src_node: u32,
+    seq: u64,
+    work: Work,
+}
+
+impl Ordered {
+    fn key(&self) -> (SimTime, u32, u64) {
+        (self.at, self.src_node, self.seq)
+    }
+}
+
+impl PartialEq for Ordered {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for Ordered {}
+
+impl PartialOrd for Ordered {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ordered {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// One cluster node's complete local state.
+#[derive(Clone, Debug)]
+struct NodeWorld {
+    mem: PhysMemory,
+    iommu: Iommu,
+    os: RemoteFaultService,
+    /// The node's *sending* chaos link (None on an ideal wire).
+    chaos: Option<FaultyLink>,
+    /// Transfers this node posted, by posting index.
+    xfers: Vec<SendXfer>,
+    /// Destination ranges announced *to* this node, by sender transfer.
+    announced: BTreeMap<XferId, DstAnnouncement>,
+    /// Receive-side link counters.
+    link_stats: NodeLinkStats,
+    /// NACKs raised by this node's receive path.
+    nacks_raised: u64,
+    /// Monotonic emission counter — the `seq` of every event and
+    /// message this node originates.
+    seq: u64,
+}
+
+impl NodeWorld {
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+}
+
+/// One shard: the nodes it owns, its event queue, and its channel
+/// endpoints (one channel per ordered shard pair, self included).
+struct Shard {
+    num_shards: usize,
+    nodes: BTreeMap<u32, NodeWorld>,
+    rx: Vec<SimReceiver<Envelope>>,
+    tx: Vec<SimSender<Envelope>>,
+    queue: BinaryHeap<Reverse<Ordered>>,
+    scratch: Vec<Stamped<Envelope>>,
+    link: LinkModel,
+    rel: ReliabilityConfig,
+    announce: bool,
+    log: Option<Vec<LogLine>>,
+}
+
+impl Shard {
+    fn shard_of(&self, node: u32) -> usize {
+        node as usize % self.num_shards
+    }
+
+    fn log_event(&mut self, at: SimTime, src_node: u32, seq: u64, node: u32, what: String) {
+        if let Some(log) = &mut self.log {
+            log.push(LogLine { at, src_node, seq, node, what });
+        }
+    }
+
+    /// Processes one event. All sends happen here, stamped from the
+    /// event's own time, so the lookahead contract holds by
+    /// construction.
+    fn dispatch(&mut self, ev: Ordered) {
+        let Ordered { at, src_node, seq, work } = ev;
+        match work {
+            Work::Launch { node, index } => {
+                let n = self.nodes.get_mut(&node).expect("launch on foreign node");
+                let x = &mut n.xfers[index as usize];
+                if x.state().terminal() {
+                    // A retry raced a link failure; nothing to send.
+                    self.log_event(at, src_node, seq, node, format!("launch {} skipped", index));
+                    return;
+                }
+                let dst_shard = x.dst_node as usize % self.num_shards;
+                let dst_node = x.dst_node;
+                // The first launch of an announcing transfer carries the
+                // destination range ahead of its data (same emitter, so
+                // the announce's smaller seq orders it first even on an
+                // arrival tie).
+                if self.announce && x.counters.launches == 0 {
+                    let ann = x.announcement();
+                    let env = Envelope {
+                        src_node: node,
+                        dst_node,
+                        seq: n.seq,
+                        msg: NetMsg::Announce { xfer: x.id, ann },
+                    };
+                    n.seq += 1;
+                    self.tx[dst_shard].send(at, env);
+                }
+                let (msg, arrival) = n.xfers[index as usize].launch_chunk(
+                    at,
+                    &self.link,
+                    &self.rel,
+                    n.chaos.as_mut(),
+                );
+                let x = &n.xfers[index as usize];
+                let what = format!(
+                    "launch {} -> n{} arriving {} ({})",
+                    x.id,
+                    dst_node,
+                    arrival,
+                    if x.state() == XferState::LinkFailed { "link-failed" } else { "ok" }
+                );
+                let env = Envelope { src_node: node, dst_node, seq: n.seq, msg };
+                n.seq += 1;
+                self.tx[dst_shard].send_arriving(at, arrival, env);
+                self.log_event(at, src_node, seq, node, what);
+            }
+            Work::Net(env) => self.dispatch_net(at, seq, env),
+        }
+    }
+
+    fn dispatch_net(&mut self, at: SimTime, seq: u64, env: Envelope) {
+        let Envelope { src_node, dst_node, msg, .. } = env;
+        match msg {
+            NetMsg::Announce { xfer, ann } => {
+                let n = self.nodes.get_mut(&dst_node).expect("announce to foreign node");
+                n.announced.insert(xfer, ann);
+                self.log_event(
+                    at,
+                    src_node,
+                    seq,
+                    dst_node,
+                    format!("announce {} [{}, +{}B]", xfer, ann.va, ann.len),
+                );
+            }
+            NetMsg::Data { xfer, chunk, asid, va, bytes, outcome } => {
+                let n = self.nodes.get_mut(&dst_node).expect("data to foreign node");
+                // The receive PHY saw the frames whether or not anything
+                // useful arrived.
+                n.link_stats.deliveries += 1;
+                n.link_stats.bytes_accepted += outcome.delivered;
+                n.link_stats.retransmits += u64::from(outcome.retransmits);
+                n.link_stats.crc_dropped += u64::from(outcome.crc_dropped);
+                n.link_stats.dup_ignored += u64::from(outcome.dup_ignored);
+                n.link_stats.ooo_discarded += u64::from(outcome.ooo_discarded);
+                if bytes.is_empty() {
+                    self.log_event(
+                        at,
+                        src_node,
+                        seq,
+                        dst_node,
+                        format!("data {} chunk {} empty", xfer, chunk),
+                    );
+                    return;
+                }
+                match n.iommu.translate(asid, va, Access::Write) {
+                    Ok(pa) => {
+                        n.mem.write_bytes(pa, &bytes).expect("translated deposit in range");
+                        let accepted = bytes.len() as u64;
+                        let env = Envelope {
+                            src_node: dst_node,
+                            dst_node: src_node,
+                            seq: n.seq,
+                            msg: NetMsg::Ack { xfer, chunk, accepted },
+                        };
+                        n.seq += 1;
+                        let back = self.shard_of(src_node);
+                        self.tx[back].send(at, env);
+                        self.log_event(
+                            at,
+                            src_node,
+                            seq,
+                            dst_node,
+                            format!("data {} chunk {} +{}B @ {}", xfer, chunk, accepted, va),
+                        );
+                    }
+                    Err(fault) => {
+                        n.nacks_raised += 1;
+                        // The node OS services the fault before the NACK
+                        // departs; the service time rides on the NACK's
+                        // arrival stamp, exactly the "link round trip
+                        // plus a fault service" of the follow-on papers.
+                        let (res, cost) = match n.announced.get(&xfer).copied() {
+                            Some(ann) => {
+                                n.os.service_announced(&fault, ann.va, ann.len, &mut n.iommu)
+                            }
+                            None => n.os.service(&fault, &mut n.iommu),
+                        };
+                        let resolvable = res != FaultResolution::Unresolvable;
+                        let env = Envelope {
+                            src_node: dst_node,
+                            dst_node: src_node,
+                            seq: n.seq,
+                            msg: NetMsg::Nack { xfer, chunk, fault, resolvable },
+                        };
+                        n.seq += 1;
+                        let back = self.shard_of(src_node);
+                        self.tx[back].send_arriving(at, at + cost + self.link.latency(), env);
+                        self.log_event(
+                            at,
+                            src_node,
+                            seq,
+                            dst_node,
+                            format!(
+                                "data {} chunk {} nack {:?} ({})",
+                                xfer,
+                                chunk,
+                                res,
+                                if resolvable { "resolvable" } else { "fatal" }
+                            ),
+                        );
+                    }
+                }
+            }
+            NetMsg::Ack { xfer, chunk, accepted } => {
+                let n = self.nodes.get_mut(&dst_node).expect("ack to foreign node");
+                let x = &mut n.xfers[xfer.index as usize];
+                let done = x.on_ack(chunk, accepted, at);
+                let more = !x.state().terminal();
+                let what = format!(
+                    "ack {} chunk {} ({})",
+                    xfer,
+                    chunk,
+                    if done {
+                        "complete"
+                    } else if more {
+                        "next chunk"
+                    } else {
+                        "stale"
+                    }
+                );
+                if more {
+                    let launch_seq = n.next_seq();
+                    self.queue.push(Reverse(Ordered {
+                        at,
+                        src_node: dst_node,
+                        seq: launch_seq,
+                        work: Work::Launch { node: dst_node, index: xfer.index },
+                    }));
+                }
+                self.log_event(at, src_node, seq, dst_node, what);
+            }
+            NetMsg::Nack { xfer, chunk, resolvable, .. } => {
+                let n = self.nodes.get_mut(&dst_node).expect("nack to foreign node");
+                let x = &mut n.xfers[xfer.index as usize];
+                let verdict = x.on_nack(chunk, resolvable, at, &self.rel.retry);
+                let what = format!("nack {} chunk {} -> {:?}", xfer, chunk, verdict);
+                if let NackVerdict::Retry(when) = verdict {
+                    let launch_seq = n.next_seq();
+                    self.queue.push(Reverse(Ordered {
+                        at: when,
+                        src_node: dst_node,
+                        seq: launch_seq,
+                        work: Work::Launch { node: dst_node, index: xfer.index },
+                    }));
+                }
+                self.log_event(at, src_node, seq, dst_node, what);
+            }
+        }
+    }
+}
+
+impl SimComponent for Shard {
+    fn drain(&mut self) {
+        for r in &mut self.rx {
+            r.drain_into(&mut self.scratch);
+        }
+        for m in self.scratch.drain(..) {
+            self.queue.push(Reverse(Ordered {
+                at: m.at,
+                src_node: m.payload.src_node,
+                seq: m.payload.seq,
+                work: Work::Net(m.payload),
+            }));
+        }
+    }
+
+    fn next_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(ev)| ev.at)
+    }
+
+    fn advance(&mut self, horizon: SimTime) -> u64 {
+        let mut done = 0;
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at >= horizon {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            self.dispatch(ev);
+            done += 1;
+        }
+        done
+    }
+}
+
+/// A cluster of user-level-DMA nodes on the sharded deterministic
+/// simulation core. Build, [`grant`](Self::grant) destination buffers,
+/// [`post`](Self::post) transfers, [`run`](Self::run), then compare
+/// [`digest`](Self::digest)s or read memories.
+pub struct ClusterSim {
+    cfg: ClusterConfig,
+    shards: Vec<Shard>,
+    runner: SimRunner,
+    report: RunReport,
+    wall: Duration,
+    posted: u32,
+}
+
+impl ClusterSim {
+    /// Builds the cluster: every node gets its memory, IOMMU, node OS
+    /// and (under chaos) its own decorrelated chaos-link PRNG; every
+    /// ordered shard pair gets a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(mut cfg: ClusterConfig) -> Self {
+        assert!(cfg.nodes > 0, "a cluster needs at least one node");
+        cfg.shards = cfg.shards.clamp(1, cfg.nodes as usize);
+        let num_shards = cfg.shards;
+        let builder = ChannelBuilder::new(cfg.link.latency());
+        // Channel matrix: tx[src][dst] pairs with rx[dst][src].
+        let mut rx_grid: Vec<Vec<Option<SimReceiver<Envelope>>>> =
+            (0..num_shards).map(|_| (0..num_shards).map(|_| None).collect()).collect();
+        let mut tx_grid: Vec<Vec<SimSender<Envelope>>> = Vec::with_capacity(num_shards);
+        for src in 0..num_shards {
+            let mut row = Vec::with_capacity(num_shards);
+            for rx_row in rx_grid.iter_mut() {
+                let (tx, rx) = builder.channel(src);
+                row.push(tx);
+                rx_row[src] = Some(rx);
+            }
+            tx_grid.push(row);
+        }
+        let mut shards: Vec<Shard> = tx_grid
+            .into_iter()
+            .zip(rx_grid)
+            .map(|(tx, rx_row)| Shard {
+                num_shards,
+                nodes: BTreeMap::new(),
+                rx: rx_row.into_iter().map(|r| r.expect("full matrix")).collect(),
+                tx,
+                queue: BinaryHeap::new(),
+                scratch: Vec::new(),
+                link: cfg.link,
+                rel: cfg.reliability,
+                announce: cfg.announce,
+                log: cfg.record_log.then(Vec::new),
+            })
+            .collect();
+        for node in 0..cfg.nodes {
+            let chaos = cfg.chaos.map(|plan| {
+                // Decorrelate the per-node packet stories while keeping
+                // the whole cluster reproducible from one seed.
+                let salt = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(node) + 1);
+                FaultyLink::new(FaultPlan { seed: plan.seed ^ salt, ..plan })
+            });
+            // Nodes are symmetric: every node can receive into any ASID
+            // a grant later creates; contexts are created on grant.
+            let world = NodeWorld {
+                mem: PhysMemory::new(cfg.node_bytes),
+                iommu: Iommu::new(cfg.iotlb),
+                os: RemoteFaultService::new(cfg.node_bytes, cfg.costs),
+                chaos,
+                xfers: Vec::new(),
+                announced: BTreeMap::new(),
+                link_stats: NodeLinkStats::default(),
+                nacks_raised: 0,
+                seq: 0,
+            };
+            shards[node as usize % num_shards].nodes.insert(node, world);
+        }
+        let runner = SimRunner::new(cfg.runner, cfg.link.latency());
+        ClusterSim {
+            cfg,
+            shards,
+            runner,
+            report: RunReport::default(),
+            wall: Duration::ZERO,
+            posted: 0,
+        }
+    }
+
+    /// The (clamped) configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    fn node_mut(&mut self, node: u32) -> &mut NodeWorld {
+        let shard = node as usize % self.cfg.shards;
+        self.shards[shard].nodes.get_mut(&node).expect("node exists")
+    }
+
+    fn node_ref(&self, node: u32) -> &NodeWorld {
+        let shard = node as usize % self.cfg.shards;
+        self.shards[shard].nodes.get(&node).expect("node exists")
+    }
+
+    /// Exposes `pages` fresh frames at `va` in `asid` on `node` — the
+    /// remote process offering memory for incoming RDMA. Creates the
+    /// IOMMU context on first use; under
+    /// [`pin_on_post`](ClusterConfig::pin_on_post) also registers the
+    /// whole buffer so no chunk ever NACKs.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::AlreadyMapped`] if a page is taken,
+    /// [`MemFault::BusError`] if the node is out of frames.
+    pub fn grant(
+        &mut self,
+        node: u32,
+        asid: Asid,
+        va: VirtAddr,
+        pages: u64,
+        perms: Perms,
+    ) -> Result<(), MemFault> {
+        let pin = self.cfg.pin_on_post;
+        let n = self.node_mut(node);
+        if !n.iommu.has_context(asid) {
+            n.iommu.create_context(asid);
+        }
+        if pin {
+            n.os.expose_pinned(asid, va, pages, perms, &mut n.iommu)?;
+        } else {
+            n.os.expose(asid, va, pages, perms)?;
+        }
+        Ok(())
+    }
+
+    /// Registers (pins) `[va, va + len)` of `asid` into `node`'s IOMMU —
+    /// the warm fraction of an E13-style partially prefaulted buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::Unmapped`] at the first hole.
+    pub fn pin(&mut self, node: u32, asid: Asid, va: VirtAddr, len: u64) -> Result<u64, MemFault> {
+        let n = self.node_mut(node);
+        n.os.pin_into(asid, va, len, &mut n.iommu)
+    }
+
+    /// Swaps `page` of `asid` out of `node` (cold-page setup for the
+    /// swap-in fault path).
+    ///
+    /// # Errors
+    ///
+    /// As for [`RemoteFaultService::swap_out`].
+    pub fn swap_out(
+        &mut self,
+        node: u32,
+        asid: Asid,
+        page: VirtPage,
+    ) -> Result<(), RemoteSwapRefused> {
+        let n = self.node_mut(node);
+        n.os.swap_out(asid, page, &mut n.iommu)
+    }
+
+    /// Posts a transfer of `len` deterministic pattern bytes from
+    /// `src_node` into `(asid, va)` on `dst_node`, launching at `at`.
+    /// Returns the transfer's cluster-wide id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range or `len` is zero.
+    pub fn post(
+        &mut self,
+        src_node: u32,
+        dst_node: u32,
+        asid: Asid,
+        va: VirtAddr,
+        len: u64,
+        at: SimTime,
+    ) -> XferId {
+        assert!(src_node < self.cfg.nodes && dst_node < self.cfg.nodes, "node out of range");
+        assert!(len > 0, "zero-byte transfer");
+        let shard = src_node as usize % self.cfg.shards;
+        let n = self.shards[shard].nodes.get_mut(&src_node).expect("node exists");
+        let id = XferId { node: src_node, index: n.xfers.len() as u32 };
+        let data = pattern_bytes(id, len);
+        n.xfers.push(SendXfer::new(id, dst_node, asid, va, data, at));
+        let seq = n.next_seq();
+        self.shards[shard].queue.push(Reverse(Ordered {
+            at,
+            src_node,
+            seq,
+            work: Work::Launch { node: src_node, index: id.index },
+        }));
+        self.posted += 1;
+        id
+    }
+
+    /// The deterministic payload a [`post`](Self::post) generated —
+    /// tests compare destination memory against this.
+    pub fn expected_payload(id: XferId, len: u64) -> Vec<u8> {
+        pattern_bytes(id, len)
+    }
+
+    /// Runs to global quiescence and returns the runner's report.
+    pub fn run(&mut self) -> RunReport {
+        let start = Instant::now();
+        let report = self.runner.run(&mut self.shards);
+        self.wall += start.elapsed();
+        self.report.events += report.events;
+        self.report.rounds += report.rounds;
+        report
+    }
+
+    /// Cumulative runner report across all [`run`](Self::run) calls.
+    pub fn report(&self) -> RunReport {
+        self.report
+    }
+
+    /// Host wall-clock time spent inside [`run`](Self::run).
+    pub fn wall(&self) -> Duration {
+        self.wall
+    }
+
+    /// Simulation events per host second — the self-benchmark metric.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.report.events as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Transfers posted so far.
+    pub fn posted(&self) -> u32 {
+        self.posted
+    }
+
+    /// Reads `node`'s physical memory (test inspection).
+    ///
+    /// # Errors
+    ///
+    /// [`MemFault::BusError`] outside the node's RAM.
+    pub fn read_mem(&self, node: u32, pa: PhysAddr, buf: &mut [u8]) -> Result<(), MemFault> {
+        self.node_ref(node).mem.read_bytes(pa, buf)
+    }
+
+    /// Translates `(asid, va)` on `node`'s IOMMU without counting stats
+    /// (test inspection of where a deposit landed).
+    pub fn probe(&mut self, node: u32, asid: Asid, va: VirtAddr) -> Option<PhysAddr> {
+        let n = self.node_mut(node);
+        n.iommu.probe(asid, va.page(), Access::Read).map(|frame| frame.base() + va.page_offset())
+    }
+
+    /// The digest of one transfer.
+    pub fn xfer(&self, id: XferId) -> XferDigest {
+        let x = &self.node_ref(id.node).xfers[id.index as usize];
+        XferDigest {
+            id: x.id,
+            state: x.state(),
+            counters: x.counters,
+            posted_at: x.posted_at,
+            finished: x.finished,
+        }
+    }
+
+    /// The full observable outcome: per-node memory CRCs and counters,
+    /// per-transfer outcomes, event totals, and (if recorded) the
+    /// merged event log in key order.
+    pub fn digest(&self) -> ClusterDigest {
+        let mut nodes = Vec::with_capacity(self.cfg.nodes as usize);
+        let mut xfers = Vec::new();
+        for node in 0..self.cfg.nodes {
+            let n = self.node_ref(node);
+            nodes.push(NodeDigest {
+                node,
+                mem_crc: mem_crc(&n.mem),
+                iotlb: n.iommu.stats(),
+                faults: n.os.stats(),
+                link: n.link_stats,
+                nacks_raised: n.nacks_raised,
+            });
+            for x in &n.xfers {
+                xfers.push(XferDigest {
+                    id: x.id,
+                    state: x.state(),
+                    counters: x.counters,
+                    posted_at: x.posted_at,
+                    finished: x.finished,
+                });
+            }
+        }
+        let mut log: Vec<LogLine> =
+            self.shards.iter().filter_map(|s| s.log.as_ref()).flatten().cloned().collect();
+        log.sort();
+        ClusterDigest { nodes, xfers, events: self.report.events, rounds: self.report.rounds, log }
+    }
+}
+
+/// Deterministic per-transfer payload pattern (seeded xoshiro stream).
+fn pattern_bytes(id: XferId, len: u64) -> Vec<u8> {
+    let seed = 0xDA7A_5EED_0000_0000 ^ (u64::from(id.node) << 20) ^ u64::from(id.index);
+    let mut rng = TestRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(len as usize);
+    while (out.len() as u64) < len {
+        out.extend_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    out.truncate(len as usize);
+    out
+}
+
+/// CRC-32 over a node's entire memory, read in page-sized strides.
+fn mem_crc(mem: &PhysMemory) -> u32 {
+    let mut buf = vec![0u8; PAGE_SIZE as usize];
+    let mut all = Vec::with_capacity(mem.size() as usize);
+    let mut pa = 0u64;
+    while pa < mem.size() {
+        let take = (mem.size() - pa).min(PAGE_SIZE) as usize;
+        mem.read_bytes(PhysAddr::new(pa), &mut buf[..take]).expect("in range");
+        all.extend_from_slice(&buf[..take]);
+        pa += take as u64;
+    }
+    crc32(&all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ASID: Asid = 7;
+    const DST_VA: u64 = 16 * PAGE_SIZE;
+
+    fn granted(cfg: ClusterConfig, pages: u64) -> ClusterSim {
+        let mut sim = ClusterSim::new(cfg);
+        for node in 0..cfg.nodes {
+            sim.grant(node, ASID, VirtAddr::new(DST_VA), pages, Perms::READ_WRITE).unwrap();
+        }
+        sim
+    }
+
+    #[test]
+    fn clean_transfer_completes_and_deposits_the_pattern() {
+        let mut cfg = ClusterConfig::new(2);
+        cfg.pin_on_post = true;
+        let mut sim = granted(cfg, 2);
+        let id = sim.post(0, 1, ASID, VirtAddr::new(DST_VA), 2 * PAGE_SIZE, SimTime::ZERO);
+        sim.run();
+        let x = sim.xfer(id);
+        assert_eq!(x.state, XferState::Complete);
+        assert_eq!(x.counters.moved, 2 * PAGE_SIZE);
+        assert_eq!(x.counters.nacks, 0, "pin-on-post never NACKs");
+        let pa = sim.probe(1, ASID, VirtAddr::new(DST_VA)).expect("pinned translation");
+        let mut got = vec![0u8; 2 * PAGE_SIZE as usize];
+        // Pages are contiguous frames for a fresh expose.
+        sim.read_mem(1, pa, &mut got).unwrap();
+        assert_eq!(got, ClusterSim::expected_payload(id, 2 * PAGE_SIZE));
+    }
+
+    #[test]
+    fn cold_buffer_nacks_once_per_page_without_announce() {
+        let cfg = ClusterConfig::new(2); // demand paging, no announce
+        let mut sim = granted(cfg, 3);
+        let id = sim.post(0, 1, ASID, VirtAddr::new(DST_VA), 3 * PAGE_SIZE, SimTime::ZERO);
+        sim.run();
+        let x = sim.xfer(id);
+        assert_eq!(x.state, XferState::Complete);
+        assert_eq!(x.counters.nacks, 3, "every cold page costs one NACK round trip");
+        let d = sim.digest();
+        assert_eq!(d.nodes[1].nacks_raised, 3);
+        assert_eq!(d.nodes[1].faults.mapped, 3);
+    }
+
+    #[test]
+    fn announce_buys_one_nack_per_range() {
+        let mut cfg = ClusterConfig::new(2);
+        cfg.announce = true;
+        let mut sim = granted(cfg, 4);
+        let id = sim.post(0, 1, ASID, VirtAddr::new(DST_VA), 4 * PAGE_SIZE, SimTime::ZERO);
+        sim.run();
+        let x = sim.xfer(id);
+        assert_eq!(x.state, XferState::Complete);
+        assert_eq!(x.counters.nacks, 1, "the announced range services in one kernel entry");
+        assert!(sim.digest().nodes[1].faults.range_prefilled >= 3);
+    }
+
+    #[test]
+    fn unknown_asid_fails_the_transfer() {
+        let cfg = ClusterConfig::new(2);
+        let mut sim = granted(cfg, 1);
+        let id = sim.post(0, 1, 99, VirtAddr::new(DST_VA), PAGE_SIZE, SimTime::ZERO);
+        sim.run();
+        assert_eq!(sim.xfer(id).state, XferState::Failed);
+    }
+
+    #[test]
+    fn sequential_and_parallel_digests_match_on_a_small_mesh() {
+        let run = |shards: usize, runner: RunnerKind| {
+            let mut cfg = ClusterConfig::new(4);
+            cfg.shards = shards;
+            cfg.runner = runner;
+            cfg.record_log = true;
+            cfg.chaos = Some(FaultPlan::lossless(0xC1A5).with_drop(0.2));
+            let mut sim = granted(cfg, 2);
+            for src in 0..4u32 {
+                let dst = (src + 1) % 4;
+                sim.post(src, dst, ASID, VirtAddr::new(DST_VA), 2 * PAGE_SIZE, SimTime::ZERO);
+            }
+            sim.run();
+            sim.digest()
+        };
+        let oracle = run(1, RunnerKind::Sequential);
+        for shards in [1usize, 2, 4] {
+            let par = run(shards, RunnerKind::Parallel);
+            if let Some(diff) = oracle.diff(&par) {
+                panic!("{shards}-shard parallel run diverged:\n{diff}");
+            }
+        }
+    }
+}

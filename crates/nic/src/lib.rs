@@ -29,6 +29,7 @@ mod engine_core;
 mod faulty;
 mod link;
 mod mover;
+mod net;
 pub mod protocol;
 pub mod regs;
 mod remote;
@@ -45,6 +46,7 @@ pub use faulty::{
 };
 pub use link::{LinkModel, RetryPolicy};
 pub use mover::{DmaMover, RemoteDst, TransferRecord};
+pub use net::{Envelope, NackVerdict, NetMsg, SendXfer, XferCounters, XferId, XferState};
 pub use protocol::{InitiationProtocol, ProtocolKind};
 pub use remote::{
     Cluster, Destination, DstAnnouncement, NodeLinkStats, RemoteError, SharedCluster,

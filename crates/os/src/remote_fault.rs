@@ -90,6 +90,29 @@ impl RemoteFaultService {
         crate::pin_range(asid, va, len, pt, iommu)
     }
 
+    /// [`expose`](Self::expose) followed by
+    /// [`pin_into`](Self::pin_into): offers the buffer *and* registers
+    /// it with the node's IOMMU in one call — the receive side of a
+    /// pin-on-post cluster, where no incoming chunk may ever NACK.
+    /// Returns the mapping and the number of pages pinned.
+    ///
+    /// # Errors
+    ///
+    /// As for [`expose`](Self::expose); the pin step cannot fail on a
+    /// buffer exposed in the same call.
+    pub fn expose_pinned(
+        &mut self,
+        asid: Asid,
+        va: VirtAddr,
+        pages: u64,
+        perms: Perms,
+        iommu: &mut Iommu,
+    ) -> Result<(MappedBuffer, u64), MemFault> {
+        let buf = self.expose(asid, va, pages, perms)?;
+        let pinned = self.pin_into(asid, va, pages * udma_mem::PAGE_SIZE, iommu)?;
+        Ok((buf, pinned))
+    }
+
     /// Services one NACKed fault against the node's own tables,
     /// installing translations into the node's IOMMU. Returns the
     /// resolution and the service time (charged on top of the NACK round

@@ -19,7 +19,10 @@
 //!   fault-rate sweep (E12), the remote-fault × link sweep (E13) and the
 //!   translation-pipeline sweep (E15);
 //! * [`lossy`] — reliable delivery over a lossy link: goodput and p99
-//!   completion vs loss rate × retry budget (E14).
+//!   completion vs loss rate × retry budget (E14);
+//! * [`sharded`] — the sharded-cluster scaling sweep (E16): the standard
+//!   all-to-all ring workload on the sequential oracle vs the parallel
+//!   runner at 1–8 shards, every row digest-checked against the oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +34,7 @@ pub mod lossy;
 pub mod microbench;
 pub mod now;
 pub mod scenarios;
+pub mod sharded;
 pub mod sweeps;
 pub mod va;
 
@@ -46,6 +50,9 @@ pub use now::{broadcast, BroadcastResult};
 pub use scenarios::{
     any_violation, data_theft, illegal_transfer, misinformation, AdversaryKind, AttackScenario,
     ADVERSARY, VICTIM,
+};
+pub use sharded::{
+    build_cluster, shard_scale_sweep, ClusterWorkload, ShardScaleRow, WORKLOAD_ASID,
 };
 pub use sweeps::{atomic_comparison, bus_sweep, BusSweepRow};
 pub use va::{
