@@ -40,6 +40,13 @@ echo "== sharded determinism replay (pinned seed) =="
 UDMA_PROP_SEED=3607 cargo test -q --offline \
   --test sharded_determinism --test sharded_props
 
+echo "== context-pressure replay (pinned seed) =="
+# Seeded replay of the context-virtualization suite: the spill/fill
+# round-trip oracle property, the exhaustive steal-vs-in-flight race
+# exploration, and the hostile-tenant QoS acceptance bound (E17,
+# DESIGN.md §4g), pinned for bisection.
+UDMA_PROP_SEED=3608 cargo test -q --offline --test ctx_virt
+
 echo "== sim core self-bench (events/sec) =="
 # The E16 self-benchmark: emits BENCH json for the sim target (collected
 # below) and digest-checks every parallel row against the oracle.

@@ -14,8 +14,9 @@ use udma::{
 };
 use udma_nic::LinkModel;
 use udma_workloads::{
-    any_violation, atomic_comparison, bus_sweep, context_count_ablation, context_switch,
-    dcache_effect, empty_syscall, guess_acceptance, illegal_transfer, misinformation,
+    a3_context_grid, any_violation, atomic_comparison, bus_sweep, context_count_ablation,
+    context_pressure_sweep, context_switch, dcache_effect, e17_context_grid, empty_syscall,
+    guess_acceptance, hostile_tenant_scenario, illegal_transfer, misinformation,
     pollution_with_known_key, quantum_ablation, run_contention, tlb_miss, write_buffer_ablation,
     AdversaryKind, AttackScenario,
 };
@@ -280,7 +281,7 @@ fn ablation_contexts() {
         "Ablation A3 — register-context count, 6 key-based processes × 20 inits (§3.1: \"say 4 to 8\")",
         &["contexts", "user-level", "kernel fallback", "mean/init (µs)"],
     );
-    for row in context_count_ablation(6, 20, &[1, 2, 4, 6, 8]) {
+    for row in context_count_ablation(6, 20, &a3_context_grid()) {
         t.row_owned(vec![
             row.contexts.to_string(),
             row.user_level.to_string(),
@@ -555,6 +556,84 @@ fn e16_shard_scaling(node_counts: &[u32], shard_counts: &[usize]) {
     );
 }
 
+fn e17_context_virtualization(process_counts: &[u32], posts: u32) {
+    let mut t = Table::new(
+        "E17 — context virtualization: 100 → 100k logical processes on \"say 4 to 8\" register \
+         contexts (LRU victims, hot-set locality)",
+        &[
+            "procs",
+            "ctx",
+            "p50 (µs)",
+            "p99 (µs)",
+            "hit",
+            "steal/post",
+            "fallbacks",
+            "spills",
+            "fills",
+            "steals",
+            "busy-skips",
+            "starved",
+        ],
+    );
+    for &contexts in &e17_context_grid() {
+        for row in context_pressure_sweep(
+            process_counts,
+            contexts,
+            posts,
+            udma_os::CtxVictimPolicy::Lru,
+            0xE17,
+        ) {
+            t.row_owned(vec![
+                row.processes.to_string(),
+                row.contexts.to_string(),
+                format!("{:.2}", row.p50_initiation.as_us()),
+                format!("{:.2}", row.p99_initiation.as_us()),
+                format!("{:.3}", row.hit_rate),
+                format!("{:.3}", row.steal_rate),
+                row.kernel_fallbacks.to_string(),
+                // The NI-side counters, reconciled against the OS cache
+                // by the test suite: spills == fills − first-touch
+                // fills, steals ≤ spills.
+                row.ni.spills.to_string(),
+                row.ni.fills.to_string(),
+                row.ni.steals.to_string(),
+                row.os.busy_skips.to_string(),
+                row.ni.starvations.to_string(),
+            ]);
+        }
+    }
+    println!("{t}");
+
+    let mut q = Table::new(
+        "E17 — hostile-tenant QoS: 2 guaranteed victims vs a best-effort burst on 6 contexts \
+         (acceptance: with QoS, victim p99 ≤ 2× uncontended)",
+        &[
+            "QoS",
+            "victim p50 (µs)",
+            "victim p99 (µs)",
+            "uncontended p99 (µs)",
+            "degradation",
+            "victim fallbacks",
+            "hostile throttled",
+            "hostile fallbacks",
+        ],
+    );
+    for qos in [false, true] {
+        let row = hostile_tenant_scenario(6, 2, 48, 50, qos, 0xE17);
+        q.row_owned(vec![
+            if qos { "on" } else { "off" }.to_string(),
+            format!("{:.2}", row.victim_p50.as_us()),
+            format!("{:.2}", row.victim_p99.as_us()),
+            format!("{:.2}", row.uncontended_p99.as_us()),
+            format!("{:.2}x", row.degradation),
+            row.victim_fallbacks.to_string(),
+            row.hostile_throttled.to_string(),
+            row.hostile_fallbacks.to_string(),
+        ]);
+    }
+    println!("{q}");
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     if smoke {
@@ -571,6 +650,7 @@ fn main() {
         e14_lossy_link(&[0, 25], &[2, 6], 2, 6);
         e15_translation_pipeline(4);
         e16_shard_scaling(&[16], &[2, 4]);
+        e17_context_virtualization(&[100, 2_000], 400);
         microbench_host(50);
         return;
     }
@@ -594,6 +674,7 @@ fn main() {
     e14_lossy_link(&[0, 10, 20, 30, 40], &[1, 3, 6], 4, 16);
     e15_translation_pipeline(8);
     e16_shard_scaling(&[16, 64], &[1, 2, 4, 8]);
+    e17_context_virtualization(&[100, 1_000, 10_000, 100_000], 2_000);
     messaging_layer();
     pingpong_latency();
     microbench_host(500);

@@ -1,0 +1,61 @@
+//! Machine-level context virtualization: outcome types.
+//!
+//! [`crate::Machine::register_logical`] admits thousands of logical
+//! processes (no executor state — just a key, a QoS class and a spill
+//! slot in the OS [`udma_os::CtxCache`]), and
+//! [`crate::Machine::logical_post_at`] posts DMA on their behalf with
+//! **transparent context acquisition**: a resident process posts at
+//! user level for free; a non-resident one pays the kernel to spill a
+//! victim and refill its context; a throttled or starved one falls back
+//! to the §3.2 kernel DMA path. The [`LogicalPost`] outcome says which
+//! of those happened and what the initiation cost in simulated time.
+
+use udma_bus::SimTime;
+use udma_os::LPid;
+
+/// Which initiation path a logical post took.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PostPath {
+    /// Posted through a register context at user level (possibly after
+    /// a kernel fill / steal).
+    UserLevel {
+        /// The context the post went through.
+        ctx: u32,
+        /// The process evicted to make room, if the acquisition stole.
+        stole: Option<LPid>,
+    },
+    /// Posted through the §3.2 kernel DMA path (Figure 1): the cache
+    /// refused a context.
+    KernelFallback {
+        /// `true` when the token bucket throttled the steal; `false`
+        /// when every victim was busy or QoS-protected (starved).
+        throttled: bool,
+    },
+}
+
+/// Outcome of one [`crate::Machine::logical_post_at`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogicalPost {
+    /// The path the post took.
+    pub path: PostPath,
+    /// End-to-end initiation cost in simulated time: context
+    /// acquisition (spill/fill or fruitless kernel entry) plus the
+    /// initiation sequence itself (the keyed 4-access user sequence, or
+    /// the Figure-1 kernel path).
+    pub initiation: SimTime,
+    /// Mover record index of the started transfer (`None` when the
+    /// engine rejected the post).
+    pub record: Option<usize>,
+}
+
+impl LogicalPost {
+    /// Whether the post went through a register context at user level.
+    pub fn user_level(&self) -> bool {
+        matches!(self.path, PostPath::UserLevel { .. })
+    }
+
+    /// Whether the acquisition stole another process's context.
+    pub fn stole(&self) -> bool {
+        matches!(self.path, PostPath::UserLevel { stole: Some(_), .. })
+    }
+}

@@ -45,6 +45,7 @@
 
 mod attack;
 mod crossover;
+mod ctx_virt;
 mod initiate;
 mod initiate_once;
 mod machine;
@@ -60,6 +61,7 @@ pub use attack::{
     explore, explore_bounded, explore_sampled, schedule_space, Budget, ExploreReport, Finding,
 };
 pub use crossover::{crossover_rows, os_bound_message_size, CrossoverRow};
+pub use ctx_virt::{LogicalPost, PostPath};
 pub use initiate::{dma_program, emit_atomic, emit_dma, AtomicRequest};
 pub use initiate_once::emit_dma_once;
 pub use machine::{BufferSpec, Machine, MachineConfig, ProcessEnv, ProcessSpec, ShareRef, PAL_DMA};

@@ -1,5 +1,6 @@
 //! The simulated workstation: substrates wired together.
 
+use crate::ctx_virt::{LogicalPost, PostPath};
 use crate::va::{SwapRefused, VaMode, VirtDmaSetup};
 use crate::DmaMethod;
 use std::cell::RefCell;
@@ -9,15 +10,15 @@ use udma_cpu::{
     CostModel, Executor, Operand, Pid, ProcState, Program, ProgramBuilder, Reg, RunOutcome,
     RunToCompletion, Scheduler,
 };
-use udma_mem::{PageTable, Perms, PhysLayout, PhysMemory, VirtAddr, PAGE_SIZE};
+use udma_mem::{PageTable, Perms, PhysAddr, PhysLayout, PhysMemory, VirtAddr, PAGE_SIZE};
 use udma_nic::{
-    Cluster, Destination, DmaEngine, EngineConfig, FaultPlan, FaultyLinkStats, LinkModel,
-    NodeLinkStats, RejectReason, ReliabilityConfig, RemoteVaTarget, SharedCluster, TransferRecord,
-    VirtState, VirtTransfer,
+    Cluster, Destination, DmaEngine, EngineConfig, FaultPlan, FaultyLinkStats, Initiator,
+    LinkModel, NodeLinkStats, RejectReason, ReliabilityConfig, RemoteVaTarget, SharedCluster,
+    TransferRecord, VirtState, VirtTransfer,
 };
 use udma_os::{
-    pin_range, CtxGrant, FaultResolution, FaultService, Kernel, MappedBuffer, RemoteFaultService,
-    RemoteSwapRefused, ShadowMode,
+    pin_range, Acquired, CtxCache, CtxCacheConfig, CtxGrant, FaultResolution, FaultService, Kernel,
+    LPid, MappedBuffer, QosClass, RemoteFaultService, RemoteSwapRefused, ShadowMode,
 };
 
 /// PAL function index of the installed user-level DMA call (§2.7).
@@ -222,6 +223,10 @@ pub struct Machine {
     /// One OS per remote node, answering NACKed receive-side faults
     /// (populated when both `remote_nodes > 0` and `virt_dma` are set).
     remote_os: Vec<RemoteFaultService>,
+    /// Context virtualization: the OS context cache multiplexing
+    /// logical processes onto the NI's register contexts (enabled by
+    /// [`Machine::enable_ctx_virtualization`]).
+    ctx_cache: Option<CtxCache>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -304,6 +309,7 @@ impl Machine {
             envs: Vec::new(),
             fault_service,
             remote_os,
+            ctx_cache: None,
         }
     }
 
@@ -478,6 +484,116 @@ impl Machine {
     /// The kernel (stats, switch policy).
     pub fn kernel(&self) -> &Kernel {
         &self.kernel
+    }
+
+    // ---- context virtualization -------------------------------------
+
+    /// Hands the NI's register contexts to an OS context cache
+    /// ([`CtxCache`]), so thousands of [logical
+    /// processes](Self::register_logical) can share them. Must be
+    /// called before any key-based process receives a *static* grant —
+    /// the cache assumes it owns every context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a static context grant is already outstanding.
+    pub fn enable_ctx_virtualization(&mut self, config: CtxCacheConfig) {
+        assert_eq!(
+            self.kernel.keys().available(),
+            self.config.num_contexts as usize,
+            "enable context virtualization before spawning key-based processes: \
+             static grants would collide with cache-managed contexts"
+        );
+        self.ctx_cache = Some(CtxCache::new(self.config.num_contexts, config));
+    }
+
+    /// The OS context cache, when enabled.
+    pub fn ctx_cache(&self) -> Option<&CtxCache> {
+        self.ctx_cache.as_ref()
+    }
+
+    /// Mutable context cache (tests: force releases, inspect keys).
+    pub fn ctx_cache_mut(&mut self) -> Option<&mut CtxCache> {
+        self.ctx_cache.as_mut()
+    }
+
+    /// Registers a logical process at `class`. Logical processes are
+    /// *not* executor processes: they carry no program, no page table
+    /// and no register file — just a minted key and a spill slot —
+    /// which is what makes registering 100k of them tractable. They
+    /// post DMA through [`Self::logical_post_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Self::enable_ctx_virtualization`] was called.
+    pub fn register_logical(&mut self, class: QosClass) -> LPid {
+        self.ctx_cache
+            .as_mut()
+            .expect("call enable_ctx_virtualization first")
+            .register(class, SimTime::ZERO)
+    }
+
+    /// Posts a physical-address DMA for logical process `p` at
+    /// simulated time `now`, acquiring a register context
+    /// transparently:
+    ///
+    /// * resident → the keyed 4-access user-level sequence, no OS;
+    /// * not resident → the kernel spills a victim (LRU/clock/random,
+    ///   QoS- and busy-filtered) and refills `p`'s context, charging
+    ///   the §3.2 per-operation spill/fill cost, then posts user-level;
+    /// * throttled or starved → the Figure-1 kernel DMA path.
+    ///
+    /// The returned [`LogicalPost`] carries the path taken, the full
+    /// initiation cost, and the mover record of the started transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Self::enable_ctx_virtualization`] was called.
+    pub fn logical_post_at(
+        &mut self,
+        p: LPid,
+        src: PhysAddr,
+        dst: PhysAddr,
+        size: u64,
+        now: SimTime,
+    ) -> LogicalPost {
+        let cache = self.ctx_cache.as_mut().expect("call enable_ctx_virtualization first");
+        let cost = &self.config.cost;
+        let mut core = self.engine.core_mut();
+        let acq = cache.acquire(p, &mut core, now);
+        match acq {
+            Acquired::Hit { ctx } | Acquired::Filled { ctx, .. } => {
+                // The keyed user-level sequence: two keyed address
+                // stores, the size store, one status load (§3.1).
+                let user = SimTime::from_ps(cost.mem_instr().as_ps() * 4);
+                let initiation = acq.cost() + user;
+                let record = core
+                    .start_user_dma(src, dst, size, Initiator::Context(ctx), now + initiation)
+                    .ok();
+                if let Some(idx) = record {
+                    core.context_mut(ctx).set_last_transfer(idx);
+                }
+                let stole = match acq {
+                    Acquired::Filled { stole, .. } => stole,
+                    _ => None,
+                };
+                LogicalPost { path: PostPath::UserLevel { ctx, stole }, initiation, record }
+            }
+            Acquired::Throttled { .. } | Acquired::Starved { .. } => {
+                // The Figure-1 kernel path: syscall round trip,
+                // software translation of both addresses, three
+                // register programs and the status read.
+                let pages = size.div_ceil(PAGE_SIZE).max(1);
+                let kernel_path = cost.syscall_round_trip().as_ps()
+                    + 2 * pages * cost.translation().as_ps()
+                    + 4 * cost.mem_instr().as_ps();
+                let initiation = acq.cost() + SimTime::from_ps(kernel_path);
+                let record =
+                    core.start_user_dma(src, dst, size, Initiator::Kernel, now + initiation).ok();
+                let throttled = matches!(acq, Acquired::Throttled { .. });
+                LogicalPost { path: PostPath::KernelFallback { throttled }, initiation, record }
+            }
+        }
     }
 
     /// The bus (trace, counters).

@@ -1,5 +1,6 @@
-//! Per-process register contexts (§3.1).
+//! Per-process register contexts (§3.1) and their spill images.
 
+use crate::virt::VirtStage;
 use udma_mem::PhysAddr;
 
 /// One of the engine's register contexts.
@@ -122,6 +123,62 @@ impl RegisterContext {
     pub fn src(&self) -> Option<PhysAddr> {
         self.src
     }
+}
+
+/// A register context spilled to OS memory: everything the §3.2 kernel
+/// path must save to evict a process from the NI and later refill
+/// bit-for-bit — the authorisation key, the staged DMA arguments and
+/// transfer bookkeeping, and the `CTX_VIRT_*` staging registers.
+///
+/// The image deliberately does **not** carry in-flight transfer state:
+/// [`EngineCore::save_context`](crate::EngineCore::save_context) refuses
+/// to spill a context whose last transfer is still on the wire, because
+/// real hardware cannot checkpoint a DMA engine mid-burst. Completed
+/// transfer indices (`last_transfer`, `VirtStage::last`) *are* carried —
+/// the mover's record table is global, so a refilled process's status
+/// loads still resolve.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CtxImage {
+    /// The 61-bit key programmed into the context's key-table slot.
+    pub key: u64,
+    /// The context's register file (addresses, size, atomics, last
+    /// transfer).
+    pub regs: RegisterContext,
+    /// The context's `CTX_VIRT_*` staging window.
+    pub virt: VirtStage,
+}
+
+/// Why [`EngineCore::save_context`](crate::EngineCore::save_context)
+/// refused to spill a context. Both reasons mean "a transfer this
+/// context can still observe is live" — the OS must pick another victim
+/// or wait.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CtxBusy {
+    /// The context's last physical transfer is still on the wire.
+    Transfer,
+    /// The context's last virtual-address transfer is running, paused at
+    /// a fault, or still draining.
+    VirtTransfer,
+}
+
+/// Context-virtualization counters kept by the engine core — the same
+/// flat-counter shape as [`udma_iommu::IotlbStats`], surfaced through
+/// the experiment report path (E17).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CtxStats {
+    /// Contexts saved to an OS-held [`CtxImage`] (kernel spill path).
+    pub spills: u64,
+    /// Contexts refilled from a [`CtxImage`] (kernel fill path).
+    pub fills: u64,
+    /// Spills that evicted a *different* live process (OS-reported; a
+    /// spill of an exiting process is not a steal).
+    pub steals: u64,
+    /// Save attempts refused because the context was busy
+    /// ([`CtxBusy`]) — the steal-vs-in-flight-transfer guard firing.
+    pub busy_denials: u64,
+    /// Acquisitions that found no admissible victim (every candidate
+    /// busy or QoS-protected) and fell back to the kernel DMA path.
+    pub starvations: u64,
 }
 
 #[cfg(test)]

@@ -7,8 +7,9 @@ use crate::virt::{
     PendingFault, RemoteVaTarget, VirtDmaConfig, VirtStage, VirtState, VirtStats, VirtTransfer,
 };
 use crate::{
-    AtomicOp, Destination, DmaMover, DstAnnouncement, Initiator, LinkModel, RegisterContext,
-    RejectReason, RemoteDst, SharedCluster, TransferRecord, DMA_FAILURE, DMA_LINK_FAILED,
+    AtomicOp, CtxBusy, CtxImage, CtxStats, Destination, DmaMover, DstAnnouncement, Initiator,
+    LinkModel, RegisterContext, RejectReason, RemoteDst, SharedCluster, TransferRecord,
+    DMA_FAILURE, DMA_LINK_FAILED,
 };
 use std::collections::{HashMap, VecDeque};
 use udma_bus::{SharedMemory, SimTime};
@@ -104,6 +105,7 @@ pub struct EngineCore {
     virt_faults: VecDeque<PendingFault>,
     virt_stage: Vec<VirtStage>,
     virt_stats: VirtStats,
+    ctx_stats: CtxStats,
     // Link reliability: watchdog deadline + circuit breaker.
     reliability: ReliabilityConfig,
     /// Consecutive link-failed remote transfers (reset by a remote
@@ -147,6 +149,7 @@ impl EngineCore {
             virt_faults: VecDeque::new(),
             virt_stage: vec![VirtStage::default(); config.num_contexts as usize],
             virt_stats: VirtStats::default(),
+            ctx_stats: CtxStats::default(),
             reliability: config.reliability,
             link_failures_row: 0,
             link_down: false,
@@ -237,6 +240,106 @@ impl EngineCore {
     /// The programmed key for `ctx` (0 when out of range).
     pub fn key(&self, ctx: u32) -> u64 {
         self.key_table.get(ctx as usize).copied().unwrap_or(0)
+    }
+
+    // ---- context virtualization (OS spill/fill hooks) ----------------
+
+    /// Context-virtualization counters (spills, fills, steals, busy
+    /// denials, starvations).
+    pub fn ctx_stats(&self) -> CtxStats {
+        self.ctx_stats
+    }
+
+    /// Whether `ctx` still has a transfer it can observe on the wire:
+    /// its last physical transfer has bytes remaining at `now`, or its
+    /// last virtual-address transfer is running, faulted, or draining.
+    /// A busy context must not be spilled — the DMA engine's streaming
+    /// state (cursor, chunk registers) cannot be checkpointed mid-burst,
+    /// and a faulted VA transfer still owns its resume path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn context_busy(&self, ctx: u32, now: SimTime) -> bool {
+        if let Some(idx) = self.contexts[ctx as usize].last_transfer() {
+            if let Some(rec) = self.mover.record(idx) {
+                if rec.remaining_at(now) > 0 {
+                    return true;
+                }
+            }
+        }
+        if let Some(id) = self.virt_stage[ctx as usize].last {
+            if let Some(x) = self.virt_xfers.get(id) {
+                if matches!(x.state, VirtState::Running | VirtState::Faulted(_))
+                    || x.remaining_at(now) > 0
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Spills `ctx` into an OS-held [`CtxImage`]: snapshots the key, the
+    /// register file and the `CTX_VIRT_*` staging window, then clears
+    /// the slot (key 0 = unprogrammed, so a stale keyed store from the
+    /// evicted process misses and is dropped — the §3.1 protection
+    /// argument keeps holding across steals).
+    ///
+    /// # Errors
+    ///
+    /// [`CtxBusy`] when the context can still observe an in-flight
+    /// transfer ([`Self::context_busy`]); the denial is counted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn save_context(&mut self, ctx: u32, now: SimTime) -> Result<CtxImage, CtxBusy> {
+        if self.context_busy(ctx, now) {
+            self.ctx_stats.busy_denials += 1;
+            let phys_busy = self.contexts[ctx as usize]
+                .last_transfer()
+                .and_then(|i| self.mover.record(i))
+                .is_some_and(|r| r.remaining_at(now) > 0);
+            return Err(if phys_busy { CtxBusy::Transfer } else { CtxBusy::VirtTransfer });
+        }
+        let i = ctx as usize;
+        let image =
+            CtxImage { key: self.key_table[i], regs: self.contexts[i], virt: self.virt_stage[i] };
+        self.key_table[i] = 0;
+        self.contexts[i] = RegisterContext::new();
+        self.virt_stage[i] = VirtStage::default();
+        self.ctx_stats.spills += 1;
+        Ok(image)
+    }
+
+    /// Refills `ctx` from a spilled [`CtxImage`] (key table, register
+    /// file, `CTX_VIRT_*` window). The inverse of
+    /// [`Self::save_context`]: a spilled-then-refilled context is
+    /// observationally identical to one that was never evicted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn restore_context(&mut self, ctx: u32, image: &CtxImage) {
+        let i = ctx as usize;
+        assert!(i < self.contexts.len(), "context out of range");
+        self.key_table[i] = image.key;
+        self.contexts[i] = image.regs;
+        self.virt_stage[i] = image.virt;
+        self.ctx_stats.fills += 1;
+    }
+
+    /// Counts a context steal (the OS evicted a live process; spills of
+    /// exiting processes are not steals).
+    pub fn note_ctx_steal(&mut self) {
+        self.ctx_stats.steals += 1;
+    }
+
+    /// Counts a starved acquisition (no admissible victim; the caller
+    /// fell back to the kernel DMA path).
+    pub fn note_ctx_starvation(&mut self) {
+        self.ctx_stats.starvations += 1;
     }
 
     /// Installs a SHRIMP-1 mapped-out destination for a source frame.
@@ -1137,6 +1240,62 @@ mod tests {
         // Out-of-range key writes are ignored, reads return 0.
         c.set_key(99, 1);
         assert_eq!(c.key(99), 0);
+    }
+
+    #[test]
+    fn save_restore_round_trip() {
+        let mut c = core();
+        c.set_key(1, 0xBEEF);
+        c.context_mut(1).push_addr(PhysAddr::new(0x2000));
+        c.context_mut(1).push_addr(PhysAddr::new(0x1000));
+        c.context_mut(1).set_size(64);
+        let before = *c.context(1);
+
+        let image = c.save_context(1, SimTime::ZERO).unwrap();
+        assert_eq!(image.key, 0xBEEF);
+        // The slot is scrubbed: key 0, no staged arguments.
+        assert_eq!(c.key(1), 0);
+        assert!(!c.context(1).args_complete());
+
+        c.restore_context(3, &image);
+        assert_eq!(c.key(3), 0xBEEF);
+        assert_eq!(*c.context(3), before);
+        assert_eq!(c.ctx_stats(), CtxStats { spills: 1, fills: 1, ..CtxStats::default() });
+    }
+
+    #[test]
+    fn save_refused_while_transfer_in_flight() {
+        let mut c = core();
+        let idx = c
+            .start_user_dma(
+                PhysAddr::new(0x2000),
+                PhysAddr::new(0x6000),
+                256,
+                Initiator::Context(0),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        c.context_mut(0).set_last_transfer(idx);
+
+        assert!(c.context_busy(0, SimTime::ZERO));
+        assert_eq!(c.save_context(0, SimTime::ZERO), Err(CtxBusy::Transfer));
+        assert_eq!(c.ctx_stats().busy_denials, 1);
+
+        // Once the wire drains, the same save succeeds.
+        let later = SimTime::from_us(10_000);
+        assert!(!c.context_busy(0, later));
+        assert!(c.save_context(0, later).is_ok());
+        assert_eq!(c.ctx_stats().spills, 1);
+    }
+
+    #[test]
+    fn steal_and_starvation_notes() {
+        let mut c = core();
+        c.note_ctx_steal();
+        c.note_ctx_steal();
+        c.note_ctx_starvation();
+        assert_eq!(c.ctx_stats().steals, 2);
+        assert_eq!(c.ctx_stats().starvations, 1);
     }
 
     #[test]

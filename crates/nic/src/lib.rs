@@ -37,7 +37,7 @@ mod status;
 mod virt;
 
 pub use atomic::AtomicOp;
-pub use context::RegisterContext;
+pub use context::{CtxBusy, CtxImage, CtxStats, RegisterContext};
 pub use engine::DmaEngine;
 pub use engine_core::{EngineConfig, EngineCore, EngineStats};
 pub use faulty::{

@@ -238,7 +238,7 @@ pub struct VirtStats {
 }
 
 /// Per-context staging registers for the `CTX_VIRT_*` window.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct VirtStage {
     /// Staged source VA.
     pub src: Option<u64>,

@@ -36,9 +36,17 @@ impl KeyRegistry {
     ///
     /// # Panics
     ///
-    /// Panics if `key_bits` is 0 or exceeds 61.
+    /// Panics if `key_bits` is 0 or exceeds 61, or if `num_contexts`
+    /// exceeds the NI's [`udma_nic::regs::MAX_CONTEXTS`] — the register
+    /// map is the one source of truth for the context count, so the
+    /// OS-side allocator cannot assume contexts the hardware lacks.
     pub fn new(num_contexts: u32, seed: u64, key_bits: u32) -> Self {
         assert!((1..=61).contains(&key_bits), "key width out of range");
+        assert!(
+            num_contexts <= udma_nic::regs::MAX_CONTEXTS,
+            "context count out of range (NI supports at most {})",
+            udma_nic::regs::MAX_CONTEXTS
+        );
         KeyRegistry {
             free: (0..num_contexts).rev().collect(),
             grants: HashMap::new(),

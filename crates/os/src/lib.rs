@@ -22,6 +22,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arbiter;
+mod ctx_cache;
 mod fault_service;
 mod kernel;
 mod keys;
@@ -29,6 +31,10 @@ mod remote_fault;
 mod syscalls;
 mod vm;
 
+pub use arbiter::{ArbiterConfig, ArbiterStats, FairArbiter, QosClass};
+pub use ctx_cache::{
+    Acquired, CtxCache, CtxCacheConfig, CtxCacheStats, CtxVictimPolicy, LPid, SpillCosts,
+};
 pub use fault_service::{pin_range, FaultCosts, FaultResolution, FaultService, FaultServiceStats};
 pub use kernel::{Kernel, KernelStats};
 pub use keys::{CtxGrant, KeyRegistry};

@@ -96,6 +96,17 @@ pub struct CtxCountRow {
 /// How many register contexts does the engine need? The paper says
 /// "several (say 4 to 8)"; this sweep shows the cost cliff when
 /// concurrent initiators outnumber contexts (§3.2 fallback).
+/// The standard A3 context-count grid: 1, 2, then even counts up to the
+/// NI register map's [`udma_nic::regs::MAX_CONTEXTS`]. Derived (not
+/// hard-coded) from the same shared constant the OS context cache and
+/// the E17 sweep clamp against, so the ablation and the
+/// virtualization experiments cannot drift apart if the register map
+/// grows.
+pub fn a3_context_grid() -> Vec<u32> {
+    [1u32, 2].into_iter().chain((4..=udma_nic::regs::MAX_CONTEXTS).step_by(2)).collect()
+}
+
+/// A3: initiation cost vs context count under contention.
 pub fn context_count_ablation(processes: u32, inits: u32, counts: &[u32]) -> Vec<CtxCountRow> {
     counts
         .iter()

@@ -20,6 +20,9 @@
 //!   translation-pipeline sweep (E15);
 //! * [`lossy`] — reliable delivery over a lossy link: goodput and p99
 //!   completion vs loss rate × retry budget (E14);
+//! * [`ctxvirt`] — context virtualization (E17): initiation p50/p99 and
+//!   steal rate as 100 → 100k logical processes share 4–8 register
+//!   contexts, plus the hostile-tenant QoS scenario;
 //! * [`sharded`] — the sharded-cluster scaling sweep (E16): the standard
 //!   all-to-all ring workload on the sequential oracle vs the parallel
 //!   runner at 1–8 shards, every row digest-checked against the oracle.
@@ -29,6 +32,7 @@
 
 pub mod ablations;
 pub mod contention;
+pub mod ctxvirt;
 pub mod keyguess;
 pub mod lossy;
 pub mod microbench;
@@ -39,10 +43,14 @@ pub mod sweeps;
 pub mod va;
 
 pub use ablations::{
-    context_count_ablation, quantum_ablation, write_buffer_ablation, CtxCountRow, QuantumRow,
-    WbPolicyRow,
+    a3_context_grid, context_count_ablation, quantum_ablation, write_buffer_ablation, CtxCountRow,
+    QuantumRow, WbPolicyRow,
 };
 pub use contention::{run_contention, ContentionResult};
+pub use ctxvirt::{
+    context_pressure_sweep, e17_context_grid, hostile_tenant_scenario, CtxPressureRow,
+    HostileTenantRow,
+};
 pub use keyguess::{guess_acceptance, pollution_with_known_key, GuessStats};
 pub use lossy::{lossy_link_sweep, LossyLinkRow};
 pub use microbench::{context_switch, dcache_effect, empty_syscall, tlb_miss};

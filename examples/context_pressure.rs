@@ -1,0 +1,60 @@
+//! Context virtualization under pressure: thousands of logical
+//! processes multiplexed onto the NI's handful of register contexts
+//! (§3.1's "say 4 to 8") by the OS context cache, then the
+//! hostile-tenant QoS scenario.
+//!
+//! ```text
+//! cargo run --release --example context_pressure
+//! ```
+
+use udma_os::CtxVictimPolicy;
+use udma_workloads::{context_pressure_sweep, e17_context_grid, hostile_tenant_scenario};
+
+fn main() {
+    println!("== E17: initiation cost vs process count and context count ==");
+    for &contexts in &e17_context_grid() {
+        for row in
+            context_pressure_sweep(&[100, 1_000, 10_000], contexts, 1_000, CtxVictimPolicy::Lru, 7)
+        {
+            println!(
+                "{:>6} procs / {} ctx: p50 {:>8.2} µs  p99 {:>8.2} µs  hit {:.3}  \
+                 steals {:>4}  spills {:>4}  starved {:>4}",
+                row.processes,
+                row.contexts,
+                row.p50_initiation.as_us(),
+                row.p99_initiation.as_us(),
+                row.hit_rate,
+                row.ni.steals,
+                row.ni.spills,
+                row.ni.starvations
+            );
+        }
+    }
+
+    println!("\n== victim policies at 1 000 procs / 4 ctx ==");
+    for policy in [CtxVictimPolicy::Lru, CtxVictimPolicy::Clock, CtxVictimPolicy::Random] {
+        let row = &context_pressure_sweep(&[1_000], 4, 1_000, policy, 7)[0];
+        println!(
+            "{:>6}: hit {:.3}  steal/post {:.3}  p99 {:>8.2} µs",
+            row.policy,
+            row.hit_rate,
+            row.steal_rate,
+            row.p99_initiation.as_us()
+        );
+    }
+
+    println!("\n== hostile tenant: a best-effort burst vs 2 guaranteed victims ==");
+    for qos in [false, true] {
+        let row = hostile_tenant_scenario(6, 2, 48, 50, qos, 7);
+        println!(
+            "QoS {:>3}: victim p99 {:>8.2} µs vs uncontended {:>5.2} µs ({:>7.2}x), \
+             {} victim fallbacks, {} hostile steals throttled",
+            if qos { "on" } else { "off" },
+            row.victim_p99.as_us(),
+            row.uncontended_p99.as_us(),
+            row.degradation,
+            row.victim_fallbacks,
+            row.hostile_throttled
+        );
+    }
+}
