@@ -47,6 +47,14 @@ echo "== context-pressure replay (pinned seed) =="
 # DESIGN.md §4g), pinned for bisection.
 UDMA_PROP_SEED=3608 cargo test -q --offline --test ctx_virt
 
+echo "== coherence replay (pinned seed) =="
+# Seeded replay of the MESI coherence suite: the differential oracle
+# property (coherent and flush-bracketed non-coherent worlds vs the
+# flat image), the exhaustive snoop-race exploration, the missing-flush
+# stale-data test and the disabled-cache zero-overhead pin (E18,
+# DESIGN.md §4h), pinned for bisection.
+UDMA_PROP_SEED=3609 cargo test -q --offline --test coherence
+
 echo "== sim core self-bench (events/sec) =="
 # The E16 self-benchmark: emits BENCH json for the sim target (collected
 # below) and digest-checks every parallel row against the oracle.

@@ -14,9 +14,10 @@ use udma::{
 };
 use udma_nic::LinkModel;
 use udma_workloads::{
-    a3_context_grid, any_violation, atomic_comparison, bus_sweep, context_count_ablation,
-    context_pressure_sweep, context_switch, dcache_effect, e17_context_grid, empty_syscall,
-    guess_acceptance, hostile_tenant_scenario, illegal_transfer, misinformation,
+    a3_context_grid, any_violation, atomic_comparison, bus_sweep, coherence_cost_sweep,
+    context_count_ablation, context_pressure_sweep, context_switch, dcache_effect,
+    e17_context_grid, empty_syscall, false_sharing_adversary, guess_acceptance,
+    hostile_tenant_scenario, illegal_transfer, misinformation, mode_label,
     pollution_with_known_key, quantum_ablation, run_contention, tlb_miss, write_buffer_ablation,
     AdversaryKind, AttackScenario,
 };
@@ -634,6 +635,51 @@ fn e17_context_virtualization(process_counts: &[u32], posts: u32) {
     println!("{q}");
 }
 
+fn e18_coherence(sizes: &[u64], adversary_rounds: u64) {
+    let mut t = Table::new(
+        "E18 — coherence-aware DMA: per-line software flush (non-coherent) vs per-touched-line \
+         snooping (coherent) vs the paper's flat model",
+        &[
+            "mode",
+            "producer",
+            "bytes",
+            "init extra (µs)",
+            "snoop extra (µs)",
+            "compl extra (µs)",
+            "flushed",
+            "dirty",
+            "intervened",
+            "payload",
+        ],
+    );
+    for row in coherence_cost_sweep(sizes) {
+        t.row_owned(vec![
+            mode_label(row.mode).to_string(),
+            row.prep.label().to_string(),
+            row.bytes.to_string(),
+            format!("{:.2}", row.initiation_extra.as_us()),
+            format!("{:.2}", row.snoop_extra.as_us()),
+            format!("{:.2}", row.completion_extra.as_us()),
+            row.flush_lines.to_string(),
+            row.flush_dirty.to_string(),
+            row.interventions.to_string(),
+            if row.payload_ok { "ok" } else { "WRONG" }.to_string(),
+        ]);
+    }
+    println!("{t}");
+
+    let fs = false_sharing_adversary(adversary_rounds);
+    println!(
+        "E18 false-sharing adversary ({} rounds on one line): {} writeback-interventions, \
+         {} invalidations, {:.2} µs snoop time, merge {}\n",
+        fs.rounds,
+        fs.interventions,
+        fs.invalidations,
+        fs.dma_snoop_time.as_us(),
+        if fs.merge_exact && fs.consumer_reads_ok { "exact" } else { "CORRUPT" }
+    );
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     if smoke {
@@ -651,6 +697,7 @@ fn main() {
         e15_translation_pipeline(4);
         e16_shard_scaling(&[16], &[2, 4]);
         e17_context_virtualization(&[100, 2_000], 400);
+        e18_coherence(&[1024, 8192], 16);
         microbench_host(50);
         return;
     }
@@ -675,6 +722,7 @@ fn main() {
     e15_translation_pipeline(8);
     e16_shard_scaling(&[16, 64], &[1, 2, 4, 8]);
     e17_context_virtualization(&[100, 1_000, 10_000, 100_000], 2_000);
+    e18_coherence(&[1024, 8192, 65536, 262144], 64);
     messaging_layer();
     pingpong_latency();
     microbench_host(500);

@@ -33,6 +33,10 @@ impl CacheConfig {
     }
 
     /// A disabled cache: every access misses (the pre-cache model).
+    ///
+    /// `ways == 0` is a first-class geometry: no storage is allocated,
+    /// every access misses, and a coherence agent built from it behaves
+    /// as an uncached bus master (see `coherence`).
     pub fn disabled() -> Self {
         CacheConfig { sets: 1, ways: 0, line_bytes: 32 }
     }
@@ -40,6 +44,30 @@ impl CacheConfig {
     /// Total capacity in bytes.
     pub fn capacity(&self) -> u64 {
         self.sets as u64 * self.ways as u64 * self.line_bytes
+    }
+
+    /// Checks the geometry: set count and line size must be powers of
+    /// two (set indexing and line masking are bit operations), and a
+    /// line must hold at least one 8-byte word. `ways == 0` is valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated constraint.
+    pub fn validate(&self) {
+        assert!(self.sets > 0, "cache needs at least one set");
+        assert!(self.sets.is_power_of_two(), "set count must be a power of two");
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.line_bytes >= 8, "a line must hold at least one 8-byte word");
+    }
+
+    /// The base address of the line containing `pa` (line masking).
+    pub fn line_base(&self, pa: u64) -> u64 {
+        pa & !(self.line_bytes - 1)
+    }
+
+    /// The set index of the line containing `pa`.
+    pub fn set_index(&self, pa: u64) -> usize {
+        ((pa / self.line_bytes) & (self.sets as u64 - 1)) as usize
     }
 }
 
@@ -82,10 +110,9 @@ impl DataCache {
     ///
     /// # Panics
     ///
-    /// Panics if `sets` is zero, or `line_bytes` is not a power of two.
+    /// Panics if the geometry fails [`CacheConfig::validate`].
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.sets > 0, "cache needs at least one set");
-        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        config.validate();
         DataCache {
             config,
             tags: vec![vec![None; config.ways]; config.sets],
@@ -109,8 +136,8 @@ impl DataCache {
         }
         self.tick += 1;
         let line = pa.as_u64() / self.config.line_bytes;
-        let set = (line % self.config.sets as u64) as usize;
-        let tag = line / self.config.sets as u64;
+        let set = self.config.set_index(pa.as_u64());
+        let tag = line >> self.config.sets.trailing_zeros();
 
         if let Some(way) = self.tags[set].iter().position(|&t| t == Some(tag)) {
             self.lru[set][way] = self.tick;
@@ -241,5 +268,51 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_line_size_panics() {
         let _ = DataCache::new(CacheConfig { sets: 4, ways: 1, line_bytes: 24 });
+    }
+
+    #[test]
+    #[should_panic(expected = "set count must be a power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = DataCache::new(CacheConfig { sets: 3, ways: 1, line_bytes: 32 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn zero_sets_rejected() {
+        let _ = DataCache::new(CacheConfig { sets: 0, ways: 1, line_bytes: 32 });
+    }
+
+    #[test]
+    #[should_panic(expected = "8-byte word")]
+    fn sub_word_lines_rejected() {
+        let _ = DataCache::new(CacheConfig { sets: 4, ways: 1, line_bytes: 4 });
+    }
+
+    #[test]
+    fn one_way_one_set_still_works() {
+        // The degenerate fully-shared geometry: one set, one way.
+        let mut c = DataCache::new(CacheConfig { sets: 1, ways: 1, line_bytes: 32 });
+        assert!(!c.access(pa(0)));
+        assert!(c.access(pa(8)));
+        assert!(!c.access(pa(32))); // evicts the only line
+        assert!(!c.access(pa(0)));
+    }
+
+    #[test]
+    fn line_masking_helpers() {
+        let c = CacheConfig { sets: 8, ways: 2, line_bytes: 64 };
+        assert_eq!(c.line_base(0x1234), 0x1200);
+        assert_eq!(c.line_base(0x1200), 0x1200);
+        assert_eq!(c.set_index(0x1234), ((0x1234 / 64) % 8) as usize);
+        // Addresses one set-stride apart land in the same set.
+        let stride = 8 * 64;
+        assert_eq!(c.set_index(0x40), c.set_index(0x40 + stride));
+    }
+
+    #[test]
+    fn disabled_geometry_is_valid_and_empty() {
+        let c = CacheConfig::disabled();
+        c.validate();
+        assert_eq!(c.capacity(), 0);
     }
 }

@@ -15,6 +15,10 @@
 //!   footnote 6 ("some hardware devices may attempt to collapse successive
 //!   read/write operations to the same address ... appropriate memory
 //!   barrier commands should be used"),
+//! * [`CoherentCache`]/[`CoherenceDomain`] — the data-carrying MESI
+//!   snooping model (agent caches holding real line contents, DMA ports
+//!   that intervene on Modified lines, and the software flush/invalidate
+//!   loops non-coherent DMA pays for),
 //! * [`sim`] — the deterministic sharded discrete-event kernel
 //!   ([`SimComponent`]/[`SimRunner`]/[`ChannelBuilder`]) the cluster
 //!   experiments run on, with a sequential oracle and a
@@ -27,6 +31,7 @@
 
 mod bus;
 mod cache;
+mod coherence;
 mod device;
 pub mod sim;
 mod time;
@@ -36,6 +41,10 @@ mod write_buffer;
 
 pub use bus::{Bus, BusStats};
 pub use cache::{CacheConfig, CacheStats, DataCache};
+pub use coherence::{
+    AgentId, CoherenceDomain, CoherenceStats, CoherenceTiming, CoherentCache, MesiState,
+    SharedCoherence,
+};
 pub use device::{BusDevice, RamDevice, SharedMemory};
 pub use sim::{ChannelBuilder, RunReport, RunnerKind, ShardId, SimComponent, SimRunner, Stamped};
 pub use time::{Clock, SimTime};

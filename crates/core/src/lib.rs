@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod attack;
+mod coherence;
 mod crossover;
 mod ctx_virt;
 mod initiate;
@@ -60,6 +61,7 @@ mod va;
 pub use attack::{
     explore, explore_bounded, explore_sampled, schedule_space, Budget, ExploreReport, Finding,
 };
+pub use coherence::{CoherenceMode, CoherenceSetup, CoherentPostReport};
 pub use crossover::{crossover_rows, os_bound_message_size, CrossoverRow};
 pub use ctx_virt::{LogicalPost, PostPath};
 pub use initiate::{dma_program, emit_atomic, emit_dma, AtomicRequest};

@@ -1,11 +1,15 @@
 //! The simulated workstation: substrates wired together.
 
+use crate::coherence::{CoherenceMode, CoherenceSetup};
 use crate::ctx_virt::{LogicalPost, PostPath};
 use crate::va::{SwapRefused, VaMode, VirtDmaSetup};
 use crate::DmaMethod;
 use std::cell::RefCell;
 use std::rc::Rc;
-use udma_bus::{Bus, BusTiming, CacheConfig, SharedMemory, SimTime, WriteBufferPolicy};
+use udma_bus::{
+    AgentId, Bus, BusTiming, CacheConfig, CoherenceDomain, SharedCoherence, SharedMemory, SimTime,
+    WriteBufferPolicy,
+};
 use udma_cpu::{
     CostModel, Executor, Operand, Pid, ProcState, Program, ProgramBuilder, Reg, RunOutcome,
     RunToCompletion, Scheduler,
@@ -68,6 +72,11 @@ pub struct MachineConfig {
     /// Link-reliability tunables: go-back-N framing, ACK timeout, retry
     /// budget, watchdog deadline and circuit-breaker threshold.
     pub reliability: ReliabilityConfig,
+    /// Cache-coherence model. The default ([`CoherenceMode::Flat`])
+    /// keeps the data cache timing-only, exactly as the paper's testbed
+    /// measured it; the other modes make it carry data and force DMA to
+    /// deal with it (software flushes or hardware snooping).
+    pub coherence: CoherenceSetup,
 }
 
 impl MachineConfig {
@@ -90,6 +99,7 @@ impl MachineConfig {
             virt_dma: None,
             link_chaos: None,
             reliability: ReliabilityConfig::default(),
+            coherence: CoherenceSetup::default(),
         }
     }
 }
@@ -227,6 +237,9 @@ pub struct Machine {
     /// logical processes onto the NI's register contexts (enabled by
     /// [`Machine::enable_ctx_virtualization`]).
     ctx_cache: Option<CtxCache>,
+    /// The MESI coherence domain and the CPU's agent id in it
+    /// (`None` in [`CoherenceMode::Flat`]).
+    coherence: Option<(SharedCoherence, AgentId)>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -283,6 +296,21 @@ impl Machine {
                 .build();
             executor.install_pal(PAL_DMA, pal);
         }
+        // Coherence: both non-flat modes attach the CPU as a data-carrying
+        // MESI agent (so stale-data hazards are real, not assumed); only
+        // `Coherent` additionally puts the engine's mover on the snoop bus.
+        let coherence = match config.coherence.mode {
+            CoherenceMode::Flat => None,
+            mode => {
+                let shared = CoherenceDomain::new(bus.memory(), config.coherence.timing).shared();
+                let agent = shared.borrow_mut().add_agent(config.cache);
+                executor.attach_coherence(Rc::clone(&shared), agent);
+                if mode == CoherenceMode::Coherent {
+                    engine.core_mut().attach_coherence(Rc::clone(&shared));
+                }
+                Some((shared, agent))
+            }
+        };
         let fault_service = match config.virt_dma {
             Some(setup) => {
                 engine.core_mut().enable_iommu(setup.iotlb, setup.virt);
@@ -310,6 +338,7 @@ impl Machine {
             fault_service,
             remote_os,
             ctx_cache: None,
+            coherence,
         }
     }
 
@@ -464,6 +493,22 @@ impl Machine {
     /// Current simulation time.
     pub fn time(&self) -> SimTime {
         self.executor.now()
+    }
+
+    /// The coherence domain, when one exists.
+    pub(crate) fn coherence_domain(&self) -> Option<SharedCoherence> {
+        self.coherence.as_ref().map(|(d, _)| Rc::clone(d))
+    }
+
+    /// The coherence domain and the CPU's agent id in it.
+    pub(crate) fn cpu_coherence(&self) -> Option<(SharedCoherence, AgentId)> {
+        self.coherence.as_ref().map(|(d, a)| (Rc::clone(d), *a))
+    }
+
+    /// Charges externally-computed time (software coherence loops)
+    /// against the machine clock.
+    pub(crate) fn advance_time(&mut self, dt: SimTime) {
+        self.executor.advance(dt);
     }
 
     /// A process register (results land in `r0` by convention).

@@ -6,8 +6,8 @@ use crate::{
 };
 use std::collections::HashMap;
 use udma_bus::{
-    Bus, BusTxn, CacheConfig, CacheStats, DataCache, PendingStore, SimTime, WriteBuffer,
-    WriteBufferPolicy,
+    AgentId, Bus, BusTxn, CacheConfig, CacheStats, DataCache, PendingStore, SharedCoherence,
+    SimTime, WriteBuffer, WriteBufferPolicy,
 };
 use udma_mem::{Access, MemFault, PageTable, Tlb, TlbStats};
 
@@ -48,6 +48,13 @@ pub struct Executor {
     current: Option<Pid>,
     pal: HashMap<u16, Program>,
     stats: ExecStats,
+    /// When attached, cacheable loads and retired stores go through this
+    /// agent of a data-carrying coherence domain instead of the
+    /// timing-only `dcache` + flat RAM: the cache holds real line
+    /// contents, so a DMA engine that bypasses it can observably read
+    /// stale data. Base costs are unchanged (hit cycles / RAM latency);
+    /// only coherence extras are added.
+    coherence: Option<(SharedCoherence, AgentId)>,
 }
 
 impl std::fmt::Debug for Executor {
@@ -81,7 +88,21 @@ impl Executor {
             current: None,
             pal: HashMap::new(),
             stats: ExecStats::default(),
+            coherence: None,
         }
+    }
+
+    /// Routes this CPU's cacheable data traffic through `agent` of a
+    /// coherence domain (see the `coherence` field). The timing-only
+    /// `dcache` stops being consulted; [`dcache_stats`](Self::dcache_stats)
+    /// reports the domain agent's counters instead.
+    pub fn attach_coherence(&mut self, domain: SharedCoherence, agent: AgentId) {
+        self.coherence = Some((domain, agent));
+    }
+
+    /// The attached coherence domain and agent id, if any.
+    pub fn coherence(&self) -> Option<(SharedCoherence, AgentId)> {
+        self.coherence.clone()
     }
 
     /// Spawns a ready process and returns its pid (pids are dense,
@@ -148,9 +169,12 @@ impl Executor {
         self.tlb.stats()
     }
 
-    /// Data-cache counters.
+    /// Data-cache counters (the coherence agent's when one is attached).
     pub fn dcache_stats(&self) -> CacheStats {
-        self.dcache.stats()
+        match &self.coherence {
+            Some((domain, agent)) => domain.borrow().cache(*agent).stats(),
+            None => self.dcache.stats(),
+        }
     }
 
     /// The write buffer (inspect collapse/forward counters in tests).
@@ -200,6 +224,11 @@ impl Executor {
         self.retire_all(bus);
         self.tlb.flush_all();
         self.dcache.flush_all();
+        if let Some((domain, agent)) = self.coherence.clone() {
+            // No address-space tags: a switch writes back and drops the
+            // whole data cache, exactly like the timing-only model.
+            domain.borrow_mut().flush_all(agent);
+        }
         if from.is_some() {
             self.now += self.cost.context_switch();
             self.stats.context_switches += 1;
@@ -423,6 +452,31 @@ impl Executor {
             // Forwarded from the write buffer: never reaches the bus.
             self.processes[idx].set_reg(dst, data);
             return Ok(());
+        } else if let Some((domain, agent)) = self.coherence.clone() {
+            // Coherent load: data comes from the agent's cache (which may
+            // hold lines memory has never seen). Alignment rules match
+            // the RAM device's.
+            if !pa.is_aligned_to(8) {
+                self.kill(idx, MemFault::Misaligned { addr: pa.as_u64(), size: 8 });
+                return Err(());
+            }
+            let mut b = [0u8; 8];
+            match domain.borrow_mut().agent_read(agent, pa, &mut b) {
+                Ok((hit, extra)) => {
+                    self.now += if hit {
+                        self.cost.cycles(self.cost.dcache_hit_cycles)
+                    } else {
+                        bus.ram_latency()
+                    };
+                    self.now += extra;
+                    self.processes[idx].set_reg(dst, u64::from_le_bytes(b));
+                    return Ok(());
+                }
+                Err(f) => {
+                    self.kill(idx, f);
+                    return Err(());
+                }
+            }
         } else {
             // Cacheable load: the cache decides the *time*; the data
             // still comes from memory (the cache is tags-only, so DMA
@@ -476,6 +530,21 @@ impl Executor {
     }
 
     fn retire(&mut self, p: PendingStore, bus: &mut Bus) -> Result<(), MemFault> {
+        if !bus.layout().is_device(p.paddr) {
+            if let Some((domain, agent)) = self.coherence.clone() {
+                // Coherent store retirement: the data lands in the
+                // agent's cache (Modified), not in memory; base cost is
+                // the same DRAM latency the flat bus charges, plus
+                // whatever ownership cost the snoop incurred.
+                if !p.paddr.is_aligned_to(8) {
+                    return Err(MemFault::Misaligned { addr: p.paddr.as_u64(), size: 8 });
+                }
+                let (_, extra) =
+                    domain.borrow_mut().agent_write(agent, p.paddr, &p.data.to_le_bytes())?;
+                self.now += bus.ram_latency() + extra;
+                return Ok(());
+            }
+        }
         let (_, t) = bus.access(p.into_txn(), self.now)?;
         self.now += t;
         Ok(())
@@ -786,6 +855,54 @@ mod tests {
         assert!(out.finished, "PAL fuel must bound the loop");
         // The process was stopped rather than spinning forever.
         assert!(!ex.process(pid).state().is_ready());
+    }
+
+    #[test]
+    fn coherent_executor_keeps_stores_in_cache_until_flush() {
+        use udma_bus::{CoherenceDomain, CoherenceTiming, MesiState};
+        let (mut bus, pt) = world();
+        let domain = CoherenceDomain::new(bus.memory(), CoherenceTiming::default());
+        let shared = domain.shared();
+        let agent = shared.borrow_mut().add_agent(CacheConfig::alpha_21064());
+        let mut ex = exec();
+        ex.attach_coherence(shared.clone(), agent);
+        let prog = ProgramBuilder::new()
+            .store(0x100u64, 0xABu64)
+            .mb()
+            .load(Reg::R1, 0x100u64)
+            .halt()
+            .build();
+        let pid = ex.spawn(prog, pt);
+        ex.run(&mut RunToCompletion, &mut NullTrapHandler, &mut bus, 100);
+        // The load saw the store, but through the cache: memory itself
+        // was never written (the line is Modified) — exactly the stale
+        // window a non-coherent DMA engine would read through.
+        assert_eq!(ex.process(pid).reg(Reg::R1), 0xAB);
+        let frame0 =
+            ex.process(pid).page_table().translate(VirtAddr::new(0x100), Access::Read).unwrap();
+        assert_eq!(shared.borrow().cache(agent).state_of(frame0), MesiState::Modified);
+        assert_eq!(bus.memory().borrow().read_u64(frame0).unwrap(), 0);
+        assert_eq!(ex.dcache_stats().hits, 1, "agent counters visible via dcache_stats");
+        shared.borrow().check_invariants().unwrap();
+        // A context switch (here: flushing by hand) publishes it.
+        shared.borrow_mut().flush_all(agent);
+        assert_eq!(bus.memory().borrow().read_u64(frame0).unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn coherent_executor_preserves_fault_semantics() {
+        use udma_bus::{CoherenceDomain, CoherenceTiming};
+        let (mut bus, pt) = world();
+        let domain = CoherenceDomain::new(bus.memory(), CoherenceTiming::default());
+        let shared = domain.shared();
+        let agent = shared.borrow_mut().add_agent(CacheConfig::alpha_21064());
+        let mut ex = exec();
+        ex.attach_coherence(shared, agent);
+        // Misaligned load kills the process, as on the flat path.
+        let prog = ProgramBuilder::new().load(Reg::R1, 0x101u64).halt().build();
+        let pid = ex.spawn(prog, pt);
+        ex.run(&mut RunToCompletion, &mut NullTrapHandler, &mut bus, 100);
+        assert!(matches!(ex.process(pid).state(), ProcState::Faulted(MemFault::Misaligned { .. })));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Physical memory and frame allocation.
 
 use crate::{MemFault, PhysAddr, PhysFrame, PAGE_SHIFT, PAGE_SIZE};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Byte-addressable physical memory, stored sparsely one frame at a time.
 ///
@@ -25,6 +25,10 @@ use std::collections::HashMap;
 pub struct PhysMemory {
     frames: HashMap<u64, Box<[u8]>>,
     size: u64,
+    /// When `Some((line_bytes, set))`, every write marks the cache lines
+    /// it covers. Coherence tests and the writeback accounting use this
+    /// to ask "which lines changed since the last sync" at line grain.
+    dirty: Option<(u64, BTreeSet<u64>)>,
 }
 
 impl PhysMemory {
@@ -32,7 +36,49 @@ impl PhysMemory {
     /// pages). Accesses at or beyond `size` raise [`MemFault::BusError`].
     pub fn new(size: u64) -> Self {
         let size = size.div_ceil(PAGE_SIZE) * PAGE_SIZE;
-        PhysMemory { frames: HashMap::new(), size }
+        PhysMemory { frames: HashMap::new(), size, dirty: None }
+    }
+
+    /// Starts tracking writes at `line_bytes` granularity. Any lines
+    /// already recorded at a different granularity are discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is zero or not a power of two.
+    pub fn track_lines(&mut self, line_bytes: u64) {
+        assert!(line_bytes.is_power_of_two(), "dirty-line granularity must be a power of two");
+        self.dirty = Some((line_bytes, BTreeSet::new()));
+    }
+
+    /// The line-base addresses written since tracking started (or since
+    /// the last [`clear_dirty_lines`](Self::clear_dirty_lines)), in
+    /// ascending order. Empty when tracking is off.
+    pub fn dirty_lines(&self) -> Vec<u64> {
+        match &self.dirty {
+            Some((_, set)) => set.iter().copied().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Forgets all recorded dirty lines (tracking stays on).
+    pub fn clear_dirty_lines(&mut self) {
+        if let Some((_, set)) = &mut self.dirty {
+            set.clear();
+        }
+    }
+
+    fn mark_dirty(&mut self, pa: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        if let Some((line_bytes, set)) = &mut self.dirty {
+            let mut base = pa & !(*line_bytes - 1);
+            let end = pa + len;
+            while base < end {
+                set.insert(base);
+                base += *line_bytes;
+            }
+        }
     }
 
     /// Total installed bytes.
@@ -90,6 +136,7 @@ impl PhysMemory {
     /// memory.
     pub fn write_bytes(&mut self, pa: PhysAddr, buf: &[u8]) -> Result<(), MemFault> {
         self.check(pa, buf.len() as u64)?;
+        self.mark_dirty(pa.as_u64(), buf.len() as u64);
         let mut addr = pa.as_u64();
         let mut done = 0usize;
         while done < buf.len() {
@@ -324,6 +371,44 @@ mod tests {
         let _ = a.alloc().unwrap();
         let _ = a.alloc().unwrap();
         assert_eq!(a.alloc(), None);
+    }
+
+    #[test]
+    fn dirty_line_tracking_marks_written_lines() {
+        let mut mem = PhysMemory::new(1 << 20);
+        assert!(mem.dirty_lines().is_empty(), "tracking off by default");
+        mem.track_lines(32);
+        mem.write_u64(PhysAddr::new(0x108), 1).unwrap();
+        assert_eq!(mem.dirty_lines(), vec![0x100]);
+        // A write spanning two lines marks both; copy/fill funnel
+        // through write_bytes and are tracked too.
+        mem.write_bytes(PhysAddr::new(0x13C), &[1u8; 8]).unwrap();
+        assert_eq!(mem.dirty_lines(), vec![0x100, 0x120, 0x140]);
+        mem.clear_dirty_lines();
+        assert!(mem.dirty_lines().is_empty());
+        mem.fill(PhysAddr::new(0x200), 64, 0xEE).unwrap();
+        assert_eq!(mem.dirty_lines(), vec![0x200, 0x220]);
+        mem.copy(PhysAddr::new(0x200), PhysAddr::new(0x400), 32).unwrap();
+        assert_eq!(mem.dirty_lines(), vec![0x200, 0x220, 0x400]);
+        // Reads never mark.
+        let mut b = [0u8; 8];
+        mem.read_bytes(PhysAddr::new(0x800), &mut b).unwrap();
+        assert_eq!(mem.dirty_lines(), vec![0x200, 0x220, 0x400]);
+    }
+
+    #[test]
+    fn failed_write_marks_nothing() {
+        let mut mem = PhysMemory::new(PAGE_SIZE);
+        mem.track_lines(32);
+        assert!(mem.write_bytes(PhysAddr::new(PAGE_SIZE - 4), &[0u8; 8]).is_err());
+        assert!(mem.dirty_lines().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_tracking_granularity_panics() {
+        let mut mem = PhysMemory::new(PAGE_SIZE);
+        mem.track_lines(24);
     }
 
     #[test]

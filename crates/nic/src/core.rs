@@ -357,6 +357,18 @@ impl EngineCore {
         self.mover.attach_cluster(cluster);
     }
 
+    /// Makes the engine a snooping (coherent) bus master on the host's
+    /// coherence domain: every DMA read/write from now on snoops the
+    /// CPU caches (see [`DmaMover::attach_coherence`]).
+    pub fn attach_coherence(&mut self, coherence: udma_bus::SharedCoherence) {
+        self.mover.attach_coherence(coherence);
+    }
+
+    /// Whether the engine snoops the coherence bus.
+    pub fn is_coherent(&self) -> bool {
+        self.mover.is_coherent()
+    }
+
     // ---- link reliability -------------------------------------------
 
     /// Wraps the cluster link in seeded chaos: every remote transfer
@@ -470,6 +482,30 @@ impl EngineCore {
         now: SimTime,
     ) -> Result<usize, RejectReason> {
         match self.mover.start(src, dst, size, initiator, false, now) {
+            Ok(_) => {
+                self.stats.started += 1;
+                Ok(self.mover.last_index().expect("just started"))
+            }
+            Err(reason) => {
+                self.note_reject(reason);
+                Err(reason)
+            }
+        }
+    }
+
+    /// Starts a kernel-validated transfer directly (multi-page allowed,
+    /// [`Initiator::Kernel`]) without staging the privileged
+    /// `DMA_SOURCE`/`DMA_DEST` registers — the programmatic twin of
+    /// [`start_kernel_dma`](Self::start_kernel_dma) for callers that
+    /// want the record index and the reject reason.
+    pub fn start_kernel_dma_direct(
+        &mut self,
+        src: PhysAddr,
+        dst: PhysAddr,
+        size: u64,
+        now: SimTime,
+    ) -> Result<usize, RejectReason> {
+        match self.mover.start(src, dst, size, Initiator::Kernel, true, now) {
             Ok(_) => {
                 self.stats.started += 1;
                 Ok(self.mover.last_index().expect("just started"))

@@ -4,7 +4,7 @@ use crate::faulty::{
     deliver, DeliveryOutcome, FaultPlan, FaultyLink, FaultyLinkStats, ReliabilityConfig,
 };
 use crate::{Destination, Initiator, LinkModel, RejectReason, SharedCluster};
-use udma_bus::{SharedMemory, SimTime};
+use udma_bus::{SharedCoherence, SharedMemory, SimTime};
 use udma_mem::{PhysAddr, PAGE_SIZE};
 
 /// A transfer the mover performed.
@@ -82,6 +82,13 @@ pub struct DmaMover {
     /// Outcome of the most recent reliable remote transfer (None when
     /// the ideal wire carried it).
     last_delivery: Option<DeliveryOutcome>,
+    /// When attached, the engine is a *coherent* bus master: every read
+    /// snoops Modified lines out of the CPU caches and every write
+    /// invalidates them. Unattached (the non-coherent mode), the engine
+    /// reads and writes raw memory and software must flush around it.
+    coherence: Option<SharedCoherence>,
+    /// Total snoop time the engine's transfers have paid.
+    snoop_time: SimTime,
 }
 
 impl DmaMover {
@@ -95,7 +102,28 @@ impl DmaMover {
             faulty: None,
             reliability: ReliabilityConfig::default(),
             last_delivery: None,
+            coherence: None,
+            snoop_time: SimTime::ZERO,
         }
+    }
+
+    /// Makes the engine a snooping (coherent) bus master: transfers pull
+    /// Modified lines via intervention on the read side and invalidate
+    /// holders on the write side, with the extra time folded into each
+    /// record's completion.
+    pub fn attach_coherence(&mut self, coherence: SharedCoherence) {
+        self.coherence = Some(coherence);
+    }
+
+    /// Whether the engine snoops the coherence bus.
+    pub fn is_coherent(&self) -> bool {
+        self.coherence.is_some()
+    }
+
+    /// Total snoop time the engine's transfers have paid (zero when not
+    /// coherent).
+    pub fn snoop_time(&self) -> SimTime {
+        self.snoop_time
     }
 
     /// Attaches the cluster of remote nodes reachable over the link.
@@ -181,21 +209,36 @@ impl DmaMover {
             }
         }
         {
-            let mut mem = self.mem.borrow_mut();
-            let limit = mem.size();
+            let limit = self.mem.borrow().size();
             let ok = |a: PhysAddr| a.as_u64().checked_add(size).is_some_and(|e| e <= limit);
             if !ok(src) || !ok(dst) {
                 return Err(RejectReason::BadRange);
             }
-            mem.copy(src, dst, size).map_err(|_| RejectReason::BadRange)?;
         }
+        let snoop = match &self.coherence {
+            // Coherent engine: the read side intervenes on Modified
+            // lines, the write side invalidates holders; both charge
+            // extra wire time on this record.
+            Some(domain) => {
+                let mut buf = vec![0u8; size as usize];
+                let mut d = domain.borrow_mut();
+                let r = d.dma_read(src, &mut buf).map_err(|_| RejectReason::BadRange)?;
+                let w = d.dma_write(dst, &buf).map_err(|_| RejectReason::BadRange)?;
+                r + w
+            }
+            None => {
+                self.mem.borrow_mut().copy(src, dst, size).map_err(|_| RejectReason::BadRange)?;
+                SimTime::ZERO
+            }
+        };
+        self.snoop_time += snoop;
         let rec = TransferRecord {
             src,
             dst,
             remote_node: None,
             size,
             started: now,
-            finished: now + self.link.transfer_time(size),
+            finished: now + self.link.transfer_time(size) + snoop,
             initiator,
         };
         self.records.push(rec);
@@ -234,7 +277,19 @@ impl DmaMover {
             }
         }
         let mut buf = vec![0u8; size as usize];
-        self.mem.borrow().read_bytes(src, &mut buf).map_err(|_| RejectReason::BadRange)?;
+        // Source-side snoop: a remote post must not ship bytes the CPU
+        // still holds Modified. (The destination node's coherence is the
+        // receiver's problem.)
+        let src_snoop = match &self.coherence {
+            Some(domain) => {
+                domain.borrow_mut().dma_read(src, &mut buf).map_err(|_| RejectReason::BadRange)?
+            }
+            None => {
+                self.mem.borrow().read_bytes(src, &mut buf).map_err(|_| RejectReason::BadRange)?;
+                SimTime::ZERO
+            }
+        };
+        self.snoop_time += src_snoop;
         let cluster = self.cluster.as_ref().ok_or(RejectReason::BadRange)?;
         self.last_delivery = None;
         let (deposited, finished) = match &mut self.faulty {
@@ -252,14 +307,14 @@ impl DmaMover {
                 }
                 cluster.borrow_mut().note_delivery(node, &outcome);
                 self.last_delivery = Some(outcome);
-                (outcome.delivered, now + outcome.elapsed)
+                (outcome.delivered, now + outcome.elapsed + src_snoop)
             }
             None => {
                 cluster
                     .borrow_mut()
                     .deposit(node, addr, &buf)
                     .map_err(|_| RejectReason::BadRange)?;
-                (size, now + self.link.transfer_time(size))
+                (size, now + self.link.transfer_time(size) + src_snoop)
             }
         };
         let rec = TransferRecord {
@@ -398,6 +453,41 @@ mod tests {
         assert_eq!(rec.remaining_at(SimTime::from_us(4)), 500);
         assert_eq!(rec.remaining_at(SimTime::from_us(8)), 0);
         assert_eq!(rec.remaining_at(SimTime::from_us(20)), 0);
+    }
+
+    #[test]
+    fn coherent_mover_pulls_dirty_lines_and_charges_snoop_time() {
+        use udma_bus::{CacheConfig, CoherenceDomain, CoherenceTiming};
+        let mem: SharedMemory = Rc::new(RefCell::new(PhysMemory::new(1 << 20)));
+        let domain = CoherenceDomain::new(mem.clone(), CoherenceTiming::default());
+        let shared = domain.shared();
+        let cpu = shared.borrow_mut().add_agent(CacheConfig::alpha_21064());
+        let mut m =
+            DmaMover::new(mem.clone(), LinkModel::new("test", 1_000_000_000, SimTime::ZERO));
+        m.attach_coherence(shared.clone());
+        assert!(m.is_coherent());
+        // CPU dirties the source in its cache only — memory is stale.
+        shared
+            .borrow_mut()
+            .agent_write(cpu, PhysAddr::new(0x1000), &0xFEEDu64.to_le_bytes())
+            .unwrap();
+        assert_eq!(mem.borrow().read_u64(PhysAddr::new(0x1000)).unwrap(), 0);
+        let rec = *m
+            .start(
+                PhysAddr::new(0x1000),
+                PhysAddr::new(0x4000),
+                8,
+                Initiator::Kernel,
+                true,
+                SimTime::ZERO,
+            )
+            .unwrap();
+        // The snoop pulled the Modified line, so the DMA saw fresh data.
+        assert_eq!(mem.borrow().read_u64(PhysAddr::new(0x4000)).unwrap(), 0xFEED);
+        let intervention = shared.borrow().timing().intervention;
+        assert_eq!(m.snoop_time(), intervention);
+        assert_eq!(rec.finished, m.link().transfer_time(8) + intervention);
+        shared.borrow().check_invariants().unwrap();
     }
 
     #[test]

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod coherence;
 pub mod contention;
 pub mod ctxvirt;
 pub mod keyguess;
@@ -45,6 +46,10 @@ pub mod va;
 pub use ablations::{
     a3_context_grid, context_count_ablation, quantum_ablation, write_buffer_ablation, CtxCountRow,
     QuantumRow, WbPolicyRow,
+};
+pub use coherence::{
+    coherence_cost_sweep, false_sharing_adversary, mode_label, CoherenceCostRow, FalseSharingRow,
+    ProducerPrep,
 };
 pub use contention::{run_contention, ContentionResult};
 pub use ctxvirt::{
