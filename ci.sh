@@ -55,6 +55,16 @@ echo "== coherence replay (pinned seed) =="
 # DESIGN.md §4h), pinned for bisection.
 UDMA_PROP_SEED=3609 cargo test -q --offline --test coherence
 
+echo "== node-fault crash replay (pinned seed) =="
+# Seeded replay of the node fault domain: the random crash-plan ×
+# workload property (every transfer settles Complete or an exact
+# in-order prefix, 2/4-shard runs digest-equal to the oracle), the
+# stale-incarnation fencing and fail-fast tests, the exhaustive
+# crash-timing race explorer, the crash-churn differential at 1/2/4/8
+# shards, and the no-plan zero-delta pin (E19, DESIGN.md §4i).
+UDMA_PROP_SEED=3610 cargo test -q --offline \
+  --test node_fault --test sharded_determinism
+
 echo "== sim core self-bench (events/sec) =="
 # The E16 self-benchmark: emits BENCH json for the sim target (collected
 # below) and digest-checks every parallel row against the oracle.

@@ -1,0 +1,76 @@
+//! E19 — node fault domain self-benchmark: what crash churn costs the
+//! simulator and the workload.
+//!
+//! Three targets: the zero-crash baseline (which must be exactly the
+//! crash-free simulator — the fault domain only exists once a plan is
+//! injected), the same workload under crash-and-reboot churn, and one
+//! full differential pass (sequential oracle vs 4-shard parallel under
+//! active plans, digests equal).
+
+use std::hint::black_box;
+use udma_bus::sim::RunnerKind;
+use udma_workloads::{build_crash_cluster, node_fault_sweep, CrashWorkload};
+
+fn main() {
+    for row in node_fault_sweep(12, &[0, 2, 4], &[300], &[200], &[2, 4], 0xE19) {
+        println!(
+            "E19 {:>2} crashes reboot {:>4}µs lease {:>4}µs: {:>2}/{:>2} complete, \
+             {:>2} node-down, avail {:.3}, goodput {:>7.1} Mb/s, recovery p50/p99 \
+             {:>8.2}/{:>8.2} µs, {} fenced, {} regrants, oracle-match {}",
+            row.crashes,
+            row.reboot_us,
+            row.lease_us,
+            row.completed,
+            row.posted,
+            row.node_down,
+            row.availability,
+            row.goodput_mbps,
+            row.recovery_p50.as_us(),
+            row.recovery_p99.as_us(),
+            row.fenced,
+            row.regrants,
+            row.matches_oracle
+        );
+    }
+    udma_testkit::bench::run_target(
+        "crash",
+        udma_testkit::bench::BenchConfig::iters(5),
+        vec![
+            (
+                "E19_crash_free_baseline_12n",
+                Box::new(|| {
+                    let w = CrashWorkload::standard(12, 0, 300, 200, 0xE19);
+                    let mut sim = build_crash_cluster(&w, 1, RunnerKind::Sequential);
+                    sim.run();
+                    assert_eq!(sim.posted(), w.total_xfers());
+                    black_box(sim.events_per_sec());
+                }) as Box<dyn FnMut()>,
+            ),
+            (
+                "E19_crash_churn_12n_4plans",
+                Box::new(|| {
+                    let w = CrashWorkload::standard(12, 4, 300, 200, 0xE19);
+                    let mut sim = build_crash_cluster(&w, 1, RunnerKind::Sequential);
+                    sim.run();
+                    black_box(sim.events_per_sec());
+                }),
+            ),
+            (
+                "E19_differential_under_churn",
+                Box::new(|| {
+                    let w = CrashWorkload::standard(12, 4, 300, 200, 0xE19);
+                    let mut seq = build_crash_cluster(&w, 1, RunnerKind::Sequential);
+                    seq.run();
+                    let mut par = build_crash_cluster(&w, 4, RunnerKind::Parallel);
+                    par.run();
+                    assert_eq!(
+                        seq.digest(),
+                        par.digest(),
+                        "parallel backend diverged from the sequential oracle under crash churn"
+                    );
+                    black_box(seq.events_per_sec());
+                }),
+            ),
+        ],
+    );
+}

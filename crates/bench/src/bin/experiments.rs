@@ -680,6 +680,58 @@ fn e18_coherence(sizes: &[u64], adversary_rounds: u64) {
     );
 }
 
+fn e19_node_fault(
+    nodes: u32,
+    crash_counts: &[u32],
+    reboot_us: &[u64],
+    lease_us: &[u64],
+    shard_counts: &[usize],
+) {
+    let mut t = Table::new(
+        "E19 — node fault domain: goodput, availability and recovery latency by crash rate × \
+         reboot time × detection lease (every row digest-checked against the sequential oracle \
+         at every shard count; the zero-crash row pinned delta-free)",
+        &[
+            "crashes",
+            "reboot (µs)",
+            "lease (µs)",
+            "posted",
+            "done",
+            "node-down",
+            "avail",
+            "goodput (Mb/s)",
+            "rec p50 (µs)",
+            "rec p99 (µs)",
+            "fenced",
+            "regrants",
+        ],
+    );
+    for row in udma_workloads::node_fault_sweep(
+        nodes,
+        crash_counts,
+        reboot_us,
+        lease_us,
+        shard_counts,
+        0xE19,
+    ) {
+        t.row_owned(vec![
+            row.crashes.to_string(),
+            row.reboot_us.to_string(),
+            row.lease_us.to_string(),
+            row.posted.to_string(),
+            row.completed.to_string(),
+            row.node_down.to_string(),
+            format!("{:.3}", row.availability),
+            format!("{:.1}", row.goodput_mbps),
+            format!("{:.2}", row.recovery_p50.as_us()),
+            format!("{:.2}", row.recovery_p99.as_us()),
+            row.fenced.to_string(),
+            row.regrants.to_string(),
+        ]);
+    }
+    println!("{t}");
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     if smoke {
@@ -698,6 +750,7 @@ fn main() {
         e16_shard_scaling(&[16], &[2, 4]);
         e17_context_virtualization(&[100, 2_000], 400);
         e18_coherence(&[1024, 8192], 16);
+        e19_node_fault(8, &[0, 2], &[300], &[200], &[2, 4]);
         microbench_host(50);
         return;
     }
@@ -723,6 +776,7 @@ fn main() {
     e16_shard_scaling(&[16, 64], &[1, 2, 4, 8]);
     e17_context_virtualization(&[100, 1_000, 10_000, 100_000], 2_000);
     e18_coherence(&[1024, 8192, 65536, 262144], 64);
+    e19_node_fault(12, &[0, 1, 2, 4], &[150, 300, 600], &[100, 200], &[1, 2, 4, 8]);
     messaging_layer();
     pingpong_latency();
     microbench_host(500);

@@ -124,6 +124,17 @@ impl Bus {
         self.trace.clear();
     }
 
+    /// Accounting-only entry for coherent agents whose data path bypasses
+    /// the bus (the line lives in a cache, not in RAM): bumps the RAM
+    /// counters exactly as [`access`](Self::access) would, so flat and
+    /// coherent runs of the same program report identical traffic.
+    pub fn note_ram_access(&mut self, op: BusOp) {
+        match op {
+            BusOp::Read => self.stats.ram_reads += 1,
+            BusOp::Write => self.stats.ram_writes += 1,
+        }
+    }
+
     /// Performs one transaction at simulation time `now`.
     ///
     /// Returns the data (for reads; zero for writes) and the time the

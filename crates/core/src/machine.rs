@@ -16,9 +16,9 @@ use udma_cpu::{
 };
 use udma_mem::{PageTable, Perms, PhysAddr, PhysLayout, PhysMemory, VirtAddr, PAGE_SIZE};
 use udma_nic::{
-    Cluster, Destination, DmaEngine, EngineConfig, FaultPlan, FaultyLinkStats, Initiator,
-    LinkModel, NodeLinkStats, RejectReason, ReliabilityConfig, RemoteVaTarget, SharedCluster,
-    TransferRecord, VirtState, VirtTransfer,
+    Cluster, CrashStats, Destination, DmaEngine, EngineConfig, FaultPlan, FaultyLinkStats,
+    HealthState, HealthStats, Initiator, LinkModel, NodeLinkStats, RejectReason, ReliabilityConfig,
+    RemoteVaTarget, SharedCluster, TransferRecord, VirtState, VirtTransfer,
 };
 use udma_os::{
     pin_range, Acquired, CtxCache, CtxCacheConfig, CtxGrant, FaultResolution, FaultService, Kernel,
@@ -220,6 +220,16 @@ impl ProcessEnv {
     }
 }
 
+/// One persistent grant record: what a remote node's OS wrote down
+/// before exposing a buffer, and therefore what its reboot replays.
+#[derive(Clone, Copy, Debug)]
+struct RemoteGrant {
+    asid: u32,
+    va: VirtAddr,
+    pages: u64,
+    perms: Perms,
+}
+
 /// The assembled workstation.
 pub struct Machine {
     config: MachineConfig,
@@ -233,6 +243,11 @@ pub struct Machine {
     /// One OS per remote node, answering NACKed receive-side faults
     /// (populated when both `remote_nodes > 0` and `virt_dma` are set).
     remote_os: Vec<RemoteFaultService>,
+    /// Persistent (on-"disk") grant records, one ledger per remote
+    /// node: everything [`Machine::grant_remote_buffer`] exposed. A
+    /// reboot replays this ledger — it is the only node-local state
+    /// that survives a [`Machine::crash_remote_node`].
+    remote_grants: Vec<Vec<RemoteGrant>>,
     /// Context virtualization: the OS context cache multiplexing
     /// logical processes onto the NI's register contexts (enabled by
     /// [`Machine::enable_ctx_virtualization`]).
@@ -327,6 +342,7 @@ impl Machine {
                 .map(|_| RemoteFaultService::new(config.remote_node_bytes, setup.fault_costs))
                 .collect();
         }
+        let remote_grants = vec![Vec::new(); remote_os.len()];
         Machine {
             config,
             bus,
@@ -337,6 +353,7 @@ impl Machine {
             envs: Vec::new(),
             fault_service,
             remote_os,
+            remote_grants,
             ctx_cache: None,
             coherence,
         }
@@ -820,6 +837,8 @@ impl Machine {
         let setup = self.config.virt_dma.expect("grant_remote_buffer needs virt_dma");
         let os = self.remote_os.get_mut(node as usize).expect("no such remote node");
         let buf = os.expose(asid, va, pages, perms).expect("remote buffer mapping failed");
+        // The grant is persistent state: a reboot replays it.
+        self.remote_grants[node as usize].push(RemoteGrant { asid, va, pages, perms });
         let mut cl = cluster.borrow_mut();
         let iommu = cl.node_iommu_mut(node).expect("virt_dma equips every node");
         iommu.create_context(asid);
@@ -966,6 +985,141 @@ impl Machine {
     /// later inspection without running programs to advance the clock).
     pub fn link_watchdog_at(&mut self, now: SimTime) -> Vec<usize> {
         self.engine.core_mut().link_watchdog(now)
+    }
+
+    // ---- node fault domain ------------------------------------------
+
+    /// Crashes remote `node`: it goes silent, its NACK backlog and
+    /// announced receive windows are fenced, and its OS fault service —
+    /// page tables, pin ledger, swap ledger, statistics — dies with it.
+    /// Only the persistent grant records survive, and only
+    /// [`Machine::reboot_remote_node`] replays them.
+    ///
+    /// # Panics
+    ///
+    /// Panics without `remote_nodes > 0`, or if the node does not exist.
+    pub fn crash_remote_node(&mut self, node: u32) {
+        let cluster = self.cluster.clone().expect("crash_remote_node needs remote_nodes > 0");
+        cluster.borrow_mut().crash_node(node);
+        // The node's OS state is volatile: a fresh service replaces it
+        // (the reboot re-exposes from the persistent grant ledger).
+        if let Some(setup) = self.config.virt_dma {
+            if let Some(os) = self.remote_os.get_mut(node as usize) {
+                *os = RemoteFaultService::new(self.config.remote_node_bytes, setup.fault_costs);
+            }
+        }
+    }
+
+    /// Reboots a crashed remote `node` under a new incarnation epoch:
+    /// fresh zeroed memory and a fresh receive-side IOMMU, then the
+    /// recovery handshake — every persistent grant record is re-exposed
+    /// (and re-pinned under [`VaMode::PinOnPost`]) through the node's
+    /// new OS. Returns the new epoch; senders learn it from their next
+    /// [`Machine::probe_remote_node`].
+    ///
+    /// # Panics
+    ///
+    /// Panics without `remote_nodes > 0`, or if the node is not crashed.
+    pub fn reboot_remote_node(&mut self, node: u32) -> u64 {
+        let cluster = self.cluster.clone().expect("reboot_remote_node needs remote_nodes > 0");
+        let inc = cluster.borrow_mut().reboot_node(node);
+        let Some(setup) = self.config.virt_dma else {
+            return inc;
+        };
+        let grants = self.remote_grants.get(node as usize).cloned().unwrap_or_default();
+        let os = &mut self.remote_os[node as usize];
+        let mut cl = cluster.borrow_mut();
+        for g in &grants {
+            let iommu = cl.node_iommu_mut(node).expect("virt_dma equips every node");
+            let buf = os
+                .expose(g.asid, g.va, g.pages, g.perms)
+                .expect("replaying a grant that fit before the crash");
+            iommu.create_context(g.asid);
+            let pinned = setup.mode == VaMode::PinOnPost;
+            if pinned {
+                os.pin_into(g.asid, buf.va, buf.len(), iommu)
+                    .expect("re-pinning a replayed grant into a fresh IOMMU");
+            }
+            cl.note_regrant(node);
+            if pinned {
+                cl.note_repin(node);
+            }
+        }
+        inc
+    }
+
+    /// Hangs remote `node`'s NI engine: frames to it vanish but state
+    /// survives; [`Machine::unhang_remote_node`] lets paused transfers
+    /// resume where they stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics without `remote_nodes > 0`, or if the node does not exist.
+    pub fn hang_remote_node(&mut self, node: u32) {
+        let cluster = self.cluster.clone().expect("hang_remote_node needs remote_nodes > 0");
+        cluster.borrow_mut().hang_node(node);
+    }
+
+    /// Ends an NI-engine hang on remote `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics without `remote_nodes > 0`, or if the node does not exist.
+    pub fn unhang_remote_node(&mut self, node: u32) {
+        let cluster = self.cluster.clone().expect("unhang_remote_node needs remote_nodes > 0");
+        cluster.borrow_mut().unhang_node(node);
+    }
+
+    /// Whether remote `node` is powered and answering.
+    pub fn remote_node_up(&self, node: u32) -> bool {
+        self.cluster.as_ref().is_some_and(|c| c.borrow().node_responsive(node))
+    }
+
+    /// Remote `node`'s current incarnation epoch.
+    pub fn remote_node_incarnation(&self, node: u32) -> u64 {
+        self.cluster.as_ref().map_or(0, |c| c.borrow().node_incarnation(node))
+    }
+
+    /// Remote `node`'s failure accounting (crashes, reboots, fenced
+    /// frames, replayed grants).
+    pub fn remote_crash_stats(&self, node: u32) -> CrashStats {
+        self.cluster.as_ref().map_or_else(CrashStats::default, |c| c.borrow().crash_stats(node))
+    }
+
+    /// This machine's health verdict on destination `node`.
+    pub fn node_health(&self, node: u32) -> HealthState {
+        self.engine.core().node_health(node)
+    }
+
+    /// Failure-detector counters summed over every destination.
+    pub fn node_health_stats(&self) -> HealthStats {
+        self.engine.core().health_stats()
+    }
+
+    /// Probes remote `node` (the OS-level Ping after the detector
+    /// tripped): on an answer the detector moves `Down → Recovering`
+    /// and the second element reports whether the node's incarnation
+    /// epoch advanced — i.e. it rebooted and pre-crash receive state is
+    /// gone, so paused transfers must repost, not resume.
+    pub fn probe_remote_node(&mut self, node: u32) -> (HealthState, bool) {
+        let now = self.executor.now();
+        self.engine.core_mut().probe_node(node, now)
+    }
+
+    /// Runs the node-level watchdog at the current simulation time:
+    /// every non-terminal remote transfer whose destination is
+    /// unresponsive past the ACK lease aborts with
+    /// [`VirtState::NodeDown`] (status [`udma_nic::DMA_NODE_DOWN`]),
+    /// keeping exactly its delivered in-order prefix. Returns the
+    /// aborted transfer ids.
+    pub fn node_watchdog(&mut self) -> Vec<usize> {
+        let now = self.executor.now();
+        self.node_watchdog_at(now)
+    }
+
+    /// Runs the node-level watchdog at an explicit instant.
+    pub fn node_watchdog_at(&mut self, now: SimTime) -> Vec<usize> {
+        self.engine.core_mut().node_watchdog(now)
     }
 }
 

@@ -34,8 +34,9 @@ use udma_bus::SimTime;
 use udma_iommu::{Asid, Iommu, IotlbConfig, IotlbStats};
 use udma_mem::{Access, MemFault, Perms, PhysAddr, PhysMemory, VirtAddr, VirtPage, PAGE_SIZE};
 use udma_nic::{
-    crc32, DstAnnouncement, Envelope, FaultPlan, FaultyLink, LinkModel, NackVerdict, NetMsg,
-    NodeLinkStats, ReliabilityConfig, SendXfer, XferCounters, XferId, XferState,
+    crc32, CrashKind, CrashPlan, CrashStats, DstAnnouncement, Envelope, FaultPlan, FaultyLink,
+    HealthConfig, HealthState, HealthStats, LinkModel, NackVerdict, NetMsg, NodeLinkStats,
+    PeerHealth, ReliabilityConfig, SendXfer, XferCounters, XferId, XferState,
 };
 use udma_os::{
     FaultCosts, FaultResolution, FaultServiceStats, RemoteFaultService, RemoteSwapRefused,
@@ -75,6 +76,11 @@ pub struct ClusterConfig {
     /// Whether transfers announce their destination range ahead of the
     /// first chunk, buying the one-NACK-per-range service of E15.
     pub announce: bool,
+    /// Failure-detector tunables (ACK lease, `Down` threshold, probe
+    /// policy). Consulted only once a [`CrashPlan`] is injected — a
+    /// cluster with no crash plans schedules no lease or probe events
+    /// and replays byte-identical histories with or without this field.
+    pub health: HealthConfig,
     /// Record a per-event log for differential divergence reporting
     /// (costs allocations; leave off in benches).
     pub record_log: bool,
@@ -96,6 +102,7 @@ impl ClusterConfig {
             costs: FaultCosts::default(),
             pin_on_post: false,
             announce: false,
+            health: HealthConfig::default(),
             record_log: false,
         }
     }
@@ -147,6 +154,14 @@ pub struct NodeDigest {
     pub link: NodeLinkStats,
     /// NACKs this node raised.
     pub nacks_raised: u64,
+    /// Incarnation epoch (bumped by every reboot).
+    pub inc: u64,
+    /// Node-failure accounting (crashes, reboots, fenced frames,
+    /// replayed grants).
+    pub crash: CrashStats,
+    /// This node's failure-detector counters, summed over every peer it
+    /// watched.
+    pub health: HealthStats,
 }
 
 /// Everything observable about one transfer after a run.
@@ -230,6 +245,21 @@ enum Work {
         /// Index of the transfer on that node.
         index: u32,
     },
+    /// A scripted node failure strikes (crash / NI hang / fault-service
+    /// stall). `until` carries the recovery instant for stalls, whose
+    /// end needs no event of its own.
+    Crash { node: u32, kind: CrashKind, until: Option<SimTime> },
+    /// A scripted recovery: reboot after a crash (new incarnation,
+    /// grant-ledger replay, Hello broadcast) or the end of an NI hang
+    /// (same incarnation, Hello broadcast).
+    Recover { node: u32, kind: CrashKind },
+    /// ACK-lease expiry check for one chunk launch: if the transfer's
+    /// launch counter still equals `snapshot`, no ACK or NACK moved it
+    /// since the launch — a detector miss.
+    Lease { node: u32, index: u32, snapshot: u64 },
+    /// Probe timer for a `Down` peer: send a Ping, reschedule under the
+    /// shared retry policy's backoff.
+    Probe { node: u32, peer: u32 },
 }
 
 /// A queued event with the layout-invariant ordering key.
@@ -267,6 +297,24 @@ impl Ord for Ordered {
     }
 }
 
+/// One persistent grant record on a node: replayed at reboot.
+#[derive(Clone, Copy, Debug)]
+struct GrantRecord {
+    asid: Asid,
+    va: VirtAddr,
+    pages: u64,
+    perms: Perms,
+    pinned: bool,
+}
+
+/// One persistent pin record ([`ClusterSim::pin`]): replayed at reboot.
+#[derive(Clone, Copy, Debug)]
+struct PinRecord {
+    asid: Asid,
+    va: VirtAddr,
+    len: u64,
+}
+
 /// One cluster node's complete local state.
 #[derive(Clone, Debug)]
 struct NodeWorld {
@@ -284,8 +332,30 @@ struct NodeWorld {
     /// NACKs raised by this node's receive path.
     nacks_raised: u64,
     /// Monotonic emission counter — the `seq` of every event and
-    /// message this node originates.
+    /// message this node originates. Survives a crash: it is the
+    /// link-level serial that keeps the ordering key sound across
+    /// incarnations.
     seq: u64,
+    /// Powered and running (false between a crash and its reboot).
+    up: bool,
+    /// NI engine hung: frames to and from the node vanish, state stays.
+    hung: bool,
+    /// Incarnation epoch, bumped by every reboot.
+    inc: u64,
+    /// Fault-service stall: NACK servicing is deferred until here.
+    stall_until: SimTime,
+    /// This node's failure detector, one per destination peer
+    /// (`BTreeMap` for deterministic aggregation).
+    peers: BTreeMap<u32, PeerHealth>,
+    /// Persistent grant ledger — the only node state a reboot replays.
+    grants: Vec<GrantRecord>,
+    /// Persistent pin ledger (partial pins via [`ClusterSim::pin`]).
+    pins: Vec<PinRecord>,
+    /// Node-failure accounting.
+    crash: CrashStats,
+    /// Outage durations this node's detector measured end-to-end (peer
+    /// went `Down` → first byte of progress after recovery).
+    recovery_samples: Vec<SimTime>,
 }
 
 impl NodeWorld {
@@ -294,12 +364,19 @@ impl NodeWorld {
         self.seq += 1;
         s
     }
+
+    /// The incarnation this node believes `peer` is at (what it stamps
+    /// as `dst_inc` on envelopes to `peer`).
+    fn believed_inc(&self, peer: u32) -> u64 {
+        self.peers.get(&peer).map_or(0, |p| p.incarnation())
+    }
 }
 
 /// One shard: the nodes it owns, its event queue, and its channel
 /// endpoints (one channel per ordered shard pair, self included).
 struct Shard {
     num_shards: usize,
+    num_nodes: u32,
     nodes: BTreeMap<u32, NodeWorld>,
     rx: Vec<SimReceiver<Envelope>>,
     tx: Vec<SimSender<Envelope>>,
@@ -308,6 +385,15 @@ struct Shard {
     link: LinkModel,
     rel: ReliabilityConfig,
     announce: bool,
+    health: HealthConfig,
+    /// Node fault domain armed: at least one [`CrashPlan`] was
+    /// injected. While false, no lease, probe, crash or fencing code
+    /// runs at all — the zero-delta guarantee for crash-free configs.
+    fault_active: bool,
+    /// Rebuild parameters for a rebooting node's volatile state.
+    node_bytes: u64,
+    iotlb: IotlbConfig,
+    costs: FaultCosts,
     log: Option<Vec<LogLine>>,
 }
 
@@ -328,56 +414,384 @@ impl Shard {
     fn dispatch(&mut self, ev: Ordered) {
         let Ordered { at, src_node, seq, work } = ev;
         match work {
-            Work::Launch { node, index } => {
-                let n = self.nodes.get_mut(&node).expect("launch on foreign node");
-                let x = &mut n.xfers[index as usize];
-                if x.state().terminal() {
-                    // A retry raced a link failure; nothing to send.
-                    self.log_event(at, src_node, seq, node, format!("launch {} skipped", index));
-                    return;
-                }
-                let dst_shard = x.dst_node as usize % self.num_shards;
-                let dst_node = x.dst_node;
-                // The first launch of an announcing transfer carries the
-                // destination range ahead of its data (same emitter, so
-                // the announce's smaller seq orders it first even on an
-                // arrival tie).
-                if self.announce && x.counters.launches == 0 {
-                    let ann = x.announcement();
-                    let env = Envelope {
-                        src_node: node,
-                        dst_node,
-                        seq: n.seq,
-                        msg: NetMsg::Announce { xfer: x.id, ann },
-                    };
-                    n.seq += 1;
-                    self.tx[dst_shard].send(at, env);
-                }
-                let (msg, arrival) = n.xfers[index as usize].launch_chunk(
-                    at,
-                    &self.link,
-                    &self.rel,
-                    n.chaos.as_mut(),
-                );
-                let x = &n.xfers[index as usize];
-                let what = format!(
-                    "launch {} -> n{} arriving {} ({})",
-                    x.id,
-                    dst_node,
-                    arrival,
-                    if x.state() == XferState::LinkFailed { "link-failed" } else { "ok" }
-                );
-                let env = Envelope { src_node: node, dst_node, seq: n.seq, msg };
-                n.seq += 1;
-                self.tx[dst_shard].send_arriving(at, arrival, env);
-                self.log_event(at, src_node, seq, node, what);
-            }
+            Work::Launch { node, index } => self.dispatch_launch(at, src_node, seq, node, index),
             Work::Net(env) => self.dispatch_net(at, seq, env),
+            Work::Crash { node, kind, until } => self.dispatch_crash(at, seq, node, kind, until),
+            Work::Recover { node, kind } => self.dispatch_recover(at, seq, node, kind),
+            Work::Lease { node, index, snapshot } => {
+                self.dispatch_lease(at, seq, node, index, snapshot)
+            }
+            Work::Probe { node, peer } => self.dispatch_probe(at, seq, node, peer),
         }
     }
 
+    fn dispatch_launch(&mut self, at: SimTime, src_node: u32, seq: u64, node: u32, index: u32) {
+        let fault_active = self.fault_active;
+        let n = self.nodes.get_mut(&node).expect("launch on foreign node");
+        let x = &mut n.xfers[index as usize];
+        if x.state().terminal() {
+            // A retry raced a link failure; nothing to send.
+            self.log_event(at, src_node, seq, node, format!("launch {} skipped", index));
+            return;
+        }
+        let dst_shard = x.dst_node as usize % self.num_shards;
+        let dst_node = x.dst_node;
+        if fault_active {
+            // A crashed node posts nothing: a launch scheduled into its
+            // downtime dies on the floor of a machine that is off.
+            if !n.up {
+                let x = &mut n.xfers[index as usize];
+                x.abort_node_down(at);
+                self.log_event(at, src_node, seq, node, format!("launch {} on dead node", index));
+                return;
+            }
+            // Fail fast while this sender's detector holds the
+            // destination `Down`: the in-order prefix stands, status
+            // reads node-down, no frame is wasted on a dead peer.
+            if !n.peers.entry(dst_node).or_default().admit() {
+                let x = &mut n.xfers[index as usize];
+                x.abort_node_down(at);
+                self.log_event(
+                    at,
+                    src_node,
+                    seq,
+                    node,
+                    format!("launch {} fail-fast: n{} down", index, dst_node),
+                );
+                return;
+            }
+        }
+        let src_inc = n.inc;
+        let dst_inc = n.believed_inc(dst_node);
+        // The first launch of an announcing transfer carries the
+        // destination range ahead of its data (same emitter, so the
+        // announce's smaller seq orders it first even on an arrival
+        // tie). A transfer restarted into a rebooted destination
+        // re-announces into the fresh receive state.
+        let hung = n.hung;
+        if self.announce && n.xfers[index as usize].take_announce() {
+            let x = &n.xfers[index as usize];
+            let env = Envelope {
+                src_node: node,
+                dst_node,
+                seq: n.seq,
+                src_inc,
+                dst_inc,
+                msg: NetMsg::Announce { xfer: x.id, ann: x.announcement() },
+            };
+            n.seq += 1;
+            if hung {
+                n.crash.dropped_down += 1;
+            } else {
+                self.tx[dst_shard].send(at, env);
+            }
+        }
+        let (msg, arrival) =
+            n.xfers[index as usize].launch_chunk(at, &self.link, &self.rel, n.chaos.as_mut());
+        let x = &n.xfers[index as usize];
+        let what = format!(
+            "launch {} -> n{} arriving {} ({})",
+            x.id,
+            dst_node,
+            arrival,
+            if x.state() == XferState::LinkFailed {
+                "link-failed"
+            } else if hung {
+                "hung-ni"
+            } else {
+                "ok"
+            }
+        );
+        let launches = x.counters.launches;
+        let env = Envelope { src_node: node, dst_node, seq: n.seq, src_inc, dst_inc, msg };
+        n.seq += 1;
+        if hung {
+            // The NI is hung: the go-back-N engine ran (and billed) the
+            // launch, but no frame left the board.
+            n.crash.dropped_down += 1;
+        } else {
+            self.tx[dst_shard].send_arriving(at, arrival, env);
+        }
+        // Arm the ACK lease for this launch: if neither an ACK nor a
+        // NACK has moved the launch counter when it fires, that is a
+        // detector miss. Crash-free clusters schedule no lease at all.
+        if fault_active && !n.xfers[index as usize].state().terminal() {
+            let lease_at = at + self.health.lease;
+            let lease_seq = n.next_seq();
+            self.queue.push(Reverse(Ordered {
+                at: lease_at,
+                src_node: node,
+                seq: lease_seq,
+                work: Work::Lease { node, index, snapshot: launches },
+            }));
+        }
+        self.log_event(at, src_node, seq, node, what);
+    }
+
+    /// A scripted failure strikes `node`.
+    fn dispatch_crash(
+        &mut self,
+        at: SimTime,
+        seq: u64,
+        node: u32,
+        kind: CrashKind,
+        until: Option<SimTime>,
+    ) {
+        let n = self.nodes.get_mut(&node).expect("crash on foreign node");
+        let what = match kind {
+            CrashKind::Crash => {
+                n.up = false;
+                n.hung = false;
+                n.crash.crashes += 1;
+                // Volatile receive state dies now: announced windows are
+                // fenced; memory/IOMMU/OS are rebuilt at reboot.
+                n.crash.fenced_faults += n.announced.len() as u64;
+                n.announced.clear();
+                // The node was mid-sentence as a sender too: every
+                // transfer it had in flight dies with it. Posts whose
+                // launch time lies beyond the crash stay pending — if
+                // the node is back up by then, they run.
+                let mut killed = 0;
+                for x in &mut n.xfers {
+                    if x.state() == XferState::Streaming && x.abort_node_down(at) {
+                        killed += 1;
+                    }
+                }
+                format!("crash ({} own transfers died)", killed)
+            }
+            CrashKind::NiHang => {
+                n.hung = true;
+                n.crash.hangs += 1;
+                "ni-hang".to_string()
+            }
+            CrashKind::FaultStall => {
+                n.crash.stalls += 1;
+                n.stall_until = until.unwrap_or(at);
+                format!("fault-service stall until {}", n.stall_until)
+            }
+        };
+        self.log_event(at, node, seq, node, what);
+    }
+
+    /// A scripted recovery: reboot (new incarnation, ledger replay,
+    /// Hello broadcast) or hang end (same incarnation, Hello broadcast).
+    fn dispatch_recover(&mut self, at: SimTime, seq: u64, node: u32, kind: CrashKind) {
+        let n = self.nodes.get_mut(&node).expect("recover on foreign node");
+        let what = match kind {
+            CrashKind::Crash => {
+                if n.up {
+                    // Overlapping crash windows merged: an earlier reboot
+                    // already brought the node back.
+                    return;
+                }
+                n.up = true;
+                n.inc += 1;
+                n.crash.reboots += 1;
+                // Fresh volatile state: zeroed memory, an empty IOMMU,
+                // a new OS. Then the recovery handshake replays the
+                // persistent grant and pin ledgers into it.
+                n.mem = PhysMemory::new(self.node_bytes);
+                n.iommu = Iommu::new(self.iotlb);
+                n.os = RemoteFaultService::new(self.node_bytes, self.costs);
+                n.announced.clear();
+                n.stall_until = SimTime::ZERO;
+                for g in n.grants.clone() {
+                    if !n.iommu.has_context(g.asid) {
+                        n.iommu.create_context(g.asid);
+                    }
+                    if g.pinned {
+                        n.os.expose_pinned(g.asid, g.va, g.pages, g.perms, &mut n.iommu)
+                            .expect("replaying a grant that fit before the crash");
+                        n.crash.repins += 1;
+                    } else {
+                        n.os.expose(g.asid, g.va, g.pages, g.perms)
+                            .expect("replaying a grant that fit before the crash");
+                    }
+                    n.crash.regrants += 1;
+                }
+                for p in n.pins.clone() {
+                    n.os.pin_into(p.asid, p.va, p.len, &mut n.iommu)
+                        .expect("re-pinning a replayed range into a fresh IOMMU");
+                    n.crash.repins += 1;
+                }
+                format!("reboot -> inc {}", n.inc)
+            }
+            CrashKind::NiHang => {
+                if !n.up {
+                    // The node crashed under the hang; the reboot, not
+                    // the unhang, will announce it.
+                    return;
+                }
+                n.hung = false;
+                "unhang".to_string()
+            }
+            // Stall ends are data (`stall_until`), not events.
+            CrashKind::FaultStall => return,
+        };
+        // Back in service either way: announce it. The Hello broadcast
+        // moves peers `Down → Recovering` (rescuing probers whose
+        // budget ran dry) and, after a reboot, carries the advanced
+        // incarnation that fences every pre-crash frame.
+        let inc = n.inc;
+        for peer in 0..self.num_nodes {
+            if peer == node {
+                continue;
+            }
+            let n = self.nodes.get_mut(&node).expect("recover on foreign node");
+            let env = Envelope {
+                src_node: node,
+                dst_node: peer,
+                seq: n.next_seq(),
+                src_inc: inc,
+                dst_inc: n.believed_inc(peer),
+                msg: NetMsg::Hello { inc },
+            };
+            self.tx[peer as usize % self.num_shards].send(at, env);
+        }
+        self.log_event(at, node, seq, node, what);
+    }
+
+    /// An ACK lease fired: decide whether it was a miss, and what the
+    /// miss means.
+    fn dispatch_lease(&mut self, at: SimTime, seq: u64, node: u32, index: u32, snapshot: u64) {
+        let n = self.nodes.get_mut(&node).expect("lease on foreign node");
+        let x = &n.xfers[index as usize];
+        if x.state().terminal() || x.counters.launches != snapshot {
+            // An ACK, NACK or relaunch moved the transfer since this
+            // lease was armed — not a miss.
+            self.log_event(at, node, seq, node, format!("lease {} superseded", index));
+            return;
+        }
+        let dst = x.dst_node;
+        let state = n.peers.entry(dst).or_default().on_miss(&self.health, at);
+        if state == HealthState::Down {
+            // The detector tripped: abort everything in flight toward
+            // the dead peer — each keeps exactly its acked prefix — and
+            // start probing under the shared retry policy.
+            let mut killed = 0;
+            for x in n.xfers.iter_mut().filter(|x| x.dst_node == dst) {
+                if x.abort_node_down(at) {
+                    killed += 1;
+                }
+            }
+            let probe = n.peers.get_mut(&dst).expect("entry above").next_probe(&self.health);
+            if let Some(backoff) = probe {
+                let probe_seq = n.next_seq();
+                self.queue.push(Reverse(Ordered {
+                    at: at + backoff,
+                    src_node: node,
+                    seq: probe_seq,
+                    work: Work::Probe { node, peer: dst },
+                }));
+            }
+            self.log_event(
+                at,
+                node,
+                seq,
+                node,
+                format!("lease {} miss: n{} down, {} transfers aborted", index, dst, killed),
+            );
+        } else {
+            // Suspect (or still counting): go-back-N resends the unacked
+            // chunk; the relaunch arms the next lease.
+            let launch_seq = n.next_seq();
+            self.queue.push(Reverse(Ordered {
+                at,
+                src_node: node,
+                seq: launch_seq,
+                work: Work::Launch { node, index },
+            }));
+            self.log_event(
+                at,
+                node,
+                seq,
+                node,
+                format!("lease {} miss ({:?}): relaunch", index, state),
+            );
+        }
+    }
+
+    /// A probe timer fired for a `Down` peer.
+    fn dispatch_probe(&mut self, at: SimTime, seq: u64, node: u32, peer: u32) {
+        let n = self.nodes.get_mut(&node).expect("probe on foreign node");
+        if !n.up {
+            // The prober itself died in the meantime.
+            return;
+        }
+        let state = n.peers.get(&peer).map_or(HealthState::Up, |p| p.state());
+        if state != HealthState::Down {
+            self.log_event(at, node, seq, node, format!("probe n{} cancelled", peer));
+            return;
+        }
+        let env = Envelope {
+            src_node: node,
+            dst_node: peer,
+            seq: n.next_seq(),
+            src_inc: n.inc,
+            dst_inc: n.believed_inc(peer),
+            msg: NetMsg::Ping,
+        };
+        if n.hung {
+            n.crash.dropped_down += 1;
+        } else {
+            self.tx[peer as usize % self.num_shards].send(at, env);
+        }
+        // Next attempt, until the budget runs dry — after that only the
+        // peer's own Hello can rescue it.
+        let next = n.peers.get_mut(&peer).expect("state above").next_probe(&self.health);
+        if let Some(backoff) = next {
+            let probe_seq = n.next_seq();
+            self.queue.push(Reverse(Ordered {
+                at: at + backoff,
+                src_node: node,
+                seq: probe_seq,
+                work: Work::Probe { node, peer },
+            }));
+        }
+        self.log_event(at, node, seq, node, format!("probe n{} ({:?})", peer, state));
+    }
+
     fn dispatch_net(&mut self, at: SimTime, seq: u64, env: Envelope) {
-        let Envelope { src_node, dst_node, msg, .. } = env;
+        let Envelope { src_node, dst_node, seq: _, src_inc, dst_inc, msg } = env;
+        if self.fault_active {
+            let n = self.nodes.get_mut(&dst_node).expect("net to foreign node");
+            // A dead or hung node hears nothing; the frame evaporates.
+            if !n.up || n.hung {
+                n.crash.dropped_down += 1;
+                self.log_event(at, src_node, seq, dst_node, "frame dropped: node dead".into());
+                return;
+            }
+            if msg.stateful() {
+                // Incarnation fence, both directions: a frame aimed at a
+                // previous life of this node, or sent by a previous life
+                // of the peer, is a ghost — drop it before it touches
+                // receive or transfer state. Hello/Ping/Pong are exempt:
+                // they are how epochs propagate.
+                if dst_inc != n.inc {
+                    n.crash.fenced += 1;
+                    let inc = n.inc;
+                    self.log_event(
+                        at,
+                        src_node,
+                        seq,
+                        dst_node,
+                        format!("fenced: for inc {} but node is inc {}", dst_inc, inc),
+                    );
+                    return;
+                }
+                if n.peers.entry(src_node).or_default().note_epoch(src_inc) {
+                    n.crash.fenced += 1;
+                    self.log_event(
+                        at,
+                        src_node,
+                        seq,
+                        dst_node,
+                        format!("fenced: stale inc {} from n{}", src_inc, src_node),
+                    );
+                    return;
+                }
+            }
+        }
         match msg {
             NetMsg::Announce { xfer, ann } => {
                 let n = self.nodes.get_mut(&dst_node).expect("announce to foreign node");
@@ -418,6 +832,10 @@ impl Shard {
                             src_node: dst_node,
                             dst_node: src_node,
                             seq: n.seq,
+                            src_inc: n.inc,
+                            // The reply is for the life of the peer that
+                            // sent the data, echoed off the frame itself.
+                            dst_inc: src_inc,
                             msg: NetMsg::Ack { xfer, chunk, accepted },
                         };
                         n.seq += 1;
@@ -448,11 +866,21 @@ impl Shard {
                             src_node: dst_node,
                             dst_node: src_node,
                             seq: n.seq,
+                            src_inc: n.inc,
+                            dst_inc: src_inc,
                             msg: NetMsg::Nack { xfer, chunk, fault, resolvable },
                         };
                         n.seq += 1;
+                        // A stalled fault service queues the miss behind
+                        // whatever it is stuck on; the NACK departs only
+                        // once the stall clears.
+                        let service_at = if self.fault_active { at.max(n.stall_until) } else { at };
                         let back = self.shard_of(src_node);
-                        self.tx[back].send_arriving(at, at + cost + self.link.latency(), env);
+                        self.tx[back].send_arriving(
+                            at,
+                            service_at + cost + self.link.latency(),
+                            env,
+                        );
                         self.log_event(
                             at,
                             src_node,
@@ -471,6 +899,13 @@ impl Shard {
             }
             NetMsg::Ack { xfer, chunk, accepted } => {
                 let n = self.nodes.get_mut(&dst_node).expect("ack to foreign node");
+                if self.fault_active && accepted > 0 {
+                    // Fresh progress from the peer: clear the miss streak
+                    // and, if it had been down, close the outage sample.
+                    if let Some(outage) = n.peers.entry(src_node).or_default().on_progress(at) {
+                        n.recovery_samples.push(outage);
+                    }
+                }
                 let x = &mut n.xfers[xfer.index as usize];
                 let done = x.on_ack(chunk, accepted, at);
                 let more = !x.state().terminal();
@@ -499,6 +934,10 @@ impl Shard {
             }
             NetMsg::Nack { xfer, chunk, resolvable, .. } => {
                 let n = self.nodes.get_mut(&dst_node).expect("nack to foreign node");
+                if self.fault_active {
+                    // Even a NACK proves the peer is alive at `src_inc`.
+                    n.peers.entry(src_node).or_default().on_alive(src_inc);
+                }
                 let x = &mut n.xfers[xfer.index as usize];
                 let verdict = x.on_nack(chunk, resolvable, at, &self.rel.retry);
                 let what = format!("nack {} chunk {} -> {:?}", xfer, chunk, verdict);
@@ -513,7 +952,69 @@ impl Shard {
                 }
                 self.log_event(at, src_node, seq, dst_node, what);
             }
+            NetMsg::Hello { inc } | NetMsg::Pong { inc } => {
+                self.on_peer_alive(at, seq, src_node, dst_node, inc);
+            }
+            NetMsg::Ping => {
+                let n = self.nodes.get_mut(&dst_node).expect("ping to foreign node");
+                n.peers.entry(src_node).or_default().on_alive(src_inc);
+                let env = Envelope {
+                    src_node: dst_node,
+                    dst_node: src_node,
+                    seq: n.next_seq(),
+                    src_inc: n.inc,
+                    dst_inc: src_inc,
+                    msg: NetMsg::Pong { inc: n.inc },
+                };
+                let back = self.shard_of(src_node);
+                self.tx[back].send(at, env);
+                self.log_event(at, src_node, seq, dst_node, format!("ping from n{}", src_node));
+            }
         }
+    }
+
+    /// A `Hello` or `Pong` announced that `src_node` is in service at
+    /// incarnation `inc`. Moves it out of `Down`, and resumes (or, if
+    /// its reboot tore their prefix, fails) in-flight transfers to it.
+    fn on_peer_alive(&mut self, at: SimTime, seq: u64, src_node: u32, dst_node: u32, inc: u64) {
+        let n = self.nodes.get_mut(&dst_node).expect("hello to foreign node");
+        let advanced = n.peers.entry(src_node).or_default().on_alive(inc);
+        let mut relaunch = Vec::new();
+        for (i, x) in n.xfers.iter_mut().enumerate() {
+            if x.dst_node != src_node || x.state().terminal() || x.state() == XferState::Pending {
+                continue;
+            }
+            if advanced && x.cursor() > 0 {
+                // The destination rebooted under this transfer's feet:
+                // its acked prefix landed in memory that no longer
+                // exists. Resuming mid-stream would hand the app a torn
+                // buffer — fail it, keeping the honest prefix count.
+                x.abort_node_down(at);
+            } else {
+                if advanced {
+                    // Nothing acked yet: restart from byte zero into the
+                    // new incarnation, announcing the window afresh.
+                    x.restart_for_new_epoch();
+                }
+                relaunch.push(i as u32);
+            }
+        }
+        for index in relaunch {
+            let launch_seq = n.next_seq();
+            self.queue.push(Reverse(Ordered {
+                at,
+                src_node: dst_node,
+                seq: launch_seq,
+                work: Work::Launch { node: dst_node, index },
+            }));
+        }
+        self.log_event(
+            at,
+            src_node,
+            seq,
+            dst_node,
+            format!("n{} alive at inc {}{}", src_node, inc, if advanced { " (new)" } else { "" }),
+        );
     }
 }
 
@@ -594,6 +1095,7 @@ impl ClusterSim {
             .zip(rx_grid)
             .map(|(tx, rx_row)| Shard {
                 num_shards,
+                num_nodes: cfg.nodes,
                 nodes: BTreeMap::new(),
                 rx: rx_row.into_iter().map(|r| r.expect("full matrix")).collect(),
                 tx,
@@ -602,6 +1104,11 @@ impl ClusterSim {
                 link: cfg.link,
                 rel: cfg.reliability,
                 announce: cfg.announce,
+                health: cfg.health,
+                fault_active: false,
+                node_bytes: cfg.node_bytes,
+                iotlb: cfg.iotlb,
+                costs: cfg.costs,
                 log: cfg.record_log.then(Vec::new),
             })
             .collect();
@@ -624,6 +1131,15 @@ impl ClusterSim {
                 link_stats: NodeLinkStats::default(),
                 nacks_raised: 0,
                 seq: 0,
+                up: true,
+                hung: false,
+                inc: 0,
+                stall_until: SimTime::ZERO,
+                peers: BTreeMap::new(),
+                grants: Vec::new(),
+                pins: Vec::new(),
+                crash: CrashStats::default(),
+                recovery_samples: Vec::new(),
             };
             shards[node as usize % num_shards].nodes.insert(node, world);
         }
@@ -681,6 +1197,9 @@ impl ClusterSim {
         } else {
             n.os.expose(asid, va, pages, perms)?;
         }
+        // Grants are durable control-plane state: a reboot replays this
+        // ledger into the fresh OS and IOMMU before saying Hello.
+        n.grants.push(GrantRecord { asid, va, pages, perms, pinned: pin });
         Ok(())
     }
 
@@ -692,7 +1211,9 @@ impl ClusterSim {
     /// [`MemFault::Unmapped`] at the first hole.
     pub fn pin(&mut self, node: u32, asid: Asid, va: VirtAddr, len: u64) -> Result<u64, MemFault> {
         let n = self.node_mut(node);
-        n.os.pin_into(asid, va, len, &mut n.iommu)
+        let pinned = n.os.pin_into(asid, va, len, &mut n.iommu)?;
+        n.pins.push(PinRecord { asid, va, len });
+        Ok(pinned)
     }
 
     /// Swaps `page` of `asid` out of `node` (cold-page setup for the
@@ -709,6 +1230,75 @@ impl ClusterSim {
     ) -> Result<(), RemoteSwapRefused> {
         let n = self.node_mut(node);
         n.os.swap_out(asid, page, &mut n.iommu)
+    }
+
+    /// Schedules a scripted node failure (and, if the plan recovers, the
+    /// matching recovery) on the victim's own shard, ordered by the
+    /// victim's emission counter like any other event.
+    ///
+    /// The first injection arms the fault domain on every shard: ACK
+    /// leases, incarnation fences and health tracking come alive. A run
+    /// with no injected plan schedules none of it and is bit-for-bit the
+    /// digest of a build without the fault domain at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan names a node out of range.
+    pub fn inject_crash(&mut self, plan: CrashPlan) {
+        assert!(plan.node < self.cfg.nodes, "crash on node out of range");
+        for s in &mut self.shards {
+            s.fault_active = true;
+        }
+        let shard = plan.node as usize % self.cfg.shards;
+        let until = plan.recovery_at();
+        let n = self.shards[shard].nodes.get_mut(&plan.node).expect("node exists");
+        let seq = n.next_seq();
+        self.shards[shard].queue.push(Reverse(Ordered {
+            at: plan.at,
+            src_node: plan.node,
+            seq,
+            work: Work::Crash { node: plan.node, kind: plan.kind, until },
+        }));
+        if plan.kind != CrashKind::FaultStall {
+            if let Some(when) = until {
+                let n = self.shards[shard].nodes.get_mut(&plan.node).expect("node exists");
+                let seq = n.next_seq();
+                self.shards[shard].queue.push(Reverse(Ordered {
+                    at: when,
+                    src_node: plan.node,
+                    seq,
+                    work: Work::Recover { node: plan.node, kind: plan.kind },
+                }));
+            }
+        }
+    }
+
+    /// True while `node` has not crashed (or has rebooted).
+    pub fn node_up(&self, node: u32) -> bool {
+        self.node_ref(node).up
+    }
+
+    /// `node`'s current incarnation epoch (0 until its first reboot).
+    pub fn node_incarnation(&self, node: u32) -> u64 {
+        self.node_ref(node).inc
+    }
+
+    /// `node`'s crash/fence/replay counters.
+    pub fn crash_stats(&self, node: u32) -> CrashStats {
+        self.node_ref(node).crash
+    }
+
+    /// What `node`'s failure detector currently believes about `peer`.
+    pub fn node_health(&self, node: u32, peer: u32) -> HealthState {
+        self.node_ref(node).peers.get(&peer).map_or(HealthState::Up, |p| p.state())
+    }
+
+    /// Closed outage samples — detector-trip to first fresh progress —
+    /// concatenated in node order (the E19 recovery-latency input).
+    pub fn recovery_samples(&self) -> Vec<SimTime> {
+        (0..self.cfg.nodes)
+            .flat_map(|n| self.node_ref(n).recovery_samples.iter().copied())
+            .collect()
     }
 
     /// Posts a transfer of `len` deterministic pattern bytes from
@@ -820,6 +1410,10 @@ impl ClusterSim {
         let mut xfers = Vec::new();
         for node in 0..self.cfg.nodes {
             let n = self.node_ref(node);
+            let mut health = HealthStats::default();
+            for p in n.peers.values() {
+                health.absorb(&p.stats);
+            }
             nodes.push(NodeDigest {
                 node,
                 mem_crc: mem_crc(&n.mem),
@@ -827,6 +1421,9 @@ impl ClusterSim {
                 faults: n.os.stats(),
                 link: n.link_stats,
                 nacks_raised: n.nacks_raised,
+                inc: n.inc,
+                crash: n.crash,
+                health,
             });
             for x in &n.xfers {
                 xfers.push(XferDigest {

@@ -6,7 +6,7 @@ use crate::{
 };
 use std::collections::HashMap;
 use udma_bus::{
-    AgentId, Bus, BusTxn, CacheConfig, CacheStats, DataCache, PendingStore, SharedCoherence,
+    AgentId, Bus, BusOp, BusTxn, CacheConfig, CacheStats, DataCache, PendingStore, SharedCoherence,
     SimTime, WriteBuffer, WriteBufferPolicy,
 };
 use udma_mem::{Access, MemFault, PageTable, Tlb, TlbStats};
@@ -454,8 +454,11 @@ impl Executor {
             return Ok(());
         } else if let Some((domain, agent)) = self.coherence.clone() {
             // Coherent load: data comes from the agent's cache (which may
-            // hold lines memory has never seen). Alignment rules match
-            // the RAM device's.
+            // hold lines memory has never seen). The bus still accounts
+            // the access — counted before the alignment check, exactly
+            // where the flat path counts it. Alignment rules match the
+            // RAM device's.
+            bus.note_ram_access(BusOp::Read);
             if !pa.is_aligned_to(8) {
                 self.kill(idx, MemFault::Misaligned { addr: pa.as_u64(), size: 8 });
                 return Err(());
@@ -535,7 +538,9 @@ impl Executor {
                 // Coherent store retirement: the data lands in the
                 // agent's cache (Modified), not in memory; base cost is
                 // the same DRAM latency the flat bus charges, plus
-                // whatever ownership cost the snoop incurred.
+                // whatever ownership cost the snoop incurred. Counted on
+                // the bus like a flat retirement.
+                bus.note_ram_access(BusOp::Write);
                 if !p.paddr.is_aligned_to(8) {
                     return Err(MemFault::Misaligned { addr: p.paddr.as_u64(), size: 8 });
                 }

@@ -2,6 +2,7 @@
 //! services protocols build on.
 
 use crate::faulty::{ControlFate, FaultPlan, FaultyLinkStats, ReliabilityConfig};
+use crate::health::{HealthConfig, HealthState, PeerHealth};
 use crate::regs::{self, MAX_CONTEXTS};
 use crate::virt::{
     PendingFault, RemoteVaTarget, VirtDmaConfig, VirtStage, VirtState, VirtStats, VirtTransfer,
@@ -9,9 +10,9 @@ use crate::virt::{
 use crate::{
     AtomicOp, CtxBusy, CtxImage, CtxStats, Destination, DmaMover, DstAnnouncement, Initiator,
     LinkModel, RegisterContext, RejectReason, RemoteDst, SharedCluster, TransferRecord,
-    DMA_FAILURE, DMA_LINK_FAILED,
+    DMA_FAILURE, DMA_LINK_FAILED, DMA_NODE_DOWN,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use udma_bus::{SharedMemory, SimTime};
 use udma_iommu::{Asid, IoFault, IoFaultKind, Iommu, IotlbConfig};
 use udma_mem::{Access, PhysAddr, PhysFrame, PhysLayout, VirtAddr, PAGE_SIZE};
@@ -113,6 +114,11 @@ pub struct EngineCore {
     link_failures_row: u32,
     /// Circuit breaker: remote posts fail fast while tripped.
     link_down: bool,
+    // Node fault domain: per-destination failure detector.
+    health: HealthConfig,
+    /// One detector per destination node (`BTreeMap` so iteration — and
+    /// therefore every derived digest — is deterministic).
+    peer_health: BTreeMap<u32, PeerHealth>,
 }
 
 impl EngineCore {
@@ -153,6 +159,8 @@ impl EngineCore {
             reliability: config.reliability,
             link_failures_row: 0,
             link_down: false,
+            health: HealthConfig::from_reliability(&config.reliability),
+            peer_health: BTreeMap::new(),
         }
     }
 
@@ -431,15 +439,108 @@ impl EngineCore {
                 continue;
             }
             if now.saturating_sub(t.last_progress) > deadline {
+                // Attribute the stall correctly: a silent *node* is a
+                // node failure, not a link failure — the breaker must
+                // not trip for a peer that merely crashed.
+                let rt = t.remote.expect("filtered above");
+                let node_dead =
+                    self.mover.cluster().is_some_and(|c| !c.borrow().node_responsive(rt.node));
                 let x = &mut self.virt_xfers[id];
-                x.state = VirtState::LinkFailed;
-                x.finished = Some(x.clock.max(now));
-                self.virt_stats.link_failed += 1;
-                self.note_link_failure();
+                if node_dead {
+                    x.state = VirtState::NodeDown;
+                    x.finished = Some(x.clock.max(now));
+                    self.virt_stats.node_down += 1;
+                    self.peer_health.entry(rt.node).or_default().on_deadline(now);
+                } else {
+                    x.state = VirtState::LinkFailed;
+                    x.finished = Some(x.clock.max(now));
+                    self.virt_stats.link_failed += 1;
+                    self.note_link_failure();
+                }
+                self.retire_announcement(id);
                 aborted.push(id);
             }
         }
         aborted
+    }
+
+    // ---- node fault domain ------------------------------------------
+
+    /// The failure-detector tunables in force (derived from
+    /// [`ReliabilityConfig`] at construction).
+    pub fn health_config(&self) -> HealthConfig {
+        self.health
+    }
+
+    /// This sender's health verdict on destination `node`. Nodes never
+    /// sent to are trivially `Up`.
+    pub fn node_health(&self, node: u32) -> HealthState {
+        self.peer_health.get(&node).map_or(HealthState::Up, |p| p.state())
+    }
+
+    /// The full per-destination detector, if one exists.
+    pub fn peer_health(&self, node: u32) -> Option<&PeerHealth> {
+        self.peer_health.get(&node)
+    }
+
+    /// Detector counters summed over every destination.
+    pub fn health_stats(&self) -> crate::HealthStats {
+        let mut total = crate::HealthStats::default();
+        for p in self.peer_health.values() {
+            total.absorb(&p.stats);
+        }
+        total
+    }
+
+    /// Node-level watchdog: aborts every non-terminal remote transfer
+    /// whose destination is unresponsive and whose last byte progress
+    /// is older than the ACK lease. Aborted transfers read
+    /// [`DMA_NODE_DOWN`] and keep exactly their delivered in-order
+    /// prefix; the destination's detector goes straight to
+    /// [`HealthState::Down`]. Returns the aborted ids.
+    pub fn node_watchdog(&mut self, now: SimTime) -> Vec<usize> {
+        let lease = self.health.lease;
+        let mut aborted = Vec::new();
+        for id in 0..self.virt_xfers.len() {
+            let t = self.virt_xfers[id];
+            let Some(rt) = t.remote else { continue };
+            if t.is_terminal() {
+                continue;
+            }
+            let node_dead =
+                self.mover.cluster().is_some_and(|c| !c.borrow().node_responsive(rt.node));
+            if node_dead && now.saturating_sub(t.last_progress) > lease {
+                let x = &mut self.virt_xfers[id];
+                x.state = VirtState::NodeDown;
+                x.finished = Some(x.clock.max(now));
+                self.virt_stats.node_down += 1;
+                self.peer_health.entry(rt.node).or_default().on_deadline(now);
+                self.retire_announcement(id);
+                aborted.push(id);
+            }
+        }
+        aborted
+    }
+
+    /// Probes destination `node` (the OS-level Ping after the detector
+    /// tripped): if the node answers, its current incarnation is
+    /// learned — `Down → Recovering` — and a `true` second element
+    /// reports that the epoch *advanced*, i.e. the peer rebooted and
+    /// every pre-crash receive window there is gone.
+    pub fn probe_node(&mut self, node: u32, _now: SimTime) -> (HealthState, bool) {
+        let answer = self.mover.cluster().and_then(|c| {
+            let cl = c.borrow();
+            cl.node_responsive(node).then(|| cl.node_incarnation(node))
+        });
+        let ph = self.peer_health.entry(node).or_default();
+        ph.stats.probes += 1;
+        match answer {
+            Some(inc) => {
+                let advanced = ph.on_alive(inc);
+                (ph.state(), advanced)
+            }
+            None => (ph.state(), false),
+        }
     }
 
     /// Starts a user-level transfer into a remote node's memory.
@@ -704,7 +805,10 @@ impl EngineCore {
     /// does not exist, or the node has no receive-side IOMMU;
     /// [`RejectReason::ZeroSize`] for an empty transfer;
     /// [`RejectReason::LinkDown`] while the circuit breaker is tripped
-    /// (fail fast until [`EngineCore::link_repair`]).
+    /// (fail fast until [`EngineCore::link_repair`]);
+    /// [`RejectReason::NodeDown`] while this sender's failure detector
+    /// holds the destination [`HealthState::Down`] (fail fast until a
+    /// probe or the peer's own Hello moves it to `Recovering`).
     ///
     /// # Panics
     ///
@@ -721,6 +825,12 @@ impl EngineCore {
         if self.link_down {
             self.note_reject(RejectReason::LinkDown);
             return Err(RejectReason::LinkDown);
+        }
+        if let Some(ph) = self.peer_health.get_mut(&to.node) {
+            if !ph.admit() {
+                self.note_reject(RejectReason::NodeDown);
+                return Err(RejectReason::NodeDown);
+            }
         }
         let reachable =
             self.mover.cluster().is_some_and(|c| c.borrow().node_iommu(to.node).is_some());
@@ -824,6 +934,43 @@ impl EngineCore {
                 }
                 self.retire_announcement(id);
                 return;
+            }
+            // A silent destination: the next chunk's frames fly into
+            // the void and the sender's ACK lease expires, over and
+            // over. Charge one lease per miss until the detector trips
+            // `Down`, then abort with exactly the in-order prefix that
+            // was delivered before the failure.
+            if let Some(rt) = t.remote {
+                let responsive =
+                    self.mover.cluster().is_some_and(|c| c.borrow().node_responsive(rt.node));
+                if !responsive {
+                    let cluster =
+                        self.mover.cluster().expect("remote virt transfer without cluster");
+                    let lease = self.health.lease.max(self.reliability.ack_timeout);
+                    loop {
+                        cluster.borrow_mut().note_dropped(rt.node);
+                        let x = &mut self.virt_xfers[id];
+                        x.clock += lease;
+                        x.stall += lease;
+                        x.link_stall += lease;
+                        x.link_timeouts += 1;
+                        self.virt_stats.link_timeouts += 1;
+                        let miss_at = x.clock;
+                        let st = self
+                            .peer_health
+                            .entry(rt.node)
+                            .or_default()
+                            .on_miss(&self.health, miss_at);
+                        if st == HealthState::Down {
+                            let x = &mut self.virt_xfers[id];
+                            x.state = VirtState::NodeDown;
+                            x.finished = Some(x.clock);
+                            self.virt_stats.node_down += 1;
+                            self.retire_announcement(id);
+                            return;
+                        }
+                    }
+                }
             }
             let src_va = VirtAddr::new(t.src.as_u64() + t.moved);
             let dst_va = VirtAddr::new(t.dst.as_u64() + t.moved);
@@ -1060,6 +1207,12 @@ impl EngineCore {
                             x.stall += o.stall;
                             if o.delivered > 0 {
                                 x.last_progress = finished;
+                                if let Some(rt) = t.remote {
+                                    self.peer_health
+                                        .entry(rt.node)
+                                        .or_default()
+                                        .on_progress(finished);
+                                }
                             }
                             self.virt_stats.retransmits += o.retransmits as u64;
                             self.virt_stats.link_timeouts += o.timeouts as u64;
@@ -1078,6 +1231,9 @@ impl EngineCore {
                         None => {
                             x.moved += chunk;
                             x.last_progress = finished;
+                            if let Some(rt) = t.remote {
+                                self.peer_health.entry(rt.node).or_default().on_progress(finished);
+                            }
                         }
                     }
                 }
@@ -1160,13 +1316,15 @@ impl EngineCore {
 
     /// Status of a virtual-address transfer, in the paper's status-load
     /// convention: bytes remaining, 0 = complete, `-1` = failed, `-2` =
-    /// aborted by the link layer ([`DMA_LINK_FAILED`]).
+    /// aborted by the link layer ([`DMA_LINK_FAILED`]), `-4` = aborted
+    /// because the destination node died ([`DMA_NODE_DOWN`]).
     pub fn virt_status(&self, id: usize, now: SimTime) -> u64 {
         match self.virt_xfers.get(id) {
             None => DMA_FAILURE,
             Some(t) => match t.state {
                 VirtState::Failed(_) => DMA_FAILURE,
                 VirtState::LinkFailed => DMA_LINK_FAILED,
+                VirtState::NodeDown => DMA_NODE_DOWN,
                 _ => t.remaining_at(now),
             },
         }

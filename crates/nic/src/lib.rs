@@ -23,10 +23,12 @@
 
 mod atomic;
 mod context;
+mod crash;
 mod engine;
 #[path = "core.rs"]
 mod engine_core;
 mod faulty;
+mod health;
 mod link;
 mod mover;
 mod net;
@@ -38,12 +40,14 @@ mod virt;
 
 pub use atomic::AtomicOp;
 pub use context::{CtxBusy, CtxImage, CtxStats, RegisterContext};
+pub use crash::{CrashKind, CrashPlan, CrashStats};
 pub use engine::DmaEngine;
 pub use engine_core::{EngineConfig, EngineCore, EngineStats};
 pub use faulty::{
     crc32, deliver, Burst, ControlFate, DeliveryOutcome, FaultPlan, FaultyLink, FaultyLinkStats,
     FrameFate, ReliabilityConfig, MAX_BURSTS,
 };
+pub use health::{HealthConfig, HealthState, HealthStats, PeerHealth};
 pub use link::{LinkModel, RetryPolicy};
 pub use mover::{DmaMover, RemoteDst, TransferRecord};
 pub use net::{Envelope, NackVerdict, NetMsg, SendXfer, XferCounters, XferId, XferState};
@@ -52,7 +56,8 @@ pub use remote::{
     Cluster, Destination, DstAnnouncement, NodeLinkStats, RemoteError, SharedCluster,
 };
 pub use status::{
-    Initiator, RejectReason, DMA_FAILURE, DMA_LINK_DOWN, DMA_LINK_FAILED, DMA_PENDING, DMA_STARTED,
+    Initiator, RejectReason, DMA_FAILURE, DMA_LINK_DOWN, DMA_LINK_FAILED, DMA_NODE_DOWN,
+    DMA_PENDING, DMA_STARTED,
 };
 pub use virt::{
     PendingFault, PrefetchConfig, RemoteVaTarget, VirtDmaConfig, VirtStage, VirtState, VirtStats,

@@ -93,6 +93,34 @@ pub enum NetMsg {
         /// Whether the receiver's fault service resolved it.
         resolvable: bool,
     },
+    /// Broadcast by a node returning to service: after a reboot (with a
+    /// freshly bumped incarnation) or an NI-hang ending (same
+    /// incarnation). Moves the sender `Down → Recovering` and, when the
+    /// incarnation advanced, fences every pre-crash frame.
+    Hello {
+        /// The announcing node's current incarnation epoch.
+        inc: u64,
+    },
+    /// A health probe from a sender whose detector holds the
+    /// destination `Down`; a live node answers with [`NetMsg::Pong`].
+    Ping,
+    /// A probe answer, carrying the responder's incarnation so the
+    /// prober learns about reboots it slept through.
+    Pong {
+        /// The responding node's current incarnation epoch.
+        inc: u64,
+    },
+}
+
+impl NetMsg {
+    /// Whether the message merges payload or transfer state on receipt
+    /// (Data/Ack/Nack/Announce) as opposed to the epoch-establishing
+    /// control plane (Hello/Ping/Pong). Only stateful messages are
+    /// subject to incarnation fencing — control messages are how epochs
+    /// are *learned*.
+    pub fn stateful(&self) -> bool {
+        !matches!(self, NetMsg::Hello { .. } | NetMsg::Ping | NetMsg::Pong { .. })
+    }
 }
 
 /// A routed protocol message with the shard-layout-invariant ordering
@@ -105,6 +133,14 @@ pub struct Envelope {
     pub dst_node: u32,
     /// The emitting node's monotonic emission counter.
     pub seq: u64,
+    /// The emitting node's incarnation epoch at emission time. A
+    /// receiver fences stateful frames whose `src_inc` is older than an
+    /// epoch it has already seen from that node.
+    pub src_inc: u64,
+    /// The destination incarnation the emitter believed in. A rebooted
+    /// node fences stateful frames stamped with its pre-crash epoch —
+    /// they were addressed to state that no longer exists.
+    pub dst_inc: u64,
     /// The message.
     pub msg: NetMsg,
 }
@@ -123,12 +159,20 @@ pub enum XferState {
     /// The link layer's retry budget ran dry mid-chunk (`DMA_LINK_FAILED`
     /// in the single-machine world); an in-order prefix may have landed.
     LinkFailed,
+    /// The destination node failed (crash, hang, or lease expiry) —
+    /// `DMA_NODE_DOWN` in the single-machine world. Exactly the
+    /// in-order prefix acked before the failure was delivered, and if
+    /// the node rebooted even that prefix died with its volatile state.
+    NodeDown,
 }
 
 impl XferState {
     /// Whether the transfer reached a terminal state.
     pub fn terminal(&self) -> bool {
-        matches!(self, XferState::Complete | XferState::Failed | XferState::LinkFailed)
+        matches!(
+            self,
+            XferState::Complete | XferState::Failed | XferState::LinkFailed | XferState::NodeDown
+        )
     }
 }
 
@@ -181,6 +225,10 @@ pub struct SendXfer {
     chunk: u32,
     /// Consecutive NACK retries of the current chunk.
     retries: u32,
+    /// Whether the destination announcement still needs to ride ahead
+    /// of the next launch (set at post time; set again when an epoch
+    /// advance forces a replay into freshly rebooted state).
+    announce_pending: bool,
     /// Current state.
     state: XferState,
     /// Posting time.
@@ -211,6 +259,7 @@ impl SendXfer {
             cursor: 0,
             chunk: 0,
             retries: 0,
+            announce_pending: true,
             state: XferState::Pending,
             posted_at,
             finished: None,
@@ -221,6 +270,17 @@ impl SendXfer {
     /// Current state.
     pub fn state(&self) -> XferState {
         self.state
+    }
+
+    /// Bytes acked so far — the delivered in-order prefix.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Takes the pending-announcement flag: `true` exactly once per
+    /// (re)start of the transfer, before its next data launch.
+    pub fn take_announce(&mut self) -> bool {
+        std::mem::take(&mut self.announce_pending)
     }
 
     /// Payload length in bytes.
@@ -358,6 +418,39 @@ impl SendXfer {
             return NackVerdict::Abort;
         }
         NackVerdict::Retry(now + policy.backoff_after(self.retries))
+    }
+
+    /// Aborts the transfer because its destination node failed: the
+    /// acked in-order prefix stands as `moved`, nothing else will ever
+    /// arrive. Idempotent on terminal transfers.
+    pub fn abort_node_down(&mut self, now: SimTime) -> bool {
+        if self.state.terminal() {
+            return false;
+        }
+        self.state = XferState::NodeDown;
+        self.finished = Some(now);
+        self.counters.moved = self.cursor;
+        true
+    }
+
+    /// Restarts a transfer whose destination rebooted into a new
+    /// incarnation before any byte was acked: back to `Pending`, the
+    /// announcement rides again ahead of the next launch. Callers must
+    /// only replay zero-progress transfers — a rebooted node wiped any
+    /// delivered prefix, so a partially-acked transfer must
+    /// [`abort_node_down`](Self::abort_node_down) instead of silently
+    /// leaving a hole.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any byte was already acked or the transfer is terminal.
+    pub fn restart_for_new_epoch(&mut self) {
+        assert!(!self.state.terminal(), "restart of a terminal transfer {}", self.id);
+        assert_eq!(self.cursor, 0, "restart would tear the acked prefix of {}", self.id);
+        self.chunk = 0;
+        self.retries = 0;
+        self.announce_pending = true;
+        self.state = XferState::Pending;
     }
 }
 

@@ -15,6 +15,7 @@
 //! a translation failure NACKs the packet back to the sender instead of
 //! depositing anywhere.
 
+use crate::crash::CrashStats;
 use crate::faulty::DeliveryOutcome;
 use crate::virt::PendingFault;
 use std::cell::RefCell;
@@ -113,12 +114,27 @@ struct RemoteNode {
     /// Announced destination ranges of in-flight transfers, keyed by the
     /// sender's transfer id.
     announced: BTreeMap<usize, DstAnnouncement>,
+    /// Whether the node is powered and running (false between a crash
+    /// and its reboot).
+    up: bool,
+    /// Whether the node's NI engine is hung (frames dropped, state kept).
+    hung: bool,
+    /// Incarnation epoch, bumped by every reboot. Stale pre-crash state
+    /// is fenced against this.
+    inc: u64,
+    /// Failure accounting.
+    crash: CrashStats,
 }
 
 /// The remote nodes reachable over the machine's link.
 #[derive(Clone, Debug)]
 pub struct Cluster {
     nodes: Vec<RemoteNode>,
+    /// Per-node RAM size, kept so a reboot can rebuild a node's memory.
+    bytes_per_node: u64,
+    /// IOTLB geometry handed to [`enable_virt`](Self::enable_virt), kept
+    /// so a reboot can rebuild a node's IOMMU.
+    iotlb: Option<IotlbConfig>,
 }
 
 impl Cluster {
@@ -133,8 +149,14 @@ impl Cluster {
                     nacks_raised: 0,
                     link_stats: NodeLinkStats::default(),
                     announced: BTreeMap::new(),
+                    up: true,
+                    hung: false,
+                    inc: 0,
+                    crash: CrashStats::default(),
                 })
                 .collect(),
+            bytes_per_node,
+            iotlb: None,
         }
     }
 
@@ -205,6 +227,7 @@ impl Cluster {
     /// can name virtual addresses in the node's address spaces
     /// (idempotent per node: existing IOMMUs are kept).
     pub fn enable_virt(&mut self, iotlb: IotlbConfig) {
+        self.iotlb = Some(iotlb);
         for n in &mut self.nodes {
             if n.iommu.is_none() {
                 n.iommu = Some(Iommu::new(iotlb));
@@ -382,6 +405,121 @@ impl Cluster {
     pub fn link_stats(&self, node: u32) -> NodeLinkStats {
         self.nodes.get(node as usize).map_or(NodeLinkStats::default(), |n| n.link_stats)
     }
+
+    // ---- node fault domain ------------------------------------------
+
+    /// Whether `node` is powered, running, and answering frames (false
+    /// while crashed *or* NI-hung; false for a missing node).
+    pub fn node_responsive(&self, node: u32) -> bool {
+        self.nodes.get(node as usize).is_some_and(|n| n.up && !n.hung)
+    }
+
+    /// Whether `node` is powered at all (an NI-hung node is up but not
+    /// responsive).
+    pub fn node_up(&self, node: u32) -> bool {
+        self.nodes.get(node as usize).is_some_and(|n| n.up)
+    }
+
+    /// `node`'s current incarnation epoch (0 until its first reboot).
+    pub fn node_incarnation(&self, node: u32) -> u64 {
+        self.nodes.get(node as usize).map_or(0, |n| n.inc)
+    }
+
+    /// `node`'s failure accounting.
+    pub fn crash_stats(&self, node: u32) -> CrashStats {
+        self.nodes.get(node as usize).map_or(CrashStats::default(), |n| n.crash)
+    }
+
+    /// Crashes `node`: it goes silent immediately and its queued NACK
+    /// backlog — pre-crash faults the OS never got to — is fenced, not
+    /// serviced. Memory and IOMMU contents formally die here too; they
+    /// are rebuilt (empty) at [`reboot_node`](Self::reboot_node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn crash_node(&mut self, node: u32) {
+        let n = &mut self.nodes[node as usize];
+        n.up = false;
+        n.hung = false;
+        n.crash.crashes += 1;
+        n.crash.fenced_faults += n.nacks.len() as u64;
+        n.nacks.clear();
+        n.announced.clear();
+    }
+
+    /// Reboots a crashed `node` under a new incarnation epoch: fresh
+    /// (zeroed) memory, a fresh receive-side IOMMU with no contexts,
+    /// mappings or IOTLB entries, and no announced ranges. Returns the
+    /// new epoch. The caller (the node's OS) re-exposes and re-pins
+    /// from its persistent grant records afterward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist or is not crashed.
+    pub fn reboot_node(&mut self, node: u32) -> u64 {
+        let iotlb = self.iotlb;
+        let bytes = self.bytes_per_node;
+        let n = &mut self.nodes[node as usize];
+        assert!(!n.up, "reboot of a node that never crashed");
+        n.up = true;
+        n.inc += 1;
+        n.crash.reboots += 1;
+        n.mem = PhysMemory::new(bytes);
+        n.iommu = iotlb.map(Iommu::new);
+        n.nacks.clear();
+        n.announced.clear();
+        n.inc
+    }
+
+    /// Hangs `node`'s NI engine: frames to it vanish, but all state
+    /// survives and the incarnation does not change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn hang_node(&mut self, node: u32) {
+        let n = &mut self.nodes[node as usize];
+        n.hung = true;
+        n.crash.hangs += 1;
+    }
+
+    /// Ends an NI-engine hang; paused transfers may resume where they
+    /// stopped, since nothing was lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn unhang_node(&mut self, node: u32) {
+        self.nodes[node as usize].hung = false;
+    }
+
+    /// Counts a frame the sender fired into a crashed or hung node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn note_dropped(&mut self, node: u32) {
+        self.nodes[node as usize].crash.dropped_down += 1;
+    }
+
+    /// Books one grant record replayed (re-exposed) during a reboot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn note_regrant(&mut self, node: u32) {
+        self.nodes[node as usize].crash.regrants += 1;
+    }
+
+    /// Books one pin record replayed (re-pinned) during a reboot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn note_repin(&mut self, node: u32) {
+        self.nodes[node as usize].crash.repins += 1;
+    }
 }
 
 /// Where a transfer's bytes land: locally or on a cluster node.
@@ -519,6 +657,51 @@ mod tests {
         assert_eq!(c.faults_raised(0), 2);
         assert_eq!(c.fault_backlog(9), 0);
         assert!(c.pop_fault(9).is_none());
+    }
+
+    #[test]
+    fn crash_fences_the_backlog_and_reboot_bumps_the_incarnation() {
+        let mut c = Cluster::new(2, 1 << 16);
+        c.enable_virt(IotlbConfig::default());
+        c.node_iommu_mut(1).unwrap().create_context(7);
+        c.node_iommu_mut(1)
+            .unwrap()
+            .map(7, VirtPage::new(2), PhysFrame::new(3), Perms::READ_WRITE, true)
+            .unwrap();
+        c.deposit(1, PhysFrame::new(3).base(), b"pre-crash bytes").unwrap();
+        c.push_fault(
+            1,
+            PendingFault {
+                xfer: 0,
+                fault: IoFault {
+                    asid: 7,
+                    va: VirtAddr::new(5 * PAGE_SIZE),
+                    access: Access::Write,
+                    kind: IoFaultKind::Unmapped,
+                },
+            },
+        );
+        assert!(c.node_responsive(1));
+        c.crash_node(1);
+        assert!(!c.node_responsive(1) && !c.node_up(1));
+        // The queued pre-crash NACK is fenced, never serviced.
+        assert!(c.pop_fault(1).is_none());
+        assert_eq!(c.crash_stats(1).fenced_faults, 1);
+        assert_eq!(c.reboot_node(1), 1, "first reboot is incarnation 1");
+        assert!(c.node_responsive(1));
+        assert_eq!(c.node_incarnation(1), 1);
+        // Volatile state died: memory zeroed, IOMMU contexts gone.
+        let mut buf = [0u8; 15];
+        c.read(1, PhysFrame::new(3).base(), &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 15], "pre-crash memory does not survive a reboot");
+        assert!(!c.node_iommu(1).unwrap().has_context(7));
+        // A hang is survivable: state intact, same incarnation.
+        c.hang_node(0);
+        assert!(c.node_up(0) && !c.node_responsive(0));
+        c.unhang_node(0);
+        assert!(c.node_responsive(0));
+        assert_eq!(c.node_incarnation(0), 0);
+        assert_eq!(c.crash_stats(0).hangs, 1);
     }
 
     #[test]

@@ -27,6 +27,15 @@ pub const DMA_LINK_FAILED: u64 = u64::MAX - 1;
 /// (`-3`) until the OS repairs the link.
 pub const DMA_LINK_DOWN: u64 = u64::MAX - 2;
 
+/// Returned by a status load when a remote transfer was aborted because
+/// its *destination node* failed (crash, NI hang, or lease timeout) —
+/// as opposed to the link between two live nodes ([`DMA_LINK_FAILED`]).
+/// Exactly the contiguous in-order prefix was delivered; after the node
+/// reboots under a new incarnation, any delivered prefix predating the
+/// crash is gone with the node's volatile state, so the sender must
+/// re-post from scratch (`-4`).
+pub const DMA_NODE_DOWN: u64 = u64::MAX - 3;
+
 /// Who asked the engine to start a transfer (bookkeeping for tests and
 /// statistics; carries no protocol authority).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,6 +90,10 @@ pub enum RejectReason {
     /// The remote path is circuit-broken after consecutive link-failed
     /// transfers; posts fail fast until the link is repaired.
     LinkDown,
+    /// The destination node's health state machine holds it `Down`
+    /// (crashed, hung, or lease-expired); posts targeting it fail fast
+    /// until a probe or reboot announcement moves it to `Recovering`.
+    NodeDown,
 }
 
 impl fmt::Display for RejectReason {
@@ -94,6 +107,7 @@ impl fmt::Display for RejectReason {
             RejectReason::MissingArgs => "initiation with missing arguments",
             RejectReason::CtxMismatch => "source/destination context mismatch",
             RejectReason::LinkDown => "remote link circuit-broken",
+            RejectReason::NodeDown => "destination node is down",
         };
         f.write_str(s)
     }
@@ -105,7 +119,8 @@ mod tests {
 
     #[test]
     fn status_constants_are_distinct() {
-        let all = [DMA_FAILURE, DMA_STARTED, DMA_PENDING, DMA_LINK_FAILED, DMA_LINK_DOWN];
+        let all =
+            [DMA_FAILURE, DMA_STARTED, DMA_PENDING, DMA_LINK_FAILED, DMA_LINK_DOWN, DMA_NODE_DOWN];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {
                 assert_ne!(a, b);
@@ -118,6 +133,7 @@ mod tests {
         assert_eq!(DMA_FAILURE as i64, -1);
         assert_eq!(DMA_LINK_FAILED as i64, -2);
         assert_eq!(DMA_LINK_DOWN as i64, -3);
+        assert_eq!(DMA_NODE_DOWN as i64, -4);
     }
 
     #[test]
@@ -127,5 +143,6 @@ mod tests {
         assert_eq!(Initiator::Anonymous.to_string(), "anon");
         assert_eq!(Initiator::VirtDma { asid: 3 }.to_string(), "va3");
         assert!(RejectReason::PageCross.to_string().contains("page boundary"));
+        assert!(RejectReason::NodeDown.to_string().contains("node is down"));
     }
 }

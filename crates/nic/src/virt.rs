@@ -107,6 +107,12 @@ pub enum VirtState {
     /// contiguous in-order prefix (`moved`) was delivered; a status load
     /// returns [`crate::DMA_LINK_FAILED`].
     LinkFailed,
+    /// Aborted by the node fault domain: the destination node crashed,
+    /// hung, or let its lease expire. Exactly the contiguous in-order
+    /// prefix (`moved`) was delivered *before* the failure; if the node
+    /// rebooted, that prefix died with its volatile state and the sender
+    /// must re-post. A status load returns [`crate::DMA_NODE_DOWN`].
+    NodeDown,
 }
 
 /// The remote end of a virtual-address transfer whose destination lives
@@ -194,7 +200,13 @@ impl VirtTransfer {
 
     /// Whether the transfer reached a terminal state.
     pub fn is_terminal(&self) -> bool {
-        matches!(self.state, VirtState::Complete | VirtState::Failed(_) | VirtState::LinkFailed)
+        matches!(
+            self.state,
+            VirtState::Complete
+                | VirtState::Failed(_)
+                | VirtState::LinkFailed
+                | VirtState::NodeDown
+        )
     }
 }
 
@@ -235,6 +247,9 @@ pub struct VirtStats {
     pub retransmits: u64,
     /// Retransmit-timer expiries charged by the go-back-N layer.
     pub link_timeouts: u64,
+    /// Transfers aborted because their destination *node* failed
+    /// (crash/hang/lease expiry) — disjoint from `link_failed`.
+    pub node_down: u64,
 }
 
 /// Per-context staging registers for the `CTX_VIRT_*` window.

@@ -33,6 +33,7 @@
 pub mod ablations;
 pub mod coherence;
 pub mod contention;
+pub mod crashes;
 pub mod ctxvirt;
 pub mod keyguess;
 pub mod lossy;
@@ -52,6 +53,7 @@ pub use coherence::{
     ProducerPrep,
 };
 pub use contention::{run_contention, ContentionResult};
+pub use crashes::{build_crash_cluster, node_fault_sweep, CrashWorkload, NodeFaultRow, CRASH_ASID};
 pub use ctxvirt::{
     context_pressure_sweep, e17_context_grid, hostile_tenant_scenario, CtxPressureRow,
     HostileTenantRow,

@@ -16,7 +16,7 @@ use udma::{
     ProcessSpec,
 };
 use udma_bus::{CacheConfig, CoherenceDomain, CoherenceTiming, SharedCoherence, SimTime};
-use udma_cpu::ProgramBuilder;
+use udma_cpu::{ProgramBuilder, Reg};
 use udma_mem::{PhysAddr, PhysMemory};
 use udma_testkit::prop::vec;
 use udma_testkit::sched::{explore, Budget};
@@ -326,6 +326,50 @@ fn disabled_cache_coherence_is_free() {
         );
         assert_eq!(stats.snoop_time, SimTime::ZERO, "{:?}", setup.mode);
         assert_eq!(stats.coherence_traffic(), 0, "{:?}", setup.mode);
+    }
+}
+
+/// Differential pin for the bus-accounting hook: a coherent machine's
+/// loads and stores are served by MESI caches and never touch the RAM
+/// device, but the bus must still account them — the same program
+/// reports identical `ram_reads`/`ram_writes` on the flat,
+/// non-coherent and coherent machines.
+#[test]
+fn coherent_ram_accounting_matches_flat() {
+    let run = |setup: CoherenceSetup| {
+        let mut m = Machine::new(MachineConfig {
+            coherence: setup,
+            ..MachineConfig::new(DmaMethod::Kernel)
+        });
+        m.spawn(&ProcessSpec::two_buffers(), |env| {
+            let base = env.buffer(0).va.as_u64();
+            let mut p = ProgramBuilder::new();
+            // Stores first, a barrier to drain the write buffer, then
+            // loads — so the loads actually reach the bus instead of
+            // forwarding from the buffer in every world alike.
+            for i in 0..16u64 {
+                p = p.store(base + i * 8, i * 0x0101 + 1);
+            }
+            p = p.mb();
+            for i in 0..16u64 {
+                p = p.load(Reg::R1, base + i * 8);
+            }
+            p.halt().build()
+        });
+        m.run(100_000);
+        m.bus().stats()
+    };
+
+    let flat = run(CoherenceSetup::flat());
+    assert!(flat.ram_writes >= 16 && flat.ram_reads >= 16, "workload must reach RAM");
+    for setup in [CoherenceSetup::non_coherent(), CoherenceSetup::coherent()] {
+        let s = run(setup);
+        assert_eq!(s.ram_reads, flat.ram_reads, "{:?}: RAM read accounting diverged", setup.mode);
+        assert_eq!(
+            s.ram_writes, flat.ram_writes,
+            "{:?}: RAM write accounting diverged",
+            setup.mode
+        );
     }
 }
 

@@ -13,7 +13,7 @@ use udma_bus::sim::RunnerKind;
 use udma_bus::SimTime;
 use udma_iommu::Asid;
 use udma_mem::{Perms, VirtAddr, PAGE_SIZE};
-use udma_nic::{FaultPlan, XferState};
+use udma_nic::{CrashPlan, FaultPlan, XferState};
 use udma_testkit::rng::TestRng;
 
 const ASID: Asid = 3;
@@ -129,6 +129,79 @@ fn chaos_loss_matches_oracle_at_every_shard_count() {
 fn cold_announced_matches_oracle_at_every_shard_count() {
     for seed in [0xD15, 0xD1501, 0xD1502] {
         differential(Scenario::ColdAnnounced, seed);
+    }
+}
+
+/// E19 shape: the announced-cold workload with the node fault domain
+/// fully lit — a crash-and-reboot (incarnation fence + ledger replay),
+/// an NI-engine hang, a fault-service stall and a permanent crash, all
+/// in the same run. Seeded plans are part of the workload, so the
+/// digest identity across shard counts covers every crash-driven path:
+/// leases, fences, probes, Hello broadcasts and grant replay.
+fn build_crashy(seed: u64, shards: usize, runner: RunnerKind) -> ClusterSim {
+    let mut cfg = ClusterConfig::new(NODES);
+    cfg.shards = shards;
+    cfg.runner = runner;
+    cfg.record_log = true;
+    cfg.node_bytes = 1 << 18;
+    cfg.announce = true;
+    // Tight lease so detection, fail-fast and probing all happen inside
+    // the workload's own time span.
+    cfg.health.lease = SimTime::from_us(150);
+    let mut sim = ClusterSim::new(cfg);
+    let mut rng = TestRng::seed_from_u64(seed);
+    for node in 0..NODES {
+        sim.grant(node, ASID, VirtAddr::new(BASE), REGION_PAGES, Perms::READ_WRITE)
+            .expect("fresh region");
+    }
+    for src in 0..NODES {
+        for _ in 0..2 {
+            let dst = (src + 1 + (rng.next_u64() % u64::from(NODES - 1)) as u32) % NODES;
+            let max_len = 3 * PAGE_SIZE;
+            let off = rng.next_u64() % (REGION_PAGES * PAGE_SIZE - max_len);
+            let len = 1 + rng.next_u64() % max_len;
+            let at = SimTime::from_us(rng.next_u64() % 40);
+            sim.post(src, dst, ASID, VirtAddr::new(BASE + off), len, at);
+        }
+    }
+    // One plan of each kind, on seeded victims and times.
+    let mut victim = |salt: u64| (rng.next_u64().wrapping_add(salt) % u64::from(NODES)) as u32;
+    let plans = [
+        CrashPlan::crash(victim(1), SimTime::from_us(30), SimTime::from_us(250)),
+        CrashPlan::hang(victim(2), SimTime::from_us(15), SimTime::from_us(90)),
+        CrashPlan::stall(victim(3), SimTime::from_us(10), SimTime::from_us(120)),
+        CrashPlan::crash_forever(victim(4), SimTime::from_us(60)),
+    ];
+    for plan in plans {
+        sim.inject_crash(plan);
+    }
+    sim
+}
+
+#[test]
+fn crash_churn_matches_oracle_at_every_shard_count() {
+    for seed in [0xD19, 0xD1901, 0xD1902] {
+        let mut oracle = build_crashy(seed, 1, RunnerKind::Sequential);
+        oracle.run();
+        let expect = oracle.digest();
+        assert!(
+            expect.nodes.iter().any(|n| n.crash.crashes > 0),
+            "seed {seed:#x}: no crash landed — the plan is vacuous"
+        );
+        assert!(
+            expect.nodes.iter().any(|n| n.health.misses > 0),
+            "seed {seed:#x}: no lease ever missed — the detector never engaged"
+        );
+        for shards in [1usize, 2, 4, 8] {
+            let mut sim = build_crashy(seed, shards, RunnerKind::Parallel);
+            sim.run();
+            if let Some(diff) = expect.diff(&sim.digest()) {
+                panic!(
+                    "seed {seed:#x}: crash-churn parallel {shards}-shard run diverged from the \
+                     sequential oracle\n{diff}"
+                );
+            }
+        }
     }
 }
 
