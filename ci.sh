@@ -65,6 +65,15 @@ echo "== node-fault crash replay (pinned seed) =="
 UDMA_PROP_SEED=3610 cargo test -q --offline \
   --test node_fault --test sharded_determinism
 
+echo "== descriptor-ring replay (pinned seed) =="
+# Seeded replay of the doorbell-batched descriptor rings: the
+# batched-N ≡ N-sequential-posts differential property, the exhaustive
+# doorbell × steal × crash interleaving explorer, the depth-1
+# zero-delta pin against the per-post baseline, the E20 amortization
+# shape, and the save-refuses-pending-ring regression (E20,
+# DESIGN.md §4j).
+UDMA_PROP_SEED=3611 cargo test -q --offline --test descring --test ctx_virt
+
 echo "== sim core self-bench (events/sec) =="
 # The E16 self-benchmark: emits BENCH json for the sim target (collected
 # below) and digest-checks every parallel row against the oracle.

@@ -1,14 +1,19 @@
-//! E1/E2 — Table 1 and the kernel-path decomposition.
+//! E1/E2 — Table 1 and the kernel-path decomposition — plus the E20
+//! descriptor-ring queue-depth rows.
 //!
 //! Each target simulates a batch of initiations under one method; the
 //! *simulated* per-initiation cost (the paper's number) is printed once
 //! per target, and the testkit timer tracks the simulator's own
 //! wall-clock throughput (`BENCH` lines + `target/bench-json/`).
+//! The ring rows additionally gate the amortization claim: at depth
+//! ≥ 8 a doorbell batch of N transfers must cost less than N per-post
+//! register sequences.
 
 use std::hint::black_box;
-use udma::{measure_initiation, DmaMethod};
+use udma::{measure_initiation, measure_ring_initiation, DmaMethod};
 use udma_bench::format_row;
-use udma_testkit::bench::{run_target, BenchConfig};
+use udma_testkit::bench::{run_target, BenchConfig, NamedBench};
+use udma_workloads::{e20_depth_grid, ring_initiation_sweep};
 
 fn main() {
     let mut benches: Vec<(String, DmaMethod)> = Vec::new();
@@ -29,20 +34,50 @@ fn main() {
         let label = method.name().replace([' ', '(', ')', '.', ',', ':'], "_");
         benches.push((format!("other_methods/{label}"), method));
     }
-    run_target(
-        "initiation",
-        BenchConfig::iters(20),
-        benches
-            .iter()
-            .map(|(name, method)| {
-                let method = *method;
-                (
-                    name.as_str(),
-                    Box::new(move || {
-                        black_box(measure_initiation(black_box(method), 100));
-                    }) as Box<dyn FnMut()>,
-                )
-            })
-            .collect(),
-    );
+    // E20: per-transfer initiation cost vs doorbell queue depth. The
+    // simulated numbers are printed as the table; the assert gates the
+    // whole point of the ring — batching must beat per-post initiation
+    // once the doorbell amortizes over ≥ 8 descriptors.
+    let mut ring_benches: Vec<(String, u32)> = Vec::new();
+    for row in ring_initiation_sweep(&e20_depth_grid(), 96) {
+        println!(
+            "ring depth {:>2}                      {:>9.2} µs ({:>4.2}× vs per-post)",
+            row.depth,
+            row.mean_initiation.as_us(),
+            row.speedup
+        );
+        if row.depth >= 8 {
+            assert!(
+                row.mean_initiation < row.per_post_baseline,
+                "depth {}: batched {} must undercut per-post {}",
+                row.depth,
+                row.mean_initiation,
+                row.per_post_baseline
+            );
+        }
+        ring_benches.push((format!("e20_ring/depth_{}", row.depth), row.depth));
+    }
+
+    let mut targets: Vec<NamedBench> = benches
+        .iter()
+        .map(|(name, method)| {
+            let method = *method;
+            (
+                name.as_str(),
+                Box::new(move || {
+                    black_box(measure_initiation(black_box(method), 100));
+                }) as Box<dyn FnMut()>,
+            )
+        })
+        .collect();
+    targets.extend(ring_benches.iter().map(|(name, depth)| {
+        let depth = *depth;
+        (
+            name.as_str(),
+            Box::new(move || {
+                black_box(measure_ring_initiation(black_box(depth), 96));
+            }) as Box<dyn FnMut()>,
+        )
+    }));
+    run_target("initiation", BenchConfig::iters(20), targets);
 }

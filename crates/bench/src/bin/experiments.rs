@@ -16,10 +16,10 @@ use udma_nic::LinkModel;
 use udma_workloads::{
     a3_context_grid, any_violation, atomic_comparison, bus_sweep, coherence_cost_sweep,
     context_count_ablation, context_pressure_sweep, context_switch, dcache_effect,
-    e17_context_grid, empty_syscall, false_sharing_adversary, guess_acceptance,
+    e17_context_grid, e20_depth_grid, empty_syscall, false_sharing_adversary, guess_acceptance,
     hostile_tenant_scenario, illegal_transfer, misinformation, mode_label,
-    pollution_with_known_key, quantum_ablation, run_contention, tlb_miss, write_buffer_ablation,
-    AdversaryKind, AttackScenario,
+    pollution_with_known_key, quantum_ablation, ring_initiation_sweep, run_contention, tlb_miss,
+    write_buffer_ablation, AdversaryKind, AttackScenario,
 };
 
 fn e1_table1(iters: u32) {
@@ -732,6 +732,23 @@ fn e19_node_fault(
     println!("{t}");
 }
 
+fn e20_descriptor_rings(transfers: u32) {
+    let mut t = Table::new(
+        "E20 — doorbell-batched descriptor rings: per-transfer initiation cost vs queue depth \
+         (key-based per-post sequence as the baseline; depth 1 pins to it exactly)",
+        &["depth", "per-transfer (µs)", "per-post (µs)", "amortization"],
+    );
+    for row in ring_initiation_sweep(&e20_depth_grid(), transfers) {
+        t.row_owned(vec![
+            row.depth.to_string(),
+            format!("{:.2}", row.mean_initiation.as_us()),
+            format!("{:.2}", row.per_post_baseline.as_us()),
+            format!("{:.2}×", row.speedup),
+        ]);
+    }
+    println!("{t}");
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     if smoke {
@@ -751,6 +768,7 @@ fn main() {
         e17_context_virtualization(&[100, 2_000], 400);
         e18_coherence(&[1024, 8192], 16);
         e19_node_fault(8, &[0, 2], &[300], &[200], &[2, 4]);
+        e20_descriptor_rings(32);
         microbench_host(50);
         return;
     }
@@ -777,6 +795,7 @@ fn main() {
     e17_context_virtualization(&[100, 1_000, 10_000, 100_000], 2_000);
     e18_coherence(&[1024, 8192, 65536, 262144], 64);
     e19_node_fault(12, &[0, 1, 2, 4], &[150, 300, 600], &[100, 200], &[1, 2, 4, 8]);
+    e20_descriptor_rings(480);
     messaging_layer();
     pingpong_latency();
     microbench_host(500);

@@ -68,8 +68,8 @@ pub use initiate::{dma_program, emit_atomic, emit_dma, AtomicRequest};
 pub use initiate_once::emit_dma_once;
 pub use machine::{BufferSpec, Machine, MachineConfig, ProcessEnv, ProcessSpec, ShareRef, PAL_DMA};
 pub use measure::{
-    measure_atomic, measure_initiation, measure_initiation_with, measure_transfer_latency, table1,
-    InitiationCost,
+    measure_atomic, measure_initiation, measure_initiation_with, measure_ring_initiation,
+    measure_transfer_latency, table1, InitiationCost,
 };
 pub use method::DmaMethod;
 pub use report::Table;

@@ -16,9 +16,10 @@ use udma_cpu::{
 };
 use udma_mem::{PageTable, Perms, PhysAddr, PhysLayout, PhysMemory, VirtAddr, PAGE_SIZE};
 use udma_nic::{
-    Cluster, CrashStats, Destination, DmaEngine, EngineConfig, FaultPlan, FaultyLinkStats,
-    HealthState, HealthStats, Initiator, LinkModel, NodeLinkStats, RejectReason, ReliabilityConfig,
-    RemoteVaTarget, SharedCluster, TransferRecord, VirtState, VirtTransfer,
+    Cluster, CrashStats, Destination, DmaDescriptor, DmaEngine, EngineConfig, FaultPlan,
+    FaultyLinkStats, HealthState, HealthStats, Initiator, LinkModel, NodeLinkStats, RejectReason,
+    ReliabilityConfig, RemoteVaTarget, RingConfig, RingLaunch, RingStats, SharedCluster,
+    TransferRecord, VirtState, VirtTransfer,
 };
 use udma_os::{
     pin_range, Acquired, CtxCache, CtxCacheConfig, CtxGrant, FaultResolution, FaultService, Kernel,
@@ -719,6 +720,74 @@ impl Machine {
     /// Snapshot of a virtual-address transfer.
     pub fn virt_xfer(&self, id: usize) -> Option<VirtTransfer> {
         self.engine.core().virt_xfer(id).copied()
+    }
+
+    // ---- doorbell-batched descriptor rings ---------------------------
+
+    /// Enables the NI's descriptor-ring unit: the per-context doorbell
+    /// offset and the privileged ring tables decode from now on.
+    /// Machines that never call this are bit-for-bit unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the machine was built with a [`VirtDmaSetup`] —
+    /// descriptors carry virtual addresses the ring engine translates
+    /// through the NI-side IOMMU.
+    pub fn enable_desc_rings(&mut self, config: RingConfig) {
+        assert!(
+            self.config.virt_dma.is_some(),
+            "descriptor rings need a VirtDmaSetup: the engine translates descriptors through the IOMMU"
+        );
+        self.engine.core_mut().enable_rings(config);
+    }
+
+    /// OS-mediated ring registration (the §3.2 grant path): validates
+    /// that `capacity` descriptor slots fit inside `pid`'s own writable
+    /// buffer `buffer`, then programs the privileged ring tables over
+    /// the bus. Returns `false` when the kernel refuses the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` has no register context (rings ride on the same
+    /// grant as every user-level path).
+    pub fn register_ring(&mut self, pid: Pid, buffer: usize, capacity: u64) -> bool {
+        let env = &self.envs[pid.as_u32() as usize];
+        let grant = env.ctx.expect("ring registration needs a register context");
+        let buf = *env.buffer(buffer);
+        let now = self.executor.now();
+        self.kernel.register_ring(&grant, &buf, capacity, &mut self.bus, now)
+    }
+
+    /// Posts one descriptor into `pid`'s ring — the programmatic twin
+    /// of the user library's four slot stores. Nothing launches until
+    /// [`Machine::ring_doorbell`]. Returns the absolute slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` has no register context.
+    pub fn post_ring(&mut self, pid: Pid, desc: &DmaDescriptor) -> Result<u64, RejectReason> {
+        let ctx = self.envs[pid.as_u32() as usize].ctx.expect("ring post needs a context").ctx;
+        let now = self.executor.now();
+        self.engine.core_mut().ring_post(ctx, desc, now)
+    }
+
+    /// Rings `pid`'s doorbell — the programmatic twin of the single
+    /// user-level store to `CTX_RING_DB` — covering everything posted
+    /// so far. The engine dequeues and launches the whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` has no register context.
+    pub fn ring_doorbell(&mut self, pid: Pid) -> Vec<RingLaunch> {
+        let ctx = self.envs[pid.as_u32() as usize].ctx.expect("doorbell needs a context").ctx;
+        let now = self.executor.now();
+        let tail = self.engine.core().ring(ctx).posted();
+        self.engine.core_mut().ring_doorbell(ctx, tail, now)
+    }
+
+    /// Counters of the NI's descriptor-ring unit.
+    pub fn ring_stats(&self) -> RingStats {
+        self.engine.core().ring_stats()
     }
 
     /// Drains the engine's I/O fault queue through the OS fault service:

@@ -1,5 +1,6 @@
 //! Per-process register contexts (§3.1) and their spill images.
 
+use crate::descring::RingImage;
 use crate::virt::VirtStage;
 use udma_mem::PhysAddr;
 
@@ -146,6 +147,11 @@ pub struct CtxImage {
     pub regs: RegisterContext,
     /// The context's `CTX_VIRT_*` staging window.
     pub virt: VirtStage,
+    /// The context's descriptor-ring registration, if one was installed
+    /// (`None` = no ring). Only a *quiescent* ring spills — see
+    /// [`RingImage`] — so base, capacity and the converged cursor are
+    /// the whole state.
+    pub ring: Option<RingImage>,
 }
 
 /// Why [`EngineCore::save_context`](crate::EngineCore::save_context)
@@ -159,6 +165,11 @@ pub enum CtxBusy {
     /// The context's last virtual-address transfer is running, paused at
     /// a fault, or still draining.
     VirtTransfer,
+    /// The context's descriptor ring has queued work: descriptors
+    /// posted but not yet doorbelled, a batch still being dequeued, or
+    /// a ring-launched transfer still live. Spilling now would strand
+    /// (or replay under another process's key) the queued descriptors.
+    RingPending,
 }
 
 /// Context-virtualization counters kept by the engine core — the same

@@ -1,6 +1,10 @@
 //! The engine core: registers, contexts, key table, statistics, and the
 //! services protocols build on.
 
+use crate::descring::{
+    DescDst, DescRing, DmaDescriptor, RingConfig, RingImage, RingLaunch, RingStats,
+    DESC_FLAG_CHAIN, DESC_FLAG_FRAG, DESC_WORDS,
+};
 use crate::faulty::{ControlFate, FaultPlan, FaultyLinkStats, ReliabilityConfig};
 use crate::health::{HealthConfig, HealthState, PeerHealth};
 use crate::regs::{self, MAX_CONTEXTS};
@@ -16,6 +20,16 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use udma_bus::{SharedMemory, SimTime};
 use udma_iommu::{Asid, IoFault, IoFaultKind, Iommu, IotlbConfig};
 use udma_mem::{Access, PhysAddr, PhysFrame, PhysLayout, VirtAddr, PAGE_SIZE};
+
+/// Physical destination of a checked launch: memory on this node, or
+/// a `(node, addr)` pair on a remote peer.
+#[derive(Clone, Copy, Debug)]
+pub enum LaunchDst {
+    /// Same-node physical memory.
+    Local(PhysAddr),
+    /// A remote peer's physical memory.
+    Remote(RemoteDst),
+}
 
 /// Configuration of the DMA engine.
 #[derive(Clone, Copy, Debug)]
@@ -119,6 +133,10 @@ pub struct EngineCore {
     /// One detector per destination node (`BTreeMap` so iteration — and
     /// therefore every derived digest — is deterministic).
     peer_health: BTreeMap<u32, PeerHealth>,
+    // Doorbell-batched descriptor rings (present once enabled).
+    ring_config: Option<RingConfig>,
+    rings: Vec<DescRing>,
+    ring_stats: RingStats,
 }
 
 impl EngineCore {
@@ -161,6 +179,9 @@ impl EngineCore {
             link_down: false,
             health: HealthConfig::from_reliability(&config.reliability),
             peer_health: BTreeMap::new(),
+            ring_config: None,
+            rings: vec![DescRing::default(); config.num_contexts as usize],
+            ring_stats: RingStats::default(),
         }
     }
 
@@ -278,14 +299,42 @@ impl EngineCore {
         }
         if let Some(id) = self.virt_stage[ctx as usize].last {
             if let Some(x) = self.virt_xfers.get(id) {
-                if matches!(x.state, VirtState::Running | VirtState::Faulted(_))
-                    || x.remaining_at(now) > 0
-                {
+                if virt_xfer_pins(x, now) {
                     return true;
                 }
             }
         }
-        false
+        self.ring_pending(ctx, now)
+    }
+
+    /// Whether `ctx`'s descriptor ring has queued or live work at
+    /// `now`: descriptors posted but not yet doorbelled, a dequeued
+    /// batch whose fetch-staggered launches have not all fired, or a
+    /// ring-launched transfer (physical or virtual) still observable on
+    /// the wire. Queued work makes the context unstealable exactly like
+    /// a busy register file — the ring's contents belong to the process
+    /// whose ASID the dequeue will translate under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn ring_pending(&self, ctx: u32, now: SimTime) -> bool {
+        let r = &self.rings[ctx as usize];
+        if !r.registered() {
+            return false;
+        }
+        if r.pending() > 0 || now < r.drain_until {
+            return true;
+        }
+        if r.live_phys
+            .iter()
+            .any(|&i| self.mover.record(i).is_some_and(|rec| rec.remaining_at(now) > 0))
+        {
+            return true;
+        }
+        r.live_virt
+            .iter()
+            .any(|&id| self.virt_xfers.get(id).is_some_and(|x| virt_xfer_pins(x, now)))
     }
 
     /// Spills `ctx` into an OS-held [`CtxImage`]: snapshots the key, the
@@ -309,14 +358,41 @@ impl EngineCore {
                 .last_transfer()
                 .and_then(|i| self.mover.record(i))
                 .is_some_and(|r| r.remaining_at(now) > 0);
-            return Err(if phys_busy { CtxBusy::Transfer } else { CtxBusy::VirtTransfer });
+            let virt_busy = self.virt_stage[ctx as usize]
+                .last
+                .is_some_and(|id| self.virt_xfers.get(id).is_some_and(|x| virt_xfer_pins(x, now)));
+            // Ring work takes precedence: a ring-launched transfer also
+            // registers as the context's last (virt) transfer, but the
+            // ring is the root cause the OS must wait out.
+            return Err(if self.ring_pending(ctx, now) {
+                CtxBusy::RingPending
+            } else if phys_busy {
+                CtxBusy::Transfer
+            } else if virt_busy {
+                CtxBusy::VirtTransfer
+            } else {
+                CtxBusy::RingPending
+            });
         }
         let i = ctx as usize;
-        let image =
-            CtxImage { key: self.key_table[i], regs: self.contexts[i], virt: self.virt_stage[i] };
+        let ring = self.rings[i].registered().then(|| RingImage {
+            base: self.rings[i].base.as_u64(),
+            capacity: self.rings[i].capacity,
+            cursor: self.rings[i].head,
+        });
+        let image = CtxImage {
+            key: self.key_table[i],
+            regs: self.contexts[i],
+            virt: self.virt_stage[i],
+            ring,
+        };
         self.key_table[i] = 0;
         self.contexts[i] = RegisterContext::new();
         self.virt_stage[i] = VirtStage::default();
+        // Deregister the ring with the slot: a stale doorbell from the
+        // evicted process must find nothing to dequeue, the same way its
+        // stale keyed stores miss the scrubbed key.
+        self.rings[i] = DescRing::default();
         self.ctx_stats.spills += 1;
         Ok(image)
     }
@@ -335,6 +411,17 @@ impl EngineCore {
         self.key_table[i] = image.key;
         self.contexts[i] = image.regs;
         self.virt_stage[i] = image.virt;
+        self.rings[i] = match image.ring {
+            None => DescRing::default(),
+            Some(ri) => DescRing {
+                base: PhysAddr::new(ri.base),
+                capacity: ri.capacity,
+                head: ri.cursor,
+                posted: ri.cursor,
+                consumed: vec![false; ri.capacity as usize],
+                ..DescRing::default()
+            },
+        };
         self.ctx_stats.fills += 1;
     }
 
@@ -543,6 +630,39 @@ impl EngineCore {
         }
     }
 
+    /// The one checked launch sequence every initiation path funnels
+    /// through: validates via the mover (zero-size, page-cross, range),
+    /// books the started/rejected statistics exactly once, and returns
+    /// the mover record index. The register paths, the kernel driver,
+    /// the virtual-address chunk stream and the descriptor-ring dequeue
+    /// all end here instead of keeping their own near-copies.
+    pub fn launch_checked(
+        &mut self,
+        src: PhysAddr,
+        dst: LaunchDst,
+        size: u64,
+        initiator: Initiator,
+        multipage_ok: bool,
+        now: SimTime,
+    ) -> Result<usize, RejectReason> {
+        let started = match dst {
+            LaunchDst::Remote(rd) => {
+                self.mover.start_remote(src, rd, size, initiator, multipage_ok, now)
+            }
+            LaunchDst::Local(dst) => self.mover.start(src, dst, size, initiator, multipage_ok, now),
+        };
+        match started {
+            Ok(_) => {
+                self.stats.started += 1;
+                Ok(self.mover.last_index().expect("just started"))
+            }
+            Err(reason) => {
+                self.note_reject(reason);
+                Err(reason)
+            }
+        }
+    }
+
     /// Starts a user-level transfer into a remote node's memory.
     ///
     /// Returns the mover record index on success.
@@ -559,16 +679,14 @@ impl EngineCore {
             self.note_reject(RejectReason::LinkDown);
             return Err(RejectReason::LinkDown);
         }
-        match self.mover.start_remote(src, RemoteDst { node, addr }, size, initiator, false, now) {
-            Ok(_) => {
-                self.stats.started += 1;
-                Ok(self.mover.last_index().expect("just started"))
-            }
-            Err(reason) => {
-                self.note_reject(reason);
-                Err(reason)
-            }
-        }
+        self.launch_checked(
+            src,
+            LaunchDst::Remote(RemoteDst { node, addr }),
+            size,
+            initiator,
+            false,
+            now,
+        )
     }
 
     /// Starts a user-level transfer (single-page rule enforced).
@@ -582,16 +700,7 @@ impl EngineCore {
         initiator: Initiator,
         now: SimTime,
     ) -> Result<usize, RejectReason> {
-        match self.mover.start(src, dst, size, initiator, false, now) {
-            Ok(_) => {
-                self.stats.started += 1;
-                Ok(self.mover.last_index().expect("just started"))
-            }
-            Err(reason) => {
-                self.note_reject(reason);
-                Err(reason)
-            }
-        }
+        self.launch_checked(src, LaunchDst::Local(dst), size, initiator, false, now)
     }
 
     /// Starts a kernel-validated transfer directly (multi-page allowed,
@@ -606,16 +715,7 @@ impl EngineCore {
         size: u64,
         now: SimTime,
     ) -> Result<usize, RejectReason> {
-        match self.mover.start(src, dst, size, Initiator::Kernel, true, now) {
-            Ok(_) => {
-                self.stats.started += 1;
-                Ok(self.mover.last_index().expect("just started"))
-            }
-            Err(reason) => {
-                self.note_reject(reason);
-                Err(reason)
-            }
-        }
+        self.launch_checked(src, LaunchDst::Local(dst), size, Initiator::Kernel, true, now)
     }
 
     // ---- privileged (kernel-path) registers -------------------------
@@ -634,24 +734,19 @@ impl EngineCore {
     /// source/destination. The kernel has already validated the whole
     /// range, so multi-page transfers are allowed.
     pub fn start_kernel_dma(&mut self, size: u64, now: SimTime) {
-        let r = self.mover.start(
-            PhysAddr::new(self.dma_source),
-            PhysAddr::new(self.dma_dest),
+        let src = PhysAddr::new(self.dma_source);
+        let dst = PhysAddr::new(self.dma_dest);
+        self.dma_status = match self.launch_checked(
+            src,
+            LaunchDst::Local(dst),
             size,
             Initiator::Kernel,
             true,
             now,
-        );
-        match r {
-            Ok(rec) => {
-                self.stats.started += 1;
-                self.dma_status = rec.size;
-            }
-            Err(reason) => {
-                self.note_reject(reason);
-                self.dma_status = DMA_FAILURE;
-            }
-        }
+        ) {
+            Ok(idx) => self.mover.record(idx).expect("just started").size,
+            Err(_) => DMA_FAILURE,
+        };
     }
 
     /// Read of `DMA_STATUS`: bytes remaining of the last kernel DMA
@@ -1169,26 +1264,15 @@ impl EngineCore {
 
             let clock = self.virt_xfers[id].clock;
             let initiator = Initiator::VirtDma { asid: t.asid };
-            let started = match t.remote {
-                Some(rt) => self
-                    .mover
-                    .start_remote(
-                        src_pa,
-                        RemoteDst { node: rt.node, addr: dst_pa },
-                        chunk,
-                        initiator,
-                        coalesced,
-                        clock,
-                    )
-                    .map(|rec| rec.finished),
-                None => self
-                    .mover
-                    .start(src_pa, dst_pa, chunk, initiator, coalesced, clock)
-                    .map(|rec| rec.finished),
+            let dst = match t.remote {
+                Some(rt) => LaunchDst::Remote(RemoteDst { node: rt.node, addr: dst_pa }),
+                None => LaunchDst::Local(dst_pa),
             };
+            let started = self
+                .launch_checked(src_pa, dst, chunk, initiator, coalesced, clock)
+                .map(|idx| self.mover.record(idx).expect("just started").finished);
             match started {
                 Ok(finished) => {
-                    self.stats.started += 1;
                     self.virt_stats.chunks += 1;
                     let delivery =
                         if t.remote.is_some() { self.mover.last_delivery() } else { None };
@@ -1237,11 +1321,11 @@ impl EngineCore {
                         }
                     }
                 }
-                Err(reason) => {
+                Err(_) => {
                     // Translation succeeded but the frame is not backed by
-                    // installed RAM — an OS mapping bug. Surface it as an
+                    // installed RAM — an OS mapping bug (the reject was
+                    // counted by the checked launch). Surface it as an
                     // unmapped-page failure rather than wedging.
-                    self.note_reject(reason);
                     let fault = IoFault {
                         asid: t.asid,
                         va: src_va,
@@ -1369,12 +1453,358 @@ impl EngineCore {
         }
     }
 
+    // ---- doorbell-batched descriptor rings ---------------------------
+
+    /// Enables the descriptor-ring unit: the `CTX_RING_DB` doorbell
+    /// offset and the privileged `RING_BASE_TABLE`/`RING_CTL_TABLE`
+    /// windows decode from now on. Descriptors carry virtual addresses
+    /// translated at dequeue time, so rings require the IOMMU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has no IOMMU ([`EngineCore::enable_iommu`]).
+    pub fn enable_rings(&mut self, config: RingConfig) {
+        assert!(self.iommu.is_some(), "descriptor rings require enable_iommu");
+        self.ring_config = Some(config);
+    }
+
+    /// Whether the descriptor-ring unit is enabled.
+    pub fn rings_enabled(&self) -> bool {
+        self.ring_config.is_some()
+    }
+
+    /// The ring tunables in force, if enabled.
+    pub fn ring_config(&self) -> Option<RingConfig> {
+        self.ring_config
+    }
+
+    /// Counters of the descriptor-ring unit.
+    pub fn ring_stats(&self) -> RingStats {
+        self.ring_stats
+    }
+
+    /// Context `ctx`'s ring state (geometry, cursors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn ring(&self, ctx: u32) -> &DescRing {
+        &self.rings[ctx as usize]
+    }
+
+    /// Privileged `RING_BASE_TABLE` write: stages the host-physical
+    /// base of context `ctx`'s ring. Out-of-range writes are ignored,
+    /// like key-table writes.
+    pub fn set_ring_base(&mut self, ctx: u32, base: u64) {
+        if let Some(r) = self.rings.get_mut(ctx as usize) {
+            r.base = PhysAddr::new(base);
+        }
+    }
+
+    /// Privileged `RING_CTL_TABLE` write: registers the ring with
+    /// `capacity` slots over the staged base (0 deregisters). Resets
+    /// the cursors — registration starts an empty ring.
+    pub fn set_ring_ctl(&mut self, ctx: u32, capacity: u64) {
+        if let Some(r) = self.rings.get_mut(ctx as usize) {
+            let cap = capacity.min(u32::MAX as u64) as u32;
+            *r = DescRing {
+                base: r.base,
+                capacity: cap,
+                consumed: vec![false; cap as usize],
+                ..DescRing::default()
+            };
+        }
+    }
+
+    /// The user-library post helper: encodes `desc` into the next free
+    /// ring slot in host memory (four plain word stores — the cheap
+    /// part the doorbell amortizes over) and advances the posted
+    /// cursor. Returns the absolute slot index; the descriptor does
+    /// nothing until a doorbell covers it.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::RingFull`] when no ring is registered for `ctx`
+    /// or all `capacity` slots hold undequeued descriptors;
+    /// [`RejectReason::BadRange`] when the registered window leaves
+    /// installed RAM. Both are counted like every engine reject.
+    pub fn ring_post(
+        &mut self,
+        ctx: u32,
+        desc: &DmaDescriptor,
+        _now: SimTime,
+    ) -> Result<u64, RejectReason> {
+        if self.ring_config.is_none()
+            || !self.has_context(ctx)
+            || !self.rings[ctx as usize].registered()
+        {
+            self.note_reject(RejectReason::RingFull);
+            return Err(RejectReason::RingFull);
+        }
+        let r = &self.rings[ctx as usize];
+        if r.posted - r.head >= r.capacity as u64 {
+            self.note_reject(RejectReason::RingFull);
+            return Err(RejectReason::RingFull);
+        }
+        let slot = r.posted;
+        let addr = r.slot_addr((slot % r.capacity as u64) as u32);
+        let words = desc.encode();
+        for (w, word) in words.iter().enumerate() {
+            let wrote =
+                self.mem.borrow_mut().write_u64(PhysAddr::new(addr.as_u64() + 8 * w as u64), *word);
+            if wrote.is_err() {
+                self.note_reject(RejectReason::BadRange);
+                return Err(RejectReason::BadRange);
+            }
+        }
+        self.rings[ctx as usize].posted = slot + 1;
+        self.ring_stats.posted += 1;
+        Ok(slot)
+    }
+
+    /// `CTX_RING_DB` load: descriptors posted but not yet dequeued.
+    pub fn ring_db_load(&self, ctx: u32) -> u64 {
+        match self.rings.get(ctx as usize) {
+            Some(r) if r.registered() => r.pending(),
+            _ => DMA_FAILURE,
+        }
+    }
+
+    /// The doorbell: dequeues, translates and launches every
+    /// descriptor from the ring's head cursor up to `tail` (absolute
+    /// index, as the doorbell store's payload). Each slot fetch charges
+    /// [`RingConfig::fetch_latency`] to the *launch clock*, so a batch
+    /// of N descriptors launches back-to-back at `now + k·fetch` — the
+    /// CPU paid one uncached store for all of them; that is the whole
+    /// amortization. A [`DESC_FLAG_CHAIN`] head walks its fragment
+    /// chain and gather-launches every fragment at the head's
+    /// destination plus the accumulated offset; consumed fragment slots
+    /// are skipped by the main scan.
+    ///
+    /// Protection holds per descriptor: local and remote-VA launches
+    /// translate through the IOMMU under the posting context's ASID,
+    /// and remote-physical launches translate their source the same
+    /// way. A descriptor the process could not have posted through the
+    /// register path is rejected (and counted), never launched.
+    pub fn ring_doorbell(&mut self, ctx: u32, tail: u64, now: SimTime) -> Vec<RingLaunch> {
+        let mut out = Vec::new();
+        if self.ring_config.is_none() || !self.has_context(ctx) {
+            return out;
+        }
+        self.ring_stats.doorbells += 1;
+        if !self.rings[ctx as usize].registered() {
+            self.note_reject(RejectReason::RingFull);
+            return out;
+        }
+        let fetch = self.ring_config.expect("checked above").fetch_latency;
+        // Prune drained launches so the live lists (and the busy check)
+        // stay proportional to in-flight work, not ring history.
+        {
+            let mut live_phys = std::mem::take(&mut self.rings[ctx as usize].live_phys);
+            live_phys
+                .retain(|&i| self.mover.record(i).is_some_and(|rec| rec.remaining_at(now) > 0));
+            let mut live_virt = std::mem::take(&mut self.rings[ctx as usize].live_virt);
+            live_virt.retain(|&id| self.virt_xfers.get(id).is_some_and(|x| virt_xfer_pins(x, now)));
+            let r = &mut self.rings[ctx as usize];
+            r.live_phys = live_phys;
+            r.live_virt = live_virt;
+        }
+        {
+            // A raw doorbell (CPU wrote the slots itself) advances the
+            // posted cursor past anything the post helper tracked.
+            let r = &mut self.rings[ctx as usize];
+            if tail > r.posted {
+                r.posted = tail;
+            }
+        }
+        let mut clock = now;
+        loop {
+            let (head, limit, capacity) = {
+                let r = &self.rings[ctx as usize];
+                (r.head, tail.min(r.posted), r.capacity)
+            };
+            if head >= limit {
+                break;
+            }
+            let rel = (head % capacity as u64) as usize;
+            self.rings[ctx as usize].head = head + 1;
+            if self.rings[ctx as usize].consumed[rel] {
+                self.rings[ctx as usize].consumed[rel] = false;
+                continue;
+            }
+            clock += fetch;
+            self.ring_stats.fetched += 1;
+            let Some(desc) = self.fetch_desc(ctx, rel as u32) else {
+                self.ring_stats.rejected += 1;
+                self.note_reject(RejectReason::BadRange);
+                out.push(RingLaunch::Rejected(RejectReason::BadRange));
+                continue;
+            };
+            if desc.flags & DESC_FLAG_FRAG != 0 {
+                // An unconsumed fragment reached by the main scan: its
+                // chain head never claimed it — nothing to launch.
+                continue;
+            }
+            // Gather chain: the head descriptor is fragment 0, its link
+            // names the next fragment slot. The walk is bounded by the
+            // ring capacity, so a link cycle cannot wedge the engine.
+            let mut frags = vec![(desc.src, desc.len, 0u64)];
+            let mut offset = desc.len;
+            let mut chain_ok = true;
+            if desc.flags & DESC_FLAG_CHAIN != 0 {
+                let mut link = desc.link;
+                let mut steps = 0u32;
+                while let Some(slot) = link {
+                    steps += 1;
+                    if slot >= capacity || steps > capacity {
+                        chain_ok = false;
+                        break;
+                    }
+                    clock += fetch;
+                    self.ring_stats.fetched += 1;
+                    let Some(f) = self.fetch_desc(ctx, slot) else {
+                        chain_ok = false;
+                        break;
+                    };
+                    if f.flags & DESC_FLAG_FRAG == 0 {
+                        chain_ok = false;
+                        break;
+                    }
+                    self.rings[ctx as usize].consumed[slot as usize] = true;
+                    frags.push((f.src, f.len, offset));
+                    offset += f.len;
+                    link = f.link;
+                }
+            }
+            if !chain_ok {
+                self.ring_stats.rejected += 1;
+                self.note_reject(RejectReason::BadRange);
+                out.push(RingLaunch::Rejected(RejectReason::BadRange));
+                continue;
+            }
+            let in_chain = frags.len() > 1;
+            for (i, (src, len, off)) in frags.into_iter().enumerate() {
+                let launch = self.ring_launch(ctx, src, desc.dst, off, len, clock);
+                match launch {
+                    RingLaunch::Virt(id) => {
+                        self.rings[ctx as usize].live_virt.push(id);
+                        self.virt_stage[ctx as usize].last = Some(id);
+                        self.ring_stats.launched += 1;
+                        if in_chain && i > 0 {
+                            self.ring_stats.chained += 1;
+                        }
+                    }
+                    RingLaunch::Phys(idx) => {
+                        self.rings[ctx as usize].live_phys.push(idx);
+                        self.contexts[ctx as usize].set_last_transfer(idx);
+                        self.ring_stats.launched += 1;
+                        if in_chain && i > 0 {
+                            self.ring_stats.chained += 1;
+                        }
+                    }
+                    RingLaunch::Rejected(_) => self.ring_stats.rejected += 1,
+                }
+                out.push(launch);
+            }
+        }
+        let r = &mut self.rings[ctx as usize];
+        r.drain_until = r.drain_until.max(clock);
+        out
+    }
+
+    /// Fetches and decodes the descriptor in relative slot `rel` of
+    /// context `ctx`'s ring (the engine-initiated host-memory read the
+    /// per-descriptor fetch latency models).
+    fn fetch_desc(&self, ctx: u32, rel: u32) -> Option<DmaDescriptor> {
+        let base = self.rings[ctx as usize].slot_addr(rel);
+        let mut words = [0u64; DESC_WORDS];
+        {
+            let mem = self.mem.borrow();
+            for (w, word) in words.iter_mut().enumerate() {
+                *word = mem.read_u64(PhysAddr::new(base.as_u64() + 8 * w as u64)).ok()?;
+            }
+        }
+        DmaDescriptor::decode(words)
+    }
+
+    /// Launches one dequeued descriptor (or chain fragment) at launch
+    /// clock `at`, reusing the existing checked paths per destination
+    /// kind. `offset` is the fragment's accumulated gather offset into
+    /// the destination.
+    fn ring_launch(
+        &mut self,
+        ctx: u32,
+        src: VirtAddr,
+        dst: DescDst,
+        offset: u64,
+        len: u64,
+        at: SimTime,
+    ) -> RingLaunch {
+        match dst {
+            DescDst::Local(va) => {
+                match self.post_virt_dma(ctx, src, VirtAddr::new(va.as_u64() + offset), len, at) {
+                    Ok(id) => RingLaunch::Virt(id),
+                    Err(reason) => RingLaunch::Rejected(reason),
+                }
+            }
+            DescDst::RemoteVirt { node, asid, va } => {
+                let to = RemoteVaTarget { node, asid };
+                let dst_va = VirtAddr::new(va.as_u64() + offset);
+                match self.post_virt_dma_remote(ctx, src, to, dst_va, len, at) {
+                    Ok(id) => RingLaunch::Virt(id),
+                    Err(reason) => RingLaunch::Rejected(reason),
+                }
+            }
+            DescDst::Remote { node, addr } => {
+                // SHRIMP-1-style pre-proved physical destination: only
+                // the source translates, under the posting context's
+                // ASID (single-page rule holds per fragment).
+                let iommu = self.iommu.as_mut().expect("rings require enable_iommu");
+                let Ok(src_pa) = iommu.translate(ctx, src, Access::Read) else {
+                    self.note_reject(RejectReason::BadRange);
+                    return RingLaunch::Rejected(RejectReason::BadRange);
+                };
+                if self.link_down {
+                    self.note_reject(RejectReason::LinkDown);
+                    return RingLaunch::Rejected(RejectReason::LinkDown);
+                }
+                let dst_pa = PhysAddr::new(addr.as_u64() + offset);
+                let rd = RemoteDst { node, addr: dst_pa };
+                match self.launch_checked(
+                    src_pa,
+                    LaunchDst::Remote(rd),
+                    len,
+                    Initiator::Context(ctx),
+                    false,
+                    at,
+                ) {
+                    Ok(idx) => RingLaunch::Phys(idx),
+                    Err(reason) => RingLaunch::Rejected(reason),
+                }
+            }
+        }
+    }
+
     /// The transfer record a context's status load refers to.
     pub fn context_transfer(&self, ctx: u32) -> Option<&TransferRecord> {
         self.contexts
             .get(ctx as usize)
             .and_then(|c| c.last_transfer())
             .and_then(|i| self.mover.record(i))
+    }
+}
+
+/// Whether a virtual transfer still pins its initiating context at
+/// `now`: live states (running, or faulted awaiting OS service) always
+/// pin; terminal states (complete, failed, link-failed, node-down) pin
+/// only until the simulated instant they settled — a transfer that
+/// already reached its outcome can never again observe the register
+/// file, so holding the context hostage past `finished` would wedge
+/// the steal path forever after a node death.
+fn virt_xfer_pins(x: &VirtTransfer, now: SimTime) -> bool {
+    match x.state {
+        VirtState::Running | VirtState::Faulted(_) => true,
+        _ => x.finished.is_some_and(|f| now < f),
     }
 }
 
@@ -1935,5 +2365,231 @@ mod tests {
         let mem = Rc::new(RefCell::new(PhysMemory::new(1 << 20)));
         let _ =
             EngineCore::new(layout, mem, EngineConfig { num_contexts: 9, ..Default::default() });
+    }
+
+    /// A virt-enabled core with rings on and a 16-slot ring registered
+    /// for context 1 at physical 0x40000 (clear of the test mappings).
+    fn ring_core() -> EngineCore {
+        let mut c = virt_core();
+        c.enable_rings(RingConfig::default());
+        c.set_ring_base(1, 0x40000);
+        c.set_ring_ctl(1, 16);
+        c
+    }
+
+    fn local_desc(src: u64, dst: u64, len: u64) -> DmaDescriptor {
+        DmaDescriptor::new(VirtAddr::new(src), DescDst::Local(VirtAddr::new(dst)), len)
+    }
+
+    #[test]
+    fn ring_post_then_doorbell_launches_batch() {
+        let mut c = ring_core();
+        // Three sources in VA page 0, destinations in VA page 8.
+        for i in 0..3u64 {
+            c.mem
+                .borrow_mut()
+                .write_u64(PhysAddr::new(8 * PAGE_SIZE + 0x40 * i), 0xA0 + i)
+                .unwrap();
+            let slot =
+                c.ring_post(1, &local_desc(0x40 * i, 8 * PAGE_SIZE + 0x100 * i, 8), SimTime::ZERO);
+            assert_eq!(slot, Ok(i));
+        }
+        assert_eq!(c.ring(1).pending(), 3);
+        assert_eq!(c.ring_db_load(1), 3);
+
+        let launches = c.ring_doorbell(1, 3, SimTime::ZERO);
+        assert_eq!(launches.len(), 3);
+        for l in &launches {
+            assert!(matches!(l, RingLaunch::Virt(_)));
+        }
+        assert_eq!(c.ring(1).pending(), 0);
+        assert_eq!(c.ring_db_load(1), 0);
+        // The bytes landed (frame 16 = dst VA page 8).
+        for i in 0..3u64 {
+            assert_eq!(
+                c.mem.borrow().read_u64(PhysAddr::new(16 * PAGE_SIZE + 0x100 * i)).unwrap(),
+                0xA0 + i
+            );
+        }
+        let s = c.ring_stats();
+        assert_eq!((s.posted, s.doorbells, s.fetched, s.launched, s.rejected), (3, 1, 3, 3, 0));
+    }
+
+    #[test]
+    fn ring_fetch_latency_staggers_the_launch_clock() {
+        let mut c = ring_core();
+        // Remote-physical descriptors launch exactly at the ring clock
+        // (no IOMMU walk costs folded into the chunk launch time).
+        c.attach_cluster(crate::Cluster::new(2, 1 << 16).shared());
+        for i in 0..4u64 {
+            let desc = DmaDescriptor::new(
+                VirtAddr::new(0x40 * i),
+                DescDst::Remote { node: 1, addr: PhysAddr::new(0x400 + 0x40 * i) },
+                8,
+            );
+            c.ring_post(1, &desc, SimTime::ZERO).unwrap();
+        }
+        c.ring_doorbell(1, 4, SimTime::ZERO);
+        let fetch = RingConfig::default().fetch_latency;
+        // Chunk k of the batch launched at (k+1)·fetch: the engine pays
+        // one descriptor fetch per launch, the CPU paid one doorbell.
+        let starts: Vec<SimTime> = c.mover().records().iter().map(|r| r.started).collect();
+        assert_eq!(starts.len(), 4);
+        for (k, s) in starts.iter().enumerate() {
+            assert_eq!(*s, SimTime::from_ps(fetch.as_ps() * (k as u64 + 1)));
+        }
+        assert_eq!(c.ring(1).drain_until(), SimTime::from_ps(fetch.as_ps() * 4));
+    }
+
+    #[test]
+    fn ring_gather_chain_deposits_contiguously() {
+        let mut c = ring_core();
+        // Three 8-byte fragments scattered across VA page 0.
+        for (i, off) in [0x00u64, 0x200, 0x400].iter().enumerate() {
+            c.mem
+                .borrow_mut()
+                .write_u64(PhysAddr::new(8 * PAGE_SIZE + off), 0xF0 + i as u64)
+                .unwrap();
+        }
+        // Head in slot 0 links fragment slots 1 and 2.
+        let mut head = local_desc(0x00, 8 * PAGE_SIZE, 8);
+        head.flags = DESC_FLAG_CHAIN;
+        head.link = Some(1);
+        let mut f1 = local_desc(0x200, 0, 8);
+        f1.flags = DESC_FLAG_FRAG;
+        f1.link = Some(2);
+        let mut f2 = local_desc(0x400, 0, 8);
+        f2.flags = DESC_FLAG_FRAG;
+        c.ring_post(1, &head, SimTime::ZERO).unwrap();
+        c.ring_post(1, &f1, SimTime::ZERO).unwrap();
+        c.ring_post(1, &f2, SimTime::ZERO).unwrap();
+        // A plain descriptor after the chain: the main scan must skip
+        // the consumed fragment slots and still launch this one.
+        c.mem.borrow_mut().write_u64(PhysAddr::new(8 * PAGE_SIZE + 0x600), 0x99).unwrap();
+        c.ring_post(1, &local_desc(0x600, 8 * PAGE_SIZE + 0x800, 8), SimTime::ZERO).unwrap();
+
+        let launches = c.ring_doorbell(1, 4, SimTime::ZERO);
+        // 3 gather fragments + 1 plain launch; no rejects.
+        assert_eq!(launches.len(), 4);
+        assert!(launches.iter().all(|l| matches!(l, RingLaunch::Virt(_))));
+        // The gather landed contiguously at the head's destination.
+        for i in 0..3u64 {
+            assert_eq!(
+                c.mem.borrow().read_u64(PhysAddr::new(16 * PAGE_SIZE + 8 * i)).unwrap(),
+                0xF0 + i
+            );
+        }
+        assert_eq!(c.mem.borrow().read_u64(PhysAddr::new(16 * PAGE_SIZE + 0x800)).unwrap(), 0x99);
+        let s = c.ring_stats();
+        assert_eq!((s.fetched, s.launched, s.chained, s.rejected), (4, 4, 2, 0));
+        assert_eq!(c.ring(1).pending(), 0);
+    }
+
+    #[test]
+    fn ring_full_and_unregistered_posts_reject() {
+        let mut c = ring_core();
+        // Context 0 has no ring registered.
+        let err = c.ring_post(0, &local_desc(0, 8 * PAGE_SIZE, 8), SimTime::ZERO).unwrap_err();
+        assert_eq!(err, RejectReason::RingFull);
+        // Fill context 1's 16 slots; the 17th post bounces.
+        for _ in 0..16 {
+            c.ring_post(1, &local_desc(0, 8 * PAGE_SIZE, 8), SimTime::ZERO).unwrap();
+        }
+        let err = c.ring_post(1, &local_desc(0, 8 * PAGE_SIZE, 8), SimTime::ZERO).unwrap_err();
+        assert_eq!(err, RejectReason::RingFull);
+        assert_eq!(c.stats().rejected_for(RejectReason::RingFull), 2);
+        // Deregister: further doorbells reject too.
+        c.set_ring_ctl(1, 0);
+        assert!(!c.ring(1).registered());
+        assert!(c.ring_doorbell(1, 16, SimTime::ZERO).is_empty());
+        assert_eq!(c.stats().rejected_for(RejectReason::RingFull), 3);
+    }
+
+    #[test]
+    fn ring_remote_phys_descriptor_translates_source_only() {
+        let mut c = ring_core();
+        let cluster = crate::Cluster::new(2, 1 << 16).shared();
+        c.attach_cluster(cluster.clone());
+        c.mem.borrow_mut().write_u64(PhysAddr::new(8 * PAGE_SIZE), 0x5151).unwrap();
+        let desc = DmaDescriptor::new(
+            VirtAddr::new(0),
+            DescDst::Remote { node: 1, addr: PhysAddr::new(0x400) },
+            8,
+        );
+        c.ring_post(1, &desc, SimTime::ZERO).unwrap();
+        let launches = c.ring_doorbell(1, 1, SimTime::ZERO);
+        assert!(matches!(launches[..], [RingLaunch::Phys(_)]));
+        assert_eq!(cluster.borrow().read_u64(1, PhysAddr::new(0x400)).unwrap(), 0x5151);
+        // An unmapped source VA is rejected at dequeue, never launched.
+        let bad = DmaDescriptor::new(
+            VirtAddr::new(64 * PAGE_SIZE),
+            DescDst::Remote { node: 1, addr: PhysAddr::new(0x800) },
+            8,
+        );
+        c.ring_post(1, &bad, SimTime::ZERO).unwrap();
+        let launches = c.ring_doorbell(1, 2, SimTime::ZERO);
+        assert!(matches!(launches[..], [RingLaunch::Rejected(RejectReason::BadRange)]));
+        assert_eq!(c.ring_stats().rejected, 1);
+    }
+
+    #[test]
+    fn save_refused_while_ring_pending_then_spills_with_image() {
+        let mut c = ring_core();
+        c.set_key(1, 0x1234);
+        c.ring_post(1, &local_desc(0, 8 * PAGE_SIZE, 64), SimTime::ZERO).unwrap();
+        // Posted but undoorbelled work pins the context.
+        assert!(c.context_busy(1, SimTime::ZERO));
+        assert_eq!(c.save_context(1, SimTime::ZERO), Err(CtxBusy::RingPending));
+        assert_eq!(c.ctx_stats().busy_denials, 1);
+
+        c.ring_doorbell(1, 1, SimTime::ZERO);
+        // Immediately after the doorbell the batch is still draining.
+        assert_eq!(c.save_context(1, SimTime::ZERO), Err(CtxBusy::RingPending));
+
+        // Once quiescent, the spill carries the ring registration…
+        let later = SimTime::from_us(100_000);
+        let image = c.save_context(1, later).unwrap();
+        let ring = image.ring.unwrap();
+        assert_eq!((ring.base, ring.capacity, ring.cursor), (0x40000, 16, 1));
+        // …and the evicted slot no longer decodes doorbells.
+        assert!(!c.ring(1).registered());
+        assert!(c.ring_doorbell(1, 5, later).is_empty());
+
+        // Restore into another slot: cursors converge, ring re-arms.
+        c.restore_context(2, &image);
+        assert!(c.ring(2).registered());
+        assert_eq!(c.ring(2).head(), 1);
+        assert_eq!(c.ring(2).posted(), 1);
+        c.iommu_mut().unwrap().create_context(2);
+        c.iommu_mut()
+            .unwrap()
+            .map(
+                2,
+                udma_mem::VirtPage::new(0),
+                PhysFrame::new(8),
+                udma_mem::Perms::READ_WRITE,
+                true,
+            )
+            .unwrap();
+        c.iommu_mut()
+            .unwrap()
+            .map(
+                2,
+                udma_mem::VirtPage::new(8),
+                PhysFrame::new(16),
+                udma_mem::Perms::READ_WRITE,
+                true,
+            )
+            .unwrap();
+        c.ring_post(2, &local_desc(0x8, 8 * PAGE_SIZE + 0x8, 8), later).unwrap();
+        let launches = c.ring_doorbell(2, 2, later);
+        assert!(matches!(launches[..], [RingLaunch::Virt(_)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "require enable_iommu")]
+    fn rings_without_iommu_panic() {
+        let mut c = core();
+        c.enable_rings(RingConfig::default());
     }
 }

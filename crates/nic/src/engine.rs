@@ -94,6 +94,12 @@ impl BusDevice for DmaEngine {
                         core.ctx_virt_store(ctx, off, data, now);
                         return Ok(());
                     }
+                    // The doorbell likewise shadows a context-page slot
+                    // and only decodes on ring-enabled engines.
+                    if core.rings_enabled() && regs::is_ring_offset(off) {
+                        core.ring_doorbell(ctx, data, now);
+                        return Ok(());
+                    }
                     protocol.ctx_store(core, ctx, off, data, now);
                     return Ok(());
                 }
@@ -111,6 +117,16 @@ impl BusDevice for DmaEngine {
                         && o < regs::KEY_TABLE_BASE + 8 * regs::MAX_CONTEXTS as u64 =>
                     {
                         core.set_key(((o - regs::KEY_TABLE_BASE) / 8) as u32, data);
+                    }
+                    o if o >= regs::RING_BASE_TABLE
+                        && o < regs::RING_BASE_TABLE + 8 * regs::MAX_CONTEXTS as u64 =>
+                    {
+                        core.set_ring_base(((o - regs::RING_BASE_TABLE) / 8) as u32, data);
+                    }
+                    o if o >= regs::RING_CTL_TABLE
+                        && o < regs::RING_CTL_TABLE + 8 * regs::MAX_CONTEXTS as u64 =>
+                    {
+                        core.set_ring_ctl(((o - regs::RING_CTL_TABLE) / 8) as u32, data);
                     }
                     _ => return Err(MemFault::BusError { pa: paddr }),
                 }
@@ -133,6 +149,9 @@ impl BusDevice for DmaEngine {
                 if let Some((ctx, off)) = regs::decode_ctx_offset(offset) {
                     if core.virt_enabled() && regs::is_virt_offset(off) {
                         return Ok(core.ctx_virt_load(ctx, off, now));
+                    }
+                    if core.rings_enabled() && regs::is_ring_offset(off) {
+                        return Ok(core.ring_db_load(ctx));
                     }
                     return Ok(protocol.ctx_load(core, ctx, off, now));
                 }
@@ -248,6 +267,42 @@ mod tests {
         // Twice: result is the previous value (5).
         e.write(base + regs::ATOMIC_CMD, crate::AtomicOp::Add.code(), 0, SimTime::ZERO).unwrap();
         assert_eq!(e.read(base + regs::ATOMIC_CMD, 0, SimTime::ZERO).unwrap(), 5);
+    }
+
+    #[test]
+    fn ring_tables_and_doorbell_decode() {
+        use crate::{DescDst, DmaDescriptor, RingConfig, VirtDmaConfig};
+        use udma_iommu::IotlbConfig;
+        use udma_mem::{Perms, PhysFrame, VirtAddr, VirtPage};
+
+        let (mut e, layout) = engine(ProtocolKind::KeyBased);
+        {
+            let mut core = e.core_mut();
+            core.enable_iommu(IotlbConfig::default(), VirtDmaConfig::default());
+            let iommu = core.iommu_mut().unwrap();
+            iommu.create_context(1);
+            iommu.map(1, VirtPage::new(0), PhysFrame::new(8), Perms::READ_WRITE, true).unwrap();
+            iommu.map(1, VirtPage::new(8), PhysFrame::new(16), Perms::READ_WRITE, true).unwrap();
+            core.enable_rings(RingConfig::default());
+        }
+        let base = layout.nic_base;
+        // OS-side registration through the privileged tables.
+        e.write(base + regs::RING_BASE_TABLE + 8, 0x40000, 0, SimTime::ZERO).unwrap();
+        e.write(base + regs::RING_CTL_TABLE + 8, 16, 0, SimTime::ZERO).unwrap();
+        assert!(e.core().ring(1).registered());
+
+        let desc =
+            DmaDescriptor::new(VirtAddr::new(0), DescDst::Local(VirtAddr::new(8 * PAGE_SIZE)), 8);
+        e.core_mut().ring_post(1, &desc, SimTime::ZERO).unwrap();
+        let db = base + regs::ctx_page_offset(1) + regs::CTX_RING_DB;
+        assert_eq!(e.read(db, 0, SimTime::ZERO).unwrap(), 1);
+        // The doorbell store itself drives the dequeue.
+        e.write(db, 1, 0, SimTime::ZERO).unwrap();
+        assert_eq!(e.read(db, 0, SimTime::ZERO).unwrap(), 0);
+        assert_eq!(e.core().ring_stats().launched, 1);
+        // Writing 0 to the control slot deregisters.
+        e.write(base + regs::RING_CTL_TABLE + 8, 0, 0, SimTime::ZERO).unwrap();
+        assert!(!e.core().ring(1).registered());
     }
 
     #[test]

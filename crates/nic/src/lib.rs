@@ -24,6 +24,7 @@
 mod atomic;
 mod context;
 mod crash;
+mod descring;
 mod engine;
 #[path = "core.rs"]
 mod engine_core;
@@ -41,8 +42,12 @@ mod virt;
 pub use atomic::AtomicOp;
 pub use context::{CtxBusy, CtxImage, CtxStats, RegisterContext};
 pub use crash::{CrashKind, CrashPlan, CrashStats};
+pub use descring::{
+    DescDst, DescRing, DmaDescriptor, RingConfig, RingImage, RingLaunch, RingStats, DESC_BYTES,
+    DESC_FLAG_CHAIN, DESC_FLAG_FRAG, DESC_WORDS,
+};
 pub use engine::DmaEngine;
-pub use engine_core::{EngineConfig, EngineCore, EngineStats};
+pub use engine_core::{EngineConfig, EngineCore, EngineStats, LaunchDst};
 pub use faulty::{
     crc32, deliver, Burst, ControlFate, DeliveryOutcome, FaultPlan, FaultyLink, FaultyLinkStats,
     FrameFate, ReliabilityConfig, MAX_BURSTS,

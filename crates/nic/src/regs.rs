@@ -38,6 +38,15 @@ pub const ATOMIC_CMD: u64 = 0x48;
 /// operating system in the DMA engine, in memory locations unreadable by
 /// user processes").
 pub const KEY_TABLE_BASE: u64 = 0x80;
+/// Privileged: base of the per-context descriptor-ring base table; the
+/// host-physical address of context `i`'s ring lives at
+/// `RING_BASE_TABLE + 8*i`. Programmed by the OS when it registers a
+/// ring through the §3.2 grant path — user code never sees this window.
+pub const RING_BASE_TABLE: u64 = 0xC0;
+/// Privileged: base of the per-context descriptor-ring control table;
+/// the slot capacity of context `i`'s ring lives at
+/// `RING_CTL_TABLE + 8*i`. Writing 0 deregisters the ring.
+pub const RING_CTL_TABLE: u64 = 0x100;
 
 /// Maximum register contexts the engine supports ("several (say 4 to 8)
 /// register contexts", §3.1).
@@ -66,11 +75,24 @@ pub const CTX_VIRT_DST: u64 = 0x28;
 /// virtual-address DMA; load = its status (bytes remaining, or
 /// [`crate::DMA_FAILURE`]).
 pub const CTX_VIRT_GO: u64 = 0x30;
+/// Offset within a context page: the descriptor-ring doorbell. Store =
+/// the absolute tail index (one past the last posted slot) — the engine
+/// dequeues, translates and launches every descriptor from its head
+/// cursor up to the tail with one user-level store. Load = descriptors
+/// posted but not yet dequeued. Only decoded when the engine has rings
+/// enabled ([`crate::EngineCore::enable_rings`]).
+pub const CTX_RING_DB: u64 = 0x38;
 
 /// Whether a within-page offset belongs to the virtual-address DMA
 /// window (only decoded when the engine has an IOMMU).
 pub fn is_virt_offset(off: u64) -> bool {
     matches!(off, CTX_VIRT_SRC | CTX_VIRT_DST | CTX_VIRT_GO)
+}
+
+/// Whether a within-page offset belongs to the descriptor-ring window
+/// (only decoded when the engine has rings enabled).
+pub fn is_ring_offset(off: u64) -> bool {
+    off == CTX_RING_DB
 }
 
 /// Offset (from the NIC base) of context `ctx`'s page.
@@ -121,6 +143,21 @@ mod tests {
     #[test]
     fn privileged_registers_fit_below_context_pages() {
         assert!(KEY_TABLE_BASE + 8 * MAX_CONTEXTS as u64 <= CTX_PAGE_BASE);
+        assert!(RING_CTL_TABLE + 8 * MAX_CONTEXTS as u64 <= CTX_PAGE_BASE);
+    }
+
+    #[test]
+    fn ring_tables_do_not_overlap_the_key_table() {
+        assert!(KEY_TABLE_BASE + 8 * MAX_CONTEXTS as u64 <= RING_BASE_TABLE);
+        assert!(RING_BASE_TABLE + 8 * MAX_CONTEXTS as u64 <= RING_CTL_TABLE);
+    }
+
+    #[test]
+    fn ring_doorbell_is_a_context_page_offset() {
+        assert!(is_ring_offset(CTX_RING_DB));
+        assert!(!is_ring_offset(CTX_VIRT_GO));
+        assert!(!is_virt_offset(CTX_RING_DB));
+        assert_eq!(decode_ctx_offset(ctx_page_offset(1) + CTX_RING_DB), Some((1, CTX_RING_DB)));
     }
 
     #[test]

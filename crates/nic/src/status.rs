@@ -94,6 +94,10 @@ pub enum RejectReason {
     /// (crashed, hung, or lease-expired); posts targeting it fail fast
     /// until a probe or reboot announcement moves it to `Recovering`.
     NodeDown,
+    /// The context's descriptor ring is full (or no ring is registered):
+    /// the post must wait for the engine to dequeue, or fall back to a
+    /// register-path initiation.
+    RingFull,
 }
 
 impl fmt::Display for RejectReason {
@@ -108,6 +112,7 @@ impl fmt::Display for RejectReason {
             RejectReason::CtxMismatch => "source/destination context mismatch",
             RejectReason::LinkDown => "remote link circuit-broken",
             RejectReason::NodeDown => "destination node is down",
+            RejectReason::RingFull => "descriptor ring full or unregistered",
         };
         f.write_str(s)
     }

@@ -1,6 +1,6 @@
 //! The kernel proper: trap handling, the DMA driver, the switch handler.
 
-use crate::{CtxGrant, KeyRegistry, SwitchPolicy, Sys, VmManager};
+use crate::{CtxGrant, KeyRegistry, MappedBuffer, SwitchPolicy, Sys, VmManager};
 use udma_bus::{Bus, BusTxn, SimTime};
 use udma_cpu::{CostModel, Pid, Process, Reg, SwitchReason, TrapHandler, TrapOutcome};
 use udma_mem::{Access, PhysLayout, VirtAddr};
@@ -83,6 +83,47 @@ impl Kernel {
         bus.access(BusTxn::write(reg, grant.key, pid.as_u32()), now)
             .expect("key table is always decodable");
         Some(grant)
+    }
+
+    /// Registers a descriptor ring for `grant`'s context over the first
+    /// `capacity` slots of `buf` — the §3.2 pattern again: the *kernel*
+    /// validates the window (it must fit inside the process's own
+    /// writable mapped buffer) and programs the privileged
+    /// `RING_BASE_TABLE`/`RING_CTL_TABLE` slots; user code only ever
+    /// touches its ring memory and its context-page doorbell.
+    ///
+    /// Returns `false` (and programs nothing) when the window does not
+    /// fit the buffer or the buffer is not writable.
+    pub fn register_ring(
+        &mut self,
+        grant: &CtxGrant,
+        buf: &MappedBuffer,
+        capacity: u64,
+        bus: &mut Bus,
+        now: SimTime,
+    ) -> bool {
+        let fits = capacity > 0
+            && capacity.checked_mul(udma_nic::DESC_BYTES).is_some_and(|b| b <= buf.len());
+        if !fits || !buf.perms.allows(udma_mem::Perms::READ_WRITE) {
+            self.stats.failed_syscalls += 1;
+            return false;
+        }
+        let tag = 0;
+        let base_reg = self.nic_base + regs::RING_BASE_TABLE + 8 * grant.ctx as u64;
+        let ctl_reg = self.nic_base + regs::RING_CTL_TABLE + 8 * grant.ctx as u64;
+        bus.access(BusTxn::write(base_reg, buf.first_frame.base().as_u64(), tag), now)
+            .expect("ring base table is always decodable");
+        bus.access(BusTxn::write(ctl_reg, capacity, tag), now)
+            .expect("ring control table is always decodable");
+        true
+    }
+
+    /// Deregisters `grant`'s ring (a single privileged control write of
+    /// zero); stale doorbells then find nothing to dequeue.
+    pub fn deregister_ring(&mut self, grant: &CtxGrant, bus: &mut Bus, now: SimTime) {
+        let ctl_reg = self.nic_base + regs::RING_CTL_TABLE + 8 * grant.ctx as u64;
+        bus.access(BusTxn::write(ctl_reg, 0, 0), now)
+            .expect("ring control table is always decodable");
     }
 
     /// Pages a byte range touches (for translation-cost accounting).
@@ -405,6 +446,48 @@ mod tests {
             assert_eq!(kernel.stats().switch_hooks, expect_hooks, "{policy}");
             assert_eq!(dt > SimTime::ZERO, expect_hooks > 0);
         }
+    }
+
+    #[test]
+    fn register_ring_validates_window_and_programs_tables() {
+        let (mut kernel, mut bus, engine) = machine(SwitchPolicy::Vanilla);
+        engine
+            .core_mut()
+            .enable_iommu(udma_iommu::IotlbConfig::default(), udma_nic::VirtDmaConfig::default());
+        engine.core_mut().enable_rings(udma_nic::RingConfig::default());
+        let g = kernel.grant_context(Pid::new(1), &mut bus, SimTime::ZERO).unwrap();
+        let mut pt = PageTable::new();
+        let buf = kernel
+            .vm_mut()
+            .map_buffer(
+                &mut pt,
+                VirtAddr::new(0x4000),
+                1,
+                Perms::READ_WRITE,
+                crate::ShadowMode::None,
+            )
+            .unwrap();
+        // One page holds PAGE_SIZE/DESC_BYTES slots; more must bounce.
+        let max = PAGE_SIZE / udma_nic::DESC_BYTES;
+        assert!(!kernel.register_ring(&g, &buf, max + 1, &mut bus, SimTime::ZERO));
+        assert!(!kernel.register_ring(&g, &buf, 0, &mut bus, SimTime::ZERO));
+        assert!(!engine.core().ring(g.ctx).registered());
+        // A read-only buffer can't back a ring the process must write.
+        let ro = kernel
+            .vm_mut()
+            .map_buffer(&mut pt, VirtAddr::new(0x8000), 1, Perms::READ, crate::ShadowMode::None)
+            .unwrap();
+        assert!(!kernel.register_ring(&g, &ro, 4, &mut bus, SimTime::ZERO));
+
+        assert!(kernel.register_ring(&g, &buf, max, &mut bus, SimTime::ZERO));
+        let core = engine.core();
+        let ring = core.ring(g.ctx);
+        assert!(ring.registered());
+        assert_eq!(ring.base(), buf.first_frame.base());
+        assert_eq!(ring.capacity() as u64, max);
+        drop(core);
+        kernel.deregister_ring(&g, &mut bus, SimTime::ZERO);
+        assert!(!engine.core().ring(g.ctx).registered());
     }
 
     #[test]

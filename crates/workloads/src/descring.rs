@@ -1,0 +1,89 @@
+//! Doorbell-batched descriptor rings (E20).
+//!
+//! [`ring_initiation_sweep`] measures per-transfer DMA initiation cost
+//! as a function of **queue depth** — how many descriptors the user
+//! posts into the per-context ring before ringing the doorbell once.
+//! At depth 1 the cost pins exactly to the key-based per-post baseline
+//! (the ring hardware is free until it is used); as depth grows the
+//! single doorbell store and the register-sequence protection checks
+//! amortize across the batch and the per-transfer cost falls toward
+//! the asymptote of four cached descriptor stores plus one engine-side
+//! fetch. The E20 acceptance bound requires the curve to be monotone
+//! non-increasing and ≥ 2× cheaper at depth 16 than at depth 1.
+
+use udma::{measure_initiation, measure_ring_initiation, DmaMethod};
+use udma_bus::SimTime;
+
+/// The standard E20 queue-depth grid: 1 (the pin point) through 32,
+/// doubling — deep enough that the curve visibly flattens against the
+/// store-plus-fetch asymptote.
+pub fn e20_depth_grid() -> Vec<u32> {
+    vec![1, 2, 4, 8, 16, 32]
+}
+
+/// One queue-depth point of the E20 sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct RingInitiationRow {
+    /// Descriptors posted per doorbell.
+    pub depth: u32,
+    /// Total transfers averaged over.
+    pub transfers: u32,
+    /// Mean per-transfer initiation cost at this depth.
+    pub mean_initiation: SimTime,
+    /// The key-based register-sequence per-post cost (depth-independent
+    /// baseline every row is measured against).
+    pub per_post_baseline: SimTime,
+    /// `per_post_baseline / mean_initiation` — the amortization factor.
+    pub speedup: f64,
+}
+
+/// Experiment E20: for every queue depth, drives `transfers` DMA posts
+/// through the per-context descriptor ring in doorbell batches of
+/// `depth` and reports the mean per-transfer initiation cost, next to
+/// the per-post register-sequence baseline. `transfers` must be a
+/// positive multiple of every depth in the grid.
+pub fn ring_initiation_sweep(depths: &[u32], transfers: u32) -> Vec<RingInitiationRow> {
+    let baseline = measure_initiation(DmaMethod::KeyBased, transfers).mean;
+    depths
+        .iter()
+        .map(|&depth| {
+            let mean = measure_ring_initiation(depth, transfers).mean;
+            RingInitiationRow {
+                depth,
+                transfers,
+                mean_initiation: mean,
+                per_post_baseline: baseline,
+                speedup: baseline.as_ps() as f64 / mean.as_ps().max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = ring_initiation_sweep(&[1, 8], 16);
+        let b = ring_initiation_sweep(&[1, 8], 16);
+        assert_eq!(a[0].mean_initiation, b[0].mean_initiation);
+        assert_eq!(a[1].mean_initiation, b[1].mean_initiation);
+        assert_eq!(a[1].speedup, b[1].speedup);
+    }
+
+    #[test]
+    fn depth_one_is_the_pin_point() {
+        let rows = ring_initiation_sweep(&[1], 8);
+        assert_eq!(rows[0].mean_initiation, rows[0].per_post_baseline);
+        assert_eq!(rows[0].speedup, 1.0);
+    }
+
+    #[test]
+    fn grid_starts_at_the_pin_and_doubles_past_sixteen() {
+        let grid = e20_depth_grid();
+        assert_eq!(grid.first(), Some(&1));
+        assert!(grid.contains(&16), "the acceptance bound is stated at depth 16");
+        assert!(grid.windows(2).all(|w| w[1] == 2 * w[0]));
+    }
+}

@@ -23,6 +23,9 @@
 //! * [`ctxvirt`] — context virtualization (E17): initiation p50/p99 and
 //!   steal rate as 100 → 100k logical processes share 4–8 register
 //!   contexts, plus the hostile-tenant QoS scenario;
+//! * [`descring`] — doorbell-batched descriptor rings (E20): per-transfer
+//!   initiation cost vs queue depth, pinned to the per-post baseline at
+//!   depth 1;
 //! * [`sharded`] — the sharded-cluster scaling sweep (E16): the standard
 //!   all-to-all ring workload on the sequential oracle vs the parallel
 //!   runner at 1–8 shards, every row digest-checked against the oracle.
@@ -35,6 +38,7 @@ pub mod coherence;
 pub mod contention;
 pub mod crashes;
 pub mod ctxvirt;
+pub mod descring;
 pub mod keyguess;
 pub mod lossy;
 pub mod microbench;
@@ -58,6 +62,7 @@ pub use ctxvirt::{
     context_pressure_sweep, e17_context_grid, hostile_tenant_scenario, CtxPressureRow,
     HostileTenantRow,
 };
+pub use descring::{e20_depth_grid, ring_initiation_sweep, RingInitiationRow};
 pub use keyguess::{guess_acceptance, pollution_with_known_key, GuessStats};
 pub use lossy::{lossy_link_sweep, LossyLinkRow};
 pub use microbench::{context_switch, dcache_effect, empty_syscall, tlb_miss};

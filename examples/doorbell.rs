@@ -1,0 +1,100 @@
+//! Doorbell-batched descriptor rings (E20): one user-level store
+//! launches a whole batch of DMA transfers.
+//!
+//! Part 1 — **gather-send**: three fragments scattered through the
+//! source buffer are chained behind one head descriptor
+//! (`DESC_FLAG_CHAIN` → `DESC_FLAG_FRAG` links); a single doorbell
+//! dequeues the chain and deposits the fragments contiguously at the
+//! destination.
+//!
+//! Part 2 — **amortization**: per-transfer initiation cost at queue
+//! depth 1 (which pins exactly to the key-based per-post register
+//! sequence — the ring is pure opt-in) vs depth 16, in µs and 150 MHz
+//! Alpha cycles.
+//!
+//! ```text
+//! cargo run --release --example doorbell
+//! ```
+
+use udma::{
+    measure_ring_initiation, BufferSpec, DmaMethod, Machine, MachineConfig, ProcessSpec,
+    VirtDmaSetup,
+};
+use udma_cpu::ProgramBuilder;
+use udma_iommu::IotlbConfig;
+use udma_mem::{PhysAddr, VirtAddr};
+use udma_nic::{DescDst, DmaDescriptor, RingConfig, DESC_FLAG_CHAIN, DESC_FLAG_FRAG};
+
+/// 150 MHz Alpha 21064 cycles for a simulated duration.
+fn cycles(t: udma_bus::SimTime) -> u64 {
+    t.as_ps() * 150 / 1_000_000
+}
+
+fn main() {
+    // ---- part 1: gather-send through one doorbell -------------------
+    let mut m = Machine::new(MachineConfig {
+        virt_dma: Some(VirtDmaSetup::pin_on_post(IotlbConfig::default())),
+        ..MachineConfig::new(DmaMethod::KeyBased)
+    });
+    m.enable_desc_rings(RingConfig::default());
+
+    // Buffer 0: fragmented source; buffer 1: destination; buffer 2: the
+    // one-page descriptor ring the kernel registers with the NI.
+    let spec = ProcessSpec {
+        buffers: vec![BufferSpec::rw(1), BufferSpec::rw(1), BufferSpec::rw(1)],
+        ..Default::default()
+    };
+    let pid = m.spawn(&spec, |_| ProgramBuilder::new().halt().build());
+    assert!(m.register_ring(pid, 2, 16), "ring registration");
+
+    // Scatter three 16-byte fragments through the source page.
+    let src_pa = m.env(pid).buffer(0).first_frame.base();
+    let frags: [(u64, &[u8; 16]); 3] =
+        [(0x000, b"user-level DMA: "), (0x400, b"one doorbell,   "), (0x800, b"one gather-send.")];
+    for (off, bytes) in frags {
+        m.memory()
+            .borrow_mut()
+            .write_bytes(PhysAddr::new(src_pa.as_u64() + off), &bytes[..])
+            .unwrap();
+    }
+
+    // A chain: the head names the destination and links fragment
+    // descriptors; each fragment contributes its own source + length.
+    let src_va = m.env(pid).buffer(0).va;
+    let dst_va = m.env(pid).buffer(1).va;
+    let mut head = DmaDescriptor::new(src_va, DescDst::Local(dst_va), 16);
+    head.flags = DESC_FLAG_CHAIN;
+    head.link = Some(1);
+    let mut f1 =
+        DmaDescriptor::new(VirtAddr::new(src_va.as_u64() + 0x400), DescDst::Local(dst_va), 16);
+    f1.flags = DESC_FLAG_FRAG;
+    f1.link = Some(2);
+    let mut f2 =
+        DmaDescriptor::new(VirtAddr::new(src_va.as_u64() + 0x800), DescDst::Local(dst_va), 16);
+    f2.flags = DESC_FLAG_FRAG;
+    for d in [&head, &f1, &f2] {
+        m.post_ring(pid, d).expect("ring post");
+    }
+    let launches = m.ring_doorbell(pid);
+    let stats = m.ring_stats();
+
+    let dst_pa = m.env(pid).buffer(1).first_frame.base();
+    let mut got = vec![0u8; 48];
+    m.memory().borrow().read_bytes(dst_pa, &mut got).unwrap();
+    println!("gather-send: {} descriptors, 1 doorbell, {} launches", stats.fetched, launches.len());
+    println!("  deposited: {:?}", String::from_utf8_lossy(&got));
+    assert_eq!(&got, b"user-level DMA: one doorbell,   one gather-send.");
+
+    // ---- part 2: the amortization numbers ---------------------------
+    println!("\nper-transfer initiation cost (key-based machine):");
+    for depth in [1u32, 16] {
+        let cost = measure_ring_initiation(depth, 32);
+        println!(
+            "  queue depth {depth:>2}: {:>5.2} µs  = {:>4} cycles @ 150 MHz",
+            cost.mean.as_us(),
+            cycles(cost.mean)
+        );
+    }
+    println!("\ndepth 1 is byte-for-byte the per-post register sequence; at depth 16");
+    println!("the doorbell and protection checks amortize across the batch.");
+}

@@ -373,6 +373,46 @@ fn context_count_is_unified() {
     assert_eq!(e17.last().copied(), Some(regs::MAX_CONTEXTS));
 }
 
+/// Satellite regression: queued descriptor-ring work pins a context
+/// exactly like an in-flight transfer does. A save must refuse — naming
+/// the ring — while descriptors sit posted-but-undoorbelled *and* while
+/// a doorbelled batch is still draining; once quiescent the spill
+/// succeeds and carries the ring registration in the image.
+#[test]
+fn save_refuses_pending_ring_descriptors() {
+    use udma_mem::{Perms, PhysFrame, VirtAddr, VirtPage, PAGE_SIZE};
+    use udma_nic::{DescDst, DmaDescriptor, RingConfig, VirtDmaConfig};
+
+    let (mut core, _mem) = engine(2);
+    core.enable_iommu(udma_iommu::IotlbConfig::default(), VirtDmaConfig::default());
+    let iommu = core.iommu_mut().unwrap();
+    iommu.create_context(1);
+    for p in 0..2u64 {
+        iommu.map(1, VirtPage::new(p), PhysFrame::new(8 + p), Perms::READ_WRITE, true).unwrap();
+        iommu
+            .map(1, VirtPage::new(8 + p), PhysFrame::new(16 + p), Perms::READ_WRITE, true)
+            .unwrap();
+    }
+    core.enable_rings(RingConfig::default());
+    core.set_ring_base(1, 0x40000);
+    core.set_ring_ctl(1, 16);
+
+    let desc =
+        DmaDescriptor::new(VirtAddr::new(0), DescDst::Local(VirtAddr::new(8 * PAGE_SIZE)), 64);
+    core.ring_post(1, &desc, SimTime::ZERO).unwrap();
+    // Posted but undoorbelled: the descriptor would be lost to a spill.
+    assert!(core.context_busy(1, SimTime::ZERO));
+    assert_eq!(core.save_context(1, SimTime::ZERO), Err(CtxBusy::RingPending));
+    // Doorbelled but still draining: same answer.
+    core.ring_doorbell(1, 1, SimTime::ZERO);
+    assert_eq!(core.save_context(1, SimTime::ZERO), Err(CtxBusy::RingPending));
+    assert_eq!(core.ctx_stats().busy_denials, 2);
+    // Quiescent: the spill succeeds and the image carries the ring.
+    let image = core.save_context(1, SimTime::from_us(100_000)).expect("drained ring spills");
+    let ring = image.ring.expect("the image must carry the ring registration");
+    assert_eq!((ring.base, ring.capacity), (0x40000, 16));
+}
+
 #[test]
 fn arbiter_disabled_is_the_unprotected_baseline() {
     let _ = ArbiterConfig::disabled();
